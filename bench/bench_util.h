@@ -1,0 +1,62 @@
+// Shared formatting helpers for the figure-regeneration benches.
+#pragma once
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace eclipse::bench {
+
+inline void Header(const std::string& title) {
+  std::printf("\n==== %s ====\n", title.c_str());
+}
+
+inline void Row(const std::vector<std::string>& cells, int width = 14) {
+  for (const auto& c : cells) std::printf("%-*s", width, c.c_str());
+  std::printf("\n");
+}
+
+inline std::string Num(double v, int precision = 1) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+inline std::string Pct(double ratio) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.1f%%", ratio * 100.0);
+  return buf;
+}
+
+/// Plot-ready CSV mirror of a bench's table, written to
+/// bench_data/<name>.csv under the current working directory.
+class Csv {
+ public:
+  explicit Csv(const std::string& name) {
+    std::error_code ec;
+    std::filesystem::create_directories("bench_data", ec);
+    out_.open("bench_data/" + name + ".csv");
+  }
+
+  void Row(const std::vector<std::string>& cells) {
+    if (!out_.is_open()) return;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i > 0) out_ << ',';
+      out_ << cells[i];
+    }
+    out_ << '\n';
+  }
+
+ private:
+  std::ofstream out_;
+};
+
+/// Print a row AND mirror it to the CSV.
+inline void Row(Csv& csv, const std::vector<std::string>& cells, int width = 14) {
+  csv.Row(cells);
+  Row(cells, width);
+}
+
+}  // namespace eclipse::bench

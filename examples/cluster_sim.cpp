@@ -1,0 +1,129 @@
+// cluster_sim — command-line front-end to the testbed simulator.
+//
+// Runs one workload on the modeled 40-node cluster under a chosen framework
+// and prints the timing/caching outcome, e.g.:
+//
+//   ./cluster_sim --app=kmeans --framework=spark --iterations=5
+//   ./cluster_sim --app=grep --scheduler=delay --nodes=20 --cache=512M
+//                 --skew=two-normals --accesses=5000   (one line)
+//
+// Flags (all optional):
+//   --app=grep|wordcount|inverted_index|sort|kmeans|pagerank|logreg|dfsio
+//   --framework=eclipse|hadoop|spark          (default eclipse)
+//   --scheduler=laf|delay                     (eclipse only, default laf)
+//   --nodes=N          (default 40)           --blocks=N (default 2000)
+//   --cache=BYTES[K|M|G]                      (default 1G per server)
+//   --iterations=N     (default 1)
+//   --skew=uniform|zipf|two-normals           (default: one full scan)
+//   --accesses=N       trace length when --skew is given
+//   --alpha=F          LAF moving-average weight (default 0.001)
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "sim/eclipse_sim.h"
+#include "sim/hadoop_sim.h"
+#include "sim/spark_sim.h"
+#include "workload/generators.h"
+
+using namespace eclipse;
+using namespace eclipse::sim;
+
+namespace {
+
+std::string FlagValue(int argc, char** argv, const char* name, const char* fallback) {
+  std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return argv[i] + prefix.size();
+    }
+  }
+  return fallback;
+}
+
+Bytes ParseBytes(const std::string& s) {
+  if (s.empty()) return 0;
+  char suffix = s.back();
+  Bytes mult = 1;
+  std::string digits = s;
+  if (suffix == 'K' || suffix == 'k') mult = 1_KiB;
+  if (suffix == 'M' || suffix == 'm') mult = 1_MiB;
+  if (suffix == 'G' || suffix == 'g') mult = 1_GiB;
+  if (mult != 1) digits = s.substr(0, s.size() - 1);
+  return static_cast<Bytes>(std::stoull(digits)) * mult;
+}
+
+AppProfile ProfileFor(const std::string& name) {
+  if (name == "grep") return GrepProfile();
+  if (name == "wordcount") return WordCountProfile();
+  if (name == "inverted_index") return InvertedIndexProfile();
+  if (name == "sort") return SortProfile();
+  if (name == "kmeans") return KMeansProfile();
+  if (name == "pagerank") return PageRankProfile();
+  if (name == "logreg") return LogRegProfile();
+  if (name == "dfsio") return DfsioProfile();
+  std::fprintf(stderr, "unknown --app=%s, using grep\n", name.c_str());
+  return GrepProfile();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string app = FlagValue(argc, argv, "app", "grep");
+  std::string framework = FlagValue(argc, argv, "framework", "eclipse");
+  std::string scheduler = FlagValue(argc, argv, "scheduler", "laf");
+  std::string skew = FlagValue(argc, argv, "skew", "");
+
+  SimConfig cfg;
+  cfg.num_nodes = std::stoi(FlagValue(argc, argv, "nodes", "40"));
+  cfg.cache_per_node = ParseBytes(FlagValue(argc, argv, "cache", "1G"));
+
+  SimJobSpec job;
+  job.app = ProfileFor(app);
+  job.dataset = app;
+  job.num_blocks = static_cast<std::uint32_t>(std::stoul(FlagValue(argc, argv, "blocks", "2000")));
+  job.iterations = std::stoi(FlagValue(argc, argv, "iterations", "1"));
+
+  if (!skew.empty()) {
+    workload::TraceOptions topts;
+    topts.num_blocks = job.num_blocks;
+    topts.length = static_cast<std::size_t>(std::stoul(FlagValue(argc, argv, "accesses", "10000")));
+    if (skew == "zipf") topts.shape = workload::TraceShape::kZipf;
+    else if (skew == "two-normals") topts.shape = workload::TraceShape::kTwoNormals;
+    else topts.shape = workload::TraceShape::kUniform;
+    Rng rng(2017);
+    job.accesses = workload::GenerateTrace(rng, topts);
+  }
+
+  SimJobResult r;
+  if (framework == "hadoop") {
+    HadoopSim sim(cfg);
+    r = sim.RunJob(job);
+  } else if (framework == "spark") {
+    SparkSim sim(cfg);
+    r = sim.RunJob(job);
+  } else {
+    sched::LafOptions laf;
+    laf.alpha = std::stod(FlagValue(argc, argv, "alpha", "0.001"));
+    auto kind = scheduler == "delay" ? mr::SchedulerKind::kDelay : mr::SchedulerKind::kLaf;
+    EclipseSim sim(cfg, kind, laf);
+    r = sim.RunJob(job);
+  }
+
+  std::printf("app=%s framework=%s nodes=%d blocks=%u iterations=%d cache/server=%s\n",
+              app.c_str(), framework.c_str(), cfg.num_nodes, job.num_blocks,
+              job.iterations, FormatBytes(cfg.cache_per_node).c_str());
+  std::printf("job time        : %.1f s\n", r.job_seconds);
+  std::printf("map tasks       : %llu (total busy %.1f s)\n",
+              static_cast<unsigned long long>(r.map_tasks), r.map_task_seconds_total);
+  std::printf("reduce tasks    : %llu\n", static_cast<unsigned long long>(r.reduce_tasks));
+  std::printf("bytes read      : %s\n", FormatBytes(r.bytes_read).c_str());
+  std::printf("cache hit ratio : %.1f%%\n", r.HitRatio() * 100.0);
+  std::printf("slot stddev     : %.2f\n", r.slot_stddev);
+  if (r.iteration_seconds.size() > 1) {
+    std::printf("per-iteration   :");
+    for (double t : r.iteration_seconds) std::printf(" %.1f", t);
+    std::printf("\n");
+  }
+  return 0;
+}

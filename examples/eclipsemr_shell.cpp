@@ -1,0 +1,179 @@
+// eclipsemr_shell — an interactive shell for the emulated cluster, the way
+// a downstream user would poke at an EclipseMR deployment.
+//
+// Commands (also responds to `help`):
+//   put <name> <text...>        upload inline text as a file
+//   gen <name> <bytes>          upload generated Zipf text
+//   ls                          list files (decentralized namespace union)
+//   cat <name>                  print a file
+//   rm <name>                   delete a file
+//   wc <file> [out]             run word count (optionally persist output)
+//   grep <file> <pattern>       run grep
+//   sort <file>                 run sort
+//   kill <server>               crash a worker (recovery runs automatically)
+//   add                         add a worker (rebalances ownership)
+//   ring                        show ring membership & positions
+//   cache                       per-server cache occupancy & hit ratios
+//   metrics                     cluster metrics report
+//   quit
+//
+// Run with a script on stdin for non-interactive use:
+//   printf 'gen data 20000\nwc data\nmetrics\nquit\n' | ./eclipsemr_shell
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+
+#include "apps/grep.h"
+#include "apps/sort.h"
+#include "apps/wordcount.h"
+#include "mr/cluster.h"
+#include "workload/generators.h"
+
+using namespace eclipse;
+
+namespace {
+
+void PrintJob(const mr::JobResult& result) {
+  if (!result.status.ok()) {
+    std::printf("job failed: %s\n", result.status.ToString().c_str());
+    return;
+  }
+  std::printf("ok: %zu output pairs, %llu maps (%llu skipped, %llu retried), "
+              "%llu reduces, icache %.0f%%, %.3fs\n",
+              result.output.size(),
+              static_cast<unsigned long long>(result.stats.map_tasks),
+              static_cast<unsigned long long>(result.stats.maps_skipped),
+              static_cast<unsigned long long>(result.stats.map_retries),
+              static_cast<unsigned long long>(result.stats.reduce_tasks),
+              result.stats.InputHitRatio() * 100.0, result.stats.wall_seconds);
+  std::size_t shown = 0;
+  for (const auto& kv : result.output) {
+    if (++shown > 8) {
+      std::printf("  ... (%zu more)\n", result.output.size() - 8);
+      break;
+    }
+    std::printf("  %s\t%s\n", kv.key.c_str(), kv.value.c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  mr::ClusterOptions options;
+  options.num_servers = 6;
+  options.block_size = 4_KiB;
+  options.cache_capacity = 32_MiB;
+  mr::Cluster cluster(options);
+  Rng rng(1);
+
+  std::printf("EclipseMR shell — %d emulated servers; type 'help'.\n",
+              options.num_servers);
+  std::string line;
+  while (std::printf("eclipse> "), std::fflush(stdout), std::getline(std::cin, line)) {
+    std::istringstream in(line);
+    std::string cmd;
+    in >> cmd;
+    if (cmd.empty()) continue;
+
+    if (cmd == "quit" || cmd == "exit") break;
+
+    if (cmd == "help") {
+      std::printf("put gen ls cat rm wc grep sort kill add ring cache metrics quit\n");
+
+    } else if (cmd == "put") {
+      std::string name, rest;
+      in >> name;
+      std::getline(in, rest);
+      if (!rest.empty() && rest[0] == ' ') rest.erase(0, 1);
+      Status s = cluster.dfs().Upload(name, rest + "\n");
+      std::printf("%s\n", s.ToString().c_str());
+
+    } else if (cmd == "gen") {
+      std::string name;
+      Bytes bytes = 0;
+      in >> name >> bytes;
+      workload::TextOptions topts;
+      topts.target_bytes = bytes;
+      Status s = cluster.dfs().Upload(name, workload::GenerateText(rng, topts));
+      std::printf("%s\n", s.ToString().c_str());
+
+    } else if (cmd == "ls") {
+      for (const auto& meta : cluster.dfs().ListFiles()) {
+        std::printf("%-20s %10s  %llu x %s blocks  owner=%s\n", meta.name.c_str(),
+                    FormatBytes(meta.size).c_str(),
+                    static_cast<unsigned long long>(meta.num_blocks),
+                    FormatBytes(meta.block_size).c_str(), meta.owner.c_str());
+      }
+
+    } else if (cmd == "cat") {
+      std::string name;
+      in >> name;
+      auto content = cluster.dfs().ReadFile(name);
+      if (content.ok()) {
+        fwrite(content.value().data(), 1, content.value().size(), stdout);
+      } else {
+        std::printf("%s\n", content.status().ToString().c_str());
+      }
+
+    } else if (cmd == "rm") {
+      std::string name;
+      in >> name;
+      std::printf("%s\n", cluster.dfs().Delete(name).ToString().c_str());
+
+    } else if (cmd == "wc") {
+      std::string file, out;
+      in >> file >> out;
+      mr::JobSpec spec = apps::WordCountJob("shell-wc", file);
+      spec.output_file = out;
+      PrintJob(cluster.Run(spec));
+
+    } else if (cmd == "grep") {
+      std::string file, pattern;
+      in >> file >> pattern;
+      PrintJob(cluster.Run(apps::GrepJob("shell-grep", file, pattern)));
+
+    } else if (cmd == "sort") {
+      std::string file;
+      in >> file;
+      PrintJob(cluster.Run(apps::SortJob("shell-sort", file)));
+
+    } else if (cmd == "kill") {
+      int id = -1;
+      in >> id;
+      if (id < 0 || static_cast<std::size_t>(id) >= 64 || !cluster.ring().Contains(id)) {
+        std::printf("no such live server\n");
+      } else {
+        auto report = cluster.KillServer(id);
+        std::printf("server %d down; %zu blocks re-replicated, %zu lost\n", id,
+                    report.blocks_copied, report.blocks_lost);
+      }
+
+    } else if (cmd == "add") {
+      dfs::RecoveryReport report;
+      int id = cluster.AddServer(&report);
+      std::printf("server %d up; %zu blocks moved, %zu stale copies dropped\n", id,
+                  report.blocks_copied, report.blocks_dropped);
+
+    } else if (cmd == "ring") {
+      for (const auto& [id, pos] : cluster.ring().Positions()) {
+        std::printf("  server %-3d @ %016llx\n", id, static_cast<unsigned long long>(pos));
+      }
+
+    } else if (cmd == "cache") {
+      for (int id : cluster.WorkerIds()) {
+        auto& c = cluster.worker(id).cache();
+        auto s = c.stats();
+        std::printf("  server %-3d %8s / %-8s  entries=%-5zu hit=%.0f%%\n", id,
+                    FormatBytes(c.used()).c_str(), FormatBytes(c.capacity()).c_str(),
+                    c.Count(), s.HitRatio() * 100.0);
+      }
+
+    } else if (cmd == "metrics") {
+      std::printf("%s", cluster.metrics().Render().c_str());
+
+    } else {
+      std::printf("unknown command '%s' (try 'help')\n", cmd.c_str());
+    }
+  }
+  return 0;
+}

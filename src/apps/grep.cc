@@ -1,0 +1,39 @@
+#include "apps/grep.h"
+
+#include "apps/text_util.h"
+
+namespace eclipse::apps {
+
+void GrepMapper::Map(const std::string& record, mr::MapContext& ctx) {
+  if (record.find(ctx.shared_state()) != std::string::npos) {
+    ctx.Emit(record, "1");
+  }
+}
+
+void GrepReducer::Reduce(const std::string& key, const std::vector<std::string>& values,
+                         mr::ReduceContext& ctx) {
+  std::uint64_t total = 0;
+  for (const auto& v : values) total += std::stoull(v);
+  ctx.Emit(key, std::to_string(total));
+}
+
+mr::JobSpec GrepJob(std::string name, std::string input_file, std::string pattern) {
+  mr::JobSpec spec;
+  spec.name = std::move(name);
+  spec.input_file = std::move(input_file);
+  spec.shared_state = std::move(pattern);
+  spec.mapper = [] { return std::make_unique<GrepMapper>(); };
+  spec.reducer = [] { return std::make_unique<GrepReducer>(); };
+  return spec;
+}
+
+std::map<std::string, std::uint64_t> GrepSerial(const std::string& text,
+                                                const std::string& pattern) {
+  std::map<std::string, std::uint64_t> out;
+  for (const auto& line : Split(text, '\n')) {
+    if (line.find(pattern) != std::string::npos) ++out[line];
+  }
+  return out;
+}
+
+}  // namespace eclipse::apps

@@ -1,0 +1,29 @@
+// grep — emit every line containing a fixed pattern, with its occurrence
+// count (paper Fig. 6a, 7, 8, 9). The pattern travels as job shared state.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "mr/types.h"
+
+namespace eclipse::apps {
+
+class GrepMapper : public mr::Mapper {
+ public:
+  void Map(const std::string& record, mr::MapContext& ctx) override;
+};
+
+class GrepReducer : public mr::Reducer {
+ public:
+  void Reduce(const std::string& key, const std::vector<std::string>& values,
+              mr::ReduceContext& ctx) override;
+};
+
+mr::JobSpec GrepJob(std::string name, std::string input_file, std::string pattern);
+
+/// Serial oracle: matching line -> number of occurrences of that line.
+std::map<std::string, std::uint64_t> GrepSerial(const std::string& text,
+                                                const std::string& pattern);
+
+}  // namespace eclipse::apps

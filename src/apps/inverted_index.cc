@@ -1,0 +1,50 @@
+#include "apps/inverted_index.h"
+
+#include "apps/text_util.h"
+
+namespace eclipse::apps {
+
+void InvertedIndexMapper::Map(const std::string& record, mr::MapContext& ctx) {
+  std::size_t tab = record.find('\t');
+  if (tab == std::string::npos) return;  // malformed line: no doc id
+  std::string doc = record.substr(0, tab);
+  for (auto& word : SplitWords(std::string_view(record).substr(tab + 1))) {
+    ctx.Emit(std::move(word), doc);
+  }
+}
+
+void InvertedIndexReducer::Reduce(const std::string& key,
+                                  const std::vector<std::string>& values,
+                                  mr::ReduceContext& ctx) {
+  std::set<std::string> docs(values.begin(), values.end());
+  std::string joined;
+  for (const auto& d : docs) {
+    if (!joined.empty()) joined.push_back(' ');
+    joined += d;
+  }
+  ctx.Emit(key, joined);
+}
+
+mr::JobSpec InvertedIndexJob(std::string name, std::string input_file) {
+  mr::JobSpec spec;
+  spec.name = std::move(name);
+  spec.input_file = std::move(input_file);
+  spec.mapper = [] { return std::make_unique<InvertedIndexMapper>(); };
+  spec.reducer = [] { return std::make_unique<InvertedIndexReducer>(); };
+  return spec;
+}
+
+std::map<std::string, std::set<std::string>> InvertedIndexSerial(const std::string& text) {
+  std::map<std::string, std::set<std::string>> index;
+  for (const auto& line : Split(text, '\n')) {
+    std::size_t tab = line.find('\t');
+    if (tab == std::string::npos) continue;
+    std::string doc = line.substr(0, tab);
+    for (auto& word : SplitWords(std::string_view(line).substr(tab + 1))) {
+      index[std::move(word)].insert(doc);
+    }
+  }
+  return index;
+}
+
+}  // namespace eclipse::apps

@@ -1,0 +1,30 @@
+// inverted index — word -> sorted list of documents containing it (paper
+// Fig. 6a, 9). Input records are "docId<TAB>document text" lines.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "mr/types.h"
+
+namespace eclipse::apps {
+
+class InvertedIndexMapper : public mr::Mapper {
+ public:
+  void Map(const std::string& record, mr::MapContext& ctx) override;
+};
+
+/// Emits (word, "doc1 doc2 ...") with documents deduplicated and sorted.
+class InvertedIndexReducer : public mr::Reducer {
+ public:
+  void Reduce(const std::string& key, const std::vector<std::string>& values,
+              mr::ReduceContext& ctx) override;
+};
+
+mr::JobSpec InvertedIndexJob(std::string name, std::string input_file);
+
+/// Serial oracle: word -> set of doc ids.
+std::map<std::string, std::set<std::string>> InvertedIndexSerial(const std::string& text);
+
+}  // namespace eclipse::apps

@@ -1,0 +1,116 @@
+#include "apps/logreg.h"
+
+#include <cmath>
+
+#include "apps/text_util.h"
+
+namespace eclipse::apps {
+
+LabeledPoint ParseLabeledPoint(const std::string& record) {
+  LabeledPoint p;
+  auto values = ParseDoubles(record, ' ');
+  if (values.empty()) return p;
+  p.label = values[0];
+  p.features.assign(values.begin() + 1, values.end());
+  return p;
+}
+
+double Sigmoid(double z) { return 1.0 / (1.0 + std::exp(-z)); }
+
+std::vector<double> LogLossGradient(const std::vector<LabeledPoint>& points,
+                                    const std::vector<double>& weights) {
+  std::vector<double> grad(weights.size(), 0.0);
+  for (const auto& p : points) {
+    double z = weights.empty() ? 0.0 : weights[0];
+    for (std::size_t j = 0; j < p.features.size() && j + 1 < weights.size(); ++j) {
+      z += weights[j + 1] * p.features[j];
+    }
+    double err = Sigmoid(z) - p.label;
+    if (!grad.empty()) grad[0] += err;
+    for (std::size_t j = 0; j < p.features.size() && j + 1 < grad.size(); ++j) {
+      grad[j + 1] += err * p.features[j];
+    }
+  }
+  return grad;
+}
+
+void LogRegMapper::Map(const std::string& record, mr::MapContext& ctx) {
+  if (weights_.empty()) {
+    weights_ = ParseDoubles(ctx.shared_state());
+    gradient_.assign(weights_.size(), 0.0);
+  }
+  LabeledPoint p = ParseLabeledPoint(record);
+  if (p.features.empty()) return;
+  auto g = LogLossGradient({p}, weights_);
+  for (std::size_t j = 0; j < gradient_.size(); ++j) gradient_[j] += g[j];
+  ++count_;
+}
+
+void LogRegMapper::Finish(mr::MapContext& ctx) {
+  if (count_ > 0) {
+    ctx.Emit("grad", std::to_string(count_) + "|" + JoinDoubles(gradient_));
+  }
+  weights_.clear();
+  gradient_.clear();
+  count_ = 0;
+}
+
+void LogRegReducer::Reduce(const std::string& key, const std::vector<std::string>& values,
+                           mr::ReduceContext& ctx) {
+  std::uint64_t total = 0;
+  std::vector<double> sum;
+  for (const auto& v : values) {
+    std::size_t bar = v.find('|');
+    if (bar == std::string::npos) continue;
+    total += std::stoull(v.substr(0, bar));
+    auto partial = ParseDoubles(std::string_view(v).substr(bar + 1));
+    if (sum.size() < partial.size()) sum.resize(partial.size(), 0.0);
+    for (std::size_t j = 0; j < partial.size(); ++j) sum[j] += partial[j];
+  }
+  ctx.Emit(key, std::to_string(total) + "|" + JoinDoubles(sum));
+}
+
+mr::IterationSpec LogRegIterations(std::string name, std::string input_file,
+                                   std::vector<double> initial_weights, int iterations,
+                                   double learning_rate) {
+  mr::IterationSpec spec;
+  spec.base.name = name;
+  spec.base.input_file = std::move(input_file);
+  spec.base.mapper = [] { return std::make_unique<LogRegMapper>(); };
+  spec.base.reducer = [] { return std::make_unique<LogRegReducer>(); };
+  spec.tag = std::move(name);
+  spec.max_iterations = iterations;
+  spec.initial_state = JoinDoubles(initial_weights);
+  spec.update = [learning_rate](const std::vector<mr::KV>& output,
+                                const std::string& current, std::string* next_state) {
+    std::vector<double> weights = ParseDoubles(current);
+    for (const auto& kv : output) {
+      if (kv.key != "grad") continue;
+      std::size_t bar = kv.value.find('|');
+      if (bar == std::string::npos) break;
+      double n = std::stod(kv.value.substr(0, bar));
+      auto grad = ParseDoubles(std::string_view(kv.value).substr(bar + 1));
+      if (n > 0) {
+        for (std::size_t j = 0; j < weights.size() && j < grad.size(); ++j) {
+          weights[j] -= learning_rate * grad[j] / n;
+        }
+      }
+      break;
+    }
+    *next_state = JoinDoubles(weights);
+    return true;
+  };
+  return spec;
+}
+
+std::vector<double> LogRegSerialStep(const std::vector<LabeledPoint>& points,
+                                     const std::vector<double>& weights,
+                                     double learning_rate) {
+  auto grad = LogLossGradient(points, weights);
+  std::vector<double> next = weights;
+  double n = static_cast<double>(points.size());
+  for (std::size_t j = 0; j < next.size(); ++j) next[j] -= learning_rate * grad[j] / n;
+  return next;
+}
+
+}  // namespace eclipse::apps

@@ -1,0 +1,58 @@
+// logistic regression via batch gradient descent (paper Fig. 9, 10b;
+// EclipseMR ~2.5x faster than Spark).
+//
+// Input records are "label f1 f2 ... fd" (label 0/1). The iteration state
+// is the weight vector (bias first); each mapper accumulates its block's
+// gradient of the log-loss and emits one partial, the single reducer sums
+// them, and the driver takes a gradient step.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mr/iterative.h"
+#include "mr/types.h"
+
+namespace eclipse::apps {
+
+struct LabeledPoint {
+  double label = 0.0;  // 0 or 1
+  std::vector<double> features;
+};
+
+LabeledPoint ParseLabeledPoint(const std::string& record);
+
+double Sigmoid(double z);
+
+/// Gradient of the (summed, unnormalized) log-loss at `weights` over the
+/// points; weights[0] is the bias. Returns a vector sized like weights.
+std::vector<double> LogLossGradient(const std::vector<LabeledPoint>& points,
+                                    const std::vector<double>& weights);
+
+class LogRegMapper : public mr::Mapper {
+ public:
+  void Map(const std::string& record, mr::MapContext& ctx) override;
+  void Finish(mr::MapContext& ctx) override;
+
+ private:
+  std::vector<double> weights_;
+  std::vector<double> gradient_;
+  std::uint64_t count_ = 0;
+};
+
+class LogRegReducer : public mr::Reducer {
+ public:
+  void Reduce(const std::string& key, const std::vector<std::string>& values,
+              mr::ReduceContext& ctx) override;
+};
+
+mr::IterationSpec LogRegIterations(std::string name, std::string input_file,
+                                   std::vector<double> initial_weights, int iterations,
+                                   double learning_rate = 0.1);
+
+/// Serial oracle: one full-batch gradient step.
+std::vector<double> LogRegSerialStep(const std::vector<LabeledPoint>& points,
+                                     const std::vector<double>& weights,
+                                     double learning_rate);
+
+}  // namespace eclipse::apps

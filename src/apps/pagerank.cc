@@ -1,0 +1,131 @@
+#include "apps/pagerank.h"
+
+#include "apps/text_util.h"
+
+namespace eclipse::apps {
+namespace {
+
+double RankOf(const PageRankState& s, const std::string& node) {
+  auto it = s.ranks.find(node);
+  if (it != s.ranks.end()) return it->second;
+  return s.num_nodes == 0 ? 0.0 : 1.0 / static_cast<double>(s.num_nodes);
+}
+
+}  // namespace
+
+std::string EncodePageRankState(const PageRankState& s) {
+  std::string out = std::to_string(s.num_nodes);
+  for (const auto& [node, rank] : s.ranks) {
+    out.push_back(';');
+    out += node;
+    out.push_back('=');
+    out += DoubleToString(rank);
+  }
+  return out;
+}
+
+PageRankState DecodePageRankState(const std::string& s) {
+  PageRankState out;
+  auto pieces = Split(s, ';');
+  if (pieces.empty()) return out;
+  out.num_nodes = std::stoull(pieces[0]);
+  for (std::size_t i = 1; i < pieces.size(); ++i) {
+    std::size_t eq = pieces[i].find('=');
+    if (eq == std::string::npos) continue;
+    out.ranks[pieces[i].substr(0, eq)] = std::stod(pieces[i].substr(eq + 1));
+  }
+  return out;
+}
+
+void PageRankMapper::Map(const std::string& record, mr::MapContext& ctx) {
+  if (!decoded_) {
+    state_ = DecodePageRankState(ctx.shared_state());
+    decoded_ = true;
+  }
+  auto fields = SplitWords(record);
+  if (fields.empty()) return;
+  const std::string& node = fields[0];
+  double rank = RankOf(state_, node);
+
+  // Self-marker: keeps `node` in the reduce output even with no in-links,
+  // and carries N so the reducer can apply the damping term.
+  ctx.Emit(node, "N=" + std::to_string(state_.num_nodes));
+
+  std::size_t out_degree = fields.size() - 1;
+  if (out_degree == 0) return;  // dangling node: its mass is dropped (the
+                                // standard simplified formulation)
+  double share = rank / static_cast<double>(out_degree);
+  for (std::size_t i = 1; i < fields.size(); ++i) {
+    ctx.Emit(fields[i], DoubleToString(share));
+  }
+}
+
+void PageRankReducer::Reduce(const std::string& key, const std::vector<std::string>& values,
+                             mr::ReduceContext& ctx) {
+  double sum = 0.0;
+  std::uint64_t n = 0;
+  for (const auto& v : values) {
+    if (v.rfind("N=", 0) == 0) {
+      n = std::stoull(v.substr(2));
+    } else {
+      sum += std::stod(v);
+    }
+  }
+  if (n == 0) {
+    // Contributions to a node absent from the adjacency input (no N
+    // marker): emit the damped sum only; such nodes should not occur in
+    // well-formed inputs where every node has an adjacency line.
+    ctx.Emit(key, DoubleToString(kPageRankDamping * sum));
+    return;
+  }
+  double rank = (1.0 - kPageRankDamping) / static_cast<double>(n) + kPageRankDamping * sum;
+  ctx.Emit(key, DoubleToString(rank));
+}
+
+mr::IterationSpec PageRankIterations(std::string name, std::string input_file,
+                                     std::uint64_t num_nodes, int iterations) {
+  mr::IterationSpec spec;
+  spec.base.name = name;
+  spec.base.input_file = std::move(input_file);
+  spec.base.mapper = [] { return std::make_unique<PageRankMapper>(); };
+  spec.base.reducer = [] { return std::make_unique<PageRankReducer>(); };
+  spec.tag = std::move(name);
+  spec.max_iterations = iterations;
+  PageRankState initial;
+  initial.num_nodes = num_nodes;
+  spec.initial_state = EncodePageRankState(initial);
+  spec.update = [num_nodes](const std::vector<mr::KV>& output, const std::string& /*current*/,
+                            std::string* next_state) {
+    PageRankState next;
+    next.num_nodes = num_nodes;
+    for (const auto& kv : output) next.ranks[kv.key] = std::stod(kv.value);
+    *next_state = EncodePageRankState(next);
+    return true;
+  };
+  return spec;
+}
+
+std::map<std::string, double> PageRankSerialStep(const std::string& adjacency_text,
+                                                 const PageRankState& state) {
+  std::map<std::string, double> contributions;
+  std::map<std::string, bool> seen;
+  for (const auto& line : Split(adjacency_text, '\n')) {
+    auto fields = SplitWords(line);
+    if (fields.empty()) continue;
+    seen[fields[0]] = true;
+    contributions.try_emplace(fields[0], 0.0);
+    if (fields.size() == 1) continue;
+    double share = RankOf(state, fields[0]) / static_cast<double>(fields.size() - 1);
+    for (std::size_t i = 1; i < fields.size(); ++i) contributions[fields[i]] += share;
+  }
+  std::map<std::string, double> next;
+  for (const auto& [node, sum] : contributions) {
+    if (!seen.count(node)) continue;  // mirror the engine: only adjacency
+                                      // nodes appear with the damping term
+    next[node] = (1.0 - kPageRankDamping) / static_cast<double>(state.num_nodes) +
+                 kPageRankDamping * sum;
+  }
+  return next;
+}
+
+}  // namespace eclipse::apps

@@ -1,0 +1,57 @@
+// page rank (paper Fig. 6b, 9, 10c).
+//
+// Input records are adjacency lines: "node out1 out2 ...". The iteration
+// state carries the node count and current ranks; mappers emit each node's
+// rank share to its out-neighbors (plus a zero self-marker so sinks and
+// sources stay in the output), and reducers apply the damping rule
+//     rank'(v) = (1 - d)/N + d * sum(contributions).
+// Per-iteration output is proportional to the graph ("the size of the
+// iteration output in page rank is much larger", §III-B) — the reason the
+// paper's Fig. 10c shows EclipseMR paying an IO cost per iteration for
+// fault tolerance.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "mr/iterative.h"
+#include "mr/types.h"
+
+namespace eclipse::apps {
+
+inline constexpr double kPageRankDamping = 0.85;
+
+struct PageRankState {
+  std::uint64_t num_nodes = 0;
+  std::map<std::string, double> ranks;  // empty: uniform 1/N (iteration 0)
+};
+
+std::string EncodePageRankState(const PageRankState& s);
+PageRankState DecodePageRankState(const std::string& s);
+
+class PageRankMapper : public mr::Mapper {
+ public:
+  void Map(const std::string& record, mr::MapContext& ctx) override;
+
+ private:
+  PageRankState state_;
+  bool decoded_ = false;
+};
+
+class PageRankReducer : public mr::Reducer {
+ public:
+  /// Shared state is threaded to the reducer through the first value's
+  /// "N=<n>" marker emitted by mappers.
+  void Reduce(const std::string& key, const std::vector<std::string>& values,
+              mr::ReduceContext& ctx) override;
+};
+
+mr::IterationSpec PageRankIterations(std::string name, std::string input_file,
+                                     std::uint64_t num_nodes, int iterations);
+
+/// Serial oracle: one damped power-iteration step over the adjacency text.
+std::map<std::string, double> PageRankSerialStep(const std::string& adjacency_text,
+                                                 const PageRankState& state);
+
+}  // namespace eclipse::apps

@@ -1,0 +1,47 @@
+#include "apps/sort.h"
+
+#include <algorithm>
+
+#include "apps/text_util.h"
+
+namespace eclipse::apps {
+
+void SortMapper::Map(const std::string& record, mr::MapContext& ctx) {
+  std::size_t sp = record.find(' ');
+  if (sp == std::string::npos) {
+    ctx.Emit(record, "");
+  } else {
+    ctx.Emit(record.substr(0, sp), record.substr(sp + 1));
+  }
+}
+
+void SortReducer::Reduce(const std::string& key, const std::vector<std::string>& values,
+                         mr::ReduceContext& ctx) {
+  // Identity with deterministic value order inside one key.
+  std::vector<std::string> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  for (auto& v : sorted) ctx.Emit(key, std::move(v));
+}
+
+mr::JobSpec SortJob(std::string name, std::string input_file) {
+  mr::JobSpec spec;
+  spec.name = std::move(name);
+  spec.input_file = std::move(input_file);
+  spec.mapper = [] { return std::make_unique<SortMapper>(); };
+  spec.reducer = [] { return std::make_unique<SortReducer>(); };
+  return spec;
+}
+
+std::vector<std::string> SortSerial(const std::string& text) {
+  std::vector<std::string> lines = Split(text, '\n');
+  std::stable_sort(lines.begin(), lines.end(), [](const std::string& a, const std::string& b) {
+    auto key = [](const std::string& s) {
+      std::size_t sp = s.find(' ');
+      return sp == std::string::npos ? s : s.substr(0, sp);
+    };
+    return key(a) < key(b);
+  });
+  return lines;
+}
+
+}  // namespace eclipse::apps

@@ -1,0 +1,59 @@
+#include "apps/text_util.h"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+
+namespace eclipse::apps {
+
+std::vector<std::string> Split(std::string_view s, char delim) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    std::size_t p = s.find(delim, start);
+    if (p == std::string_view::npos) p = s.size();
+    if (p > start) out.emplace_back(s.substr(start, p - start));
+    start = p + 1;
+  }
+  return out;
+}
+
+std::vector<std::string> SplitWords(std::string_view s) {
+  std::vector<std::string> out;
+  std::size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+    std::size_t start = i;
+    while (i < s.size() && !std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+    if (i > start) out.emplace_back(s.substr(start, i - start));
+  }
+  return out;
+}
+
+std::vector<double> ParseDoubles(std::string_view s, char delim) {
+  std::vector<double> out;
+  for (const auto& piece : Split(s, delim)) {
+    double v = 0.0;
+    auto [ptr, ec] = std::from_chars(piece.data(), piece.data() + piece.size(), v);
+    (void)ptr;
+    if (ec == std::errc()) out.push_back(v);
+  }
+  return out;
+}
+
+std::string DoubleToString(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+std::string JoinDoubles(const std::vector<double>& v, char delim) {
+  std::string out;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i > 0) out.push_back(delim);
+    out += DoubleToString(v[i]);
+  }
+  return out;
+}
+
+}  // namespace eclipse::apps

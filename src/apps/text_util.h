@@ -1,0 +1,25 @@
+// Small text/number parsing helpers shared by the example applications.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace eclipse::apps {
+
+/// Split on a delimiter, dropping empty pieces.
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Split on runs of whitespace.
+std::vector<std::string> SplitWords(std::string_view s);
+
+/// Parse a vector of doubles from "a,b,c" (or any single-char delimiter).
+std::vector<double> ParseDoubles(std::string_view s, char delim = ',');
+
+/// Join doubles with a delimiter, full precision round-trip.
+std::string JoinDoubles(const std::vector<double>& v, char delim = ',');
+
+/// Render one double with round-trip precision.
+std::string DoubleToString(double v);
+
+}  // namespace eclipse::apps

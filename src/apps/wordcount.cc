@@ -1,0 +1,39 @@
+#include "apps/wordcount.h"
+
+#include "apps/text_util.h"
+
+namespace eclipse::apps {
+
+void WordCountMapper::Map(const std::string& record, mr::MapContext& ctx) {
+  (void)ctx;
+  for (auto& word : SplitWords(record)) ++partial_[std::move(word)];
+}
+
+void WordCountMapper::Finish(mr::MapContext& ctx) {
+  for (auto& [word, count] : partial_) ctx.Emit(word, std::to_string(count));
+  partial_.clear();
+}
+
+void WordCountReducer::Reduce(const std::string& key, const std::vector<std::string>& values,
+                              mr::ReduceContext& ctx) {
+  std::uint64_t total = 0;
+  for (const auto& v : values) total += std::stoull(v);
+  ctx.Emit(key, std::to_string(total));
+}
+
+mr::JobSpec WordCountJob(std::string name, std::string input_file) {
+  mr::JobSpec spec;
+  spec.name = std::move(name);
+  spec.input_file = std::move(input_file);
+  spec.mapper = [] { return std::make_unique<WordCountMapper>(); };
+  spec.reducer = [] { return std::make_unique<WordCountReducer>(); };
+  return spec;
+}
+
+std::map<std::string, std::uint64_t> WordCountSerial(const std::string& text) {
+  std::map<std::string, std::uint64_t> counts;
+  for (auto& word : SplitWords(text)) ++counts[std::move(word)];
+  return counts;
+}
+
+}  // namespace eclipse::apps

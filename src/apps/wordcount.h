@@ -1,0 +1,34 @@
+// word count — the canonical MapReduce job; one of the paper's four
+// non-iterative evaluation applications (Fig. 6a, 8, 9).
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "mr/types.h"
+
+namespace eclipse::apps {
+
+class WordCountMapper : public mr::Mapper {
+ public:
+  void Map(const std::string& record, mr::MapContext& ctx) override;
+  void Finish(mr::MapContext& ctx) override;
+
+ private:
+  // In-mapper combining: per-block partial counts shrink the shuffle.
+  std::map<std::string, std::uint64_t> partial_;
+};
+
+class WordCountReducer : public mr::Reducer {
+ public:
+  void Reduce(const std::string& key, const std::vector<std::string>& values,
+              mr::ReduceContext& ctx) override;
+};
+
+/// A ready-to-submit JobSpec (caller sets name and input_file).
+mr::JobSpec WordCountJob(std::string name, std::string input_file);
+
+/// Serial oracle for tests: word -> count over the whole text.
+std::map<std::string, std::uint64_t> WordCountSerial(const std::string& text);
+
+}  // namespace eclipse::apps

@@ -1,0 +1,81 @@
+#include "cache/cache_node.h"
+
+#include "common/serde.h"
+
+namespace eclipse::cache {
+
+CacheNode::CacheNode(int self, net::Dispatcher& dispatcher, Bytes capacity)
+    : self_(self), cache_(capacity) {
+  dispatcher.Route(msg::kFetch, msg::kOk,
+                   [this](int from, const net::Message& m) { return Handle(from, m); });
+}
+
+net::Message CacheNode::Handle(int from, const net::Message& m) {
+  (void)from;
+  switch (m.type) {
+    case msg::kFetch: {
+      BinaryReader r(m.payload);
+      std::string id;
+      if (!r.GetString(&id)) {
+        return net::ErrorMessage(ErrorCode::kInvalidArgument, "bad cache fetch");
+      }
+      auto data = cache_.Get(id);
+      if (!data) return net::ErrorMessage(ErrorCode::kNotFound, "not cached: " + id);
+      return net::Message{msg::kOk, std::move(*data)};
+    }
+
+    case msg::kCollect: {
+      BinaryReader r(m.payload);
+      std::uint64_t begin, end;
+      std::uint8_t full;
+      if (!r.GetU64(&begin) || !r.GetU64(&end) || !r.GetU8(&full)) {
+        return net::ErrorMessage(ErrorCode::kInvalidArgument, "bad cache collect");
+      }
+      auto extracted = cache_.ExtractRange(KeyRange{begin, end, full != 0});
+      BinaryWriter w;
+      w.PutU32(static_cast<std::uint32_t>(extracted.size()));
+      for (auto& [info, data] : extracted) {
+        w.PutString(info.id);
+        w.PutU64(info.key);
+        w.PutU8(static_cast<std::uint8_t>(info.kind));
+        w.PutString(data);
+      }
+      return net::Message{msg::kOk, w.Take()};
+    }
+
+    default:
+      return net::ErrorMessage(ErrorCode::kInvalidArgument, "unknown cache message");
+  }
+}
+
+std::optional<std::string> CacheClient::FetchFrom(int server, const std::string& id) {
+  BinaryWriter w;
+  w.PutString(id);
+  auto resp = transport_.Call(self_, server, net::Message{msg::kFetch, w.Take()});
+  if (!resp.ok() || net::IsError(resp.value())) return std::nullopt;
+  return std::move(resp.value().payload);
+}
+
+std::size_t CacheClient::MigrateRange(int server, const KeyRange& range, LruCache& into) {
+  BinaryWriter w;
+  w.PutU64(range.begin);
+  w.PutU64(range.end);
+  w.PutU8(range.full ? 1 : 0);
+  auto resp = transport_.Call(self_, server, net::Message{msg::kCollect, w.Take()});
+  if (!resp.ok() || net::IsError(resp.value())) return 0;
+
+  BinaryReader r(resp.value().payload);
+  std::uint32_t n = 0;
+  if (!r.GetU32(&n)) return 0;
+  std::size_t moved = 0;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::string id, data;
+    std::uint64_t key;
+    std::uint8_t kind;
+    if (!r.GetString(&id) || !r.GetU64(&key) || !r.GetU8(&kind) || !r.GetString(&data)) break;
+    if (into.Put(id, key, std::move(data), static_cast<EntryKind>(kind))) ++moved;
+  }
+  return moved;
+}
+
+}  // namespace eclipse::cache

@@ -1,0 +1,59 @@
+// Per-server distributed-cache endpoint and its peer-access client.
+//
+// Exposes a worker server's LruCache to its peers: remote fetch (a task
+// scheduled off-range can still read another server's cached object, §III-F)
+// and the misplaced-data migration pull used when the LAF scheduler shifts
+// hash-key ranges (§II-E).
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "cache/lru_cache.h"
+#include "net/dispatcher.h"
+
+namespace eclipse::cache {
+
+namespace msg {
+inline constexpr std::uint32_t kFetch = 300;     // id -> data or NotFound
+inline constexpr std::uint32_t kCollect = 301;   // KeyRange -> extracted entries
+inline constexpr std::uint32_t kOk = 399;
+}  // namespace msg
+
+class CacheNode {
+ public:
+  CacheNode(int self, net::Dispatcher& dispatcher, Bytes capacity);
+
+  LruCache& local() { return cache_; }
+  const LruCache& local() const { return cache_; }
+
+  int self() const { return self_; }
+
+ private:
+  net::Message Handle(int from, const net::Message& m);
+
+  const int self_;
+  LruCache cache_;
+};
+
+/// Peer-side operations against remote CacheNodes.
+class CacheClient {
+ public:
+  CacheClient(int self, net::Transport& transport) : self_(self), transport_(transport) {}
+
+  /// Fetch a cached object from `server` without moving it.
+  std::optional<std::string> FetchFrom(int server, const std::string& id);
+
+  /// Pull every entry of `server`'s cache whose key lies in `range` into
+  /// `into` (removing them from the peer). Returns entries moved. This is
+  /// the §II-E migration option for misplaced cached data after a range
+  /// shift; EclipseMR disables it by default, as the paper did for its
+  /// experiments.
+  std::size_t MigrateRange(int server, const KeyRange& range, LruCache& into);
+
+ private:
+  const int self_;
+  net::Transport& transport_;
+};
+
+}  // namespace eclipse::cache

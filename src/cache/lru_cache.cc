@@ -1,0 +1,142 @@
+#include "cache/lru_cache.h"
+
+namespace eclipse::cache {
+
+bool LruCache::Put(const std::string& id, HashKey key, std::string data, EntryKind kind) {
+  std::lock_guard lock(mu_);
+  Bytes size = data.size();
+  return PutLocked(id, key, std::move(data), size, kind);
+}
+
+bool LruCache::PutPlaceholder(const std::string& id, HashKey key, Bytes size, EntryKind kind) {
+  std::lock_guard lock(mu_);
+  return PutLocked(id, key, std::string{}, size, kind);
+}
+
+bool LruCache::PutLocked(const std::string& id, HashKey key, std::string data, Bytes size,
+                         EntryKind kind) {
+  if (size > capacity_) return false;
+
+  auto it = index_.find(id);
+  if (it != index_.end()) {
+    used_ -= it->second->size;
+    lru_.erase(it->second);
+    index_.erase(it);
+  }
+  EvictToFitLocked(size);
+  lru_.push_front(Node{id, key, std::move(data), size, kind});
+  index_[id] = lru_.begin();
+  used_ += size;
+  ++stats_by_kind_[static_cast<int>(kind)].inserts;
+  return true;
+}
+
+std::optional<std::string> LruCache::Get(const std::string& id) {
+  std::lock_guard lock(mu_);
+  auto it = index_.find(id);
+  if (it == index_.end()) {
+    // A miss's partition is unknown (the object isn't here); attribute input
+    // by default — callers that care use the per-kind Get wrappers upstream.
+    ++stats_by_kind_[static_cast<int>(EntryKind::kInput)].misses;
+    return std::nullopt;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  ++stats_by_kind_[static_cast<int>(it->second->kind)].hits;
+  return it->second->data;
+}
+
+bool LruCache::Contains(const std::string& id) const {
+  std::lock_guard lock(mu_);
+  return index_.count(id) > 0;
+}
+
+void LruCache::Erase(const std::string& id) {
+  std::lock_guard lock(mu_);
+  auto it = index_.find(id);
+  if (it == index_.end()) return;
+  used_ -= it->second->size;
+  lru_.erase(it->second);
+  index_.erase(it);
+}
+
+std::vector<std::pair<CacheEntryInfo, std::string>> LruCache::ExtractRange(
+    const KeyRange& range) {
+  std::lock_guard lock(mu_);
+  std::vector<std::pair<CacheEntryInfo, std::string>> out;
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (range.Contains(it->key)) {
+      out.emplace_back(CacheEntryInfo{it->id, it->key, it->size, it->kind},
+                       std::move(it->data));
+      used_ -= out.back().first.size;
+      index_.erase(it->id);
+      it = lru_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return out;
+}
+
+void LruCache::Resize(Bytes capacity) {
+  std::lock_guard lock(mu_);
+  capacity_ = capacity;
+  EvictToFitLocked(0);
+}
+
+std::vector<CacheEntryInfo> LruCache::Entries() const {
+  std::lock_guard lock(mu_);
+  std::vector<CacheEntryInfo> out;
+  out.reserve(lru_.size());
+  for (const auto& n : lru_) out.push_back(CacheEntryInfo{n.id, n.key, n.size, n.kind});
+  return out;
+}
+
+Bytes LruCache::capacity() const {
+  std::lock_guard lock(mu_);
+  return capacity_;
+}
+
+Bytes LruCache::used() const {
+  std::lock_guard lock(mu_);
+  return used_;
+}
+
+std::size_t LruCache::Count() const {
+  std::lock_guard lock(mu_);
+  return lru_.size();
+}
+
+CacheStats LruCache::stats() const {
+  std::lock_guard lock(mu_);
+  CacheStats s;
+  for (const auto& part : stats_by_kind_) {
+    s.hits += part.hits;
+    s.misses += part.misses;
+    s.inserts += part.inserts;
+    s.evictions += part.evictions;
+  }
+  return s;
+}
+
+CacheStats LruCache::stats(EntryKind kind) const {
+  std::lock_guard lock(mu_);
+  return stats_by_kind_[static_cast<int>(kind)];
+}
+
+void LruCache::ResetStats() {
+  std::lock_guard lock(mu_);
+  stats_by_kind_[0] = CacheStats{};
+  stats_by_kind_[1] = CacheStats{};
+}
+
+void LruCache::EvictToFitLocked(Bytes incoming) {
+  while (!lru_.empty() && used_ + incoming > capacity_) {
+    const Node& victim = lru_.back();
+    used_ -= victim.size;
+    index_.erase(victim.id);
+    ++stats_by_kind_[static_cast<int>(victim.kind)].evictions;
+    lru_.pop_back();
+  }
+}
+
+}  // namespace eclipse::cache

@@ -1,0 +1,115 @@
+// Byte-budget LRU cache — one worker server's slice of the distributed
+// in-memory cache.
+//
+// Paper §II-B: "The distributed in-memory cache consists of two partitions —
+// iCache and oCache." Both partitions share this one LRU and its byte
+// budget; entries are tagged with their partition (kInput for implicitly
+// cached input blocks, kOutput for explicitly cached intermediate results /
+// iteration outputs) and statistics are kept per partition. "Each worker
+// server caches only a certain number of recently accessed data objects
+// using the LRU cache replacement policy" (§II-E).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/hash_key.h"
+#include "common/units.h"
+
+namespace eclipse::cache {
+
+enum class EntryKind : std::uint8_t {
+  kInput = 0,   // iCache: input file blocks
+  kOutput = 1,  // oCache: intermediate results and iteration outputs
+};
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t inserts = 0;
+  std::uint64_t evictions = 0;
+
+  double HitRatio() const {
+    std::uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+  }
+};
+
+struct CacheEntryInfo {
+  std::string id;
+  HashKey key;
+  Bytes size;
+  EntryKind kind;
+};
+
+class LruCache {
+ public:
+  explicit LruCache(Bytes capacity) : capacity_(capacity) {}
+
+  /// Insert (or refresh) an entry, evicting least-recently-used entries to
+  /// fit. Returns false — and caches nothing — if the object alone exceeds
+  /// the whole budget or the budget is zero.
+  bool Put(const std::string& id, HashKey key, std::string data, EntryKind kind);
+
+  /// Insert a metadata-only entry of a given size (no payload). The cluster
+  /// simulator uses this to model caching of multi-hundred-MiB blocks
+  /// without allocating them; Get() on such an entry returns an empty
+  /// string (still a hit).
+  bool PutPlaceholder(const std::string& id, HashKey key, Bytes size, EntryKind kind);
+
+  /// Look up and promote to most-recently-used. Counts a hit or miss.
+  std::optional<std::string> Get(const std::string& id);
+
+  /// Look up without promoting or counting (scheduler probes).
+  bool Contains(const std::string& id) const;
+
+  /// Remove one entry (no-op if absent).
+  void Erase(const std::string& id);
+
+  /// Remove and return every entry whose hash key lies in `range` — the
+  /// misplaced-cached-data migration path (§II-E).
+  std::vector<std::pair<CacheEntryInfo, std::string>> ExtractRange(const KeyRange& range);
+
+  /// Change the byte budget, evicting as needed.
+  void Resize(Bytes capacity);
+
+  /// All entries, most recent first (metadata only).
+  std::vector<CacheEntryInfo> Entries() const;
+
+  Bytes capacity() const;
+  Bytes used() const;
+  std::size_t Count() const;
+
+  /// Aggregate statistics; per-partition via `kind`.
+  CacheStats stats() const;
+  CacheStats stats(EntryKind kind) const;
+
+  void ResetStats();
+
+ private:
+  struct Node {
+    std::string id;
+    HashKey key;
+    std::string data;
+    Bytes size;  // == data.size() except for placeholder entries
+    EntryKind kind;
+  };
+
+  bool PutLocked(const std::string& id, HashKey key, std::string data, Bytes size,
+                 EntryKind kind);
+  void EvictToFitLocked(Bytes incoming);
+
+  mutable std::mutex mu_;
+  Bytes capacity_;
+  Bytes used_ = 0;
+  std::list<Node> lru_;  // front = most recent
+  std::unordered_map<std::string, std::list<Node>::iterator> index_;
+  CacheStats stats_by_kind_[2];
+};
+
+}  // namespace eclipse::cache

@@ -1,0 +1,51 @@
+// Minimal leveled logger.
+//
+// Thread-safe, writes to stderr, compiled-in at all levels; the runtime
+// threshold defaults to kWarn so tests and benches stay quiet unless a
+// component opts in (e.g. failure-recovery integration tests raise it).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace eclipse {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global runtime threshold. Messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+void Emit(LogLevel level, const char* file, int line, const std::string& msg);
+
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogLine() { Emit(level_, file_, line_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+}  // namespace internal
+
+#define ECLIPSE_LOG(level)                                            \
+  if (::eclipse::GetLogLevel() <= ::eclipse::LogLevel::level)         \
+  ::eclipse::internal::LogLine(::eclipse::LogLevel::level, __FILE__, __LINE__)
+
+#define LOG_DEBUG ECLIPSE_LOG(kDebug)
+#define LOG_INFO ECLIPSE_LOG(kInfo)
+#define LOG_WARN ECLIPSE_LOG(kWarn)
+#define LOG_ERROR ECLIPSE_LOG(kError)
+
+}  // namespace eclipse

@@ -1,0 +1,96 @@
+#include "common/metrics.h"
+
+#include <cstdio>
+
+namespace eclipse {
+namespace {
+
+std::size_t BucketOf(std::uint64_t sample) {
+  std::size_t b = 0;
+  while (sample > 1 && b + 1 < Histogram::kBuckets) {
+    sample >>= 1;
+    ++b;
+  }
+  return b;
+}
+
+}  // namespace
+
+void Histogram::Record(std::uint64_t sample) {
+  buckets_[BucketOf(sample)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(sample, std::memory_order_relaxed);
+}
+
+double Histogram::mean() const {
+  auto c = count();
+  return c == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(c);
+}
+
+std::uint64_t Histogram::ApproxQuantile(double quantile) const {
+  std::uint64_t total = count();
+  if (total == 0) return 0;
+  auto threshold =
+      static_cast<std::uint64_t>(quantile * static_cast<double>(total) + 0.999999);
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    seen += buckets_[b].load(std::memory_order_relaxed);
+    if (seen >= threshold) return b + 1 >= 64 ? ~0ull : (std::uint64_t{1} << (b + 1)) - 1;
+  }
+  return ~0ull;
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> MetricsRegistry::CounterSnapshot() const {
+  std::lock_guard lock(mu_);
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) out.emplace_back(name, counter->value());
+  return out;
+}
+
+std::string MetricsRegistry::Render() const {
+  std::lock_guard lock(mu_);
+  std::string out;
+  char buf[160];
+  for (const auto& [name, counter] : counters_) {
+    std::snprintf(buf, sizeof buf, "%-40s %llu\n", name.c_str(),
+                  static_cast<unsigned long long>(counter->value()));
+    out += buf;
+  }
+  for (const auto& [name, hist] : histograms_) {
+    std::snprintf(buf, sizeof buf, "%-40s n=%llu mean=%.1f p50<=%llu p99<=%llu\n",
+                  name.c_str(), static_cast<unsigned long long>(hist->count()),
+                  hist->mean(), static_cast<unsigned long long>(hist->ApproxQuantile(0.5)),
+                  static_cast<unsigned long long>(hist->ApproxQuantile(0.99)));
+    out += buf;
+  }
+  return out;
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, hist] : histograms_) hist->Reset();
+}
+
+}  // namespace eclipse

@@ -1,0 +1,74 @@
+// Lightweight process-wide metrics: named counters and duration histograms.
+//
+// Components record operational events (blocks served, remote reads, task
+// retries, spill bytes…) into a MetricsRegistry; operators snapshot and
+// render it (see Cluster::MetricsReport and the eclipsemr_shell example).
+// Counters are lock-free; histograms use fixed log-scaled buckets.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace eclipse {
+
+class Counter {
+ public:
+  void Add(std::uint64_t delta = 1) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Log2-bucketed histogram of non-negative samples (e.g. microseconds or
+/// bytes): bucket b counts samples in [2^b, 2^(b+1)).
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 40;
+
+  void Record(std::uint64_t sample);
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  double mean() const;
+
+  /// Smallest upper bound v such that at least `quantile` (0..1] of samples
+  /// are <= v. Bucket-granular (a power of two).
+  std::uint64_t ApproxQuantile(double quantile) const;
+
+  void Reset();
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+/// Named metric registry. Get-or-create accessors are cheap after first use;
+/// returned references live as long as the registry.
+class MetricsRegistry {
+ public:
+  Counter& GetCounter(const std::string& name);
+  Histogram& GetHistogram(const std::string& name);
+
+  /// Snapshot of every counter value, sorted by name.
+  std::vector<std::pair<std::string, std::uint64_t>> CounterSnapshot() const;
+
+  /// Multi-line human-readable dump (counters, then histogram summaries).
+  std::string Render() const;
+
+  void ResetAll();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace eclipse

@@ -1,0 +1,31 @@
+#include "common/result.h"
+
+namespace eclipse {
+
+const char* ErrorCodeName(ErrorCode c) {
+  switch (c) {
+    case ErrorCode::kOk: return "Ok";
+    case ErrorCode::kNotFound: return "NotFound";
+    case ErrorCode::kAlreadyExists: return "AlreadyExists";
+    case ErrorCode::kUnavailable: return "Unavailable";
+    case ErrorCode::kPermission: return "Permission";
+    case ErrorCode::kInvalidArgument: return "InvalidArgument";
+    case ErrorCode::kCorruption: return "Corruption";
+    case ErrorCode::kExpired: return "Expired";
+    case ErrorCode::kResourceExhausted: return "ResourceExhausted";
+    case ErrorCode::kInternal: return "Internal";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "Ok";
+  std::string s = ErrorCodeName(code_);
+  if (!msg_.empty()) {
+    s += ": ";
+    s += msg_;
+  }
+  return s;
+}
+
+}  // namespace eclipse

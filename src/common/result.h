@@ -1,0 +1,83 @@
+// Lightweight Status / Result<T> error-handling types.
+//
+// EclipseMR components report recoverable failures (missing file, dead
+// server, permission denied) through these types instead of exceptions, so
+// failure paths are explicit in the API and cheap on the hot path.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace eclipse {
+
+enum class ErrorCode {
+  kOk = 0,
+  kNotFound,        // file / block / cache entry does not exist
+  kAlreadyExists,   // namespace collision on create
+  kUnavailable,     // server dead or unreachable
+  kPermission,      // file-metadata permission check failed
+  kInvalidArgument, // caller error
+  kCorruption,      // checksum / replica mismatch
+  kExpired,         // TTL-invalidated intermediate result
+  kResourceExhausted,
+  kInternal,
+};
+
+/// Human-readable name for an ErrorCode ("NotFound", "Unavailable", ...).
+const char* ErrorCodeName(ErrorCode c);
+
+/// A success-or-error outcome with an optional message.
+class Status {
+ public:
+  Status() : code_(ErrorCode::kOk) {}
+  Status(ErrorCode code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  static Status Ok() { return Status(); }
+  static Status Error(ErrorCode code, std::string msg = {}) {
+    return Status(code, std::move(msg));
+  }
+
+  bool ok() const { return code_ == ErrorCode::kOk; }
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// "Ok" or "NotFound: no such file /a/b".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+
+ private:
+  ErrorCode code_;
+  std::string msg_;
+};
+
+/// Value-or-Status. `value()` asserts on error; check `ok()` first.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "use Result(T) for success");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const {
+    assert(ok());
+    return *value_;
+  }
+  T value_or(T fallback) const { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace eclipse

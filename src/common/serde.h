@@ -1,0 +1,74 @@
+// Compact binary serialization helpers.
+//
+// Used for DHT-FS file metadata, MapReduce intermediate records, and the TCP
+// transport's wire format. Little-endian, length-prefixed strings, no
+// schema evolution — both ends are always the same binary.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace eclipse {
+
+class BinaryWriter {
+ public:
+  void PutU8(std::uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void PutU32(std::uint32_t v) { PutRaw(&v, sizeof v); }
+  void PutU64(std::uint64_t v) { PutRaw(&v, sizeof v); }
+  void PutI64(std::int64_t v) { PutRaw(&v, sizeof v); }
+  void PutDouble(double v) { PutRaw(&v, sizeof v); }
+  void PutString(std::string_view s) {
+    PutU32(static_cast<std::uint32_t>(s.size()));
+    PutRaw(s.data(), s.size());
+  }
+
+  const std::string& str() const { return buf_; }
+  std::string Take() { return std::move(buf_); }
+
+ private:
+  void PutRaw(const void* p, std::size_t n) {
+    buf_.append(static_cast<const char*>(p), n);
+  }
+  std::string buf_;
+};
+
+/// Reads the formats written by BinaryWriter. All getters return false on
+/// truncated input and leave the output untouched.
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::string_view data) : data_(data) {}
+
+  bool GetU8(std::uint8_t* v) { return GetRaw(v, sizeof *v); }
+  bool GetU32(std::uint32_t* v) { return GetRaw(v, sizeof *v); }
+  bool GetU64(std::uint64_t* v) { return GetRaw(v, sizeof *v); }
+  bool GetI64(std::int64_t* v) { return GetRaw(v, sizeof *v); }
+  bool GetDouble(double* v) { return GetRaw(v, sizeof *v); }
+  bool GetString(std::string* s) {
+    std::uint32_t n;
+    if (!GetU32(&n)) return false;
+    if (data_.size() - pos_ < n) return false;
+    s->assign(data_.data() + pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+  bool AtEnd() const { return pos_ == data_.size(); }
+  std::size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  bool GetRaw(void* p, std::size_t n) {
+    if (data_.size() - pos_ < n) return false;
+    std::memcpy(p, data_.data() + pos_, n);
+    pos_ += n;
+    return true;
+  }
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace eclipse

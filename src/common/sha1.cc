@@ -1,0 +1,121 @@
+#include "common/sha1.h"
+
+#include <cstring>
+
+namespace eclipse {
+namespace {
+
+inline std::uint32_t Rotl(std::uint32_t x, unsigned n) {
+  return (x << n) | (x >> (32 - n));
+}
+
+}  // namespace
+
+void Sha1::Reset() {
+  state_ = {0x67452301u, 0xEFCDAB89u, 0x98BADCFEu, 0x10325476u, 0xC3D2E1F0u};
+  total_len_ = 0;
+  buffer_len_ = 0;
+}
+
+void Sha1::Update(const void* data, std::size_t len) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  total_len_ += len;
+
+  // Top up a partial block first.
+  if (buffer_len_ > 0) {
+    std::size_t take = std::min(len, buffer_.size() - buffer_len_);
+    std::memcpy(buffer_.data() + buffer_len_, p, take);
+    buffer_len_ += take;
+    p += take;
+    len -= take;
+    if (buffer_len_ == buffer_.size()) {
+      ProcessBlock(buffer_.data());
+      buffer_len_ = 0;
+    }
+  }
+  while (len >= 64) {
+    ProcessBlock(p);
+    p += 64;
+    len -= 64;
+  }
+  if (len > 0) {
+    std::memcpy(buffer_.data(), p, len);
+    buffer_len_ = len;
+  }
+}
+
+Sha1Digest Sha1::Finish() {
+  // Append 0x80, pad with zeros to 56 mod 64, then the bit length big-endian.
+  const std::uint64_t bit_len = total_len_ * 8;
+  const std::uint8_t one = 0x80;
+  Update(&one, 1);
+  const std::uint8_t zero = 0x00;
+  while (buffer_len_ != 56) Update(&zero, 1);
+
+  std::uint8_t len_be[8];
+  for (int i = 0; i < 8; ++i) len_be[i] = static_cast<std::uint8_t>(bit_len >> (56 - 8 * i));
+  // Bypass total_len_ accounting for the length field itself.
+  std::memcpy(buffer_.data() + buffer_len_, len_be, 8);
+  ProcessBlock(buffer_.data());
+  buffer_len_ = 0;
+
+  Sha1Digest out;
+  for (int i = 0; i < 5; ++i) {
+    out[4 * i + 0] = static_cast<std::uint8_t>(state_[i] >> 24);
+    out[4 * i + 1] = static_cast<std::uint8_t>(state_[i] >> 16);
+    out[4 * i + 2] = static_cast<std::uint8_t>(state_[i] >> 8);
+    out[4 * i + 3] = static_cast<std::uint8_t>(state_[i]);
+  }
+  return out;
+}
+
+void Sha1::ProcessBlock(const std::uint8_t* block) {
+  std::uint32_t w[80];
+  for (int t = 0; t < 16; ++t) {
+    w[t] = (std::uint32_t(block[4 * t]) << 24) | (std::uint32_t(block[4 * t + 1]) << 16) |
+           (std::uint32_t(block[4 * t + 2]) << 8) | std::uint32_t(block[4 * t + 3]);
+  }
+  for (int t = 16; t < 80; ++t) w[t] = Rotl(w[t - 3] ^ w[t - 8] ^ w[t - 14] ^ w[t - 16], 1);
+
+  std::uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3], e = state_[4];
+  for (int t = 0; t < 80; ++t) {
+    std::uint32_t f, k;
+    if (t < 20) {
+      f = (b & c) | (~b & d);
+      k = 0x5A827999u;
+    } else if (t < 40) {
+      f = b ^ c ^ d;
+      k = 0x6ED9EBA1u;
+    } else if (t < 60) {
+      f = (b & c) | (b & d) | (c & d);
+      k = 0x8F1BBCDCu;
+    } else {
+      f = b ^ c ^ d;
+      k = 0xCA62C1D6u;
+    }
+    std::uint32_t tmp = Rotl(a, 5) + f + e + k + w[t];
+    e = d;
+    d = c;
+    c = Rotl(b, 30);
+    b = a;
+    a = tmp;
+  }
+  state_[0] += a;
+  state_[1] += b;
+  state_[2] += c;
+  state_[3] += d;
+  state_[4] += e;
+}
+
+std::string ToHex(const Sha1Digest& d) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string s;
+  s.reserve(40);
+  for (std::uint8_t byte : d) {
+    s.push_back(kHex[byte >> 4]);
+    s.push_back(kHex[byte & 0xF]);
+  }
+  return s;
+}
+
+}  // namespace eclipse

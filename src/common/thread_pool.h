@@ -1,0 +1,71 @@
+// Fixed-size worker thread pool.
+//
+// Each emulated worker server owns one pool sized to its map/reduce slot
+// count, mirroring the paper's "8 map + 8 reduce slots per node" testbed
+// configuration. The pool is a plain FIFO of type-erased tasks; EclipseMR's
+// scheduling policy lives above this layer (in src/sched), never inside it.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace eclipse {
+
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers immediately (at least 1).
+  explicit ThreadPool(std::size_t num_threads);
+
+  /// Drains: waits for queued + running tasks, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task; returns a future for its result.
+  template <typename F>
+  auto Submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> fut = task->get_future();
+    {
+      std::lock_guard lock(mu_);
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  /// Fire-and-forget enqueue (no future allocation).
+  void Post(std::function<void()> fn);
+
+  /// Block until the queue is empty AND no task is running.
+  void Wait();
+
+  std::size_t num_threads() const { return workers_.size(); }
+
+  /// Tasks queued but not yet started (for scheduler availability probes).
+  std::size_t QueueDepth() const;
+
+  /// Tasks currently executing.
+  std::size_t Running() const;
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;        // work available / stopping
+  std::condition_variable idle_cv_;   // everything drained
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  std::size_t running_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace eclipse

@@ -1,0 +1,25 @@
+#include "common/units.h"
+
+#include <array>
+#include <cstdio>
+
+namespace eclipse {
+
+std::string FormatBytes(Bytes b) {
+  static constexpr std::array<const char*, 5> kSuffix = {"B", "KiB", "MiB", "GiB", "TiB"};
+  double v = static_cast<double>(b);
+  std::size_t i = 0;
+  while (v >= 1024.0 && i + 1 < kSuffix.size()) {
+    v /= 1024.0;
+    ++i;
+  }
+  char buf[32];
+  if (i == 0) {
+    std::snprintf(buf, sizeof buf, "%llu B", static_cast<unsigned long long>(b));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.1f %s", v, kSuffix[i]);
+  }
+  return buf;
+}
+
+}  // namespace eclipse

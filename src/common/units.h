@@ -1,0 +1,22 @@
+// Byte-size and time-unit helpers used throughout EclipseMR.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace eclipse {
+
+/// Number of bytes, used for block sizes, cache budgets, buffer thresholds.
+using Bytes = std::uint64_t;
+
+constexpr Bytes operator""_KiB(unsigned long long v) { return v * 1024ull; }
+constexpr Bytes operator""_MiB(unsigned long long v) { return v * 1024ull * 1024ull; }
+constexpr Bytes operator""_GiB(unsigned long long v) { return v * 1024ull * 1024ull * 1024ull; }
+
+/// Render a byte count in a human-friendly unit ("1.5 GiB", "32 MiB", "17 B").
+std::string FormatBytes(Bytes b);
+
+/// Simulated wall-clock seconds (the discrete-event simulator's time axis).
+using SimTime = double;
+
+}  // namespace eclipse

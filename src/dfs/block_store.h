@@ -1,0 +1,69 @@
+// A worker server's local block storage ("its local disks").
+//
+// Holds primary blocks, replica blocks, and persisted intermediate results
+// (which carry a TTL and are not replicated by default, §II-C). Thread-safe;
+// accessed concurrently by the node's RPC handler and by local map/reduce
+// tasks.
+#pragma once
+
+#include <chrono>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/hash_key.h"
+#include "common/result.h"
+#include "common/units.h"
+
+namespace eclipse::dfs {
+
+struct StoredBlock {
+  HashKey key = 0;
+  std::string data;
+  // Zero: never expires. Otherwise steady-clock deadline (paper: "the stored
+  // intermediate results are invalidated by time-to-live (TTL)").
+  std::chrono::steady_clock::time_point expiry{};
+};
+
+class BlockStore {
+ public:
+  /// Insert or overwrite. ttl of zero means no expiry.
+  void Put(const std::string& id, HashKey key, std::string data,
+           std::chrono::milliseconds ttl = std::chrono::milliseconds::zero());
+
+  /// Fetch a copy. kNotFound if absent, kExpired (and erases) if TTL passed.
+  Result<std::string> Get(const std::string& id);
+
+  bool Contains(const std::string& id) const;
+  void Erase(const std::string& id);
+
+  /// (id, hash key, size) of every live block — recovery enumerates these to
+  /// restore the replication factor after a failure.
+  struct BlockInfo {
+    std::string id;
+    HashKey key;
+    Bytes size;
+    bool transient;  // TTL-bearing (intermediate result): not re-replicated
+  };
+  std::vector<BlockInfo> List() const;
+
+  Bytes TotalBytes() const;
+  std::size_t Count() const;
+
+  /// Drop every expired entry; returns how many were dropped.
+  std::size_t Sweep();
+
+ private:
+  static bool Expired(const StoredBlock& b) {
+    return b.expiry != std::chrono::steady_clock::time_point{} &&
+           std::chrono::steady_clock::now() >= b.expiry;
+  }
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, StoredBlock> blocks_;
+  Bytes total_bytes_ = 0;
+};
+
+}  // namespace eclipse::dfs

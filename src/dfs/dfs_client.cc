@@ -1,0 +1,273 @@
+#include "dfs/dfs_client.h"
+
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "common/log.h"
+
+namespace eclipse::dfs {
+
+DfsClient::DfsClient(int self, net::Transport& transport, RingProvider ring_provider,
+                     DfsClientOptions options)
+    : self_(self), transport_(transport), ring_(std::move(ring_provider)),
+      options_(std::move(options)) {}
+
+Result<net::Message> DfsClient::CallOk(int to, const net::Message& m) {
+  auto resp = transport_.Call(self_, to, m);
+  if (!resp.ok()) return resp.status();
+  if (net::IsError(resp.value())) return net::DecodeError(resp.value());
+  return resp;
+}
+
+Status DfsClient::Upload(const std::string& name, const std::string& content) {
+  return Upload(name, content, options_.default_block_size, /*public_read=*/true);
+}
+
+Status DfsClient::Upload(const std::string& name, const std::string& content,
+                         Bytes block_size, bool public_read) {
+  if (name.empty() || block_size == 0) {
+    return Status::Error(ErrorCode::kInvalidArgument, "empty name or zero block size");
+  }
+  dht::Ring ring = ring_();
+  if (ring.empty()) return Status::Error(ErrorCode::kUnavailable, "no servers");
+
+  if (GetMetadata(name).ok()) {
+    return Status::Error(ErrorCode::kAlreadyExists, name + " already exists");
+  }
+
+  FileMetadata meta;
+  meta.name = name;
+  meta.owner = options_.user;
+  meta.public_read = public_read;
+  meta.size = content.size();
+  meta.block_size = block_size;
+  meta.num_blocks = NumBlocks(content.size(), block_size);
+
+  // Blocks first, metadata last, so a visible file is always complete.
+  for (std::uint64_t i = 0; i < meta.num_blocks; ++i) {
+    HashKey key = meta.KeyOfBlock(i);
+    Bytes off = i * block_size;
+    std::string data = content.substr(off, block_size);
+    BinaryWriter w;
+    w.PutString(BlockId(name, i));
+    w.PutU64(key);
+    w.PutU64(0);  // no TTL
+    w.PutString(data);
+    net::Message put{msg::kPutBlock, w.Take()};
+    std::size_t ok_count = 0;
+    for (int server : ring.Replicas(key, options_.replication)) {
+      if (CallOk(server, put).ok()) ++ok_count;
+    }
+    if (ok_count == 0) {
+      return Status::Error(ErrorCode::kUnavailable,
+                           "no replica accepted block " + std::to_string(i));
+    }
+  }
+
+  BinaryWriter w;
+  meta.Serialize(w);
+  net::Message put{msg::kPutMetadata, w.Take()};
+  std::size_t ok_count = 0;
+  for (int server : ring.Replicas(meta.MetaKey(), options_.replication)) {
+    if (CallOk(server, put).ok()) ++ok_count;
+  }
+  if (ok_count == 0) {
+    return Status::Error(ErrorCode::kUnavailable, "no replica accepted metadata");
+  }
+  return Status::Ok();
+}
+
+Result<FileMetadata> DfsClient::GetMetadata(const std::string& name) {
+  dht::Ring ring = ring_();
+  if (ring.empty()) return Status::Error(ErrorCode::kUnavailable, "no servers");
+  BinaryWriter w;
+  w.PutString(name);
+  w.PutString(options_.user);
+  net::Message get{msg::kGetMetadata, w.Take()};
+
+  Status last = Status::Error(ErrorCode::kNotFound, "no metadata for " + name);
+  for (int server : ring.Replicas(KeyOf(name), options_.replication)) {
+    auto resp = CallOk(server, get);
+    if (resp.ok()) {
+      BinaryReader r(resp.value().payload);
+      return FileMetadata::Deserialize(r);
+    }
+    last = resp.status();
+    // A definitive denial at the owner should not be retried on replicas.
+    if (last.code() == ErrorCode::kPermission) return last;
+  }
+  return last;
+}
+
+Result<std::string> DfsClient::ReadBlock(const FileMetadata& meta, std::uint64_t index) {
+  if (index >= meta.num_blocks) {
+    return Status::Error(ErrorCode::kInvalidArgument, "block index out of range");
+  }
+  dht::Ring ring = ring_();
+  HashKey key = meta.KeyOfBlock(index);
+  BinaryWriter w;
+  w.PutString(BlockId(meta.name, index));
+  net::Message get{msg::kGetBlock, w.Take()};
+
+  Status last = Status::Error(ErrorCode::kNotFound, "block unavailable");
+  for (int server : ring.Replicas(key, options_.replication)) {
+    auto resp = CallOk(server, get);
+    if (resp.ok()) return std::move(resp.value().payload);
+    last = resp.status();
+  }
+  return last;
+}
+
+Result<std::string> DfsClient::ReadBlockRange(const FileMetadata& meta, std::uint64_t index,
+                                              Bytes offset, Bytes len) {
+  if (index >= meta.num_blocks) {
+    return Status::Error(ErrorCode::kInvalidArgument, "block index out of range");
+  }
+  dht::Ring ring = ring_();
+  HashKey key = meta.KeyOfBlock(index);
+  BinaryWriter w;
+  w.PutString(BlockId(meta.name, index));
+  w.PutU64(offset);
+  w.PutU64(len);
+  net::Message get{msg::kGetBlockRange, w.Take()};
+
+  Status last = Status::Error(ErrorCode::kNotFound, "block unavailable");
+  for (int server : ring.Replicas(key, options_.replication)) {
+    auto resp = CallOk(server, get);
+    if (resp.ok()) return std::move(resp.value().payload);
+    last = resp.status();
+  }
+  return last;
+}
+
+Result<std::string> DfsClient::ReadBlockRouted(const FileMetadata& meta, std::uint64_t index,
+                                               int entry_node, std::uint32_t max_hops) {
+  if (index >= meta.num_blocks) {
+    return Status::Error(ErrorCode::kInvalidArgument, "block index out of range");
+  }
+  auto routed = RoutedGet(transport_, self_, entry_node, BlockId(meta.name, index),
+                          meta.KeyOfBlock(index), max_hops);
+  if (!routed.ok()) return routed.status();
+  return std::move(routed.value().data);
+}
+
+Result<std::string> DfsClient::ReadFile(const std::string& name) {
+  auto meta = GetMetadata(name);
+  if (!meta.ok()) return meta.status();
+  const std::uint64_t n = meta.value().num_blocks;
+
+  // §II-A: "it multicasts the block read requests to remote servers" — the
+  // per-block fetches are independent, so issue them concurrently (bounded
+  // fan-out) and assemble in index order.
+  constexpr std::uint64_t kFanOut = 8;
+  std::vector<std::string> blocks(n);
+  Status first_error;
+  std::mutex err_mu;
+  for (std::uint64_t base = 0; base < n; base += kFanOut) {
+    std::vector<std::thread> fetchers;
+    std::uint64_t end = std::min(n, base + kFanOut);
+    for (std::uint64_t i = base; i < end; ++i) {
+      fetchers.emplace_back([this, &meta, &blocks, &first_error, &err_mu, i] {
+        auto block = ReadBlock(meta.value(), i);
+        if (block.ok()) {
+          blocks[i] = std::move(block.value());
+        } else {
+          std::lock_guard lock(err_mu);
+          if (first_error.ok()) first_error = block.status();
+        }
+      });
+    }
+    for (auto& t : fetchers) t.join();
+    if (!first_error.ok()) return first_error;
+  }
+
+  std::string out;
+  out.reserve(meta.value().size);
+  for (auto& b : blocks) out += b;
+  return out;
+}
+
+Status DfsClient::Delete(const std::string& name) {
+  auto meta = GetMetadata(name);
+  if (!meta.ok()) return meta.status();
+  dht::Ring ring = ring_();
+
+  for (std::uint64_t i = 0; i < meta.value().num_blocks; ++i) {
+    HashKey key = meta.value().KeyOfBlock(i);
+    BinaryWriter w;
+    w.PutString(BlockId(name, i));
+    net::Message del{msg::kDeleteBlock, w.Take()};
+    for (int server : ring.Replicas(key, options_.replication)) CallOk(server, del);
+  }
+  BinaryWriter w;
+  w.PutString(name);
+  net::Message del{msg::kDeleteMetadata, w.Take()};
+  for (int server : ring.Replicas(KeyOf(name), options_.replication)) CallOk(server, del);
+  return Status::Ok();
+}
+
+std::vector<FileMetadata> DfsClient::ListFiles() {
+  dht::Ring ring = ring_();
+  std::map<std::string, FileMetadata> files;
+  for (int server : ring.Servers()) {
+    auto resp = CallOk(server, net::Message{msg::kListMetadata, {}});
+    if (!resp.ok()) continue;
+    BinaryReader r(resp.value().payload);
+    std::uint32_t n = 0;
+    if (!r.GetU32(&n)) continue;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      auto meta = FileMetadata::Deserialize(r);
+      if (!meta.ok()) break;
+      if (!meta.value().public_read && meta.value().owner != options_.user) continue;
+      files.emplace(meta.value().name, std::move(meta.value()));
+    }
+  }
+  std::vector<FileMetadata> out;
+  out.reserve(files.size());
+  for (auto& [name, meta] : files) out.push_back(std::move(meta));
+  return out;
+}
+
+Status DfsClient::PutObject(const std::string& id, HashKey key, const std::string& data,
+                            std::chrono::milliseconds ttl, std::size_t replication) {
+  dht::Ring ring = ring_();
+  if (ring.empty()) return Status::Error(ErrorCode::kUnavailable, "no servers");
+  BinaryWriter w;
+  w.PutString(id);
+  w.PutU64(key);
+  w.PutU64(static_cast<std::uint64_t>(ttl.count()));
+  w.PutString(data);
+  net::Message put{msg::kPutBlock, w.Take()};
+  std::size_t ok_count = 0;
+  for (int server : ring.Replicas(key, replication)) {
+    if (CallOk(server, put).ok()) ++ok_count;
+  }
+  if (ok_count == 0) return Status::Error(ErrorCode::kUnavailable, "no replica accepted " + id);
+  return Status::Ok();
+}
+
+Result<std::string> DfsClient::GetObject(const std::string& id, HashKey key) {
+  dht::Ring ring = ring_();
+  BinaryWriter w;
+  w.PutString(id);
+  net::Message get{msg::kGetBlock, w.Take()};
+  Status last = Status::Error(ErrorCode::kNotFound, "no object " + id);
+  for (int server : ring.Replicas(key, options_.replication)) {
+    auto resp = CallOk(server, get);
+    if (resp.ok()) return std::move(resp.value().payload);
+    last = resp.status();
+    if (last.code() == ErrorCode::kExpired) return last;
+  }
+  return last;
+}
+
+void DfsClient::DeleteObject(const std::string& id, HashKey key, std::size_t replication) {
+  dht::Ring ring = ring_();
+  BinaryWriter w;
+  w.PutString(id);
+  net::Message del{msg::kDeleteBlock, w.Take()};
+  for (int server : ring.Replicas(key, replication)) CallOk(server, del);
+}
+
+}  // namespace eclipse::dfs

@@ -1,0 +1,248 @@
+#include "dfs/dfs_node.h"
+
+#include "dht/finger_table.h"
+
+namespace eclipse::dfs {
+namespace {
+
+net::Message Ok(std::string payload = {}) { return net::Message{msg::kOk, std::move(payload)}; }
+
+}  // namespace
+
+DfsNode::DfsNode(int self, net::Dispatcher& dispatcher) : self_(self) {
+  dispatcher.Route(msg::kPutMetadata, msg::kOk,
+                   [this](int from, const net::Message& m) { return Handle(from, m); });
+}
+
+void DfsNode::EnableRouting(net::Transport& transport, RingProvider ring_provider,
+                            std::size_t finger_entries) {
+  transport_ = &transport;
+  ring_provider_ = std::move(ring_provider);
+  finger_entries_ = finger_entries;
+}
+
+net::Message DfsNode::HandleRoutedGet(const net::Message& m) {
+  BinaryReader r(m.payload);
+  std::string id;
+  std::uint64_t key;
+  std::uint32_t hops_remaining;
+  if (!r.GetString(&id) || !r.GetU64(&key) || !r.GetU32(&hops_remaining)) {
+    return net::ErrorMessage(ErrorCode::kInvalidArgument, "bad RoutedGet request");
+  }
+
+  auto answer = [this](const std::string& block_id) -> net::Message {
+    auto data = blocks_.Get(block_id);
+    if (!data.ok()) return net::ErrorMessage(data.status().code(), data.status().message());
+    BinaryWriter w;
+    w.PutU32(0);  // hops used from here
+    w.PutU32(static_cast<std::uint32_t>(self_));
+    w.PutString(data.value());
+    return Ok(w.Take());
+  };
+
+  // Serve locally when we hold the data or when we own the key (in which
+  // case a miss is authoritative).
+  if (blocks_.Contains(id)) return answer(id);
+  if (!transport_ || !ring_provider_) {
+    return net::ErrorMessage(ErrorCode::kNotFound, "no block " + id + " (routing disabled)");
+  }
+  dht::Ring ring = ring_provider_();
+  if (!ring.Contains(self_) || ring.Owner(key) == self_) {
+    return net::ErrorMessage(ErrorCode::kNotFound, "owner has no block " + id);
+  }
+  if (hops_remaining == 0) {
+    return net::ErrorMessage(ErrorCode::kResourceExhausted, "hop budget exhausted");
+  }
+
+  // Classic DHT forwarding through this server's finger table (§II-A).
+  dht::FingerTable fingers(ring, self_, finger_entries_);
+  int next = fingers.NextHop(key);
+  if (next == self_) next = ring.SuccessorOf(self_);
+
+  BinaryWriter fw;
+  fw.PutString(id);
+  fw.PutU64(key);
+  fw.PutU32(hops_remaining - 1);
+  auto resp = transport_->Call(self_, next, net::Message{msg::kRoutedGet, fw.Take()});
+  if (!resp.ok()) {
+    return net::ErrorMessage(resp.status().code(), resp.status().message());
+  }
+  if (net::IsError(resp.value())) return resp.value();
+
+  // Increment the hop count on the way back.
+  BinaryReader rr(resp.value().payload);
+  std::uint32_t hops, owner;
+  std::string data;
+  if (!rr.GetU32(&hops) || !rr.GetU32(&owner) || !rr.GetString(&data)) {
+    return net::ErrorMessage(ErrorCode::kCorruption, "bad RoutedGet response");
+  }
+  BinaryWriter w;
+  w.PutU32(hops + 1);
+  w.PutU32(owner);
+  w.PutString(data);
+  return Ok(w.Take());
+}
+
+Result<RoutedGetResult> RoutedGet(net::Transport& transport, int caller, int entry_node,
+                                  const std::string& id, HashKey key,
+                                  std::uint32_t max_hops) {
+  BinaryWriter w;
+  w.PutString(id);
+  w.PutU64(key);
+  w.PutU32(max_hops);
+  auto resp = transport.Call(caller, entry_node, net::Message{msg::kRoutedGet, w.Take()});
+  if (!resp.ok()) return resp.status();
+  if (net::IsError(resp.value())) return net::DecodeError(resp.value());
+  BinaryReader r(resp.value().payload);
+  RoutedGetResult out;
+  std::uint32_t owner;
+  if (!r.GetU32(&out.hops) || !r.GetU32(&owner) || !r.GetString(&out.data)) {
+    return Status::Error(ErrorCode::kCorruption, "bad RoutedGet response");
+  }
+  out.owner = static_cast<int>(owner);
+  return out;
+}
+
+void DfsNode::PutMetadataLocal(const FileMetadata& m) {
+  std::lock_guard lock(meta_mu_);
+  metadata_[m.name] = m;
+}
+
+Result<FileMetadata> DfsNode::GetMetadataLocal(const std::string& name) const {
+  std::lock_guard lock(meta_mu_);
+  auto it = metadata_.find(name);
+  if (it == metadata_.end()) {
+    return Status::Error(ErrorCode::kNotFound, "no metadata for " + name);
+  }
+  return it->second;
+}
+
+std::vector<FileMetadata> DfsNode::ListMetadataLocal() const {
+  std::lock_guard lock(meta_mu_);
+  std::vector<FileMetadata> out;
+  out.reserve(metadata_.size());
+  for (const auto& [name, m] : metadata_) out.push_back(m);
+  return out;
+}
+
+void DfsNode::DeleteMetadataLocal(const std::string& name) {
+  std::lock_guard lock(meta_mu_);
+  metadata_.erase(name);
+}
+
+net::Message DfsNode::Handle(int from, const net::Message& m) {
+  (void)from;
+  switch (m.type) {
+    case msg::kPutMetadata: {
+      BinaryReader r(m.payload);
+      auto meta = FileMetadata::Deserialize(r);
+      if (!meta.ok()) return net::ErrorMessage(meta.status().code(), meta.status().message());
+      PutMetadataLocal(meta.value());
+      return Ok();
+    }
+
+    case msg::kGetMetadata: {
+      BinaryReader r(m.payload);
+      std::string name, user;
+      if (!r.GetString(&name) || !r.GetString(&user)) {
+        return net::ErrorMessage(ErrorCode::kInvalidArgument, "bad GetMetadata request");
+      }
+      auto meta = GetMetadataLocal(name);
+      if (!meta.ok()) return net::ErrorMessage(meta.status().code(), meta.status().message());
+      // Access-permission check happens at the metadata owner (§II-A).
+      if (!meta.value().public_read && meta.value().owner != user) {
+        return net::ErrorMessage(ErrorCode::kPermission,
+                                 "user " + user + " may not read " + name);
+      }
+      BinaryWriter w;
+      meta.value().Serialize(w);
+      return Ok(w.Take());
+    }
+
+    case msg::kDeleteMetadata: {
+      BinaryReader r(m.payload);
+      std::string name;
+      if (!r.GetString(&name)) {
+        return net::ErrorMessage(ErrorCode::kInvalidArgument, "bad DeleteMetadata request");
+      }
+      DeleteMetadataLocal(name);
+      return Ok();
+    }
+
+    case msg::kPutBlock: {
+      BinaryReader r(m.payload);
+      std::string id, data;
+      std::uint64_t key, ttl_ms;
+      if (!r.GetString(&id) || !r.GetU64(&key) || !r.GetU64(&ttl_ms) || !r.GetString(&data)) {
+        return net::ErrorMessage(ErrorCode::kInvalidArgument, "bad PutBlock request");
+      }
+      blocks_.Put(id, key, std::move(data), std::chrono::milliseconds(ttl_ms));
+      return Ok();
+    }
+
+    case msg::kGetBlock: {
+      BinaryReader r(m.payload);
+      std::string id;
+      if (!r.GetString(&id)) {
+        return net::ErrorMessage(ErrorCode::kInvalidArgument, "bad GetBlock request");
+      }
+      auto data = blocks_.Get(id);
+      if (!data.ok()) return net::ErrorMessage(data.status().code(), data.status().message());
+      return Ok(std::move(data.value()));
+    }
+
+    case msg::kGetBlockRange: {
+      BinaryReader r(m.payload);
+      std::string id;
+      std::uint64_t offset, len;
+      if (!r.GetString(&id) || !r.GetU64(&offset) || !r.GetU64(&len)) {
+        return net::ErrorMessage(ErrorCode::kInvalidArgument, "bad GetBlockRange request");
+      }
+      auto data = blocks_.Get(id);
+      if (!data.ok()) return net::ErrorMessage(data.status().code(), data.status().message());
+      if (offset > data.value().size()) {
+        return net::ErrorMessage(ErrorCode::kInvalidArgument, "range offset past end");
+      }
+      return Ok(data.value().substr(offset, len));
+    }
+
+    case msg::kRoutedGet:
+      return HandleRoutedGet(m);
+
+    case msg::kDeleteBlock: {
+      BinaryReader r(m.payload);
+      std::string id;
+      if (!r.GetString(&id)) {
+        return net::ErrorMessage(ErrorCode::kInvalidArgument, "bad DeleteBlock request");
+      }
+      blocks_.Erase(id);
+      return Ok();
+    }
+
+    case msg::kListBlocks: {
+      BinaryWriter w;
+      auto infos = blocks_.List();
+      w.PutU32(static_cast<std::uint32_t>(infos.size()));
+      for (const auto& info : infos) {
+        w.PutString(info.id);
+        w.PutU64(info.key);
+        w.PutU64(info.size);
+        w.PutU8(info.transient ? 1 : 0);
+      }
+      return Ok(w.Take());
+    }
+
+    case msg::kListMetadata: {
+      BinaryWriter w;
+      auto metas = ListMetadataLocal();
+      w.PutU32(static_cast<std::uint32_t>(metas.size()));
+      for (const auto& meta : metas) meta.Serialize(w);
+      return Ok(w.Take());
+    }
+
+    default:
+      return net::ErrorMessage(ErrorCode::kInvalidArgument, "unknown dfs message");
+  }
+}
+
+}  // namespace eclipse::dfs

@@ -1,0 +1,91 @@
+// The per-server DHT file system service.
+//
+// Hosts the server's share of the decentralized namespace (file metadata
+// records whose hash keys fall in its range, plus replicas) and its local
+// block storage. All operations arrive as messages through the node's
+// Dispatcher; the DfsClient is the only intended caller.
+#pragma once
+
+#include <functional>
+#include <mutex>
+#include <unordered_map>
+
+#include "dfs/block_store.h"
+#include "dfs/metadata.h"
+#include "dht/ring.h"
+#include "net/dispatcher.h"
+
+namespace eclipse::dfs {
+
+namespace msg {
+inline constexpr std::uint32_t kPutMetadata = 200;
+inline constexpr std::uint32_t kGetMetadata = 201;
+inline constexpr std::uint32_t kDeleteMetadata = 202;
+inline constexpr std::uint32_t kPutBlock = 203;
+inline constexpr std::uint32_t kGetBlock = 204;
+inline constexpr std::uint32_t kDeleteBlock = 205;
+inline constexpr std::uint32_t kListBlocks = 206;
+inline constexpr std::uint32_t kListMetadata = 207;
+inline constexpr std::uint32_t kGetBlockRange = 208;
+inline constexpr std::uint32_t kRoutedGet = 209;
+inline constexpr std::uint32_t kOk = 299;
+}  // namespace msg
+
+/// Supplies the node's current view of the ring (normally bound to
+/// MembershipAgent::ring_view; tests may pin a static ring).
+using RingProvider = std::function<dht::Ring()>;
+
+class DfsNode {
+ public:
+  DfsNode(int self, net::Dispatcher& dispatcher);
+
+  /// Enable multi-hop request routing (§II-A: "if zero hop routing is not
+  /// enabled, it routes the request to another server that owns the hash
+  /// key as in the classic DHT routing algorithm"). `finger_entries` is the
+  /// routing-table size m; each kRoutedGet that misses locally is forwarded
+  /// to the finger-table next hop, up to a hop budget. Requires a transport
+  /// to forward on; without this call, kRoutedGet answers from local state
+  /// only.
+  void EnableRouting(net::Transport& transport, RingProvider ring_provider,
+                     std::size_t finger_entries);
+
+  /// Direct access for local tasks and for recovery (bypasses messaging;
+  /// same thread-safe stores the handler uses).
+  BlockStore& blocks() { return blocks_; }
+
+  /// Local metadata operations (used by recovery).
+  void PutMetadataLocal(const FileMetadata& m);
+  Result<FileMetadata> GetMetadataLocal(const std::string& name) const;
+  std::vector<FileMetadata> ListMetadataLocal() const;
+  void DeleteMetadataLocal(const std::string& name);
+
+  int self() const { return self_; }
+
+ private:
+  net::Message Handle(int from, const net::Message& m);
+  net::Message HandleRoutedGet(const net::Message& m);
+
+  const int self_;
+  BlockStore blocks_;
+  mutable std::mutex meta_mu_;
+  std::unordered_map<std::string, FileMetadata> metadata_;
+
+  // Multi-hop routing state (optional).
+  net::Transport* transport_ = nullptr;
+  RingProvider ring_provider_;
+  std::size_t finger_entries_ = 0;
+};
+
+/// Client-side routed lookup: ask `entry_node` for the object stored under
+/// (id, key); the request hops through finger tables until it reaches the
+/// key's owner. Returns the data, the owner id, and the number of hops.
+struct RoutedGetResult {
+  std::string data;
+  int owner = -1;
+  std::uint32_t hops = 0;
+};
+Result<RoutedGetResult> RoutedGet(net::Transport& transport, int caller, int entry_node,
+                                  const std::string& id, HashKey key,
+                                  std::uint32_t max_hops = 64);
+
+}  // namespace eclipse::dfs

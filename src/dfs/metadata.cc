@@ -1,0 +1,38 @@
+#include "dfs/metadata.h"
+
+namespace eclipse::dfs {
+
+void FileMetadata::Serialize(BinaryWriter& w) const {
+  w.PutString(name);
+  w.PutString(owner);
+  w.PutU8(public_read ? 1 : 0);
+  w.PutU64(size);
+  w.PutU64(block_size);
+  w.PutU64(num_blocks);
+}
+
+Result<FileMetadata> FileMetadata::Deserialize(BinaryReader& r) {
+  FileMetadata m;
+  std::uint8_t pub = 0;
+  if (!r.GetString(&m.name) || !r.GetString(&m.owner) || !r.GetU8(&pub) ||
+      !r.GetU64(&m.size) || !r.GetU64(&m.block_size) || !r.GetU64(&m.num_blocks)) {
+    return Status::Error(ErrorCode::kCorruption, "truncated file metadata");
+  }
+  m.public_read = pub != 0;
+  return m;
+}
+
+std::string BlockId(std::string_view name, std::uint64_t i) {
+  std::string id(name);
+  id += '#';
+  id += std::to_string(i);
+  return id;
+}
+
+std::uint64_t NumBlocks(Bytes size, Bytes block_size) {
+  if (block_size == 0) return 0;
+  if (size == 0) return 1;
+  return (size + block_size - 1) / block_size;
+}
+
+}  // namespace eclipse::dfs

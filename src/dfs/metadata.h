@@ -1,0 +1,55 @@
+// File metadata for the DHT file system.
+//
+// Paper §II-A: "we store metadata about a file including file name, owner,
+// file size, and partitioning information in a decentralized manner" — the
+// metadata record lives on the server whose hash-key range covers
+// KeyOf(file_name) ("file metadata owner"), replicated to that server's
+// predecessor and successor.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/hash_key.h"
+#include "common/result.h"
+#include "common/serde.h"
+#include "common/units.h"
+
+namespace eclipse::dfs {
+
+struct FileMetadata {
+  std::string name;
+  std::string owner;        // uploading user
+  bool public_read = true;  // false: only `owner` may read
+  Bytes size = 0;
+  Bytes block_size = 0;
+  std::uint64_t num_blocks = 0;
+
+  /// Ring key of the metadata record itself.
+  HashKey MetaKey() const { return KeyOf(name); }
+
+  /// Ring key of block `i` (blocks scatter uniformly; §II-A skew fix).
+  HashKey KeyOfBlock(std::uint64_t i) const { return BlockKey(name, i); }
+
+  /// Size in bytes of block `i` (the last block may be short).
+  Bytes SizeOfBlock(std::uint64_t i) const {
+    if (i + 1 < num_blocks) return block_size;
+    Bytes rem = size - block_size * (num_blocks - 1);
+    return rem;
+  }
+
+  void Serialize(BinaryWriter& w) const;
+  static Result<FileMetadata> Deserialize(BinaryReader& r);
+
+  bool operator==(const FileMetadata&) const = default;
+};
+
+/// Canonical storage id for block `i` of `name` ("name#i").
+std::string BlockId(std::string_view name, std::uint64_t i);
+
+/// Number of blocks for a file of `size` bytes at `block_size` granularity
+/// (an empty file still occupies one empty block so reads are uniform).
+std::uint64_t NumBlocks(Bytes size, Bytes block_size);
+
+}  // namespace eclipse::dfs

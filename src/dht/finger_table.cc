@@ -1,0 +1,106 @@
+#include "dht/finger_table.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace eclipse::dht {
+
+FingerTable::FingerTable(const Ring& ring, int self, std::size_t m) : self_(self) {
+  auto pos = ring.PositionOf(self);
+  assert(pos && "self must be a ring member");
+  self_pos_ = *pos;
+
+  complete_ = m >= ring.size();
+  std::vector<std::pair<std::uint64_t, int>> by_distance;  // (cw distance, id)
+  if (complete_) {
+    for (const auto& [id, p] : ring.Positions()) {
+      if (id == self) continue;
+      by_distance.emplace_back(RingDistance(self_pos_, p), id);
+    }
+    std::sort(by_distance.begin(), by_distance.end());
+    // A lone server routes to itself.
+    if (by_distance.empty()) by_distance.emplace_back(0, self);
+  } else {
+    // m exponents spread evenly across [0, 64): e_j = floor(64*j/m).
+    for (std::size_t j = 0; j < m; ++j) {
+      unsigned e = static_cast<unsigned>((64ull * j) / m);
+      HashKey target = self_pos_ + (e < 64 ? (HashKey{1} << e) : 0);
+      int id = ring.Owner(target);
+      auto p = ring.PositionOf(id);
+      std::uint64_t dist = RingDistance(self_pos_, *p);
+      if (id == self) continue;  // tiny rings: a finger may wrap onto self
+      by_distance.emplace_back(dist, id);
+    }
+    std::sort(by_distance.begin(), by_distance.end());
+    by_distance.erase(std::unique(by_distance.begin(), by_distance.end()), by_distance.end());
+    if (by_distance.empty()) {
+      // Degenerate: keep at least the immediate successor for liveness.
+      int succ = ring.SuccessorOf(self);
+      auto p = ring.PositionOf(succ);
+      by_distance.emplace_back(RingDistance(self_pos_, *p), succ);
+    }
+  }
+  entry_ids_.reserve(by_distance.size());
+  entry_pos_.reserve(by_distance.size());
+  for (const auto& [dist, id] : by_distance) {
+    entry_ids_.push_back(id);
+    entry_pos_.push_back(self_pos_ + dist);
+  }
+}
+
+int FingerTable::NextHop(HashKey key) const {
+  assert(!entry_ids_.empty());
+  std::uint64_t key_dist = RingDistance(self_pos_, key);
+  if (key_dist == 0) key_dist = ~0ull;  // key at self's own position: owner
+                                        // is reached going all the way round
+  if (complete_) {
+    // One-hop mode [13]: the key's owner is its clockwise successor — the
+    // nearest entry at distance >= key_dist (self itself is excluded; the
+    // caller never asks when self owns the key).
+    for (std::size_t i = 0; i < entry_ids_.size(); ++i) {
+      if (RingDistance(self_pos_, entry_pos_[i]) >= key_dist) return entry_ids_[i];
+    }
+    return entry_ids_.front();
+  }
+  // Chord greedy: forward to the farthest finger that does not pass the key
+  // clockwise — largest entry with distance(self, finger) <= distance(self,
+  // key); a finger exactly at the key's position owns it.
+  int best = entry_ids_.front();  // immediate successor — always safe
+  for (std::size_t i = 0; i < entry_ids_.size(); ++i) {
+    std::uint64_t d = RingDistance(self_pos_, entry_pos_[i]);
+    if (d < key_dist) {
+      best = entry_ids_[i];
+    } else if (d == key_dist) {
+      return entry_ids_[i];  // finger sits exactly at the key: it owns it
+    } else {
+      break;
+    }
+  }
+  return best;
+}
+
+std::vector<int> RoutePath(const Ring& ring, const std::vector<FingerTable>& tables,
+                           int from, HashKey key) {
+  int owner = ring.Owner(key);
+  std::vector<int> path{from};
+  int cur = from;
+  // Each greedy hop strictly decreases clockwise distance to the key, so the
+  // path length is bounded by the ring size.
+  while (cur != owner && path.size() <= ring.size() + 1) {
+    const FingerTable* table = nullptr;
+    for (const auto& t : tables) {
+      if (t.self() == cur) {
+        table = &t;
+        break;
+      }
+    }
+    assert(table && "every ring member needs a finger table");
+    int next = table->NextHop(key);
+    if (next == cur) next = ring.SuccessorOf(cur);  // guarantee progress
+    path.push_back(next);
+    cur = next;
+  }
+  return path;
+}
+
+}  // namespace eclipse::dht

@@ -1,0 +1,53 @@
+// Chord-style finger table with a configurable entry count m.
+//
+// Paper §II-A: each server keeps a routing table of m peers, with
+// 2^m − 1 > S required; for clusters below a few thousand servers, m is set
+// to the total server count, which stores complete routing information and
+// enables one-hop lookups [13]. Smaller m trades memory for extra routing
+// hops — the ablation bench measures that trade-off.
+#pragma once
+
+#include <vector>
+
+#include "dht/ring.h"
+
+namespace eclipse::dht {
+
+class FingerTable {
+ public:
+  /// Build the table for `self` from the current ring. `m` is the maximum
+  /// number of entries; if m >= ring.size() the table is complete (one-hop).
+  /// Otherwise entries are the successors of self_pos + 2^e for m exponents
+  /// e spread evenly over [0, 64), deduplicated (classic Chord subsampled to
+  /// m fingers).
+  FingerTable(const Ring& ring, int self, std::size_t m);
+
+  /// True when the table holds every ring member (zero-hop-routing mode).
+  bool complete() const { return complete_; }
+
+  /// The peer to forward a lookup for `key` to: the farthest known server
+  /// whose position does not pass `key` clockwise. With a complete table
+  /// this is the key's owner itself.
+  int NextHop(HashKey key) const;
+
+  /// Entries (server ids), closest finger first.
+  const std::vector<int>& entries() const { return entry_ids_; }
+
+  int self() const { return self_; }
+
+ private:
+  int self_;
+  HashKey self_pos_;
+  bool complete_;
+  std::vector<int> entry_ids_;
+  std::vector<HashKey> entry_pos_;  // parallel to entry_ids_, sorted by
+                                    // clockwise distance from self
+};
+
+/// Route a lookup from `from` to the owner of `key` using per-server finger
+/// tables; returns the full path including origin and owner. Used by tests
+/// and the routing ablation to count hops.
+std::vector<int> RoutePath(const Ring& ring, const std::vector<FingerTable>& tables,
+                           int from, HashKey key);
+
+}  // namespace eclipse::dht

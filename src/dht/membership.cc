@@ -1,0 +1,264 @@
+#include "dht/membership.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+#include "common/serde.h"
+
+namespace eclipse::dht {
+namespace {
+
+net::Message Ack() { return net::Message{msg::kAck, {}}; }
+
+net::Message IntMessage(std::uint32_t type, int value) {
+  BinaryWriter w;
+  w.PutU32(static_cast<std::uint32_t>(value));
+  return net::Message{type, w.Take()};
+}
+
+int DecodeInt(const net::Message& m) {
+  BinaryReader r(m.payload);
+  std::uint32_t v = 0;
+  r.GetU32(&v);
+  return static_cast<int>(v);
+}
+
+}  // namespace
+
+MembershipAgent::MembershipAgent(int self, net::Transport& transport,
+                                 net::Dispatcher& dispatcher, MembershipConfig cfg)
+    : self_(self), transport_(transport), cfg_(cfg) {
+  dispatcher.Route(msg::kPing, msg::kAck,
+                   [this](int from, const net::Message& m) { return Handle(from, m); });
+}
+
+MembershipAgent::~MembershipAgent() { Stop(); }
+
+void MembershipAgent::SetRing(const Ring& ring) {
+  std::lock_guard lock(mu_);
+  ring_ = ring;
+}
+
+bool MembershipAgent::Join(int seed) {
+  auto resp = transport_.Call(self_, seed, net::Message{msg::kGetRing, {}});
+  if (!resp.ok() || net::IsError(resp.value())) return false;
+
+  Ring joined;
+  BinaryReader r(resp.value().payload);
+  std::uint32_t n = 0;
+  if (!r.GetU32(&n)) return false;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::uint32_t id;
+    std::uint64_t pos;
+    if (!r.GetU32(&id) || !r.GetU64(&pos)) return false;
+    joined.AddServerAt(static_cast<int>(id), pos);
+  }
+  joined.AddServer(self_);
+  {
+    std::lock_guard lock(mu_);
+    ring_ = joined;
+  }
+  for (int member : AliveMembersExceptSelf()) {
+    transport_.Call(self_, member, IntMessage(msg::kJoin, self_));
+  }
+  return true;
+}
+
+void MembershipAgent::Start() {
+  if (started_) return;
+  started_ = true;
+  stopping_.store(false);
+  heartbeat_thread_ = std::thread([this] { HeartbeatLoop(); });
+}
+
+void MembershipAgent::Stop() {
+  stopping_.store(true);
+  if (heartbeat_thread_.joinable()) heartbeat_thread_.join();
+  started_ = false;
+}
+
+void MembershipAgent::OnFailure(FailureCallback cb) {
+  std::lock_guard lock(cb_mu_);
+  failure_cbs_.push_back(std::move(cb));
+}
+
+void MembershipAgent::OnCoordinator(CoordinatorCallback cb) {
+  std::lock_guard lock(cb_mu_);
+  coordinator_cbs_.push_back(std::move(cb));
+}
+
+Ring MembershipAgent::ring_view() const {
+  std::lock_guard lock(mu_);
+  return ring_;
+}
+
+std::vector<int> MembershipAgent::AliveMembersExceptSelf() const {
+  std::vector<int> out;
+  std::lock_guard lock(mu_);
+  for (int id : ring_.Servers()) {
+    if (id != self_) out.push_back(id);
+  }
+  return out;
+}
+
+net::Message MembershipAgent::Handle(int from, const net::Message& m) {
+  switch (m.type) {
+    case msg::kPing:
+      return Ack();
+
+    case msg::kFailed: {
+      HandleFailure(DecodeInt(m), /*broadcast=*/false);
+      return Ack();
+    }
+
+    case msg::kElection: {
+      int candidate = DecodeInt(m);
+      {
+        // Reject tokens for unknown candidates: a corrupted id could
+        // otherwise circulate forever (it never matches any originator).
+        std::lock_guard lock(mu_);
+        if (!ring_.Contains(candidate)) {
+          return net::ErrorMessage(ErrorCode::kInvalidArgument,
+                                   "election token for unknown server");
+        }
+      }
+      ForwardElection(candidate);
+      return Ack();
+    }
+
+    case msg::kCoordinator: {
+      int winner = DecodeInt(m);
+      coordinator_.store(winner);
+      std::vector<CoordinatorCallback> cbs;
+      {
+        std::lock_guard lock(cb_mu_);
+        cbs = coordinator_cbs_;
+      }
+      for (auto& cb : cbs) cb(winner);
+      return Ack();
+    }
+
+    case msg::kGetRing: {
+      BinaryWriter w;
+      std::lock_guard lock(mu_);
+      auto positions = ring_.Positions();
+      w.PutU32(static_cast<std::uint32_t>(positions.size()));
+      for (const auto& [id, pos] : positions) {
+        w.PutU32(static_cast<std::uint32_t>(id));
+        w.PutU64(pos);
+      }
+      return net::Message{msg::kAck, w.Take()};
+    }
+
+    case msg::kJoin: {
+      int joiner = DecodeInt(m);
+      std::lock_guard lock(mu_);
+      if (!ring_.Contains(joiner)) ring_.AddServer(joiner);
+      return Ack();
+    }
+
+    default:
+      (void)from;
+      return net::ErrorMessage(ErrorCode::kInvalidArgument, "unknown membership message");
+  }
+}
+
+void MembershipAgent::HeartbeatLoop() {
+  while (!stopping_.load()) {
+    std::this_thread::sleep_for(cfg_.heartbeat_interval);
+    if (stopping_.load()) return;
+
+    int succ, pred;
+    {
+      std::lock_guard lock(mu_);
+      succ = ring_.SuccessorOf(self_);
+      pred = ring_.PredecessorOf(self_);
+    }
+    for (int neighbor : {succ, pred}) {
+      if (neighbor < 0 || neighbor == self_) continue;
+      auto resp = transport_.Call(self_, neighbor, net::Message{msg::kPing, {}});
+      bool alive = resp.ok() && !net::IsError(resp.value());
+      int misses = 0;
+      {
+        std::lock_guard lock(mu_);
+        if (alive) {
+          miss_count_[neighbor] = 0;
+          continue;
+        }
+        misses = ++miss_count_[neighbor];
+      }
+      if (misses >= cfg_.miss_threshold) {
+        LOG_INFO << "server " << self_ << " declares server " << neighbor << " failed";
+        HandleFailure(neighbor, /*broadcast=*/true);
+      }
+    }
+  }
+}
+
+void MembershipAgent::HandleFailure(int failed, bool broadcast) {
+  {
+    std::lock_guard lock(mu_);
+    if (!ring_.Contains(failed)) return;  // already processed
+    ring_.RemoveServer(failed);
+    miss_count_.erase(failed);
+  }
+  if (broadcast) {
+    for (int member : AliveMembersExceptSelf()) {
+      transport_.Call(self_, member, IntMessage(msg::kFailed, failed));
+    }
+  }
+  std::vector<FailureCallback> cbs;
+  {
+    std::lock_guard lock(cb_mu_);
+    cbs = failure_cbs_;
+  }
+  for (auto& cb : cbs) cb(failed);
+
+  if (failed == coordinator_.load() && broadcast) StartElection();
+}
+
+void MembershipAgent::StartElection() { SendElectionToken(self_); }
+
+void MembershipAgent::ForwardElection(int candidate) {
+  // Chang–Roberts with max-id: a token circulates clockwise; each node
+  // replaces it with its own id if larger. The token returning to its own
+  // originator (candidate == self) means self has the max id: it wins.
+  if (candidate == self_) {
+    AnnounceCoordinator(self_);
+    return;
+  }
+  SendElectionToken(std::max(candidate, self_));
+}
+
+void MembershipAgent::SendElectionToken(int token) {
+  // Forward to the first alive successor, skipping dead nodes.
+  for (;;) {
+    int succ;
+    {
+      std::lock_guard lock(mu_);
+      succ = ring_.SuccessorOf(self_);
+    }
+    if (succ < 0 || succ == self_) {
+      AnnounceCoordinator(self_);  // alone: win by default
+      return;
+    }
+    auto resp = transport_.Call(self_, succ, IntMessage(msg::kElection, token));
+    if (resp.ok() && !net::IsError(resp.value())) return;
+    HandleFailure(succ, /*broadcast=*/true);
+  }
+}
+
+void MembershipAgent::AnnounceCoordinator(int winner) {
+  coordinator_.store(winner);
+  std::vector<CoordinatorCallback> cbs;
+  {
+    std::lock_guard lock(cb_mu_);
+    cbs = coordinator_cbs_;
+  }
+  for (auto& cb : cbs) cb(winner);
+  for (int member : AliveMembersExceptSelf()) {
+    transport_.Call(self_, member, IntMessage(msg::kCoordinator, winner));
+  }
+}
+
+}  // namespace eclipse::dht

@@ -1,0 +1,119 @@
+// Decentralized membership: neighbor heartbeats, failure detection and
+// propagation, and ring-based coordinator election.
+//
+// Paper §II-A/§II: "Each server exchanges heartbeat messages with direct
+// neighbors to detect server failures, and the resource manager and job
+// scheduler are notified when a server failure is detected. ... If a
+// resource manager or a scheduler fails, the rest of the worker servers
+// execute an election algorithm to choose a new resource manager and a
+// scheduler."
+//
+// Every emulated worker server owns one MembershipAgent. Agents exchange
+// real messages through the node's Transport:
+//   kPing        heartbeat to ring neighbors
+//   kFailed      failure propagation broadcast by the detector
+//   kElection    Chang–Roberts token carrying the max candidate id
+//   kCoordinator new-coordinator announcement
+//   kGetRing     membership snapshot for joining nodes
+//   kJoin        join announcement broadcast
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "dht/ring.h"
+#include "net/dispatcher.h"
+
+namespace eclipse::dht {
+
+namespace msg {
+inline constexpr std::uint32_t kPing = 100;
+inline constexpr std::uint32_t kFailed = 101;
+inline constexpr std::uint32_t kElection = 102;
+inline constexpr std::uint32_t kCoordinator = 103;
+inline constexpr std::uint32_t kGetRing = 104;
+inline constexpr std::uint32_t kJoin = 105;
+inline constexpr std::uint32_t kAck = 199;
+}  // namespace msg
+
+struct MembershipConfig {
+  std::chrono::milliseconds heartbeat_interval{25};
+  int miss_threshold = 3;  // consecutive failed pings before declaring death
+};
+
+class MembershipAgent {
+ public:
+  using FailureCallback = std::function<void(int failed_server)>;
+  using CoordinatorCallback = std::function<void(int coordinator)>;
+
+  MembershipAgent(int self, net::Transport& transport, net::Dispatcher& dispatcher,
+                  MembershipConfig cfg = {});
+  ~MembershipAgent();
+
+  MembershipAgent(const MembershipAgent&) = delete;
+  MembershipAgent& operator=(const MembershipAgent&) = delete;
+
+  /// Install the initial membership view (bootstrap; all nodes get the same).
+  void SetRing(const Ring& ring);
+
+  /// Join an existing cluster through `seed`: fetch its ring snapshot, add
+  /// ourselves, and announce to every member. Returns false if the seed is
+  /// unreachable.
+  bool Join(int seed);
+
+  /// Begin heartbeating ring neighbors.
+  void Start();
+
+  /// Stop the heartbeat thread (idempotent; also called by the destructor).
+  void Stop();
+
+  /// Callback fired (once per failed server, on the detecting node and on
+  /// every node that learns of it) after the ring view is updated.
+  void OnFailure(FailureCallback cb);
+
+  /// Callback fired when a coordinator announcement arrives (including on
+  /// the winner itself).
+  void OnCoordinator(CoordinatorCallback cb);
+
+  /// Snapshot of this agent's current ring view.
+  Ring ring_view() const;
+
+  int self() const { return self_; }
+  int coordinator() const { return coordinator_.load(); }
+
+  /// Launch a Chang–Roberts election around the alive ring.
+  void StartElection();
+
+ private:
+  net::Message Handle(int from, const net::Message& m);
+  void HeartbeatLoop();
+  void HandleFailure(int failed, bool broadcast);
+  void ForwardElection(int candidate);
+  void SendElectionToken(int token);
+  void AnnounceCoordinator(int winner);
+  std::vector<int> AliveMembersExceptSelf() const;
+
+  const int self_;
+  net::Transport& transport_;
+  MembershipConfig cfg_;
+
+  mutable std::mutex mu_;
+  Ring ring_;
+  std::unordered_map<int, int> miss_count_;
+
+  std::atomic<int> coordinator_{-1};
+  std::atomic<bool> stopping_{false};
+  std::thread heartbeat_thread_;
+  bool started_ = false;
+
+  std::mutex cb_mu_;
+  std::vector<FailureCallback> failure_cbs_;
+  std::vector<CoordinatorCallback> coordinator_cbs_;
+};
+
+}  // namespace eclipse::dht

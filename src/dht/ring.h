@@ -1,0 +1,90 @@
+// The consistent-hash ring: server positions, successor/predecessor
+// relations, replica sets, and the canonical ownership partition.
+//
+// This is the structural core of both EclipseMR layers (Fig. 1): the DHT
+// file system derives its static hash-key ranges from Ring::MakeRangeTable(),
+// and the cache layer starts from the same partition before the LAF
+// scheduler re-partitions it.
+//
+// Servers may be placed at multiple VIRTUAL positions (vnodes — the classic
+// consistent-hashing balance refinement; not in the paper, offered as an
+// extension): ownership fragments into more, smaller ranges whose per-server
+// totals concentrate around the mean, evening out the static FS layer's
+// block distribution.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/hash_key.h"
+
+namespace eclipse::dht {
+
+class Ring {
+ public:
+  Ring() = default;
+
+  /// Place `server` at `vnodes` canonical positions KeyOf("server-<id>#<v>")
+  /// (one position named "server-<id>" when vnodes == 1, preserving the
+  /// original layout).
+  void AddServer(int server, int vnodes = 1);
+
+  /// Place `server` at one explicit position (tests use crafted layouts).
+  /// May be called repeatedly to build explicit vnodes. Position collisions
+  /// are rejected (returns false).
+  bool AddServerAt(int server, HashKey position);
+
+  /// Remove a server and all its positions (leave or failure). No-op if
+  /// absent.
+  void RemoveServer(int server);
+
+  bool Contains(int server) const;
+  /// Number of distinct servers.
+  std::size_t size() const { return by_server_.size(); }
+  /// Number of ring positions (>= size() with vnodes).
+  std::size_t NumPositions() const { return by_position_.size(); }
+  bool empty() const { return by_server_.empty(); }
+
+  /// First (smallest) position of `server`; nullopt if not a member.
+  std::optional<HashKey> PositionOf(int server) const;
+
+  /// The server owning `key`: the clockwise successor of the key's position.
+  /// Returns -1 on an empty ring.
+  int Owner(HashKey key) const;
+
+  /// Next DISTINCT server clockwise from `server`'s first position (itself
+  /// if alone); -1 if absent.
+  int SuccessorOf(int server) const;
+
+  /// Previous distinct server counter-clockwise; -1 if absent.
+  int PredecessorOf(int server) const;
+
+  /// Replica placement for `key`: the owner followed by alternates in the
+  /// paper's order — the owning position's successor server, then its
+  /// predecessor server, then further successors — truncated to `n`
+  /// distinct servers (§II-A: "replicating the file metadata as well as
+  /// file blocks in predecessors and successors").
+  std::vector<int> Replicas(HashKey key, std::size_t n) const;
+
+  /// Canonical ownership partition induced by the current membership (one
+  /// range per position; servers with vnodes own several ranges).
+  RangeTable MakeRangeTable() const;
+
+  /// All (server, position) pairs in ring order (a server appears once per
+  /// vnode).
+  std::vector<std::pair<int, HashKey>> Positions() const;
+
+  /// Member ids ordered by their first position.
+  std::vector<int> Servers() const;
+
+  /// Fraction of the keyspace owned by `server` (across all its vnodes).
+  double OwnedFraction(int server) const;
+
+ private:
+  std::map<HashKey, int> by_position_;           // position -> server
+  std::map<int, std::vector<HashKey>> by_server_;  // server -> its positions
+};
+
+}  // namespace eclipse::dht

@@ -1,0 +1,212 @@
+#include "mr/cluster.h"
+
+#include <cassert>
+
+#include "common/log.h"
+#include "net/tcp_transport.h"
+
+namespace eclipse::mr {
+
+Cluster::Cluster(ClusterOptions options) : options_(std::move(options)) {
+  assert(options_.num_servers > 0);
+  if (options_.use_tcp_transport) {
+    transport_ = std::make_unique<net::TcpTransport>();
+  } else {
+    transport_ = std::make_unique<net::InProcessTransport>();
+  }
+
+  for (int i = 0; i < options_.num_servers; ++i) ring_.AddServer(i, options_.vnodes);
+
+  dfs::RingProvider ring_provider = [this] { return ring(); };
+
+  WorkerOptions wopts;
+  wopts.map_slots = options_.map_slots;
+  wopts.reduce_slots = options_.reduce_slots;
+  wopts.cache_capacity = options_.cache_capacity;
+  wopts.dfs_client.default_block_size = options_.block_size;
+  wopts.dfs_client.replication = options_.replication;
+  wopts.dfs_client.user = options_.user;
+
+  workers_.reserve(options_.num_servers);
+  for (int i = 0; i < options_.num_servers; ++i) {
+    workers_.push_back(
+        std::make_unique<WorkerServer>(i, *transport_, ring_provider, wopts));
+  }
+
+  if (options_.start_membership) {
+    dht::Ring initial = ring();
+    for (int i = 0; i < options_.num_servers; ++i) {
+      agents_.push_back(std::make_unique<dht::MembershipAgent>(
+          i, *transport_, workers_[static_cast<std::size_t>(i)]->dispatcher(),
+          options_.membership));
+      agents_.back()->SetRing(initial);
+    }
+    for (auto& agent : agents_) {
+      agent->OnFailure([this](int failed) { HandleMembershipFailure(failed); });
+    }
+    for (auto& agent : agents_) agent->Start();
+  }
+
+  dfs::DfsClientOptions copts = wopts.dfs_client;
+  client_ = std::make_unique<dfs::DfsClient>(ClientEndpointId(), *transport_, ring_provider,
+                                             copts);
+
+  RebuildSchedulers();
+}
+
+Cluster::~Cluster() {
+  for (auto& agent : agents_) agent->Stop();
+}
+
+dht::Ring Cluster::ring() const {
+  std::lock_guard lock(ring_mu_);
+  return ring_;
+}
+
+WorkerServer& Cluster::worker(int id) {
+  assert(id >= 0 && static_cast<std::size_t>(id) < workers_.size());
+  return *workers_[static_cast<std::size_t>(id)];
+}
+
+std::vector<int> Cluster::WorkerIds() const {
+  std::vector<int> out;
+  for (const auto& w : workers_) {
+    if (!w->dead()) out.push_back(w->id());
+  }
+  return out;
+}
+
+void Cluster::RebuildSchedulers() {
+  dht::Ring r = ring();
+  RangeTable fs_ranges = r.MakeRangeTable();
+  std::vector<int> servers = r.Servers();
+  std::lock_guard lock(sched_mu_);
+  laf_ = std::make_shared<sched::LafScheduler>(servers, fs_ranges, options_.laf);
+  delay_ = std::make_shared<sched::DelayScheduler>(servers, fs_ranges, options_.delay);
+}
+
+dfs::RecoveryReport Cluster::KillServer(int id) {
+  worker(id).Kill();
+  {
+    std::lock_guard lock(ring_mu_);
+    ring_.RemoveServer(id);
+  }
+  RebuildSchedulers();
+  // The resource manager's take-over pass (§II-A): restore the replication
+  // factor using the surviving replicas.
+  dfs::FsRecovery recovery(ClientEndpointId(), *transport_, [this] { return ring(); });
+  auto report = recovery.Repair(options_.replication);
+  LOG_INFO << "recovery after killing server " << id << ": " << report.blocks_copied
+           << " blocks copied, " << report.blocks_lost << " lost";
+  metrics_.GetCounter("cluster.recoveries").Add();
+  metrics_.GetCounter("cluster.blocks_rereplicated").Add(report.blocks_copied);
+  metrics_.GetCounter("cluster.blocks_lost").Add(report.blocks_lost);
+  return report;
+}
+
+void Cluster::HandleMembershipFailure(int failed) {
+  {
+    std::lock_guard lock(ring_mu_);
+    if (!ring_.Contains(failed)) return;  // already handled (every surviving
+                                          // agent reports the same failure)
+    ring_.RemoveServer(failed);
+  }
+  RebuildSchedulers();
+  dfs::FsRecovery recovery(ClientEndpointId(), *transport_, [this] { return ring(); });
+  auto report = recovery.Repair(options_.replication);
+  LOG_INFO << "auto-recovery after heartbeat-detected failure of server " << failed << ": "
+           << report.blocks_copied << " blocks copied, " << report.blocks_lost << " lost";
+}
+
+int Cluster::AddServer(dfs::RecoveryReport* report) {
+  const int id = static_cast<int>(workers_.size());
+
+  WorkerOptions wopts;
+  wopts.map_slots = options_.map_slots;
+  wopts.reduce_slots = options_.reduce_slots;
+  wopts.cache_capacity = options_.cache_capacity;
+  wopts.dfs_client.default_block_size = options_.block_size;
+  wopts.dfs_client.replication = options_.replication;
+  wopts.dfs_client.user = options_.user;
+
+  dfs::RingProvider ring_provider = [this] { return ring(); };
+  workers_.push_back(
+      std::make_unique<WorkerServer>(id, *transport_, ring_provider, wopts));
+  {
+    std::lock_guard lock(ring_mu_);
+    ring_.AddServer(id, options_.vnodes);
+  }
+  RebuildSchedulers();
+
+  if (options_.start_membership) {
+    agents_.push_back(std::make_unique<dht::MembershipAgent>(
+        id, *transport_, workers_.back()->dispatcher(), options_.membership));
+    // Join through any live peer; fall back to a direct ring snapshot when
+    // the newcomer is the only member.
+    bool joined = false;
+    for (int peer : WorkerIds()) {
+      if (peer != id && agents_.back()->Join(peer)) {
+        joined = true;
+        break;
+      }
+    }
+    if (!joined) agents_.back()->SetRing(ring());
+    agents_.back()->OnFailure([this](int failed) { HandleMembershipFailure(failed); });
+    agents_.back()->Start();
+  }
+
+  // Rebalance: the newcomer takes over its hash-key ranges' data.
+  dfs::FsRecovery recovery(ClientEndpointId(), *transport_, [this] { return ring(); });
+  auto r = recovery.Repair(options_.replication, /*drop_extraneous=*/true);
+  LOG_INFO << "rebalance after adding server " << id << ": " << r.blocks_copied
+           << " blocks copied, " << r.blocks_dropped << " dropped";
+  if (report) *report = r;
+  return id;
+}
+
+std::size_t Cluster::MigrateMisplacedCache() {
+  RangeTable ranges = CacheRanges();
+  std::size_t moved = 0;
+  // Each live server pulls, from both ring neighbors, the entries whose
+  // keys its new range covers (§II-E checks "a left or a right neighbor").
+  dht::Ring r = ring();
+  for (int id : WorkerIds()) {
+    KeyRange mine = ranges.RangeOf(id);
+    if (mine.IsEmpty()) continue;
+    for (int neighbor : {r.PredecessorOf(id), r.SuccessorOf(id)}) {
+      if (neighbor < 0 || neighbor == id || worker(neighbor).dead()) continue;
+      moved += worker(id).cache_client().MigrateRange(neighbor, mine, worker(id).cache());
+    }
+  }
+  return moved;
+}
+
+cache::CacheStats Cluster::AggregateCacheStats() const {
+  cache::CacheStats total;
+  for (const auto& w : workers_) {
+    auto s = w->cache().stats();
+    total.hits += s.hits;
+    total.misses += s.misses;
+    total.inserts += s.inserts;
+    total.evictions += s.evictions;
+  }
+  return total;
+}
+
+void Cluster::ResetCacheStats() {
+  for (const auto& w : workers_) w->cache().ResetStats();
+}
+
+RangeTable Cluster::CacheRanges() const {
+  std::lock_guard lock(sched_mu_);
+  return options_.scheduler == SchedulerKind::kLaf ? laf_->ranges() : delay_->ranges();
+}
+
+dht::MembershipAgent* Cluster::membership(int id) {
+  for (auto& agent : agents_) {
+    if (agent->self() == id) return agent.get();
+  }
+  return nullptr;
+}
+
+}  // namespace eclipse::mr

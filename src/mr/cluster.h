@@ -1,0 +1,151 @@
+// The emulated EclipseMR cluster: worker servers on a shared transport, a
+// job scheduler (LAF or Delay), the DHT file system spanning the workers,
+// and optional membership heartbeats.
+//
+// This is the library's main entry point:
+//
+//   mr::ClusterOptions opts;
+//   opts.num_servers = 8;
+//   mr::Cluster cluster(opts);
+//   cluster.dfs().Upload("corpus.txt", text);
+//   mr::JobSpec job = ...;
+//   mr::JobResult result = cluster.Run(job);
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/metrics.h"
+#include "dfs/recovery.h"
+#include "dht/membership.h"
+#include "mr/types.h"
+#include "mr/worker.h"
+#include "sched/delay_scheduler.h"
+#include "sched/laf_scheduler.h"
+
+namespace eclipse::mr {
+
+enum class SchedulerKind { kLaf, kDelay };
+
+struct ClusterOptions {
+  int num_servers = 8;
+  int map_slots = 2;
+  int reduce_slots = 2;
+  Bytes cache_capacity = 64_MiB;  // per server (paper sweeps 0..8 GB)
+  Bytes block_size = 4_KiB;       // DHT-FS block size (paper used 128 MiB)
+  std::size_t replication = 3;    // owner + successor + predecessor
+  int vnodes = 1;                 // virtual ring positions per server
+                                  // (consistent-hashing balance extension)
+
+  SchedulerKind scheduler = SchedulerKind::kLaf;
+  sched::LafOptions laf{};
+  sched::DelayOptions delay{.wait_timeout_sec = 0.05};  // scaled for tests;
+                                                        // the paper's Spark
+                                                        // value is 5 s
+
+  /// Run heartbeat-based membership agents on every worker (integration and
+  /// failure tests); off by default to keep unit tests quiet and fast.
+  bool start_membership = false;
+  dht::MembershipConfig membership{};
+
+  /// After each job, migrate cache entries that a LAF re-partition left on
+  /// the wrong server to the new range owner (§II-E option; the paper
+  /// disabled it in its experiments, so the default is off).
+  bool migrate_misplaced_cache = false;
+
+  /// Run the whole data plane over loopback TCP instead of in-process
+  /// dispatch: every block read, metadata lookup, heartbeat, and
+  /// intermediate-result push crosses real sockets. Slower; proves the node
+  /// code is wire-agnostic.
+  bool use_tcp_transport = false;
+
+  std::string user = "eclipse";
+};
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterOptions options = {});
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  /// DHT-FS client bound to an external (non-worker) endpoint.
+  dfs::DfsClient& dfs() { return *client_; }
+
+  /// Execute one MapReduce job to completion.
+  JobResult Run(const JobSpec& spec);
+
+  /// Current alive membership.
+  dht::Ring ring() const;
+
+  /// Worker access (fault injection, cache inspection). Asserts on bad id.
+  WorkerServer& worker(int id);
+  std::vector<int> WorkerIds() const;
+
+  /// Crash a worker: detaches it, updates the ring, rebuilds schedulers, and
+  /// (synchronously) re-replicates under-replicated files via FsRecovery.
+  dfs::RecoveryReport KillServer(int id);
+
+  /// Grow the cluster: boot a fresh worker, place it on the ring, rebuild
+  /// the schedulers, and rebalance — blocks and metadata whose replica sets
+  /// now include the newcomer are copied to it, and ex-replica copies are
+  /// retired (§II: the resource manager handles "server join, leave,
+  /// failure recovery"). Returns the new server's id.
+  int AddServer(dfs::RecoveryReport* report = nullptr);
+
+  /// §II-E migration option, also callable directly by tests.
+  std::size_t MigrateMisplacedCache();
+
+  /// Cache statistics summed over live workers.
+  cache::CacheStats AggregateCacheStats() const;
+  void ResetCacheStats();
+
+  const ClusterOptions& options() const { return options_; }
+  net::Transport& transport() { return *transport_; }
+
+  sched::LafScheduler* laf() { return laf_.get(); }
+  sched::DelayScheduler* delay() { return delay_.get(); }
+
+  /// The cache-layer partition currently in force (LAF's dynamic ranges or
+  /// Delay's static ones).
+  RangeTable CacheRanges() const;
+
+  /// Membership agent of a worker (only when start_membership was set).
+  dht::MembershipAgent* membership(int id);
+
+  /// Cluster-wide operational metrics (job counts, task retries, cache
+  /// hits, recovery activity, job-duration histogram). See
+  /// MetricsRegistry::Render for the report format.
+  MetricsRegistry& metrics() { return metrics_; }
+
+ private:
+  friend class JobRunner;
+
+  void RebuildSchedulers();
+  /// Heartbeat-driven failure path (start_membership): invoked from agent
+  /// callbacks when a worker is declared dead — mirrors KillServer's
+  /// bookkeeping and re-replication without an operator in the loop.
+  void HandleMembershipFailure(int failed);
+  int ClientEndpointId() const { return 1'000'000; }
+
+  ClusterOptions options_;
+  std::unique_ptr<net::Transport> transport_;
+
+  mutable std::mutex ring_mu_;
+  dht::Ring ring_;
+
+  std::vector<std::unique_ptr<WorkerServer>> workers_;
+  std::vector<std::unique_ptr<dht::MembershipAgent>> agents_;  // empty when
+                                                               // membership is off
+  std::unique_ptr<dfs::DfsClient> client_;
+
+  MetricsRegistry metrics_;
+
+  mutable std::mutex sched_mu_;
+  std::shared_ptr<sched::LafScheduler> laf_;
+  std::shared_ptr<sched::DelayScheduler> delay_;
+};
+
+}  // namespace eclipse::mr

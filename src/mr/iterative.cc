@@ -1,0 +1,65 @@
+#include "mr/iterative.h"
+
+#include "common/log.h"
+
+namespace eclipse::mr {
+
+std::string IterativeDriver::StateId(const std::string& tag, int iteration) {
+  return "iter/" + tag + "/" + std::to_string(iteration);
+}
+
+IterationResult IterativeDriver::Run(const IterationSpec& spec, int start_iteration,
+                                     std::string state_override) {
+  IterationResult result;
+  std::string state =
+      start_iteration == 0 ? spec.initial_state : std::move(state_override);
+
+  for (int it = start_iteration; it < spec.max_iterations; ++it) {
+    JobSpec job = spec.base;
+    job.name = spec.base.name + "/it" + std::to_string(it);
+    job.shared_state = state;
+
+    JobResult jr = cluster_.Run(job);
+    if (!jr.status.ok()) {
+      result.status = jr.status;
+      return result;
+    }
+    result.per_iteration.push_back(jr.stats);
+    ++result.iterations_run;
+
+    std::string next_state;
+    bool keep_going = spec.update ? spec.update(jr.output, state, &next_state) : false;
+    state = std::move(next_state);
+
+    if (spec.persist_state && !spec.tag.empty()) {
+      std::string id = StateId(spec.tag, it);
+      Status s = cluster_.dfs().PutObject(id, KeyOf(id), state);
+      if (!s.ok()) LOG_WARN << "failed to persist iteration state: " << s.ToString();
+    }
+    if (!keep_going) break;
+  }
+  result.final_state = std::move(state);
+  result.status = Status::Ok();
+  return result;
+}
+
+IterationResult IterativeDriver::Resume(const IterationSpec& spec) {
+  // Latest persisted iteration wins; states are tiny, so a linear probe is
+  // fine.
+  int last = -1;
+  std::string state;
+  for (int it = 0; it < spec.max_iterations; ++it) {
+    std::string id = StateId(spec.tag, it);
+    auto obj = cluster_.dfs().GetObject(id, KeyOf(id));
+    if (!obj.ok()) break;
+    last = it;
+    state = std::move(obj.value());
+  }
+  if (last < 0) return Run(spec);
+  LOG_INFO << "resuming " << spec.tag << " from iteration " << (last + 1);
+  auto result = Run(spec, last + 1, std::move(state));
+  result.iterations_run += last + 1;
+  return result;
+}
+
+}  // namespace eclipse::mr

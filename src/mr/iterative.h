@@ -1,0 +1,69 @@
+// Iterative-job driver (k-means, page rank, logistic regression).
+//
+// Each iteration is one MapReduce job whose mappers read broadcast shared
+// state (e.g. the current centroids) and whose reduce output is folded into
+// the next iteration's state by a user callback. Per §II-C, iteration
+// outputs can be persisted to the DHT file system so "long running jobs can
+// survive faults and restart from the point of failure": Resume() finds the
+// most recent persisted state and continues from there. Input blocks stay
+// in iCache across iterations, which is why iterations after the first run
+// much faster (paper Fig. 10).
+#pragma once
+
+#include <functional>
+
+#include "mr/cluster.h"
+
+namespace eclipse::mr {
+
+struct IterationSpec {
+  /// Template job; the driver rewrites `name` and `shared_state` per
+  /// iteration.
+  JobSpec base;
+
+  /// Persistence scope; iteration states are stored as "iter/<tag>/<n>".
+  std::string tag;
+
+  int max_iterations = 5;
+
+  /// Persist each iteration's state to the DHT file system (fault
+  /// tolerance; costs a write per iteration — the page rank trade-off the
+  /// paper discusses in §III-E/F).
+  bool persist_state = true;
+
+  /// Fold an iteration's reduce output (given the state it ran with) into
+  /// the next state. Return false to stop early (convergence).
+  std::function<bool(const std::vector<KV>& output, const std::string& current_state,
+                     std::string* next_state)>
+      update;
+
+  std::string initial_state;
+};
+
+struct IterationResult {
+  Status status;
+  int iterations_run = 0;
+  std::string final_state;
+  std::vector<JobStats> per_iteration;
+};
+
+class IterativeDriver {
+ public:
+  explicit IterativeDriver(Cluster& cluster) : cluster_(cluster) {}
+
+  /// Run from iteration 0 (or from `start_iteration`).
+  IterationResult Run(const IterationSpec& spec, int start_iteration = 0,
+                      std::string state_override = {});
+
+  /// Restart after a crash: find the latest persisted state for `spec.tag`
+  /// and continue from the following iteration.
+  IterationResult Resume(const IterationSpec& spec);
+
+  /// Persisted state object id for (tag, iteration).
+  static std::string StateId(const std::string& tag, int iteration);
+
+ private:
+  Cluster& cluster_;
+};
+
+}  // namespace eclipse::mr

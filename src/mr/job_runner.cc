@@ -1,0 +1,462 @@
+#include "mr/job_runner.h"
+
+#include <algorithm>
+#include <chrono>
+#include <future>
+#include <thread>
+
+#include "common/log.h"
+#include "mr/record_reader.h"
+
+namespace eclipse::mr {
+namespace {
+
+constexpr int kMaxAttemptsPerTask = 5;
+
+/// MapContext bound to a ShuffleWriter.
+class ShuffleMapContext : public MapContext {
+ public:
+  ShuffleMapContext(ShuffleWriter& shuffle, const std::string& shared_state)
+      : shuffle_(shuffle), shared_state_(shared_state) {}
+
+  void Emit(std::string key, std::string value) override {
+    Status s = shuffle_.Add(std::move(key), std::move(value));
+    if (!s.ok() && status_.ok()) status_ = s;
+  }
+
+  const std::string& shared_state() const override { return shared_state_; }
+  const Status& status() const { return status_; }
+
+ private:
+  ShuffleWriter& shuffle_;
+  const std::string& shared_state_;
+  Status status_;
+};
+
+class VectorReduceContext : public ReduceContext {
+ public:
+  void Emit(std::string key, std::string value) override {
+    output_.push_back(KV{std::move(key), std::move(value)});
+  }
+  std::vector<KV>& output() { return output_; }
+
+ private:
+  std::vector<KV> output_;
+};
+
+}  // namespace
+
+JobRunner::JobRunner(Cluster& cluster, const JobSpec& spec) : cluster_(cluster), spec_(spec) {}
+
+JobResult JobRunner::Run() {
+  JobResult result;
+  auto t0 = std::chrono::steady_clock::now();
+
+  // Step 1-2 (Fig. 2): metadata from each input's file-metadata owner.
+  std::vector<std::string> inputs{spec_.input_file};
+  inputs.insert(inputs.end(), spec_.extra_inputs.begin(), spec_.extra_inputs.end());
+  for (const auto& input : inputs) {
+    auto meta = cluster_.dfs().GetMetadata(input);
+    if (!meta.ok()) {
+      result.status = meta.status();
+      return result;
+    }
+    stats_.input_bytes += meta.value().size;
+    metas_.push_back(std::move(meta.value()));
+  }
+  fs_ranges_ = cluster_.ring().MakeRangeTable();
+
+  // Step 3-5: map phase over every block of every input.
+  std::vector<BlockRef> blocks;
+  for (std::size_t f = 0; f < metas_.size(); ++f) {
+    for (std::uint64_t i = 0; i < metas_[f].num_blocks; ++i) {
+      blocks.push_back(BlockRef{f, i});
+    }
+  }
+  Status map_status = RunMapPhase(blocks);
+  if (!map_status.ok()) {
+    result.status = map_status;
+    return result;
+  }
+
+  // Step 6: reduce where the intermediate results live. If a reduce finds
+  // its spills died with a server (intermediates are not replicated by
+  // default, §II-C), the producing maps are re-executed — their fresh
+  // spills may land under the post-failure range table, so the whole reduce
+  // plan is rebuilt from the authoritative spill set and retried.
+  std::vector<KV> output;
+  Status reduce_status;
+  for (int phase_attempt = 0; phase_attempt < kMaxAttemptsPerTask; ++phase_attempt) {
+    output.clear();
+    reduce_status = RunReducePhase(&output);
+    if (reduce_status.ok() || reduce_status.code() != ErrorCode::kNotFound) break;
+  }
+  if (!reduce_status.ok()) {
+    result.status = reduce_status;
+    return result;
+  }
+
+  std::stable_sort(output.begin(), output.end(),
+                   [](const KV& a, const KV& b) { return a.key < b.key; });
+
+  if (!spec_.output_file.empty()) {
+    std::string serialized;
+    for (const auto& kv : output) {
+      serialized += kv.key;
+      serialized.push_back('\t');
+      serialized += kv.value;
+      serialized.push_back('\n');
+    }
+    cluster_.dfs().Delete(spec_.output_file);  // replace semantics
+    Status s = cluster_.dfs().Upload(spec_.output_file, serialized);
+    if (!s.ok()) {
+      result.status = Status::Error(s.code(), "output write failed: " + s.message());
+      return result;
+    }
+    stats_.output_bytes = serialized.size();
+  }
+
+  result.output = std::move(output);
+  stats_.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  result.stats = stats_;
+  result.status = Status::Ok();
+
+  auto& metrics = cluster_.metrics();
+  metrics.GetCounter("mr.jobs_completed").Add();
+  metrics.GetCounter("mr.map_tasks").Add(stats_.map_tasks);
+  metrics.GetCounter("mr.maps_skipped").Add(stats_.maps_skipped);
+  metrics.GetCounter("mr.map_retries").Add(stats_.map_retries);
+  metrics.GetCounter("mr.reduce_tasks").Add(stats_.reduce_tasks);
+  metrics.GetCounter("mr.spills").Add(stats_.spills);
+  metrics.GetCounter("mr.bytes_spilled").Add(stats_.bytes_spilled);
+  metrics.GetCounter("mr.icache_hits").Add(stats_.icache_hits);
+  metrics.GetCounter("mr.icache_misses").Add(stats_.icache_misses);
+  metrics.GetHistogram("mr.job_wall_us")
+      .Record(static_cast<std::uint64_t>(stats_.wall_seconds * 1e6));
+  return result;
+}
+
+Status JobRunner::RunReducePhase(std::vector<KV>* output) {
+  std::map<HashKey, std::vector<SpillInfo>> by_range;
+  {
+    std::lock_guard lock(state_mu_);
+    for (const auto& [id, info] : spills_) by_range[info.range_begin].push_back(info);
+  }
+
+  for (auto& [range_begin, group] : by_range) {
+    ReduceOutcome outcome;
+    for (int attempt = 0; attempt < kMaxAttemptsPerTask; ++attempt) {
+      int target = cluster_.ring().Owner(range_begin);
+      if (target < 0) return Status::Error(ErrorCode::kUnavailable, "no servers left");
+      WorkerServer& w = cluster_.worker(target);
+      auto fut = w.reduce_pool().Submit([this, &w, &group] { return RunReduceTask(w, group); });
+      outcome = fut.get();
+      if (outcome.status.ok()) break;
+
+      if (!outcome.missing_spills.empty()) {
+        // Re-run the producers with reuse disabled; their spills re-enter
+        // spills_ under the current range table. The caller rebuilds the
+        // reduce plan, so propagate NotFound after the re-run.
+        std::vector<BlockRef> rerun;
+        {
+          std::lock_guard lock(state_mu_);
+          for (const auto& id : outcome.missing_spills) {
+            auto it = spill_block_.find(id);
+            if (it != spill_block_.end()) rerun.push_back(it->second);
+          }
+        }
+        std::sort(rerun.begin(), rerun.end());
+        rerun.erase(std::unique(rerun.begin(), rerun.end()), rerun.end());
+        LOG_INFO << "reduce lost " << outcome.missing_spills.size() << " spills; re-running "
+                 << rerun.size() << " map tasks";
+        Status s = RunMapPhase(rerun, /*force_recompute=*/true);
+        return s.ok() ? outcome.status : s;
+      }
+      // Unavailable target: the ring has changed; next attempt re-resolves.
+    }
+    if (!outcome.status.ok()) return outcome.status;
+    ++stats_.reduce_tasks;
+    stats_.ocache_hits += outcome.ocache_hits;
+    stats_.ocache_misses += outcome.ocache_misses;
+    output->insert(output->end(), std::make_move_iterator(outcome.output.begin()),
+                   std::make_move_iterator(outcome.output.end()));
+  }
+  return Status::Ok();
+}
+
+Status JobRunner::RunMapPhase(const std::vector<BlockRef>& blocks,
+                              bool force_recompute) {
+  struct Pending {
+    BlockRef ref;
+    int attempts = 0;
+  };
+  std::vector<Pending> queue;
+  queue.reserve(blocks.size());
+  for (auto b : blocks) queue.push_back(Pending{b, 0});
+
+  while (!queue.empty()) {
+    std::vector<std::tuple<BlockRef, int, std::future<MapOutcome>>> inflight;
+    inflight.reserve(queue.size());
+    for (auto& p : queue) {
+      HashKey hkey = metas_[p.ref.file].KeyOfBlock(p.ref.block);
+      int server = PickMapServer(hkey);
+      if (server < 0) return Status::Error(ErrorCode::kUnavailable, "no servers left");
+      WorkerServer& w = cluster_.worker(server);
+      BlockRef ref = p.ref;
+      inflight.emplace_back(ref, p.attempts,
+                            w.map_pool().Submit([this, &w, ref, force_recompute] {
+                              return RunMapTask(w, ref, force_recompute);
+                            }));
+    }
+    queue.clear();
+
+    for (auto& [ref, attempts, fut] : inflight) {
+      MapOutcome outcome = fut.get();
+      if (!outcome.status.ok()) {
+        if (attempts + 1 >= kMaxAttemptsPerTask) {
+          return Status::Error(outcome.status.code(),
+                               "map task for block " + std::to_string(ref.block) +
+                                   " of input " + std::to_string(ref.file) +
+                                   " failed repeatedly: " + outcome.status.message());
+        }
+        ++stats_.map_retries;
+        queue.push_back(Pending{ref, attempts + 1});
+        continue;
+      }
+      ++stats_.map_tasks;
+      if (outcome.skipped) ++stats_.maps_skipped;
+      if (outcome.icache_hit) {
+        ++stats_.icache_hits;
+      } else if (!outcome.skipped) {
+        ++stats_.icache_misses;
+      }
+      std::lock_guard lock(state_mu_);
+      if (force_recompute) {
+        // Drop the block's previous (possibly manifest-derived, possibly
+        // stale-range) spills: the fresh execution is authoritative.
+        for (auto it = spill_block_.begin(); it != spill_block_.end();) {
+          if (it->second == ref) {
+            spills_.erase(it->first);
+            it = spill_block_.erase(it);
+          } else {
+            ++it;
+          }
+        }
+      }
+      for (auto& info : outcome.spills) {
+        stats_.bytes_spilled += info.bytes;
+        ++stats_.spills;
+        spill_block_[info.id] = ref;
+        spills_[info.id] = std::move(info);
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+int JobRunner::PickMapServer(HashKey hkey) {
+  if (cluster_.options().scheduler == SchedulerKind::kLaf) {
+    std::lock_guard lock(cluster_.sched_mu_);
+    int server = cluster_.laf_->Assign(hkey);
+    if (!cluster_.worker(server).dead()) return server;
+  } else {
+    // Delay scheduling (§II-F): wait up to the timeout for a slot on the
+    // static range owner, then give up locality and take any idle server.
+    std::shared_ptr<sched::DelayScheduler> delay;
+    {
+      std::lock_guard lock(cluster_.sched_mu_);
+      delay = cluster_.delay_;
+    }
+    int preferred = delay->Preferred(hkey);
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                        std::chrono::duration<double>(delay->options().wait_timeout_sec));
+    for (;;) {
+      if (!cluster_.worker(preferred).dead() && cluster_.worker(preferred).FreeMapSlots() > 0) {
+        std::lock_guard lock(cluster_.sched_mu_);
+        delay->RecordAssignment(preferred);
+        return preferred;
+      }
+      if (std::chrono::steady_clock::now() >= deadline) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    std::vector<int> free_slots;
+    const auto& servers = delay->servers();
+    free_slots.reserve(servers.size());
+    for (int s : servers) {
+      free_slots.push_back(cluster_.worker(s).dead() ? 0 : cluster_.worker(s).FreeMapSlots());
+    }
+    int fallback = delay->Fallback(free_slots);
+    int chosen = fallback >= 0 ? fallback : preferred;
+    if (cluster_.worker(chosen).dead()) chosen = -1;
+    if (chosen >= 0) {
+      std::lock_guard lock(cluster_.sched_mu_);
+      delay->RecordAssignment(chosen);
+      return chosen;
+    }
+  }
+  // Scheduler pointed at a dead server: fall back to the live ring owner.
+  int owner = cluster_.ring().Owner(hkey);
+  return owner;
+}
+
+JobRunner::MapOutcome JobRunner::RunMapTask(WorkerServer& w, BlockRef ref,
+                                            bool force_recompute) {
+  MapOutcome out;
+  if (w.dead()) {
+    out.status = Status::Error(ErrorCode::kUnavailable, "worker died");
+    return out;
+  }
+  const dfs::FileMetadata& meta_ = metas_[ref.file];
+  const std::uint64_t block = ref.block;
+
+  const std::string tag = spec_.intermediate_tag;
+  const std::string spill_scope = tag.empty() ? spec_.name : tag;
+  const std::string manifest_id = ManifestId(spill_scope, meta_.name, block);
+  const HashKey manifest_key = KeyOf(manifest_id);
+
+  // §II-C reuse: tagged intermediates let the map skip computation.
+  if (!tag.empty() && !force_recompute) {
+    std::string manifest_data;
+    bool have = false;
+    if (auto cached = w.cache().Get(manifest_id)) {
+      manifest_data = *cached;
+      have = true;
+    } else if (auto obj = w.dfs().GetObject(manifest_id, manifest_key); obj.ok()) {
+      manifest_data = obj.value();
+      have = true;
+    }
+    if (have) {
+      if (auto man = DecodeManifest(manifest_data); man.ok()) {
+        out.spills = man.value();
+        out.skipped = true;
+        out.status = Status::Ok();
+        return out;
+      }
+    }
+  }
+
+  // Input through iCache; miss falls through to the DHT FS (Fig. 2 step 4).
+  const std::string block_id = dfs::BlockId(meta_.name, block);
+  const HashKey block_key = meta_.KeyOfBlock(block);
+  std::string data;
+  if (auto cached = w.cache().Get(block_id)) {
+    data = std::move(*cached);
+    out.icache_hit = true;
+  } else {
+    auto read = w.dfs().ReadBlock(meta_, block);
+    if (!read.ok()) {
+      out.status = read.status();
+      return out;
+    }
+    data = std::move(read.value());
+    if (spec_.cache_input) {
+      w.cache().Put(block_id, block_key, data, cache::EntryKind::kInput);
+    }
+  }
+  out.input_bytes = data.size();
+
+  auto records = ExtractRecords(
+      meta_, block, spec_.record_delim, data,
+      [&](std::uint64_t j) { return w.dfs().ReadBlock(meta_, j); },
+      [&](std::uint64_t j, Bytes off, Bytes len) {
+        return w.dfs().ReadBlockRange(meta_, j, off, len);
+      });
+  if (!records.ok()) {
+    out.status = records.status();
+    return out;
+  }
+
+  // Proactive shuffle: spill per-range buffers while mapping (§II-D).
+  const std::string prefix = "im/" + spill_scope + "/" + meta_.name + "/b" +
+                             std::to_string(block);
+  ShuffleWriter shuffle(prefix, fs_ranges_, w.dfs(), spec_.spill_threshold,
+                        spec_.intermediate_ttl);
+  ShuffleMapContext ctx(shuffle, spec_.shared_state);
+  auto mapper = spec_.mapper();
+  for (const auto& record : records.value()) {
+    mapper->Map(record, ctx);
+    if (w.dead()) {
+      out.status = Status::Error(ErrorCode::kUnavailable, "worker died mid-map");
+      return out;
+    }
+  }
+  mapper->Finish(ctx);
+  if (!ctx.status().ok()) {
+    out.status = ctx.status();
+    return out;
+  }
+  if (Status s = shuffle.Flush(); !s.ok()) {
+    out.status = s;
+    return out;
+  }
+  out.spills = shuffle.spills();
+
+  if (!tag.empty()) {
+    std::string manifest_data = EncodeManifest(out.spills);
+    w.dfs().PutObject(manifest_id, manifest_key, manifest_data, spec_.intermediate_ttl);
+    w.cache().Put(manifest_id, manifest_key, manifest_data, cache::EntryKind::kOutput);
+  }
+  out.status = Status::Ok();
+  return out;
+}
+
+JobRunner::ReduceOutcome JobRunner::RunReduceTask(WorkerServer& w,
+                                                  const std::vector<SpillInfo>& spills) {
+  ReduceOutcome out;
+  if (w.dead()) {
+    out.status = Status::Error(ErrorCode::kUnavailable, "worker died");
+    return out;
+  }
+
+  std::map<std::string, std::vector<std::string>> groups;
+  for (const auto& spill : spills) {
+    std::string data;
+    if (auto cached = w.cache().Get(spill.id)) {
+      data = std::move(*cached);
+      ++out.ocache_hits;
+    } else {
+      auto obj = w.dfs().GetObject(spill.id, spill.range_begin);
+      if (!obj.ok()) {
+        out.missing_spills.push_back(spill.id);
+        continue;
+      }
+      ++out.ocache_misses;
+      data = std::move(obj.value());
+      if (spec_.cache_intermediates) {
+        w.cache().Put(spill.id, spill.range_begin, data, cache::EntryKind::kOutput);
+      }
+    }
+    auto pairs = DecodeSpill(data);
+    if (!pairs.ok()) {
+      out.status = pairs.status();
+      return out;
+    }
+    for (auto& kv : pairs.value()) groups[std::move(kv.key)].push_back(std::move(kv.value));
+  }
+  if (!out.missing_spills.empty()) {
+    out.status = Status::Error(ErrorCode::kNotFound, "spills lost with their server");
+    return out;
+  }
+
+  VectorReduceContext ctx;
+  auto reducer = spec_.reducer();
+  for (auto& [key, values] : groups) {
+    reducer->Reduce(key, values, ctx);
+    if (w.dead()) {
+      out.status = Status::Error(ErrorCode::kUnavailable, "worker died mid-reduce");
+      return out;
+    }
+  }
+  out.output = std::move(ctx.output());
+  out.status = Status::Ok();
+  return out;
+}
+
+JobResult Cluster::Run(const JobSpec& spec) {
+  JobRunner runner(*this, spec);
+  return runner.Run();
+}
+
+}  // namespace eclipse::mr

@@ -1,0 +1,82 @@
+// Job orchestration: Fig. 2's flow on the emulated cluster.
+//
+//  1. resolve the input file's metadata at its metadata owner,
+//  2. assign one map task per block — LAF (Algorithm 1) or Delay (§II-F),
+//  3. map tasks read input through iCache (falling back to the DHT FS) and
+//     proactively spill intermediates to the reducer-side DHT FS (§II-D),
+//  4. reduce tasks run where the intermediate hash keys live, reading spills
+//     through oCache,
+//  5. failures re-execute the affected map tasks and re-place reduces on the
+//     take-over servers (intermediates that died with a server are rebuilt
+//     by re-running their producers).
+#pragma once
+
+#include "mr/cluster.h"
+#include "mr/shuffle.h"
+
+namespace eclipse::mr {
+
+class JobRunner {
+ public:
+  JobRunner(Cluster& cluster, const JobSpec& spec);
+
+  JobResult Run();
+
+ private:
+  struct MapOutcome {
+    Status status;
+    std::vector<SpillInfo> spills;
+    bool skipped = false;     // fed entirely from tagged intermediates
+    bool icache_hit = false;
+    Bytes input_bytes = 0;
+  };
+
+  struct ReduceOutcome {
+    Status status;
+    std::vector<KV> output;
+    std::uint64_t ocache_hits = 0;
+    std::uint64_t ocache_misses = 0;
+    std::vector<std::string> missing_spills;
+  };
+
+  /// A map task's input: (index into metas_, block index).
+  struct BlockRef {
+    std::size_t file;
+    std::uint64_t block;
+    bool operator<(const BlockRef& o) const {
+      return file != o.file ? file < o.file : block < o.block;
+    }
+    bool operator==(const BlockRef&) const = default;
+  };
+
+  MapOutcome RunMapTask(WorkerServer& w, BlockRef ref, bool force_recompute);
+  ReduceOutcome RunReduceTask(WorkerServer& w, const std::vector<SpillInfo>& spills);
+
+  /// Pick the map server for a block key under the configured policy. For
+  /// Delay this may block up to the locality-wait timeout.
+  int PickMapServer(HashKey hkey);
+
+  /// One pass over the reduce plan derived from the current spill set.
+  /// Returns NotFound after re-running producers of lost spills (caller
+  /// rebuilds the plan and retries), or the first fatal status.
+  Status RunReducePhase(std::vector<KV>* output);
+
+  /// Run the map phase over `blocks`, merging spills into spills_ /
+  /// spill_block_. `force_recompute` bypasses tagged-intermediate reuse —
+  /// required when re-running maps whose spills died with a server.
+  /// Returns first fatal status.
+  Status RunMapPhase(const std::vector<BlockRef>& blocks, bool force_recompute = false);
+
+  Cluster& cluster_;
+  const JobSpec& spec_;
+  std::vector<dfs::FileMetadata> metas_;  // input_file first, then extras
+  RangeTable fs_ranges_;  // captured once; spill range identities are stable
+                          // across mid-job membership changes
+
+  std::mutex state_mu_;
+  std::map<std::string, SpillInfo> spills_;       // id -> info (deduped)
+  std::map<std::string, BlockRef> spill_block_;   // id -> producing input block
+  JobStats stats_;
+};
+
+}  // namespace eclipse::mr

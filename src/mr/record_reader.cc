@@ -1,0 +1,63 @@
+#include "mr/record_reader.h"
+
+namespace eclipse::mr {
+
+Result<std::vector<std::string>> ExtractRecords(const dfs::FileMetadata& meta,
+                                                std::uint64_t index, char delim,
+                                                const std::string& block_data,
+                                                const BlockFetcher& fetch_block,
+                                                const RangeFetcher& fetch_range) {
+  std::vector<std::string> records;
+  if (block_data.empty()) return records;
+
+  std::size_t start = 0;
+  if (index > 0) {
+    // Does a record begin at our first byte? Only if the previous block ends
+    // with the delimiter.
+    Bytes prev_size = meta.SizeOfBlock(index - 1);
+    bool starts_fresh = false;
+    if (prev_size == 0) {
+      starts_fresh = true;  // degenerate empty predecessor
+    } else {
+      auto tail = fetch_range(index - 1, prev_size - 1, 1);
+      if (!tail.ok()) return tail.status();
+      starts_fresh = !tail.value().empty() && tail.value()[0] == delim;
+    }
+    if (!starts_fresh) {
+      // The first partial record belongs to the previous block: skip it.
+      std::size_t p = block_data.find(delim);
+      if (p == std::string::npos) return records;  // block is interior bytes
+                                                   // of one long record
+      start = p + 1;
+    }
+  }
+
+  // Records fully delimited inside this block.
+  while (start < block_data.size()) {
+    std::size_t p = block_data.find(delim, start);
+    if (p == std::string::npos) break;
+    if (p > start) records.emplace_back(block_data, start, p - start);
+    start = p + 1;
+  }
+
+  // Unterminated tail: the record starts here, so it is ours — complete it
+  // from the following blocks.
+  if (start < block_data.size()) {
+    std::string tail = block_data.substr(start);
+    for (std::uint64_t j = index + 1; j < meta.num_blocks; ++j) {
+      auto next = fetch_block(j);
+      if (!next.ok()) return next.status();
+      std::size_t p = next.value().find(delim);
+      if (p == std::string::npos) {
+        tail += next.value();
+        continue;
+      }
+      tail.append(next.value(), 0, p);
+      break;
+    }
+    if (!tail.empty()) records.push_back(std::move(tail));
+  }
+  return records;
+}
+
+}  // namespace eclipse::mr

@@ -1,0 +1,38 @@
+// Record extraction with block-boundary handling.
+//
+// DHT-FS blocks are fixed-size byte chunks, so a record (delimited line) may
+// span blocks. Ownership rule: a record belongs to the block containing its
+// FIRST byte. A map task therefore
+//   * peeks at the last byte of the previous block (one-byte ranged read) to
+//     decide whether a record starts at its block's first byte,
+//   * skips the partial first record otherwise (it belongs to the previous
+//     block), and
+//   * completes its final record by reading forward into following blocks.
+// Every record is processed by exactly one map task.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "dfs/metadata.h"
+
+namespace eclipse::mr {
+
+/// Fetch the full content of block `index`.
+using BlockFetcher = std::function<Result<std::string>(std::uint64_t index)>;
+
+/// Fetch `len` bytes of block `index` from `offset`.
+using RangeFetcher =
+    std::function<Result<std::string>(std::uint64_t index, Bytes offset, Bytes len)>;
+
+/// The records owned by block `index`, given its already-fetched content.
+/// `fetch_block` / `fetch_range` are only invoked for boundary handling.
+/// Empty records (consecutive delimiters) are dropped.
+Result<std::vector<std::string>> ExtractRecords(const dfs::FileMetadata& meta,
+                                                std::uint64_t index, char delim,
+                                                const std::string& block_data,
+                                                const BlockFetcher& fetch_block,
+                                                const RangeFetcher& fetch_range);
+
+}  // namespace eclipse::mr

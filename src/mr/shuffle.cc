@@ -1,0 +1,144 @@
+#include "mr/shuffle.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/serde.h"
+
+namespace eclipse::mr {
+
+std::string EncodeSpill(const std::vector<KV>& pairs) {
+  BinaryWriter w;
+  w.PutU32(static_cast<std::uint32_t>(pairs.size()));
+  for (const auto& kv : pairs) {
+    w.PutString(kv.key);
+    w.PutString(kv.value);
+  }
+  return w.Take();
+}
+
+Result<std::vector<KV>> DecodeSpill(const std::string& data) {
+  BinaryReader r(data);
+  std::uint32_t n = 0;
+  if (!r.GetU32(&n)) return Status::Error(ErrorCode::kCorruption, "truncated spill");
+  // Every entry needs at least two length prefixes: a corrupted count can
+  // not force an allocation larger than the payload could possibly hold.
+  if (static_cast<std::size_t>(n) > r.remaining() / 8 + 1) {
+    return Status::Error(ErrorCode::kCorruption, "implausible spill entry count");
+  }
+  std::vector<KV> out;
+  out.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    KV kv;
+    if (!r.GetString(&kv.key) || !r.GetString(&kv.value)) {
+      return Status::Error(ErrorCode::kCorruption, "truncated spill entry");
+    }
+    out.push_back(std::move(kv));
+  }
+  return out;
+}
+
+std::string SpillId(const std::string& prefix, HashKey range_begin, std::uint64_t seq) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "/r%016llx/s%" PRIu64,
+                static_cast<unsigned long long>(range_begin), seq);
+  return prefix + buf;
+}
+
+std::string EncodeManifest(const std::vector<SpillInfo>& spills) {
+  BinaryWriter w;
+  w.PutU32(static_cast<std::uint32_t>(spills.size()));
+  for (const auto& s : spills) {
+    w.PutString(s.id);
+    w.PutU64(s.range_begin);
+    w.PutU64(s.pairs);
+    w.PutU64(s.bytes);
+  }
+  return w.Take();
+}
+
+Result<std::vector<SpillInfo>> DecodeManifest(const std::string& data) {
+  BinaryReader r(data);
+  std::uint32_t n = 0;
+  if (!r.GetU32(&n)) return Status::Error(ErrorCode::kCorruption, "truncated manifest");
+  // Each entry carries three u64s and a string length: bound the count.
+  if (static_cast<std::size_t>(n) > r.remaining() / 28 + 1) {
+    return Status::Error(ErrorCode::kCorruption, "implausible manifest entry count");
+  }
+  std::vector<SpillInfo> out;
+  out.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    SpillInfo s;
+    if (!r.GetString(&s.id) || !r.GetU64(&s.range_begin) || !r.GetU64(&s.pairs) ||
+        !r.GetU64(&s.bytes)) {
+      return Status::Error(ErrorCode::kCorruption, "truncated manifest entry");
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::string ManifestId(const std::string& tag, const std::string& input, std::uint64_t block) {
+  return "man/" + tag + "/" + input + "/b" + std::to_string(block);
+}
+
+ShuffleWriter::ShuffleWriter(std::string prefix, const RangeTable& fs_ranges,
+                             dfs::DfsClient& dfs, Bytes spill_threshold,
+                             std::chrono::milliseconds ttl)
+    : prefix_(std::move(prefix)), dfs_(dfs), threshold_(spill_threshold), ttl_(ttl) {
+  for (const auto& [server, range] : fs_ranges.entries()) {
+    if (range.IsEmpty()) continue;
+    ranges_.emplace_back(range, range.begin);
+  }
+}
+
+Status ShuffleWriter::Add(std::string key, std::string value) {
+  HashKey hk = KeyOf(key);
+  HashKey range_begin = 0;
+  bool found = false;
+  for (const auto& [range, begin] : ranges_) {
+    if (range.Contains(hk)) {
+      range_begin = begin;
+      found = true;
+      break;
+    }
+  }
+  if (!found) {
+    return Status::Error(ErrorCode::kInternal, "no FS range covers intermediate key");
+  }
+  auto& buf = buffers_[range_begin];
+  buf.bytes += key.size() + value.size();
+  buf.pairs.push_back(KV{std::move(key), std::move(value)});
+  if (buf.bytes >= threshold_) return SpillRange(range_begin, buf);
+  return Status::Ok();
+}
+
+Status ShuffleWriter::Flush() {
+  for (auto& [begin, buf] : buffers_) {
+    if (buf.pairs.empty()) continue;
+    Status s = SpillRange(begin, buf);
+    if (!s.ok()) return s;
+  }
+  return Status::Ok();
+}
+
+Status ShuffleWriter::SpillRange(HashKey range_begin, RangeBuffer& buf) {
+  SpillInfo info;
+  info.id = SpillId(prefix_, range_begin, buf.seq);
+  info.range_begin = range_begin;
+  info.pairs = buf.pairs.size();
+  info.bytes = buf.bytes;
+
+  // Placement key: the range's begin — by construction owned by the range's
+  // server under the static FS partition, so the spill lands reducer-side.
+  Status s = dfs_.PutObject(info.id, range_begin, EncodeSpill(buf.pairs), ttl_);
+  if (!s.ok()) return s;
+
+  spills_.push_back(info);
+  ++buf.seq;
+  buf.pairs.clear();
+  buf.bytes = 0;
+  return Status::Ok();
+}
+
+}  // namespace eclipse::mr

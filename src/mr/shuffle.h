@@ -1,0 +1,87 @@
+// Proactive shuffling (paper §II-D).
+//
+// "EclipseMR lets each mapper pipeline the intermediate results to the DHT
+// file system in a decentralized fashion while they are being generated.
+// Based on the hash keys of the intermediate results, each map task stores
+// the intermediate results in a memory buffer for each hash key range. When
+// the size of this buffer reaches a certain threshold specified by the
+// application, EclipseMR spills the buffered results to the DHT file
+// system so that they can be accessed by reducers."
+//
+// The ShuffleWriter keeps one buffer per DHT-FS hash-key range; each spill
+// becomes a persisted object placed at the range owner, and the spill id is
+// reported back so the scheduler can place the reduce task where the
+// intermediates already live.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dfs/dfs_client.h"
+#include "mr/types.h"
+
+namespace eclipse::mr {
+
+/// What a mapper tells the scheduler about one spilled buffer.
+struct SpillInfo {
+  std::string id;       // DHT-FS object id
+  HashKey range_begin;  // identifies the target hash-key range
+  std::uint64_t pairs;
+  Bytes bytes;
+};
+
+/// Serialize / parse one spill's KV payload.
+std::string EncodeSpill(const std::vector<KV>& pairs);
+Result<std::vector<KV>> DecodeSpill(const std::string& data);
+
+class ShuffleWriter {
+ public:
+  /// `prefix` scopes spill ids ("im/<job-or-tag>/b<block>"); spills are
+  /// placed by `fs_ranges` (the static DHT-FS partition) through `dfs`.
+  /// Spill ids are deterministic (prefix + range + sequence) so a
+  /// re-executed map task overwrites its own earlier spills idempotently.
+  ShuffleWriter(std::string prefix, const RangeTable& fs_ranges, dfs::DfsClient& dfs,
+                Bytes spill_threshold, std::chrono::milliseconds ttl);
+
+  /// Buffer one intermediate pair under the range covering KeyOf(key);
+  /// spills that range's buffer if it crossed the threshold.
+  Status Add(std::string key, std::string value);
+
+  /// Spill every non-empty buffer (end of the map task).
+  Status Flush();
+
+  /// All spills produced (valid after Flush).
+  const std::vector<SpillInfo>& spills() const { return spills_; }
+
+ private:
+  struct RangeBuffer {
+    std::vector<KV> pairs;
+    Bytes bytes = 0;
+    std::uint64_t seq = 0;
+  };
+
+  Status SpillRange(HashKey range_begin, RangeBuffer& buf);
+
+  std::string prefix_;
+  dfs::DfsClient& dfs_;
+  Bytes threshold_;
+  std::chrono::milliseconds ttl_;
+  std::vector<std::pair<KeyRange, HashKey>> ranges_;  // (range, its begin id)
+  std::map<HashKey, RangeBuffer> buffers_;            // keyed by range begin
+  std::vector<SpillInfo> spills_;
+};
+
+/// Deterministic spill object id.
+std::string SpillId(const std::string& prefix, HashKey range_begin, std::uint64_t seq);
+
+/// Manifest object listing a map task's spills, enabling §II-C reuse
+/// ("if a user application specifies it can reuse intermediate results and
+/// they are available ... the map tasks skip computation").
+std::string EncodeManifest(const std::vector<SpillInfo>& spills);
+Result<std::vector<SpillInfo>> DecodeManifest(const std::string& data);
+
+/// Manifest id for (tag, input file, block).
+std::string ManifestId(const std::string& tag, const std::string& input, std::uint64_t block);
+
+}  // namespace eclipse::mr

@@ -1,0 +1,135 @@
+// Public MapReduce programming model of EclipseMR.
+//
+// Applications implement Mapper and Reducer, describe a job with JobSpec,
+// and submit it to a Cluster (cluster.h). Iterative applications use the
+// IterativeDriver (iterative.h), which threads shared state (e.g. k-means
+// centroids) between iterations and can persist iteration outputs to the
+// DHT file system for restart-from-iteration fault tolerance (§II-C).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/units.h"
+
+namespace eclipse::mr {
+
+struct KV {
+  std::string key;
+  std::string value;
+
+  bool operator==(const KV&) const = default;
+};
+
+/// Sink for a mapper's intermediate pairs plus read access to job-level
+/// shared state (iteration broadcast data such as current centroids).
+class MapContext {
+ public:
+  virtual ~MapContext() = default;
+  virtual void Emit(std::string key, std::string value) = 0;
+  virtual const std::string& shared_state() const = 0;
+};
+
+/// Sink for a reducer's output pairs.
+class ReduceContext {
+ public:
+  virtual ~ReduceContext() = default;
+  virtual void Emit(std::string key, std::string value) = 0;
+};
+
+/// One mapper instance processes one input block, record by record.
+class Mapper {
+ public:
+  virtual ~Mapper() = default;
+  virtual void Map(const std::string& record, MapContext& ctx) = 0;
+
+  /// Called once after the block's last record — combiner-style mappers
+  /// (e.g. logistic regression's per-block gradient) emit here.
+  virtual void Finish(MapContext& ctx) { (void)ctx; }
+};
+
+/// One reducer call per distinct intermediate key, values unordered.
+class Reducer {
+ public:
+  virtual ~Reducer() = default;
+  virtual void Reduce(const std::string& key, const std::vector<std::string>& values,
+                      ReduceContext& ctx) = 0;
+};
+
+using MapperFactory = std::function<std::unique_ptr<Mapper>()>;
+using ReducerFactory = std::function<std::unique_ptr<Reducer>()>;
+
+struct JobSpec {
+  std::string name;        // unique per submission (also names the output)
+  std::string input_file;  // DHT-FS path
+  /// Additional DHT-FS inputs mapped alongside input_file (one map task per
+  /// block of every input; reducers see the union of intermediates).
+  std::vector<std::string> extra_inputs;
+  MapperFactory mapper;
+  ReducerFactory reducer;
+
+  /// Records are input lines split on this delimiter.
+  char record_delim = '\n';
+
+  /// Cache input blocks in iCache on read (paper: implicit input caching).
+  bool cache_input = true;
+
+  /// Cache intermediate spills in the reducer-side oCache on first read.
+  bool cache_intermediates = true;
+
+  /// Non-empty: tag intermediate results for cross-job reuse (§II-B oCache).
+  /// A later job with the same tag and input skips its map computation and
+  /// feeds reducers from the stored spills.
+  std::string intermediate_tag;
+
+  /// TTL for persisted intermediate results (zero: keep until deleted).
+  std::chrono::milliseconds intermediate_ttl{0};
+
+  /// Mapper spill-buffer threshold per hash-key range (paper used 32 MB;
+  /// tests scale this down).
+  Bytes spill_threshold = 32_MiB;
+
+  /// Broadcast state visible to every mapper via MapContext.
+  std::string shared_state;
+
+  /// Non-empty: also persist the job output into the DHT file system under
+  /// this name, one "key<TAB>value" line per pair (replacing any previous
+  /// file of that name). Applications "tag and store ... job outputs for
+  /// future reuse" this way (§II).
+  std::string output_file;
+};
+
+struct JobStats {
+  std::uint64_t map_tasks = 0;
+  std::uint64_t reduce_tasks = 0;
+  std::uint64_t maps_skipped = 0;       // served entirely from tagged spills
+  std::uint64_t map_retries = 0;        // re-executions after worker failure
+  std::uint64_t icache_hits = 0;
+  std::uint64_t icache_misses = 0;
+  std::uint64_t ocache_hits = 0;
+  std::uint64_t ocache_misses = 0;
+  std::uint64_t spills = 0;
+  Bytes bytes_spilled = 0;
+  Bytes input_bytes = 0;
+  Bytes output_bytes = 0;  // persisted output size (when output_file is set)
+  double wall_seconds = 0.0;
+
+  double InputHitRatio() const {
+    auto total = icache_hits + icache_misses;
+    return total == 0 ? 0.0 : static_cast<double>(icache_hits) / static_cast<double>(total);
+  }
+};
+
+struct JobResult {
+  Status status;
+  /// All reducer emissions, sorted by key (stable, deterministic).
+  std::vector<KV> output;
+  JobStats stats;
+};
+
+}  // namespace eclipse::mr

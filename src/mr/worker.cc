@@ -1,0 +1,36 @@
+#include "mr/worker.h"
+
+namespace eclipse::mr {
+
+WorkerServer::WorkerServer(int id, net::Transport& transport,
+                           dfs::RingProvider ring_provider, const WorkerOptions& options)
+    : id_(id), transport_(transport), options_(options) {
+  dfs_node_ = std::make_unique<dfs::DfsNode>(id, dispatcher_);
+  cache_node_ = std::make_unique<cache::CacheNode>(id, dispatcher_, options.cache_capacity);
+  dfs_client_ =
+      std::make_unique<dfs::DfsClient>(id, transport, ring_provider, options.dfs_client);
+  cache_client_ = std::make_unique<cache::CacheClient>(id, transport);
+  map_pool_ = std::make_unique<ThreadPool>(static_cast<std::size_t>(options.map_slots));
+  reduce_pool_ = std::make_unique<ThreadPool>(static_cast<std::size_t>(options.reduce_slots));
+  transport_.Register(id, dispatcher_.AsHandler());
+}
+
+WorkerServer::~WorkerServer() {
+  dead_.store(true);
+  transport_.Register(id_, nullptr);
+  // Pools drain in their destructors; tasks observe dead() and return fast.
+}
+
+void WorkerServer::Kill() {
+  dead_.store(true);
+  transport_.Register(id_, nullptr);
+}
+
+int WorkerServer::FreeMapSlots() const {
+  if (dead_.load()) return 0;
+  auto busy = map_pool_->Running() + map_pool_->QueueDepth();
+  int free = options_.map_slots - static_cast<int>(busy);
+  return free > 0 ? free : 0;
+}
+
+}  // namespace eclipse::mr

@@ -1,0 +1,80 @@
+// One emulated worker server: the unit the paper calls a "worker server" or
+// "node" — local disk (DfsNode), in-memory cache slice (CacheNode), map and
+// reduce task slots (two thread pools), and a data-plane client for reading
+// remote blocks and pushing intermediate results.
+//
+// Control-plane task submission is direct (the Cluster owns the workers);
+// every data-plane byte still crosses the Transport, so killing a worker
+// makes both its slots and its data unreachable, exactly like a crashed
+// machine.
+#pragma once
+
+#include <atomic>
+#include <memory>
+
+#include "cache/cache_node.h"
+#include "common/thread_pool.h"
+#include "dfs/dfs_client.h"
+#include "dfs/dfs_node.h"
+#include "net/dispatcher.h"
+
+namespace eclipse::mr {
+
+struct WorkerOptions {
+  int map_slots = 2;
+  int reduce_slots = 2;
+  Bytes cache_capacity = 64_MiB;
+  dfs::DfsClientOptions dfs_client;
+};
+
+class WorkerServer {
+ public:
+  WorkerServer(int id, net::Transport& transport, dfs::RingProvider ring_provider,
+               const WorkerOptions& options);
+  ~WorkerServer();
+
+  WorkerServer(const WorkerServer&) = delete;
+  WorkerServer& operator=(const WorkerServer&) = delete;
+
+  int id() const { return id_; }
+
+  /// Simulated crash: detach from the transport (peers get Unavailable) and
+  /// fail any queued or future tasks. Irreversible.
+  void Kill();
+  bool dead() const { return dead_.load(); }
+
+  // Components (thread-safe objects).
+  dfs::DfsNode& dfs_node() { return *dfs_node_; }
+  cache::LruCache& cache() { return cache_node_->local(); }
+  cache::CacheNode& cache_node() { return *cache_node_; }
+  dfs::DfsClient& dfs() { return *dfs_client_; }
+  cache::CacheClient& cache_client() { return *cache_client_; }
+
+  ThreadPool& map_pool() { return *map_pool_; }
+  ThreadPool& reduce_pool() { return *reduce_pool_; }
+
+  /// The node's message dispatcher — additional components (e.g. a
+  /// MembershipAgent) register their routes here.
+  net::Dispatcher& dispatcher() { return dispatcher_; }
+
+  /// Free map slots right now (slots minus running minus queued, floored 0).
+  int FreeMapSlots() const;
+
+  int map_slots() const { return options_.map_slots; }
+
+ private:
+  const int id_;
+  net::Transport& transport_;
+  WorkerOptions options_;
+  std::atomic<bool> dead_{false};
+
+  net::Dispatcher dispatcher_;
+  std::unique_ptr<dfs::DfsNode> dfs_node_;
+  std::unique_ptr<cache::CacheNode> cache_node_;
+  std::unique_ptr<dfs::DfsClient> dfs_client_;
+  std::unique_ptr<cache::CacheClient> cache_client_;
+  std::unique_ptr<ThreadPool> map_pool_;
+  std::unique_ptr<ThreadPool> reduce_pool_;
+};
+
+}  // namespace eclipse::mr

@@ -1,0 +1,49 @@
+#include "net/dispatcher.h"
+
+#include "common/serde.h"
+
+namespace eclipse::net {
+
+void Dispatcher::Route(std::uint32_t first, std::uint32_t last, Handler handler) {
+  std::lock_guard lock(mu_);
+  routes_[last] = Entry{first, std::move(handler)};
+}
+
+Handler Dispatcher::AsHandler() {
+  return [this](NodeId from, const Message& msg) { return Dispatch(from, msg); };
+}
+
+Message Dispatcher::Dispatch(NodeId from, const Message& msg) {
+  Handler h;
+  {
+    std::lock_guard lock(mu_);
+    auto it = routes_.lower_bound(msg.type);
+    if (it == routes_.end() || msg.type < it->second.first) {
+      return ErrorMessage(ErrorCode::kInvalidArgument,
+                          "no handler for message type " + std::to_string(msg.type));
+    }
+    h = it->second.handler;
+  }
+  return h(from, msg);
+}
+
+Message ErrorMessage(ErrorCode code, const std::string& what) {
+  BinaryWriter w;
+  w.PutU32(static_cast<std::uint32_t>(code));
+  w.PutString(what);
+  return Message{0, w.Take()};
+}
+
+bool IsError(const Message& m) { return m.type == 0; }
+
+Status DecodeError(const Message& m) {
+  BinaryReader r(m.payload);
+  std::uint32_t code;
+  std::string what;
+  if (!r.GetU32(&code) || !r.GetString(&what)) {
+    return Status::Error(ErrorCode::kInternal, "malformed error message");
+  }
+  return Status::Error(static_cast<ErrorCode>(code), what);
+}
+
+}  // namespace eclipse::net

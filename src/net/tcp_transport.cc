@@ -1,0 +1,189 @@
+#include "net/tcp_transport.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "common/log.h"
+
+namespace eclipse::net {
+namespace {
+
+bool ReadFull(int fd, void* buf, std::size_t n) {
+  auto* p = static_cast<char*>(buf);
+  while (n > 0) {
+    ssize_t r = ::read(fd, p, n);
+    if (r <= 0) return false;
+    p += r;
+    n -= static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+bool WriteFull(int fd, const void* buf, std::size_t n) {
+  const auto* p = static_cast<const char*>(buf);
+  while (n > 0) {
+    ssize_t r = ::write(fd, p, n);
+    if (r <= 0) return false;
+    p += r;
+    n -= static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+}  // namespace
+
+TcpTransport::~TcpTransport() {
+  std::vector<NodeId> nodes;
+  {
+    std::lock_guard lock(mu_);
+    for (auto& [id, ep] : endpoints_) nodes.push_back(id);
+  }
+  for (NodeId id : nodes) Unregister(id);
+}
+
+void TcpTransport::Register(NodeId node, Handler handler) {
+  Unregister(node);  // replace or detach
+  if (!handler) return;
+
+  auto ep = std::make_unique<Endpoint>();
+  ep->handler = std::make_shared<Handler>(std::move(handler));
+  ep->listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (ep->listen_fd < 0) {
+    LOG_ERROR << "socket() failed: " << std::strerror(errno);
+    return;
+  }
+  int one = 1;
+  ::setsockopt(ep->listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;  // OS-assigned
+  if (::bind(ep->listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(ep->listen_fd, 64) != 0) {
+    LOG_ERROR << "bind/listen failed: " << std::strerror(errno);
+    ::close(ep->listen_fd);
+    return;
+  }
+  socklen_t len = sizeof addr;
+  ::getsockname(ep->listen_fd, reinterpret_cast<sockaddr*>(&addr), &len);
+  ep->port = ntohs(addr.sin_port);
+
+  Endpoint* raw = ep.get();
+  ep->accept_thread = std::thread([this, raw, node] { AcceptLoop(raw, node); });
+  std::lock_guard lock(mu_);
+  endpoints_[node] = std::move(ep);
+}
+
+void TcpTransport::Unregister(NodeId node) {
+  std::unique_ptr<Endpoint> ep;
+  {
+    std::lock_guard lock(mu_);
+    auto it = endpoints_.find(node);
+    if (it == endpoints_.end()) return;
+    ep = std::move(it->second);
+    endpoints_.erase(it);
+  }
+  ep->stopping.store(true);
+  ::shutdown(ep->listen_fd, SHUT_RDWR);
+  ::close(ep->listen_fd);
+  if (ep->accept_thread.joinable()) ep->accept_thread.join();
+  // Wait for in-flight connection handlers so no handler outlives the
+  // endpoint (callers may destroy the handled objects right after this).
+  std::unique_lock lock(ep->drain_mu);
+  ep->drained.wait(lock, [&] { return ep->active_connections.load() == 0; });
+}
+
+void TcpTransport::AcceptLoop(Endpoint* ep, NodeId /*node*/) {
+  for (;;) {
+    int fd = ::accept(ep->listen_fd, nullptr, nullptr);
+    if (fd < 0) break;  // listen socket closed during Unregister
+    std::shared_ptr<Handler> handler = ep->handler;
+    ep->active_connections.fetch_add(1);
+    std::thread([fd, handler, ep] {
+      // Serve exactly one request per connection.
+      std::uint32_t body_len = 0;
+      if (ReadFull(fd, &body_len, sizeof body_len) && body_len >= 8) {
+        std::string body(body_len, '\0');
+        if (ReadFull(fd, body.data(), body_len)) {
+          std::uint32_t type;
+          std::int32_t from;
+          std::memcpy(&type, body.data(), 4);
+          std::memcpy(&from, body.data() + 4, 4);
+          Message req{type, body.substr(8)};
+          Message resp = (*handler)(from, req);
+          std::uint32_t resp_len = static_cast<std::uint32_t>(4 + resp.payload.size());
+          std::string out(4 + resp_len, '\0');
+          std::memcpy(out.data(), &resp_len, 4);
+          std::memcpy(out.data() + 4, &resp.type, 4);
+          std::memcpy(out.data() + 8, resp.payload.data(), resp.payload.size());
+          WriteFull(fd, out.data(), out.size());
+        }
+      }
+      ::close(fd);
+      {
+        std::lock_guard lock(ep->drain_mu);
+        ep->active_connections.fetch_sub(1);
+      }
+      ep->drained.notify_all();
+    }).detach();
+  }
+}
+
+Result<Message> TcpTransport::Call(NodeId from, NodeId to, const Message& request) {
+  int port = PortOf(to);
+  if (port == 0) {
+    return Status::Error(ErrorCode::kUnavailable, "node " + std::to_string(to) + " not listening");
+  }
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::Error(ErrorCode::kInternal, "socket() failed");
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return Status::Error(ErrorCode::kUnavailable, "connect failed");
+  }
+
+  std::uint32_t body_len = static_cast<std::uint32_t>(8 + request.payload.size());
+  std::string out(4 + body_len, '\0');
+  std::int32_t from32 = from;
+  std::memcpy(out.data(), &body_len, 4);
+  std::memcpy(out.data() + 4, &request.type, 4);
+  std::memcpy(out.data() + 8, &from32, 4);
+  std::memcpy(out.data() + 12, request.payload.data(), request.payload.size());
+  if (!WriteFull(fd, out.data(), out.size())) {
+    ::close(fd);
+    return Status::Error(ErrorCode::kUnavailable, "write failed");
+  }
+
+  std::uint32_t resp_len = 0;
+  if (!ReadFull(fd, &resp_len, sizeof resp_len) || resp_len < 4) {
+    ::close(fd);
+    return Status::Error(ErrorCode::kUnavailable, "short response");
+  }
+  std::string body(resp_len, '\0');
+  if (!ReadFull(fd, body.data(), resp_len)) {
+    ::close(fd);
+    return Status::Error(ErrorCode::kUnavailable, "truncated response");
+  }
+  ::close(fd);
+  Message resp;
+  std::memcpy(&resp.type, body.data(), 4);
+  resp.payload = body.substr(4);
+  return resp;
+}
+
+int TcpTransport::PortOf(NodeId node) const {
+  std::lock_guard lock(mu_);
+  auto it = endpoints_.find(node);
+  return it == endpoints_.end() ? 0 : it->second->port;
+}
+
+}  // namespace eclipse::net

@@ -1,0 +1,29 @@
+#include "net/transport.h"
+
+namespace eclipse::net {
+
+void InProcessTransport::Register(NodeId node, Handler handler) {
+  std::lock_guard lock(mu_);
+  if (handler) {
+    handlers_[node] = std::make_shared<Handler>(std::move(handler));
+  } else {
+    handlers_.erase(node);
+  }
+}
+
+Result<Message> InProcessTransport::Call(NodeId from, NodeId to, const Message& request) {
+  std::shared_ptr<Handler> h;
+  {
+    std::lock_guard lock(mu_);
+    auto it = handlers_.find(to);
+    if (it == handlers_.end()) {
+      return Status::Error(ErrorCode::kUnavailable,
+                           "node " + std::to_string(to) + " is not reachable");
+    }
+    h = it->second;
+  }
+  // Dispatch outside the lock so handlers may themselves make calls.
+  return (*h)(from, request);
+}
+
+}  // namespace eclipse::net

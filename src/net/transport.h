@@ -1,0 +1,63 @@
+// Message transport abstraction for the emulated EclipseMR cluster.
+//
+// Worker servers never touch each other's objects directly; every
+// cross-server interaction — block reads, metadata lookups, heartbeats,
+// intermediate-result pushes — goes through a Transport as a synchronous
+// request/response call. Two implementations ship:
+//
+//  * InProcessTransport — endpoints in one process, direct dispatch. The
+//    default substrate for the emulated cluster, tests, and examples.
+//  * TcpTransport (tcp_transport.h) — length-prefixed frames over loopback
+//    TCP, demonstrating the same node code runs over a real wire.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "common/result.h"
+
+namespace eclipse::net {
+
+using NodeId = int;
+
+/// A typed request or response. `type` is component-defined (each component
+/// claims a range; see message_types.h of the component).
+struct Message {
+  std::uint32_t type = 0;
+  std::string payload;
+};
+
+/// Handles one inbound request, returns the response. Handlers must be
+/// thread-safe: calls arrive concurrently from many peers.
+using Handler = std::function<Message(NodeId from, const Message&)>;
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Register / replace the handler for `node`. Pass nullptr to detach
+  /// (simulates a crashed server: subsequent calls to it fail Unavailable).
+  virtual void Register(NodeId node, Handler handler) = 0;
+
+  /// Synchronous RPC from `from` to `to`.
+  virtual Result<Message> Call(NodeId from, NodeId to, const Message& request) = 0;
+};
+
+/// All endpoints live in this process; Call() dispatches directly on the
+/// caller's thread. Detached nodes return Unavailable, which the DHT layer
+/// uses for fault-injection tests.
+class InProcessTransport : public Transport {
+ public:
+  void Register(NodeId node, Handler handler) override;
+  Result<Message> Call(NodeId from, NodeId to, const Message& request) override;
+
+ private:
+  std::mutex mu_;
+  std::unordered_map<NodeId, std::shared_ptr<Handler>> handlers_;
+};
+
+}  // namespace eclipse::net

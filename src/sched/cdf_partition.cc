@@ -1,0 +1,102 @@
+#include "sched/cdf_partition.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace eclipse::sched {
+namespace {
+
+/// Key at fractional bin position `pos` in [0, num_bins].
+HashKey KeyAtBinPos(double pos, std::size_t num_bins) {
+  double frac = pos / static_cast<double>(num_bins);
+  if (frac >= 1.0) return 0;  // wraps to the ring origin
+  if (frac <= 0.0) return 0;
+  long double scaled = static_cast<long double>(frac) * 18446744073709551616.0L;  // 2^64
+  if (scaled >= 18446744073709551615.0L) return ~HashKey{0};
+  return static_cast<HashKey>(scaled);
+}
+
+}  // namespace
+
+std::vector<double> ConstructCdf(const std::vector<double>& pdf) {
+  std::vector<double> cdf(pdf.size());
+  double sum = 0.0;
+  for (std::size_t b = 0; b < pdf.size(); ++b) {
+    sum += pdf[b];
+    cdf[b] = sum;
+  }
+  if (sum <= 0.0) {
+    // No observed accesses: pretend uniform so partitioning still works.
+    for (std::size_t b = 0; b < cdf.size(); ++b) {
+      cdf[b] = static_cast<double>(b + 1) / static_cast<double>(cdf.size());
+    }
+  }
+  return cdf;
+}
+
+std::vector<HashKey> CdfBoundaries(const std::vector<double>& cdf, std::size_t num_parts) {
+  assert(!cdf.empty() && num_parts > 0);
+  const double total = cdf.back();
+  const std::size_t n = cdf.size();
+  std::vector<HashKey> bounds(num_parts + 1);
+  bounds[0] = 0;
+  bounds[num_parts] = 0;  // wraps: segment ends tile the full ring
+
+  std::size_t bin = 0;
+  for (std::size_t i = 1; i < num_parts; ++i) {
+    double target = total * static_cast<double>(i) / static_cast<double>(num_parts);
+    while (bin < n && cdf[bin] < target) ++bin;
+    if (bin >= n) {
+      bounds[i] = ~HashKey{0};
+      continue;
+    }
+    // Quantize to the end of the bin that absorbs the target mass. When one
+    // bin holds several targets' worth of mass (a hot spot), consecutive
+    // boundaries COLLAPSE onto the same key — producing the paper's
+    // degenerate "[40,40)" empty ranges, which Assign() uses to spread the
+    // hot key's tasks across servers.
+    bounds[i] = KeyAtBinPos(static_cast<double>(bin) + 1.0, n);
+  }
+  return bounds;
+}
+
+RangeTable PartitionCdf(const std::vector<double>& cdf, const std::vector<int>& servers) {
+  assert(!servers.empty());
+  auto bounds = CdfBoundaries(cdf, servers.size());
+  std::vector<std::pair<int, KeyRange>> ranges;
+  ranges.reserve(servers.size());
+  if (servers.size() == 1) {
+    ranges.emplace_back(servers[0], KeyRange::Full());
+  } else {
+    for (std::size_t i = 0; i < servers.size(); ++i) {
+      HashKey begin = bounds[i];
+      HashKey end = bounds[i + 1];
+      if (begin == end) {
+        // Coincident boundaries: this server gets no keys this epoch (the
+        // paper's empty "[40,40)" ranges). The boundary value is preserved
+        // so the LAF scheduler can spread the hot key's tasks onto this
+        // server too (§II-E: "all the worker servers will eventually read
+        // the same hot data").
+        ranges.emplace_back(servers[i], KeyRange{begin, begin, false});
+      } else {
+        ranges.emplace_back(servers[i], KeyRange{begin, end, false});
+      }
+    }
+  }
+  RangeTable table;
+  if (!table.Assign(ranges)) {
+    // All interior boundaries collapsed onto 0: the entire mass sits at the
+    // very start of the keyspace. Give the last server the full ring.
+    std::vector<std::pair<int, KeyRange>> fallback;
+    for (std::size_t i = 0; i + 1 < servers.size(); ++i) {
+      fallback.emplace_back(servers[i], KeyRange::Empty());
+    }
+    fallback.emplace_back(servers.back(), KeyRange::Full());
+    bool ok = table.Assign(fallback);
+    assert(ok);
+    (void)ok;
+  }
+  return table;
+}
+
+}  // namespace eclipse::sched

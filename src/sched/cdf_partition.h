@@ -1,0 +1,33 @@
+// Equal-probability partitioning of the hash-key space from an access CDF
+// (paper Algorithm 1: constructCDF / partitionCDF, and Fig. 3).
+//
+// Given the moving-averaged hash-key PDF, this builds the CDF and cuts it
+// into S segments of equal probability mass, assigning segment i to server
+// i. Popular regions get narrow ranges (fewer keys, same task share);
+// unpopular regions get wide ones. In the degenerate all-mass-on-one-key
+// case, interior servers receive (near-)empty ranges — the paper's
+// "[40,40)" hot-spot example — so every incoming task spreads across the
+// remaining servers in turn.
+#pragma once
+
+#include <vector>
+
+#include "common/hash_key.h"
+
+namespace eclipse::sched {
+
+/// Cumulative distribution over histogram bins. cdf[b] = total mass of bins
+/// 0..b. A zero-mass PDF yields a uniform CDF.
+std::vector<double> ConstructCdf(const std::vector<double>& pdf);
+
+/// Cut the keyspace at the S+1 equal-probability CDF boundaries
+/// (anchored at key 0) and return the S ranges in order. Boundaries are
+/// interpolated linearly inside bins. Exactly coincident boundaries produce
+/// empty ranges. `servers` supplies the ids, in ring order, that the
+/// segments are assigned to.
+RangeTable PartitionCdf(const std::vector<double>& cdf, const std::vector<int>& servers);
+
+/// The raw boundary keys (S+1 values, first is 0, last wraps to 0 again).
+std::vector<HashKey> CdfBoundaries(const std::vector<double>& cdf, std::size_t num_parts);
+
+}  // namespace eclipse::sched

@@ -1,0 +1,38 @@
+#include "sched/delay_scheduler.h"
+
+#include <cassert>
+
+namespace eclipse::sched {
+
+DelayScheduler::DelayScheduler(std::vector<int> servers, RangeTable static_ranges,
+                               DelayOptions options)
+    : servers_(std::move(servers)),
+      ranges_(std::move(static_ranges)),
+      options_(options),
+      assigned_(servers_.size(), 0) {
+  assert(!servers_.empty());
+}
+
+int DelayScheduler::Fallback(const std::vector<int>& free_slots) const {
+  assert(free_slots.size() == servers_.size());
+  int best = -1;
+  int best_free = 0;
+  for (std::size_t i = 0; i < servers_.size(); ++i) {
+    if (free_slots[i] > best_free) {
+      best_free = free_slots[i];
+      best = servers_[i];
+    }
+  }
+  return best;
+}
+
+void DelayScheduler::RecordAssignment(int server) {
+  for (std::size_t i = 0; i < servers_.size(); ++i) {
+    if (servers_[i] == server) {
+      ++assigned_[i];
+      return;
+    }
+  }
+}
+
+}  // namespace eclipse::sched

@@ -1,0 +1,55 @@
+// The delay-scheduling baseline (paper §II-F), a variant of Spark's delay
+// scheduling [34] adapted to EclipseMR's hash-key-range caches.
+//
+// The preferred server for a task is the owner of its hash key under the
+// *static* cache ranges (aligned with the DHT file system; the ranges never
+// move). If the preferred server has no free slot, the task waits in its
+// queue up to a timeout (5 s in Spark); once the timeout expires the task is
+// reassigned to any idle server, giving up locality.
+//
+// The policy is split into pure decision functions so the real engine and
+// the simulator can each drive the waiting clock their own way.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/hash_key.h"
+
+namespace eclipse::sched {
+
+struct DelayOptions {
+  double wait_timeout_sec = 5.0;  // Spark's default locality wait
+};
+
+class DelayScheduler {
+ public:
+  /// `static_ranges` are the DHT file system's ranges; they are never
+  /// re-partitioned. `servers` in ring order (for the fallback scan).
+  DelayScheduler(std::vector<int> servers, RangeTable static_ranges,
+                 DelayOptions options = {});
+
+  /// The locality-preferred server: static range owner of `hkey`.
+  int Preferred(HashKey hkey) const { return ranges_.Owner(hkey); }
+
+  /// The give-up-locality fallback: the server with the most free slots
+  /// (`free_slots` aligned with servers()); -1 if every server is saturated
+  /// (caller keeps waiting). Ties break in ring order.
+  int Fallback(const std::vector<int>& free_slots) const;
+
+  /// Record the final placement (for load-balance accounting).
+  void RecordAssignment(int server);
+
+  const RangeTable& ranges() const { return ranges_; }
+  const std::vector<int>& servers() const { return servers_; }
+  const std::vector<std::uint64_t>& assigned_counts() const { return assigned_; }
+  const DelayOptions& options() const { return options_; }
+
+ private:
+  std::vector<int> servers_;
+  RangeTable ranges_;
+  DelayOptions options_;
+  std::vector<std::uint64_t> assigned_;
+};
+
+}  // namespace eclipse::sched

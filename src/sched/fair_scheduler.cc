@@ -1,0 +1,33 @@
+#include "sched/fair_scheduler.h"
+
+#include <cassert>
+
+namespace eclipse::sched {
+
+int FairScheduler::Assign(const std::vector<int>& replica_holders,
+                          const std::vector<int>& free_slots) {
+  assert(free_slots.size() == assigned_.size());
+  // Locality first: any replica holder with a free slot (least-loaded wins).
+  int best = -1;
+  std::uint64_t best_count = ~0ull;
+  for (int holder : replica_holders) {
+    if (holder < 0 || static_cast<std::size_t>(holder) >= free_slots.size()) continue;
+    if (free_slots[holder] > 0 && assigned_[holder] < best_count) {
+      best = holder;
+      best_count = assigned_[holder];
+    }
+  }
+  if (best < 0) {
+    // Fairness fallback: least-loaded free server.
+    for (std::size_t i = 0; i < free_slots.size(); ++i) {
+      if (free_slots[i] > 0 && assigned_[i] < best_count) {
+        best = static_cast<int>(i);
+        best_count = assigned_[i];
+      }
+    }
+  }
+  if (best >= 0) ++assigned_[best];
+  return best;
+}
+
+}  // namespace eclipse::sched

@@ -1,0 +1,30 @@
+// Hadoop-style fair scheduler model (used by HadoopSim for Fig. 9).
+//
+// Hadoop's fair scheduler balances task counts across nodes, preferring a
+// node that holds an HDFS replica of the input block when one has a free
+// slot (node-locality first, then any node). It has no notion of the
+// distributed cache, which is exactly the gap the paper's comparison
+// exposes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace eclipse::sched {
+
+class FairScheduler {
+ public:
+  explicit FairScheduler(std::size_t num_servers) : assigned_(num_servers, 0) {}
+
+  /// Pick a server (index into 0..num_servers-1): a replica holder with a
+  /// free slot if any, else the free server with the fewest assigned tasks;
+  /// -1 if all saturated.
+  int Assign(const std::vector<int>& replica_holders, const std::vector<int>& free_slots);
+
+  const std::vector<std::uint64_t>& assigned_counts() const { return assigned_; }
+
+ private:
+  std::vector<std::uint64_t> assigned_;
+};
+
+}  // namespace eclipse::sched

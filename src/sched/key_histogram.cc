@@ -1,0 +1,44 @@
+#include "sched/key_histogram.h"
+
+#include <cassert>
+
+namespace eclipse::sched {
+
+KeyHistogram::KeyHistogram(std::size_t num_bins, std::size_t bandwidth)
+    : bins_(num_bins, 0.0), bandwidth_(bandwidth == 0 ? 1 : bandwidth) {
+  assert(num_bins > 0);
+}
+
+std::size_t KeyHistogram::BinOf(HashKey key) const {
+  // bin = floor(key * num_bins / 2^64), exact via 128-bit arithmetic.
+  return static_cast<std::size_t>(
+      (static_cast<unsigned __int128>(key) * bins_.size()) >> 64);
+}
+
+void KeyHistogram::Add(HashKey key) {
+  const std::size_t n = bins_.size();
+  const std::size_t center = BinOf(key);
+  const double w = 1.0 / static_cast<double>(bandwidth_);
+  // k adjacent bins centered on `center`, left-biased for even k, wrapping.
+  const std::size_t half_left = (bandwidth_ - 1) / 2;
+  for (std::size_t j = 0; j < bandwidth_; ++j) {
+    std::size_t b = (center + n - half_left % n + j) % n;
+    bins_[b] += w;
+  }
+  ++window_count_;
+}
+
+void KeyHistogram::FoldInto(std::vector<double>& ma, double alpha) {
+  assert(ma.size() == bins_.size());
+  for (std::size_t b = 0; b < bins_.size(); ++b) {
+    ma[b] = alpha * bins_[b] + ma[b] * (1.0 - alpha);
+  }
+  Clear();
+}
+
+void KeyHistogram::Clear() {
+  bins_.assign(bins_.size(), 0.0);
+  window_count_ = 0;
+}
+
+}  // namespace eclipse::sched

@@ -1,0 +1,53 @@
+// Hash-key access histogram with box-kernel density estimation and the
+// moving-average fold of LAF scheduling (paper Algorithm 1, lines 10-23).
+//
+// The job scheduler "partitions the hash key space into a large number of
+// fine-grained histogram bins, and it increases the counter of multiple
+// adjacent k bins for each input data block access by 1/k, where k is a
+// bandwidth parameter in box kernel density estimation" (§II-E). Every N
+// recorded accesses the window is folded into the running estimate:
+//     maDistr[b] = alpha * distr[b] + maDistr[b] * (1 - alpha)
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/hash_key.h"
+
+namespace eclipse::sched {
+
+class KeyHistogram {
+ public:
+  /// `num_bins` fine-grained bins over the full 2^64 keyspace; `bandwidth`
+  /// is the box-kernel width k (>= 1; 1 disables smoothing).
+  KeyHistogram(std::size_t num_bins, std::size_t bandwidth);
+
+  /// Record one block access: spread 1/k over the k bins centered (left-
+  /// biased for even k) on the key's bin, wrapping around the keyspace.
+  void Add(HashKey key);
+
+  /// Accesses recorded since the last Clear().
+  std::size_t window_count() const { return window_count_; }
+
+  /// The current (un-normalized) window PDF.
+  const std::vector<double>& window() const { return bins_; }
+
+  /// Fold this window into the moving average `ma` with weight `alpha`,
+  /// then reset the window. `ma` must have num_bins entries (zeros to start).
+  void FoldInto(std::vector<double>& ma, double alpha);
+
+  /// Reset the window without folding.
+  void Clear();
+
+  std::size_t num_bins() const { return bins_.size(); }
+
+  /// Bin index covering `key` (exposed for tests).
+  std::size_t BinOf(HashKey key) const;
+
+ private:
+  std::vector<double> bins_;
+  std::size_t bandwidth_;
+  std::size_t window_count_ = 0;
+};
+
+}  // namespace eclipse::sched

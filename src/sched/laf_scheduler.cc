@@ -1,0 +1,78 @@
+#include "sched/laf_scheduler.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace eclipse::sched {
+
+LafScheduler::LafScheduler(std::vector<int> servers, RangeTable initial, LafOptions options)
+    : servers_(std::move(servers)),
+      options_(options),
+      histogram_(options.num_bins, options.bandwidth),
+      moving_average_(options.num_bins, 0.0),
+      ranges_(std::move(initial)),
+      assigned_(servers_.size(), 0) {
+  assert(!servers_.empty());
+}
+
+int LafScheduler::Assign(HashKey hkey) {
+  int server = ranges_.Owner(hkey);
+  assert(server >= 0);
+
+  // Hot-spot spreading (§II-E): when boundaries collapsed, servers with
+  // degenerate empty ranges parked at the owner's range end are equally
+  // entitled to the hot key's tasks ("[40,40)" in the paper's example).
+  // Balance by assigning to the least-loaded candidate.
+  KeyRange owner_range = ranges_.RangeOf(server);
+  if (!owner_range.full) {
+    std::size_t best_idx = 0;
+    std::uint64_t best_count = ~0ull;
+    bool found = false;
+    for (std::size_t i = 0; i < servers_.size(); ++i) {
+      KeyRange r = ranges_.RangeOf(servers_[i]);
+      bool candidate = servers_[i] == server ||
+                       (r.IsEmpty() && r.begin == owner_range.end);
+      if (candidate && assigned_[i] < best_count) {
+        best_count = assigned_[i];
+        best_idx = i;
+        found = true;
+      }
+    }
+    if (found) server = servers_[best_idx];
+  }
+
+  for (std::size_t i = 0; i < servers_.size(); ++i) {
+    if (servers_[i] == server) {
+      ++assigned_[i];
+      break;
+    }
+  }
+
+  // Algorithm 1 lines 9-24: record, and fold + re-partition every N tasks.
+  histogram_.Add(hkey);
+  if (histogram_.window_count() >= options_.window) Repartition();
+  return server;
+}
+
+void LafScheduler::Repartition() {
+  histogram_.FoldInto(moving_average_, options_.alpha);
+  auto cdf = ConstructCdf(moving_average_);
+  ranges_ = PartitionCdf(cdf, servers_);
+  ++repartitions_;
+}
+
+double CountStdDev(const std::vector<std::uint64_t>& counts) {
+  if (counts.empty()) return 0.0;
+  double mean = 0.0;
+  for (auto c : counts) mean += static_cast<double>(c);
+  mean /= static_cast<double>(counts.size());
+  double var = 0.0;
+  for (auto c : counts) {
+    double d = static_cast<double>(c) - mean;
+    var += d * d;
+  }
+  var /= static_cast<double>(counts.size());
+  return std::sqrt(var);
+}
+
+}  // namespace eclipse::sched

@@ -1,0 +1,69 @@
+// The Locality-Aware Fair (LAF) job scheduler — EclipseMR's core
+// contribution (paper §II-E, Algorithm 1).
+//
+// LAF keeps a moving-averaged estimate of the hash-key access distribution
+// and re-partitions the distributed in-memory cache layer into
+// equally-probable hash-key ranges, one per worker server. A task is always
+// assigned to the server whose *cache* range covers its input key — so
+// repeated accesses to the same key land on the same server (locality),
+// while equal-probability ranges keep per-server task counts balanced
+// (fairness). The scheduler is a pure policy object: both the real engine
+// and the discrete-event simulator drive this same code.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sched/cdf_partition.h"
+#include "sched/key_histogram.h"
+
+namespace eclipse::sched {
+
+struct LafOptions {
+  std::size_t num_bins = 1024;      // fine-grained histogram resolution
+  std::size_t bandwidth = 3;        // box-kernel k
+  std::size_t window = 64;          // N: accesses per moving-average fold
+  double alpha = 0.001;             // moving-average weight (paper default)
+};
+
+class LafScheduler {
+ public:
+  /// `servers` in ring order; `initial` is the starting cache partition —
+  /// normally the DHT file system's static ranges, so before any history
+  /// accumulates LAF behaves like static consistent hashing.
+  LafScheduler(std::vector<int> servers, RangeTable initial, LafOptions options = {});
+
+  /// Algorithm 1: the task goes to the server whose current hash-key range
+  /// covers `hkey`; the access is recorded, and every `window` accesses the
+  /// ranges are re-partitioned from the updated moving average.
+  int Assign(HashKey hkey);
+
+  /// Current cache-layer partition (what iCache/oCache addressing uses).
+  const RangeTable& ranges() const { return ranges_; }
+
+  /// Ranges rebuilt so far (observability for tests and benches).
+  std::uint64_t repartitions() const { return repartitions_; }
+
+  /// Tasks assigned per server, aligned with the server list — the paper
+  /// reports the stddev of this as its load-balance metric (§III-C).
+  const std::vector<std::uint64_t>& assigned_counts() const { return assigned_; }
+  const std::vector<int>& servers() const { return servers_; }
+
+  const LafOptions& options() const { return options_; }
+
+ private:
+  void Repartition();
+
+  std::vector<int> servers_;
+  LafOptions options_;
+  KeyHistogram histogram_;
+  std::vector<double> moving_average_;
+  RangeTable ranges_;
+  std::uint64_t repartitions_ = 0;
+  std::vector<std::uint64_t> assigned_;
+};
+
+/// Load-balance metric: population standard deviation of per-server counts.
+double CountStdDev(const std::vector<std::uint64_t>& counts);
+
+}  // namespace eclipse::sched

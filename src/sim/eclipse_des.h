@@ -1,0 +1,52 @@
+// EclipseDes — the EclipseMR testbed model on the discrete-event core.
+//
+// Same structure as EclipseSim (real LafScheduler + real LRU caches, the
+// paper's 40-node testbed constants) but with *dynamic* contention: disks
+// and NICs are processor-shared SharedBandwidth resources, so sixteen
+// concurrent readers of one disk each see 1/16th of it, and transfer times
+// stretch and shrink as flows come and go. Used to validate the greedy
+// model's figures (test_des.cc, bench_des_validation): both models must
+// agree on orderings and trends even where their absolute seconds differ.
+//
+// Scope notes (documented simplifications):
+//  * LAF scheduling only — delay scheduling's wait logic depends on live
+//    queue state, which the greedy model already covers.
+//  * A remote read is charged to the owner's NIC (or the inter-rack trunk),
+//    not additionally to the owner's disk: the network is the narrower
+//    stage on this testbed.
+#pragma once
+
+#include <memory>
+
+#include "cache/lru_cache.h"
+#include "dht/ring.h"
+#include "sched/laf_scheduler.h"
+#include "sim/event_engine.h"
+#include "sim/sim_job.h"
+
+namespace eclipse::sim {
+
+class EclipseDes {
+ public:
+  explicit EclipseDes(const SimConfig& config, sched::LafOptions laf_options = {});
+
+  /// Run one job (iterations included) to completion at full event fidelity.
+  /// Caches persist across calls (ResetCaches for cold runs), matching
+  /// EclipseSim's semantics.
+  SimJobResult RunJob(const SimJobSpec& spec);
+
+  void ResetCaches();
+
+  const SimConfig& config() const { return config_; }
+
+ private:
+  int RackOf(int node) const { return node / config_.nodes_per_rack; }
+
+  SimConfig config_;
+  dht::Ring ring_;
+  RangeTable fs_ranges_;
+  std::unique_ptr<sched::LafScheduler> laf_;
+  std::vector<std::unique_ptr<cache::LruCache>> caches_;
+};
+
+}  // namespace eclipse::sim

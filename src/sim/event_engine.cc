@@ -1,0 +1,120 @@
+#include "sim/event_engine.h"
+
+#include <cassert>
+
+namespace eclipse::sim {
+namespace {
+
+constexpr double kEpsilonMb = 1e-9;  // flows below this are complete
+
+double MegaBytes(Bytes b) { return static_cast<double>(b) / (1024.0 * 1024.0); }
+
+}  // namespace
+
+void EventEngine::At(SimTime t, Callback fn) {
+  if (t < now_) t = now_;
+  calendar_.push(Event{t, seq_++, std::move(fn)});
+}
+
+SimTime EventEngine::Run() {
+  while (!calendar_.empty()) {
+    // priority_queue::top returns const&; move out via const_cast-free copy
+    // of the callback (cheap: std::function move after pop is not possible,
+    // so copy the small struct first).
+    Event ev = calendar_.top();
+    calendar_.pop();
+    assert(ev.t >= now_);
+    now_ = ev.t;
+    ++processed_;
+    ev.fn();
+  }
+  return now_;
+}
+
+SharedBandwidth::SharedBandwidth(EventEngine& engine, double mbps)
+    : engine_(engine), mbps_(mbps) {}
+
+void SharedBandwidth::AdvanceTo(SimTime t) {
+  if (t <= last_update_ || flows_.empty()) {
+    last_update_ = t;
+    return;
+  }
+  double rate_each = mbps_ / static_cast<double>(flows_.size());
+  double progressed = (t - last_update_) * rate_each;
+  for (auto& [id, flow] : flows_) {
+    flow.remaining_mb -= progressed;
+    if (flow.remaining_mb < 0) flow.remaining_mb = 0;
+  }
+  last_update_ = t;
+}
+
+void SharedBandwidth::ScheduleNextCompletion() {
+  ++generation_;
+  if (flows_.empty()) return;
+  double min_remaining = -1;
+  for (const auto& [id, flow] : flows_) {
+    if (min_remaining < 0 || flow.remaining_mb < min_remaining) {
+      min_remaining = flow.remaining_mb;
+    }
+  }
+  double rate_each = mbps_ / static_cast<double>(flows_.size());
+  double dt = rate_each > 0 ? min_remaining / rate_each : 0.0;
+  std::uint64_t gen = generation_;
+  engine_.After(dt, [this, gen] { OnCompletionEvent(gen); });
+}
+
+void SharedBandwidth::OnCompletionEvent(std::uint64_t generation) {
+  if (generation != generation_) return;  // superseded by a membership change
+  AdvanceTo(engine_.now());
+  // Fire every flow that has drained (ties complete together).
+  std::vector<EventEngine::Callback> done;
+  for (auto it = flows_.begin(); it != flows_.end();) {
+    if (it->second.remaining_mb <= kEpsilonMb) {
+      done.push_back(std::move(it->second.done));
+      it = flows_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  ScheduleNextCompletion();
+  for (auto& fn : done) fn();
+}
+
+void SharedBandwidth::Transfer(Bytes bytes, EventEngine::Callback done) {
+  bytes_completed_ += bytes;  // accounted at admission; simplifies stats
+  if (mbps_ <= 0.0 || bytes == 0) {
+    engine_.After(0.0, std::move(done));
+    return;
+  }
+  AdvanceTo(engine_.now());
+  flows_.emplace(next_flow_id_++, Flow{MegaBytes(bytes), std::move(done)});
+  ScheduleNextCompletion();
+}
+
+SlotServer::SlotServer(EventEngine& engine, int slots)
+    : engine_(engine), free_(slots > 0 ? slots : 1) {}
+
+void SlotServer::Submit(Task task) {
+  queue_.push_back(std::move(task));
+  TryDispatch();
+}
+
+void SlotServer::TryDispatch() {
+  while (free_ > 0 && !queue_.empty()) {
+    Task task = std::move(queue_.front());
+    queue_.pop_front();
+    --free_;
+    // Run the task body now (at the current sim time); it releases later.
+    task([this] { Release(); });
+  }
+}
+
+void SlotServer::Release() {
+  ++free_;
+  ++completed_;
+  // Dispatch at the same timestamp but via the calendar, so deep task
+  // chains do not recurse unboundedly.
+  engine_.After(0.0, [this] { TryDispatch(); });
+}
+
+}  // namespace eclipse::sim

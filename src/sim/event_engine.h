@@ -1,0 +1,121 @@
+// Discrete-event simulation core: an event calendar, processor-sharing
+// bandwidth resources (fluid max-min model), and FIFO slot servers.
+//
+// This powers the high-fidelity EclipseDes model (eclipse_des.h), which
+// cross-validates the greedy queueing model (eclipse_sim.h) that the figure
+// benches use: the greedy model prices contention with static effective
+// rates, while this engine lets concurrent transfers share disks and NICs
+// dynamically. test_des.cc asserts the two agree on every qualitative shape.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <queue>
+#include <vector>
+
+#include "common/units.h"
+
+namespace eclipse::sim {
+
+class EventEngine {
+ public:
+  using Callback = std::function<void()>;
+
+  SimTime now() const { return now_; }
+
+  /// Schedule `fn` at absolute sim time `t` (>= now; clamped otherwise).
+  void At(SimTime t, Callback fn);
+
+  /// Schedule `fn` after `dt` seconds.
+  void After(double dt, Callback fn) { At(now_ + (dt < 0 ? 0 : dt), std::move(fn)); }
+
+  /// Run events in time order (FIFO among equal timestamps) until the
+  /// calendar is empty. Returns the final clock value.
+  SimTime Run();
+
+  std::uint64_t events_processed() const { return processed_; }
+
+ private:
+  struct Event {
+    SimTime t;
+    std::uint64_t seq;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.t != b.t) return a.t > b.t;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> calendar_;
+  SimTime now_ = 0.0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t processed_ = 0;
+};
+
+/// A capacity shared equally among concurrent flows (processor-sharing /
+/// fluid max-min): with n active transfers each progresses at capacity/n.
+/// Completion times adjust whenever membership changes.
+class SharedBandwidth {
+ public:
+  /// `mbps` total capacity. Zero capacity completes transfers instantly
+  /// (convenient for "free" stages).
+  SharedBandwidth(EventEngine& engine, double mbps);
+
+  /// Begin transferring `bytes`; `done` fires when the flow completes.
+  void Transfer(Bytes bytes, EventEngine::Callback done);
+
+  std::size_t active_flows() const { return flows_.size(); }
+
+  /// Total bytes moved to completion so far.
+  Bytes bytes_completed() const { return bytes_completed_; }
+
+ private:
+  struct Flow {
+    double remaining_mb;
+    EventEngine::Callback done;
+  };
+
+  void AdvanceTo(SimTime t);
+  void ScheduleNextCompletion();
+  void OnCompletionEvent(std::uint64_t generation);
+
+  EventEngine& engine_;
+  double mbps_;
+  SimTime last_update_ = 0.0;
+  std::map<std::uint64_t, Flow> flows_;
+  std::uint64_t next_flow_id_ = 0;
+  std::uint64_t generation_ = 0;  // invalidates stale completion events
+  Bytes bytes_completed_ = 0;
+};
+
+/// k identical slots with a FIFO queue. A task occupies one slot from its
+/// start until it calls the provided release callback (so a task may span
+/// several asynchronous stages — reads, compute timers, spills).
+class SlotServer {
+ public:
+  /// A task body: runs when a slot is granted; must eventually invoke the
+  /// passed release callback exactly once.
+  using Task = std::function<void(EventEngine::Callback release)>;
+
+  SlotServer(EventEngine& engine, int slots);
+
+  void Submit(Task task);
+
+  int free_slots() const { return free_; }
+  std::uint64_t completed() const { return completed_; }
+
+ private:
+  void TryDispatch();
+  void Release();
+
+  EventEngine& engine_;
+  int free_;
+  std::deque<Task> queue_;
+  std::uint64_t completed_ = 0;
+};
+
+}  // namespace eclipse::sim

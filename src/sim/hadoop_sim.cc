@@ -1,0 +1,144 @@
+#include "sim/hadoop_sim.h"
+
+#include <algorithm>
+
+#include "sched/laf_scheduler.h"
+
+namespace eclipse::sim {
+namespace {
+
+double MegaBytes(Bytes b) { return static_cast<double>(b) / (1024.0 * 1024.0); }
+
+}  // namespace
+
+HadoopSim::HadoopSim(const SimConfig& config, std::uint64_t placement_seed)
+    : config_(config), hdfs_(config.num_nodes, config.replication, placement_seed) {
+  for (int i = 0; i < config_.num_nodes; ++i) {
+    map_pools_.emplace_back(config_.map_slots);
+    reduce_pools_.emplace_back(config_.reduce_slots);
+  }
+}
+
+double HadoopSim::FetchSeconds(int server, const std::vector<int>& holders,
+                               Bytes bytes) const {
+  for (int h : holders) {
+    if (h == server) return TransferSeconds(bytes, config_.disk_read_mbps);
+  }
+  // Remote: prefer a same-rack holder.
+  double net = config_.net_mbps * config_.inter_rack_factor;
+  for (int h : holders) {
+    if (RackOf(h) == RackOf(server)) {
+      net = config_.net_mbps;
+      break;
+    }
+  }
+  return TransferSeconds(bytes, std::min(config_.disk_read_mbps, net));
+}
+
+SimJobResult HadoopSim::RunJob(const SimJobSpec& spec) {
+  for (auto& p : map_pools_) p.Reset();
+  for (auto& p : reduce_pools_) p.Reset();
+
+  SimJobResult result;
+  const Bytes bs = config_.block_size;
+  const auto n = static_cast<std::size_t>(config_.num_nodes);
+
+  std::vector<std::uint32_t> accesses = spec.accesses;
+  if (accesses.empty()) {
+    accesses.resize(spec.num_blocks);
+    for (std::uint32_t b = 0; b < spec.num_blocks; ++b) accesses[b] = b;
+  }
+
+  SimTime t = 0.0;
+  for (int it = 0; it < spec.iterations; ++it) {
+    SimTime iter_start = t;
+    sched::FairScheduler fair(n);
+    SimTime map_end = iter_start;
+
+    for (std::uint32_t block : accesses) {
+      const auto& holders = hdfs_.Holders(spec, block);
+      // Fair scheduling with replica locality: a holder if one is freer than
+      // the cluster minimum by less than one block-read; else least-loaded.
+      int best_holder = holders[0];
+      SimTime holder_est = map_pools_[static_cast<std::size_t>(holders[0])].EarliestStart(t);
+      for (int h : holders) {
+        SimTime est = map_pools_[static_cast<std::size_t>(h)].EarliestStart(t);
+        if (est < holder_est) {
+          holder_est = est;
+          best_holder = h;
+        }
+      }
+      int global_best = 0;
+      SimTime global_est = map_pools_[0].EarliestStart(t);
+      for (std::size_t s = 1; s < n; ++s) {
+        SimTime est = map_pools_[s].EarliestStart(t);
+        if (est < global_est) {
+          global_est = est;
+          global_best = static_cast<int>(s);
+        }
+      }
+      double local_read = TransferSeconds(bs, config_.disk_read_mbps);
+      int server =
+          (holder_est - global_est <= local_read) ? best_holder : global_best;
+
+      double read_t = FetchSeconds(server, holders, bs);
+      double cpu = spec.app.map_cpu_sec_per_mb * MegaBytes(bs) *
+                   config_.hadoop_jvm_compute_factor;
+      Bytes map_out =
+          static_cast<Bytes>(spec.app.map_output_ratio * static_cast<double>(bs));
+      // Map output is sorted and written to the mapper's local disk.
+      double sort_write = TransferSeconds(map_out, config_.disk_write_mbps) *
+                          (1.0 + config_.hadoop_sort_factor);
+      double duration = config_.hadoop_container_overhead_sec +
+                        config_.hadoop_namenode_lookup_sec + read_t + cpu + sort_write;
+
+      SimTime end = map_pools_[static_cast<std::size_t>(server)].Schedule(t, duration);
+      map_end = std::max(map_end, end);
+      ++result.map_tasks;
+      ++result.cache_misses;  // Hadoop has no distributed cache
+      result.map_task_seconds_total += duration;
+      result.bytes_read += bs;
+    }
+
+    // Pull shuffle after the maps, then reduce, then triple-replicated
+    // HDFS output write.
+    Bytes input_bytes = static_cast<Bytes>(accesses.size()) * bs;
+    Bytes intermediate =
+        static_cast<Bytes>(spec.app.map_output_ratio * static_cast<double>(input_bytes));
+    Bytes inter_share = intermediate / n;
+    double out_ratio =
+        spec.iterations > 1 ? spec.app.iteration_output_ratio : spec.app.final_output_ratio;
+    Bytes out_share =
+        static_cast<Bytes>(out_ratio * static_cast<double>(input_bytes)) / n;
+
+    SimTime iter_end = map_end;
+    for (std::size_t s = 0; s < n; ++s) {
+      double shuffle_t = TransferSeconds(inter_share, config_.net_mbps) +
+                         TransferSeconds(inter_share, config_.disk_read_mbps);
+      double merge_t = TransferSeconds(inter_share, config_.disk_write_mbps) *
+                       config_.hadoop_sort_factor;
+      double cpu = spec.app.reduce_cpu_sec_per_mb * MegaBytes(inter_share) *
+                   config_.hadoop_jvm_compute_factor;
+      double write_t = TransferSeconds(out_share, config_.disk_write_mbps) +
+                       2.0 * TransferSeconds(out_share, config_.net_mbps);
+      double duration =
+          config_.hadoop_container_overhead_sec + shuffle_t + merge_t + cpu + write_t;
+      SimTime end = reduce_pools_[s].Schedule(map_end, duration);
+      iter_end = std::max(iter_end, end);
+      ++result.reduce_tasks;
+    }
+
+    result.iteration_seconds.push_back(iter_end - iter_start);
+    t = iter_end;
+  }
+
+  result.job_seconds = t;
+  std::vector<std::uint64_t> per_slot;
+  for (const auto& p : map_pools_) {
+    per_slot.insert(per_slot.end(), p.tasks_per_slot().begin(), p.tasks_per_slot().end());
+  }
+  result.slot_stddev = sched::CountStdDev(per_slot);
+  return result;
+}
+
+}  // namespace eclipse::sim

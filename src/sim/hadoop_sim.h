@@ -1,0 +1,45 @@
+// Hadoop 2.5 framework model (the Fig. 5/9 baseline).
+//
+// What it charges that EclipseMR does not:
+//  * ~7 s of YARN container initialization/authentication per task — "for
+//    every 128 MB block" (§III-E, [16][17]),
+//  * a NameNode metadata lookup per block open (central directory),
+//  * JVM map/reduce compute (the paper's C++-vs-Java factor),
+//  * a map-side sort and local-disk write of map output, then a post-map
+//    pull shuffle over the network (no proactive shuffling),
+//  * triple-replicated HDFS output writes,
+//  * no distributed caching of inputs or intermediates: iterative jobs
+//    re-read everything every iteration (why the paper omits Hadoop from
+//    the k-means / logistic-regression comparison as "an order of magnitude
+//    slower").
+// Scheduling is Hadoop's fair scheduler with HDFS replica locality.
+#pragma once
+
+#include <memory>
+
+#include "sched/fair_scheduler.h"
+#include "sim/hdfs_model.h"
+#include "sim/resources.h"
+#include "sim/sim_job.h"
+
+namespace eclipse::sim {
+
+class HadoopSim {
+ public:
+  explicit HadoopSim(const SimConfig& config, std::uint64_t placement_seed = 42);
+
+  SimJobResult RunJob(const SimJobSpec& spec);
+
+  const SimConfig& config() const { return config_; }
+
+ private:
+  int RackOf(int node) const { return node / config_.nodes_per_rack; }
+  double FetchSeconds(int server, const std::vector<int>& holders, Bytes bytes) const;
+
+  SimConfig config_;
+  HdfsModel hdfs_;
+  std::vector<SlotPool> map_pools_;
+  std::vector<SlotPool> reduce_pools_;
+};
+
+}  // namespace eclipse::sim

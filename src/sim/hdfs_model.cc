@@ -1,0 +1,23 @@
+#include "sim/hdfs_model.h"
+
+#include <algorithm>
+
+namespace eclipse::sim {
+
+const std::vector<int>& HdfsModel::Holders(const SimJobSpec& spec, std::uint32_t block) {
+  HashKey key = spec.KeyOfBlock(block);
+  auto it = placement_.find(key);
+  if (it != placement_.end()) return it->second;
+
+  std::vector<int> holders;
+  std::size_t want = std::min<std::size_t>(replication_, static_cast<std::size_t>(num_nodes_));
+  while (holders.size() < want) {
+    int node = static_cast<int>(rng_.Below(static_cast<std::uint64_t>(num_nodes_)));
+    if (std::find(holders.begin(), holders.end(), node) == holders.end()) {
+      holders.push_back(node);
+    }
+  }
+  return placement_.emplace(key, std::move(holders)).first->second;
+}
+
+}  // namespace eclipse::sim

@@ -1,0 +1,32 @@
+// HDFS placement model shared by HadoopSim and SparkSim.
+//
+// Blocks land on `replication` distinct pseudo-random nodes (NameNode
+// placement); the fair scheduler consults these holders for locality. The
+// NameNode itself is a central service: every block open pays a metadata
+// lookup, which is one of the per-job overheads Fig. 5(b) exposes.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/sim_job.h"
+
+namespace eclipse::sim {
+
+class HdfsModel {
+ public:
+  HdfsModel(int num_nodes, std::size_t replication, std::uint64_t seed = 42)
+      : num_nodes_(num_nodes), replication_(replication), rng_(seed) {}
+
+  /// Replica holders of (dataset, block) — stable across calls.
+  const std::vector<int>& Holders(const SimJobSpec& spec, std::uint32_t block);
+
+ private:
+  int num_nodes_;
+  std::size_t replication_;
+  Rng rng_;
+  std::unordered_map<HashKey, std::vector<int>> placement_;
+};
+
+}  // namespace eclipse::sim

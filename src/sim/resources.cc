@@ -1,0 +1,46 @@
+#include "sim/resources.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace eclipse::sim {
+
+SimTime SlotPool::NextFree() const {
+  return *std::min_element(free_at_.begin(), free_at_.end());
+}
+
+SimTime SlotPool::EarliestStart(SimTime submit) const {
+  return std::max(submit, NextFree());
+}
+
+SimTime SlotPool::Schedule(SimTime submit, double duration) {
+  assert(duration >= 0.0);
+  auto it = std::min_element(free_at_.begin(), free_at_.end());
+  SimTime start = std::max(submit, *it);
+  SimTime end = start + duration;
+  *it = end;
+  ++tasks_per_slot_[static_cast<std::size_t>(it - free_at_.begin())];
+  return end;
+}
+
+SimTime SlotPool::MakeSpan() const {
+  return *std::max_element(free_at_.begin(), free_at_.end());
+}
+
+std::uint64_t SlotPool::total_tasks() const {
+  std::uint64_t total = 0;
+  for (auto c : tasks_per_slot_) total += c;
+  return total;
+}
+
+void SlotPool::Reset() {
+  std::fill(free_at_.begin(), free_at_.end(), 0.0);
+  std::fill(tasks_per_slot_.begin(), tasks_per_slot_.end(), 0);
+}
+
+double TransferSeconds(Bytes bytes, double mbps) {
+  if (mbps <= 0.0) return 0.0;
+  return static_cast<double>(bytes) / (1024.0 * 1024.0) / mbps;
+}
+
+}  // namespace eclipse::sim

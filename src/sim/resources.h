@@ -1,0 +1,55 @@
+// Deterministic queueing primitives for the cluster simulator.
+//
+// A SlotPool models one server's map (or reduce) slots: tasks submitted at
+// a time are placed on the earliest-free slot and run for their computed
+// duration. This greedy earliest-slot policy is the simulator's queueing
+// discipline; it reproduces the waiting behaviour that separates LAF from
+// delay scheduling without a full event calendar.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.h"
+
+namespace eclipse::sim {
+
+class SlotPool {
+ public:
+  explicit SlotPool(int slots) : free_at_(static_cast<std::size_t>(slots), 0.0),
+                                 tasks_per_slot_(static_cast<std::size_t>(slots), 0) {}
+
+  /// Earliest time a slot is free.
+  SimTime NextFree() const;
+
+  /// Place a task submitted at `submit` running `duration`; returns its
+  /// completion time (start = max(submit, earliest free slot)).
+  SimTime Schedule(SimTime submit, double duration);
+
+  /// Start time the task would get if scheduled now (for delay decisions).
+  SimTime EarliestStart(SimTime submit) const;
+
+  /// True if some slot is idle at `t`.
+  bool HasIdleSlot(SimTime t) const { return EarliestStart(t) <= t; }
+
+  /// Completion time of the last scheduled task.
+  SimTime MakeSpan() const;
+
+  int slots() const { return static_cast<int>(free_at_.size()); }
+
+  /// Tasks executed per slot (the paper's Fig. 7 load-balance metric).
+  const std::vector<std::uint64_t>& tasks_per_slot() const { return tasks_per_slot_; }
+
+  std::uint64_t total_tasks() const;
+
+  void Reset();
+
+ private:
+  std::vector<SimTime> free_at_;
+  std::vector<std::uint64_t> tasks_per_slot_;
+};
+
+/// Transfer-time helpers (MB rates; sizes in bytes).
+double TransferSeconds(Bytes bytes, double mbps);
+
+}  // namespace eclipse::sim

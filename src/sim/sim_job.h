@@ -1,0 +1,65 @@
+// Simulator job description and result types shared by the three framework
+// models (EclipseSim / HadoopSim / SparkSim).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/hash_key.h"
+#include "sim/constants.h"
+
+namespace eclipse::sim {
+
+struct SimJobSpec {
+  AppProfile app;
+  /// Dataset identity: jobs with the same dataset share file blocks (and
+  /// therefore cache entries), as word count and grep do in Fig. 8.
+  std::string dataset = "input";
+  /// Block population of the dataset.
+  std::uint32_t num_blocks = 0;
+  /// Access sequence (block indices). Empty: each block exactly once, in
+  /// index order (a plain full scan).
+  std::vector<std::uint32_t> accesses;
+  /// Iterations (>=2 engages the iterative paths; input blocks stay cached
+  /// between iterations).
+  int iterations = 1;
+  /// EclipseMR: persist each iteration's output to the DHT file system
+  /// (fault tolerance; the paper's page rank IO cost). Ignored by Spark,
+  /// which only writes the final output.
+  bool persist_iteration_outputs = true;
+
+  /// Arrival time within a batch (RunBatch); 0 = submitted at the start.
+  SimTime submit_time = 0.0;
+
+  /// Hash key of block `b` of this dataset.
+  HashKey KeyOfBlock(std::uint32_t b) const {
+    return ::eclipse::KeyOf(dataset + "#" + std::to_string(b));
+  }
+
+  Bytes TotalInputBytes(Bytes block_size) const {
+    return static_cast<Bytes>(num_blocks) * block_size;
+  }
+};
+
+struct SimJobResult {
+  double job_seconds = 0.0;
+  /// Sum of map-task busy time (Fig. 5a denominator).
+  double map_task_seconds_total = 0.0;
+  Bytes bytes_read = 0;
+  std::uint64_t map_tasks = 0;
+  std::uint64_t reduce_tasks = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  /// Stddev of tasks-per-slot across all map slots (Fig. 7 balance metric).
+  double slot_stddev = 0.0;
+  /// Per-iteration wall time for iterative jobs (Fig. 10 series).
+  std::vector<double> iteration_seconds;
+
+  double HitRatio() const {
+    auto total = cache_hits + cache_misses;
+    return total == 0 ? 0.0 : static_cast<double>(cache_hits) / static_cast<double>(total);
+  }
+};
+
+}  // namespace eclipse::sim

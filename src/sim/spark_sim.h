@@ -1,0 +1,47 @@
+// Spark 1.2 framework model (the Fig. 9/10 baseline).
+//
+// Mechanisms modeled, per the paper's analysis:
+//  * RDD caching: the first iteration reads from HDFS and constructs RDDs
+//    (rdd_build_factor over raw compute); later iterations read cached
+//    partitions from the memory of the node that built them, falling back
+//    to lineage recomputation from disk when the RDD store overflows,
+//  * a CENTRAL cache directory pins each task to its partition's node, with
+//    delay scheduling: wait up to 5 s for that node, then run remote and
+//    fetch the partition over the network (§III-F),
+//  * persistent executors (small per-task overhead, no container churn),
+//  * a slower shuffle (spark_shuffle_factor — the paper's sort result),
+//  * intermediates are NOT persisted; only the final iteration writes its
+//    output to replicated storage (why Spark's last page rank iteration is
+//    slow, §III-F).
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+
+#include "cache/lru_cache.h"
+#include "sim/hdfs_model.h"
+#include "sim/resources.h"
+#include "sim/sim_job.h"
+
+namespace eclipse::sim {
+
+class SparkSim {
+ public:
+  explicit SparkSim(const SimConfig& config, std::uint64_t placement_seed = 42);
+
+  SimJobResult RunJob(const SimJobSpec& spec);
+
+  const SimConfig& config() const { return config_; }
+
+ private:
+  int RackOf(int node) const { return node / config_.nodes_per_rack; }
+
+  SimConfig config_;
+  HdfsModel hdfs_;
+  std::vector<SlotPool> map_pools_;
+  std::vector<SlotPool> reduce_pools_;
+  std::vector<std::unique_ptr<cache::LruCache>> rdd_store_;
+  std::unordered_map<HashKey, int> partition_home_;  // RDD partition -> node
+};
+
+}  // namespace eclipse::sim

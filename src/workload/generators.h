@@ -1,0 +1,89 @@
+// HiBench-style synthetic dataset generators (paper §III: "We use HiBench
+// to generate ... text input datasets for word count, inverted index, grep,
+// and sort, ... graph input datasets for page rank, and ... kmeans
+// datasets"), scaled to whatever byte budget the caller asks for, plus the
+// skewed block-access traces of Fig. 3 / Fig. 7.
+//
+// All generators are deterministic from the seed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/hash_key.h"
+#include "common/rng.h"
+#include "common/units.h"
+
+namespace eclipse::workload {
+
+struct TextOptions {
+  Bytes target_bytes = 64_KiB;
+  std::size_t vocabulary = 1000;
+  double zipf_s = 1.0;          // word-frequency skew
+  std::size_t words_per_line = 8;
+};
+
+/// Zipf-distributed text, newline-delimited (word count / grep / sort).
+std::string GenerateText(Rng& rng, const TextOptions& options);
+
+/// Documents "doc<i>\t<words...>" (inverted index input).
+std::string GenerateDocuments(Rng& rng, std::size_t num_docs, std::size_t words_per_doc,
+                              const TextOptions& options);
+
+struct PointsOptions {
+  std::size_t num_points = 1000;
+  std::size_t dims = 2;
+  std::size_t clusters = 4;
+  double cluster_stddev = 0.5;
+  double domain = 100.0;  // cluster centers drawn in [0, domain)^dims
+};
+
+/// Gaussian-mixture points as CSV lines (k-means input). Also returns the
+/// true cluster centers through `centers_out` when non-null.
+std::string GeneratePoints(Rng& rng, const PointsOptions& options,
+                           std::vector<std::vector<double>>* centers_out = nullptr);
+
+/// Labeled samples "label f1 ... fd" from a ground-truth separating
+/// hyperplane (logistic-regression input). Returns text; the true weights
+/// (bias first) via `weights_out` when non-null.
+std::string GenerateLabeledPoints(Rng& rng, std::size_t num_points, std::size_t dims,
+                                  std::vector<double>* weights_out = nullptr);
+
+struct GraphOptions {
+  std::size_t num_nodes = 100;
+  std::size_t edges_per_node = 4;  // preferential-attachment out-degree
+};
+
+/// Power-law directed graph as adjacency lines "n<i> n<j> n<k> ..." with one
+/// line per node (page rank input).
+std::string GenerateGraph(Rng& rng, const GraphOptions& options);
+
+// ---- Access traces for the simulator benches -----------------------------
+
+enum class TraceShape {
+  kUniform,
+  kZipf,          // popularity skew over blocks
+  kTwoNormals,    // Fig. 3 / Fig. 7: two merged normal distributions over
+                  // the hash-key space
+};
+
+struct TraceOptions {
+  TraceShape shape = TraceShape::kUniform;
+  std::size_t num_blocks = 1024;  // distinct block population
+  std::size_t length = 10000;     // accesses to draw
+  double zipf_s = 1.0;
+  // kTwoNormals parameters as fractions of the keyspace.
+  double mean1 = 0.3, stddev1 = 0.05;
+  double mean2 = 0.7, stddev2 = 0.05;
+};
+
+/// A stream of block indices (into a num_blocks population) whose *hash
+/// keys* follow the requested shape. For kTwoNormals, blocks are rank-
+/// ordered by hash key so the key-space density matches the mixture.
+std::vector<std::uint32_t> GenerateTrace(Rng& rng, const TraceOptions& options);
+
+/// Hash key of synthetic block `b` (shared by trace producers/consumers).
+HashKey TraceBlockKey(std::uint32_t block);
+
+}  // namespace eclipse::workload

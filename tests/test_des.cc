@@ -1,0 +1,209 @@
+// Discrete-event core unit tests + EclipseDes vs EclipseSim validation: the
+// two contention models must agree on every qualitative relationship the
+// figure benches rely on.
+#include <gtest/gtest.h>
+
+#include "sim/eclipse_des.h"
+#include "sim/eclipse_sim.h"
+
+namespace eclipse::sim {
+namespace {
+
+TEST(EventEngine, OrdersEventsByTimeThenFifo) {
+  EventEngine engine;
+  std::vector<int> order;
+  engine.At(5.0, [&] { order.push_back(3); });
+  engine.At(1.0, [&] { order.push_back(1); });
+  engine.At(5.0, [&] { order.push_back(4); });  // same time: FIFO
+  engine.At(2.0, [&] { order.push_back(2); });
+  EXPECT_DOUBLE_EQ(engine.Run(), 5.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+  EXPECT_EQ(engine.events_processed(), 4u);
+}
+
+TEST(EventEngine, NestedSchedulingAdvancesClock) {
+  EventEngine engine;
+  double fired_at = -1;
+  engine.After(1.0, [&] {
+    EXPECT_DOUBLE_EQ(engine.now(), 1.0);
+    engine.After(2.5, [&] { fired_at = engine.now(); });
+  });
+  engine.Run();
+  EXPECT_DOUBLE_EQ(fired_at, 3.5);
+}
+
+TEST(EventEngine, PastTimestampsClampToNow) {
+  EventEngine engine;
+  double fired_at = -1;
+  engine.After(2.0, [&] {
+    engine.At(0.5, [&] { fired_at = engine.now(); });  // in the past
+  });
+  engine.Run();
+  EXPECT_DOUBLE_EQ(fired_at, 2.0);
+}
+
+TEST(SharedBandwidthTest, SingleFlowFullRate) {
+  EventEngine engine;
+  SharedBandwidth pipe(engine, 100.0);  // 100 MB/s
+  double done_at = -1;
+  pipe.Transfer(200_MiB, [&] { done_at = engine.now(); });
+  engine.Run();
+  EXPECT_NEAR(done_at, 2.0, 1e-9);
+}
+
+TEST(SharedBandwidthTest, TwoEqualFlowsShareFairly) {
+  EventEngine engine;
+  SharedBandwidth pipe(engine, 100.0);
+  double a = -1, b = -1;
+  pipe.Transfer(100_MiB, [&] { a = engine.now(); });
+  pipe.Transfer(100_MiB, [&] { b = engine.now(); });
+  engine.Run();
+  // Each gets 50 MB/s: both finish at 2 s (not 1 s).
+  EXPECT_NEAR(a, 2.0, 1e-9);
+  EXPECT_NEAR(b, 2.0, 1e-9);
+}
+
+TEST(SharedBandwidthTest, LateArrivalSlowsTheFirstFlow) {
+  EventEngine engine;
+  SharedBandwidth pipe(engine, 100.0);
+  double a = -1, b = -1;
+  pipe.Transfer(100_MiB, [&] { a = engine.now(); });       // alone: would end at 1.0
+  engine.After(0.5, [&] {
+    pipe.Transfer(50_MiB, [&] { b = engine.now(); });      // joins at 0.5
+  });
+  engine.Run();
+  // First flow: 50 MB in [0,0.5] alone, then shares 50 MB/s → 50 MB more
+  // takes 1.0 s → ends at 1.5. Second: 50 MB at 50 MB/s → also 1.5.
+  EXPECT_NEAR(a, 1.5, 1e-9);
+  EXPECT_NEAR(b, 1.5, 1e-9);
+}
+
+TEST(SharedBandwidthTest, DepartureSpeedsUpSurvivors) {
+  EventEngine engine;
+  SharedBandwidth pipe(engine, 100.0);
+  double big = -1;
+  pipe.Transfer(25_MiB, [] {});                       // small, departs early
+  pipe.Transfer(100_MiB, [&] { big = engine.now(); });
+  engine.Run();
+  // Shared 50/50 until the 25 MB flow ends at t=0.5 (having moved 25 MB);
+  // the big flow then has 75 MB left at full 100 MB/s → ends at 1.25.
+  EXPECT_NEAR(big, 1.25, 1e-9);
+}
+
+TEST(SharedBandwidthTest, ZeroBytesAndZeroCapacity) {
+  EventEngine engine;
+  SharedBandwidth pipe(engine, 100.0);
+  SharedBandwidth free_pipe(engine, 0.0);
+  int fired = 0;
+  pipe.Transfer(0, [&] { ++fired; });
+  free_pipe.Transfer(1_GiB, [&] { ++fired; });
+  engine.Run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SlotServerTest, FifoWithLimitedSlots) {
+  EventEngine engine;
+  SlotServer server(engine, 2);
+  std::vector<double> ends;
+  for (int i = 0; i < 4; ++i) {
+    server.Submit([&engine, &ends](EventEngine::Callback release) {
+      engine.After(10.0, [&engine, &ends, release] {
+        ends.push_back(engine.now());
+        release();
+      });
+    });
+  }
+  engine.Run();
+  ASSERT_EQ(ends.size(), 4u);
+  EXPECT_NEAR(ends[0], 10.0, 1e-9);
+  EXPECT_NEAR(ends[1], 10.0, 1e-9);
+  EXPECT_NEAR(ends[2], 20.0, 1e-9);
+  EXPECT_NEAR(ends[3], 20.0, 1e-9);
+  EXPECT_EQ(server.completed(), 4u);
+  EXPECT_EQ(server.free_slots(), 2);
+}
+
+// ---- Cross-model validation -------------------------------------------
+
+SimJobSpec DesJob(AppProfile app, std::uint32_t blocks, int iterations = 1) {
+  SimJobSpec job;
+  job.app = std::move(app);
+  job.dataset = "des-" + job.app.name;
+  job.num_blocks = blocks;
+  job.iterations = iterations;
+  return job;
+}
+
+TEST(DesValidation, AgreesWithGreedyWithinFactor) {
+  for (auto app : {GrepProfile(), WordCountProfile(), KMeansProfile()}) {
+    SimConfig cfg;
+    cfg.num_nodes = 10;
+    auto job = DesJob(app, 200);
+    EclipseSim greedy(cfg, mr::SchedulerKind::kLaf);
+    EclipseDes des(cfg);
+    double t_greedy = greedy.RunJob(job).job_seconds;
+    double t_des = des.RunJob(job).job_seconds;
+    // The DES prices NIC/disk sharing dynamically, so IO-bound jobs can
+    // legitimately run a few times longer than the static-rate estimate —
+    // but the models must stay within one small constant of each other.
+    EXPECT_GT(t_des, 0.25 * t_greedy) << app.name;
+    EXPECT_LT(t_des, 5.0 * t_greedy) << app.name;
+  }
+}
+
+TEST(DesValidation, NodeScalingShapeMatches) {
+  auto time_at = [&](int nodes) {
+    SimConfig cfg;
+    cfg.num_nodes = nodes;
+    EclipseDes des(cfg);
+    return des.RunJob(DesJob(GrepProfile(), 400)).job_seconds;
+  };
+  double t10 = time_at(10);
+  double t20 = time_at(20);
+  double t40 = time_at(40);
+  EXPECT_LT(t20, t10);
+  EXPECT_LT(t40, t20);
+}
+
+TEST(DesValidation, WarmCacheSpeedsUpLikeGreedy) {
+  SimConfig cfg;
+  cfg.num_nodes = 8;
+  cfg.cache_per_node = 64_GiB;
+  EclipseDes des(cfg);
+  auto job = DesJob(GrepProfile(), 160);
+  auto cold = des.RunJob(job);
+  auto warm = des.RunJob(job);
+  EXPECT_EQ(cold.cache_hits, 0u);
+  EXPECT_GT(warm.cache_hits, warm.cache_misses);
+  EXPECT_LT(warm.job_seconds, cold.job_seconds);
+}
+
+TEST(DesValidation, IterationSeriesShapeMatches) {
+  SimConfig cfg;
+  cfg.num_nodes = 10;
+  auto job = DesJob(KMeansProfile(), 150, 4);
+  EclipseDes des(cfg);
+  auto r = des.RunJob(job);
+  ASSERT_EQ(r.iteration_seconds.size(), 4u);
+  // Later iterations no slower than the cold first one.
+  for (std::size_t i = 1; i < 4; ++i) {
+    EXPECT_LE(r.iteration_seconds[i], r.iteration_seconds[0] * 1.05) << i;
+  }
+}
+
+TEST(DesValidation, ContentionStretchesHeavyShuffle) {
+  // The DES prices disk/NIC contention dynamically, so a shuffle-heavy job
+  // (sort) must cost at least as much as the greedy model's static-rate
+  // estimate — never less.
+  SimConfig cfg;
+  cfg.num_nodes = 10;
+  auto job = DesJob(SortProfile(), 200);
+  EclipseSim greedy(cfg, mr::SchedulerKind::kLaf);
+  EclipseDes des(cfg);
+  double t_greedy = greedy.RunJob(job).job_seconds;
+  double t_des = des.RunJob(job).job_seconds;
+  EXPECT_GT(t_des, 0.6 * t_greedy);
+}
+
+}  // namespace
+}  // namespace eclipse::sim

@@ -1,0 +1,103 @@
+// Message-handler robustness: every component handler must survive
+// arbitrary payloads on every message type it routes — returning an error
+// message, never crashing, throwing, or corrupting state.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cache/cache_node.h"
+#include "common/rng.h"
+#include "dfs/dfs_node.h"
+#include "dht/membership.h"
+#include "net/dispatcher.h"
+
+namespace eclipse {
+namespace {
+
+std::string RandomBytes(Rng& rng, std::size_t n) {
+  std::string s(n, '\0');
+  for (auto& c : s) c = static_cast<char>(rng.Next() & 0xFF);
+  return s;
+}
+
+class HandlerFuzz : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    for (int i = 0; i < 3; ++i) ring_.AddServer(i);
+    for (int i = 0; i < 3; ++i) {
+      dispatchers_.push_back(std::make_unique<net::Dispatcher>());
+      dfs_nodes_.push_back(std::make_unique<dfs::DfsNode>(i, *dispatchers_.back()));
+      dfs_nodes_.back()->EnableRouting(transport_, [this] { return ring_; }, 3);
+      cache_nodes_.push_back(
+          std::make_unique<cache::CacheNode>(i, *dispatchers_.back(), 4096));
+      agents_.push_back(std::make_unique<dht::MembershipAgent>(
+          i, transport_, *dispatchers_.back()));
+      agents_.back()->SetRing(ring_);
+      transport_.Register(i, dispatchers_.back()->AsHandler());
+    }
+    // Seed some real state so fuzz requests can also hit populated paths.
+    dfs_nodes_[0]->blocks().Put("blk", 42, "payload");
+    cache_nodes_[0]->local().Put("obj", 7, "cached", cache::EntryKind::kInput);
+  }
+
+  net::InProcessTransport transport_;
+  dht::Ring ring_;
+  std::vector<std::unique_ptr<net::Dispatcher>> dispatchers_;
+  std::vector<std::unique_ptr<dfs::DfsNode>> dfs_nodes_;
+  std::vector<std::unique_ptr<cache::CacheNode>> cache_nodes_;
+  std::vector<std::unique_ptr<dht::MembershipAgent>> agents_;
+};
+
+TEST_F(HandlerFuzz, AllTypesSurviveGarbagePayloads) {
+  Rng rng(2024);
+  // Sweep every routed message type with random payloads of various sizes.
+  std::vector<std::uint32_t> types;
+  for (std::uint32_t t = 100; t <= 105; ++t) types.push_back(t);  // membership
+  for (std::uint32_t t = 200; t <= 209; ++t) types.push_back(t);  // dfs
+  for (std::uint32_t t : {300u, 301u}) types.push_back(t);        // cache
+  types.push_back(999);  // unrouted
+
+  for (std::uint32_t type : types) {
+    for (int round = 0; round < 50; ++round) {
+      net::Message m{type, RandomBytes(rng, rng.Below(64))};
+      auto resp = transport_.Call(1000, static_cast<int>(rng.Below(3)), m);
+      ASSERT_TRUE(resp.ok()) << "transport-level failure on type " << type;
+      // Responses are either component acks/payloads or error messages;
+      // both are fine — the process must simply still be here.
+    }
+  }
+
+  // State survived: the seeded block is intact. (The cache entry may have
+  // been legitimately extracted by a fuzzed kCollect — that message MOVES
+  // entries by design — so only verify the cache still works.)
+  auto blk = dfs_nodes_[0]->blocks().Get("blk");
+  ASSERT_TRUE(blk.ok());
+  EXPECT_EQ(blk.value(), "payload");
+  cache_nodes_[0]->local().Put("obj2", 8, "fresh", cache::EntryKind::kInput);
+  auto obj = cache_nodes_[0]->local().Get("obj2");
+  ASSERT_TRUE(obj.has_value());
+  EXPECT_EQ(*obj, "fresh");
+}
+
+TEST_F(HandlerFuzz, EmptyPayloadsOnEveryType) {
+  for (std::uint32_t type = 100; type <= 310; ++type) {
+    auto resp = transport_.Call(1000, 1, net::Message{type, ""});
+    ASSERT_TRUE(resp.ok()) << "type " << type;
+  }
+}
+
+TEST_F(HandlerFuzz, OversizedLengthPrefixesRejected) {
+  // A string whose declared length exceeds the payload must fail cleanly.
+  BinaryWriter w;
+  w.PutU32(0xFFFFFFFF);  // absurd length prefix
+  w.PutString("x");
+  for (std::uint32_t type : {dfs::msg::kGetBlock, dfs::msg::kPutBlock,
+                             dfs::msg::kGetMetadata, cache::msg::kFetch}) {
+    auto resp = transport_.Call(1000, 0, net::Message{type, w.str()});
+    ASSERT_TRUE(resp.ok());
+    EXPECT_TRUE(net::IsError(resp.value())) << "type " << type;
+  }
+}
+
+}  // namespace
+}  // namespace eclipse

@@ -1,0 +1,140 @@
+#include "common/hash_key.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace eclipse {
+namespace {
+
+TEST(KeyOf, DeterministicAndSpread) {
+  EXPECT_EQ(KeyOf("file-a"), KeyOf("file-a"));
+  EXPECT_NE(KeyOf("file-a"), KeyOf("file-b"));
+  EXPECT_NE(BlockKey("f", 0), BlockKey("f", 1));
+  EXPECT_NE(BlockKey("f", 0), KeyOf("f"));
+}
+
+TEST(KeyRange, SimpleContains) {
+  KeyRange r{100, 200, false};
+  EXPECT_TRUE(r.Contains(100));
+  EXPECT_TRUE(r.Contains(199));
+  EXPECT_FALSE(r.Contains(200));
+  EXPECT_FALSE(r.Contains(99));
+  EXPECT_EQ(r.Width(), 100u);
+  EXPECT_FALSE(r.IsEmpty());
+}
+
+TEST(KeyRange, WrappingContains) {
+  KeyRange r{~HashKey{0} - 10, 5, false};  // wraps past 2^64-1
+  EXPECT_TRUE(r.Contains(~HashKey{0}));
+  EXPECT_TRUE(r.Contains(0));
+  EXPECT_TRUE(r.Contains(4));
+  EXPECT_FALSE(r.Contains(5));
+  EXPECT_FALSE(r.Contains(1000));
+  EXPECT_EQ(r.Width(), 16u);
+}
+
+TEST(KeyRange, FullAndEmpty) {
+  EXPECT_TRUE(KeyRange::Full().Contains(0));
+  EXPECT_TRUE(KeyRange::Full().Contains(~HashKey{0}));
+  EXPECT_FALSE(KeyRange::Empty().Contains(0));
+  EXPECT_TRUE(KeyRange::Empty().IsEmpty());
+  EXPECT_FALSE(KeyRange::Full().IsEmpty());
+  EXPECT_EQ(KeyRange::Empty().Width(), 0u);
+}
+
+TEST(RangeTable, RejectsNonTiling) {
+  RangeTable t;
+  // Gap between 200 and 300.
+  EXPECT_FALSE(t.Assign({{0, {0, 200, false}}, {1, {300, 0, false}}}));
+  // Single non-full range cannot tile.
+  EXPECT_FALSE(t.Assign({{0, {0, 200, false}}}));
+  // Nothing at all.
+  EXPECT_FALSE(t.Assign({}));
+  EXPECT_TRUE(t.empty());
+}
+
+TEST(RangeTable, AcceptsTilingWithEmptyRanges) {
+  RangeTable t;
+  ASSERT_TRUE(t.Assign({{0, {0, 500, false}},
+                        {1, KeyRange::Empty()},
+                        {2, {500, 0, false}}}));
+  EXPECT_EQ(t.Owner(0), 0);
+  EXPECT_EQ(t.Owner(499), 0);
+  EXPECT_EQ(t.Owner(500), 2);
+  EXPECT_EQ(t.Owner(~HashKey{0}), 2);
+  EXPECT_TRUE(t.RangeOf(1).IsEmpty());
+}
+
+TEST(RangeTable, FullRingSingleServer) {
+  RangeTable t;
+  ASSERT_TRUE(t.Assign({{7, KeyRange::Full()}}));
+  EXPECT_EQ(t.Owner(0), 7);
+  EXPECT_EQ(t.Owner(12345), 7);
+}
+
+TEST(RangeTable, FromPositionsOwnership) {
+  // Mirrors the paper's Fig. 1 layout (scaled): servers at 5,15,26,39,47,57
+  // with wraparound; the key is owned by its clockwise successor.
+  RangeTable t = RangeTable::FromPositions(
+      {{0, 5}, {1, 15}, {2, 26}, {3, 39}, {4, 47}, {5, 57}});
+  EXPECT_EQ(t.Owner(6), 1);    // in (5, 15]
+  EXPECT_EQ(t.Owner(15), 1);
+  EXPECT_EQ(t.Owner(16), 2);
+  EXPECT_EQ(t.Owner(56), 5);
+  EXPECT_EQ(t.Owner(58), 0);   // wraps to the smallest position
+  EXPECT_EQ(t.Owner(0), 0);
+  EXPECT_EQ(t.Owner(5), 0);
+}
+
+// Property: FromPositions always produces a table where every key has
+// exactly one owner and that owner is the clockwise successor position.
+class RangeTableProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(RangeTableProperty, EveryKeyOwnedByClockwiseSuccessor) {
+  int num_servers = GetParam();
+  Rng rng(static_cast<std::uint64_t>(num_servers) * 977);
+  std::vector<std::pair<int, HashKey>> positions;
+  for (int i = 0; i < num_servers; ++i) positions.emplace_back(i, rng.Next());
+
+  RangeTable t = RangeTable::FromPositions(positions);
+  ASSERT_EQ(t.size(), positions.size());
+
+  for (int trial = 0; trial < 200; ++trial) {
+    HashKey k = rng.Next();
+    int owner = t.Owner(k);
+    ASSERT_GE(owner, 0);
+    // Reference: smallest position >= k, else global smallest.
+    int expected = -1;
+    HashKey best = 0;
+    bool found = false;
+    for (const auto& [id, pos] : positions) {
+      if (pos >= k && (!found || pos < best)) {
+        best = pos;
+        expected = id;
+        found = true;
+      }
+    }
+    if (!found) {
+      for (const auto& [id, pos] : positions) {
+        if (expected == -1 || pos < best) {
+          best = pos;
+          expected = id;
+        }
+      }
+    }
+    EXPECT_EQ(owner, expected) << "key=" << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ServerCounts, RangeTableProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 16, 40, 100));
+
+TEST(RingDistanceTest, Wraps) {
+  EXPECT_EQ(RingDistance(10, 20), 10u);
+  EXPECT_EQ(RingDistance(20, 10), ~HashKey{0} - 9);
+  EXPECT_EQ(RingDistance(5, 5), 0u);
+}
+
+}  // namespace
+}  // namespace eclipse

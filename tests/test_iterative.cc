@@ -1,0 +1,224 @@
+// Iterative-driver correctness: k-means, logistic regression, and page rank
+// against their serial references, plus restart-from-iteration.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/kmeans.h"
+#include "apps/logreg.h"
+#include "apps/pagerank.h"
+#include "apps/text_util.h"
+#include "mr/iterative.h"
+#include "workload/generators.h"
+
+namespace eclipse::mr {
+namespace {
+
+ClusterOptions SmallCluster(int servers = 4) {
+  ClusterOptions opts;
+  opts.num_servers = servers;
+  opts.block_size = 512;
+  opts.cache_capacity = 4_MiB;
+  return opts;
+}
+
+std::vector<std::vector<double>> ParsePoints(const std::string& csv) {
+  std::vector<std::vector<double>> points;
+  for (const auto& line : apps::Split(csv, '\n')) {
+    auto p = apps::ParseDoubles(line);
+    if (!p.empty()) points.push_back(std::move(p));
+  }
+  return points;
+}
+
+void ExpectCentroidsNear(const apps::Centroids& a, const apps::Centroids& b,
+                         double tol = 1e-6) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].size(), b[i].size()) << "centroid " << i;
+    for (std::size_t j = 0; j < a[i].size(); ++j) {
+      EXPECT_NEAR(a[i][j], b[i][j], tol) << "centroid " << i << " dim " << j;
+    }
+  }
+}
+
+TEST(IterativeKMeans, MatchesSerialLloydSteps) {
+  Cluster cluster(SmallCluster());
+  Rng rng(10);
+  workload::PointsOptions popts;
+  popts.num_points = 300;
+  popts.clusters = 3;
+  std::string csv = workload::GeneratePoints(rng, popts);
+  ASSERT_TRUE(cluster.dfs().Upload("points", csv).ok());
+
+  apps::Centroids initial = {{10.0, 10.0}, {50.0, 50.0}, {90.0, 90.0}};
+  const int kIters = 4;
+  auto spec = apps::KMeansIterations("km", "points", initial, kIters);
+  IterativeDriver driver(cluster);
+  auto result = driver.Run(spec);
+  ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+  EXPECT_EQ(result.iterations_run, kIters);
+
+  // Serial reference: the same Lloyd steps.
+  auto points = ParsePoints(csv);
+  apps::Centroids expected = initial;
+  for (int i = 0; i < kIters; ++i) expected = apps::KMeansSerialStep(points, expected);
+
+  ExpectCentroidsNear(apps::DecodeCentroids(result.final_state), expected, 1e-6);
+}
+
+TEST(IterativeKMeans, LaterIterationsHitInputCache) {
+  Cluster cluster(SmallCluster());
+  Rng rng(11);
+  workload::PointsOptions popts;
+  popts.num_points = 200;
+  std::string csv = workload::GeneratePoints(rng, popts);
+  ASSERT_TRUE(cluster.dfs().Upload("points", csv).ok());
+
+  auto spec = apps::KMeansIterations("km", "points", {{0.0, 0.0}, {100.0, 100.0}}, 3);
+  IterativeDriver driver(cluster);
+  auto result = driver.Run(spec);
+  ASSERT_TRUE(result.status.ok());
+  ASSERT_EQ(result.per_iteration.size(), 3u);
+  EXPECT_EQ(result.per_iteration[0].icache_hits, 0u);
+  EXPECT_GT(result.per_iteration[1].icache_hits, 0u)
+      << "iteration 2+ should reuse iCache'd input blocks (paper Fig. 10)";
+  EXPECT_GT(result.per_iteration[2].icache_hits, 0u);
+}
+
+TEST(IterativeLogReg, MatchesSerialGradientSteps) {
+  Cluster cluster(SmallCluster());
+  Rng rng(13);
+  std::string data = workload::GenerateLabeledPoints(rng, 200, 3);
+  ASSERT_TRUE(cluster.dfs().Upload("samples", data).ok());
+
+  std::vector<double> w0 = {0.0, 0.0, 0.0, 0.0};
+  const int kIters = 3;
+  const double kLr = 0.5;
+  auto spec = apps::LogRegIterations("lr", "samples", w0, kIters, kLr);
+  IterativeDriver driver(cluster);
+  auto result = driver.Run(spec);
+  ASSERT_TRUE(result.status.ok());
+
+  std::vector<apps::LabeledPoint> points;
+  for (const auto& line : apps::Split(data, '\n')) {
+    auto p = apps::ParseLabeledPoint(line);
+    if (!p.features.empty()) points.push_back(std::move(p));
+  }
+  std::vector<double> expected = w0;
+  for (int i = 0; i < kIters; ++i) expected = apps::LogRegSerialStep(points, expected, kLr);
+
+  auto got = apps::ParseDoubles(result.final_state);
+  ASSERT_EQ(got.size(), expected.size());
+  for (std::size_t j = 0; j < got.size(); ++j) EXPECT_NEAR(got[j], expected[j], 1e-9);
+}
+
+TEST(IterativeLogReg, LearnsSeparableData) {
+  Cluster cluster(SmallCluster());
+  Rng rng(17);
+  std::vector<double> truth;
+  std::string data = workload::GenerateLabeledPoints(rng, 400, 2, &truth);
+  ASSERT_TRUE(cluster.dfs().Upload("samples", data).ok());
+
+  auto spec = apps::LogRegIterations("lr", "samples", {0.0, 0.0, 0.0}, 25, 1.0);
+  IterativeDriver driver(cluster);
+  auto result = driver.Run(spec);
+  ASSERT_TRUE(result.status.ok());
+
+  // Learned weights must classify the training set well.
+  auto w = apps::ParseDoubles(result.final_state);
+  int correct = 0, total = 0;
+  for (const auto& line : apps::Split(data, '\n')) {
+    auto p = apps::ParseLabeledPoint(line);
+    if (p.features.empty()) continue;
+    double z = w[0];
+    for (std::size_t j = 0; j < p.features.size(); ++j) z += w[j + 1] * p.features[j];
+    int pred = z > 0 ? 1 : 0;
+    correct += (pred == static_cast<int>(p.label)) ? 1 : 0;
+    ++total;
+  }
+  EXPECT_GT(static_cast<double>(correct) / total, 0.9);
+}
+
+TEST(IterativePageRank, MatchesSerialPowerIteration) {
+  Cluster cluster(SmallCluster());
+  Rng rng(19);
+  workload::GraphOptions gopts;
+  gopts.num_nodes = 40;
+  gopts.edges_per_node = 3;
+  std::string graph = workload::GenerateGraph(rng, gopts);
+  ASSERT_TRUE(cluster.dfs().Upload("graph", graph).ok());
+
+  const int kIters = 3;
+  auto spec = apps::PageRankIterations("pr", "graph", gopts.num_nodes, kIters);
+  IterativeDriver driver(cluster);
+  auto result = driver.Run(spec);
+  ASSERT_TRUE(result.status.ok());
+
+  apps::PageRankState state;
+  state.num_nodes = gopts.num_nodes;
+  for (int i = 0; i < kIters; ++i) {
+    state.ranks = apps::PageRankSerialStep(graph, state);
+  }
+  auto got = apps::DecodePageRankState(result.final_state);
+  ASSERT_EQ(got.ranks.size(), state.ranks.size());
+  double sum = 0.0;
+  for (const auto& [node, rank] : got.ranks) {
+    auto it = state.ranks.find(node);
+    ASSERT_NE(it, state.ranks.end()) << node;
+    EXPECT_NEAR(rank, it->second, 1e-9) << node;
+    sum += rank;
+  }
+  EXPECT_GT(sum, 0.1);  // ranks are meaningful mass
+}
+
+TEST(IterativeDriverTest, ResumeContinuesFromPersistedState) {
+  Cluster cluster(SmallCluster());
+  Rng rng(23);
+  workload::PointsOptions popts;
+  popts.num_points = 150;
+  std::string csv = workload::GeneratePoints(rng, popts);
+  ASSERT_TRUE(cluster.dfs().Upload("points", csv).ok());
+
+  apps::Centroids initial = {{20.0, 20.0}, {80.0, 80.0}};
+  auto full = apps::KMeansIterations("km-resume", "points", initial, 4);
+
+  // Run only 2 iterations (simulating a crash after persisting them).
+  auto partial = full;
+  partial.max_iterations = 2;
+  IterativeDriver driver(cluster);
+  auto first = driver.Run(partial);
+  ASSERT_TRUE(first.status.ok());
+  ASSERT_EQ(first.iterations_run, 2);
+
+  // Resume with the full spec: should run exactly 2 more.
+  auto resumed = driver.Resume(full);
+  ASSERT_TRUE(resumed.status.ok());
+  EXPECT_EQ(resumed.iterations_run, 4);
+
+  // Final state must equal an uninterrupted 4-iteration run.
+  auto points = ParsePoints(csv);
+  apps::Centroids expected = initial;
+  for (int i = 0; i < 4; ++i) expected = apps::KMeansSerialStep(points, expected);
+  ExpectCentroidsNear(apps::DecodeCentroids(resumed.final_state), expected, 1e-6);
+}
+
+TEST(IterativeDriverTest, EarlyStopViaUpdateCallback) {
+  Cluster cluster(SmallCluster(2));
+  ASSERT_TRUE(cluster.dfs().Upload("points", "1,1\n2,2\n").ok());
+  auto spec = apps::KMeansIterations("km-stop", "points", {{0.0, 0.0}}, 10);
+  auto inner = spec.update;
+  int calls = 0;
+  spec.update = [&calls, inner](const std::vector<KV>& out, const std::string& cur,
+                                std::string* next) {
+    inner(out, cur, next);
+    return ++calls < 3;  // stop after 3 iterations
+  };
+  IterativeDriver driver(cluster);
+  auto result = driver.Run(spec);
+  ASSERT_TRUE(result.status.ok());
+  EXPECT_EQ(result.iterations_run, 3);
+}
+
+}  // namespace
+}  // namespace eclipse::mr

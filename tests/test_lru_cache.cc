@@ -1,0 +1,153 @@
+#include "cache/lru_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "cache/cache_node.h"
+#include "net/transport.h"
+
+namespace eclipse::cache {
+namespace {
+
+TEST(LruCache, PutGetHitMiss) {
+  LruCache c(100);
+  EXPECT_TRUE(c.Put("a", 1, "hello", EntryKind::kInput));
+  auto got = c.Get("a");
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, "hello");
+  EXPECT_FALSE(c.Get("b").has_value());
+  auto s = c.stats();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.inserts, 1u);
+  EXPECT_DOUBLE_EQ(s.HitRatio(), 0.5);
+}
+
+TEST(LruCache, EvictsLeastRecentlyUsed) {
+  LruCache c(10);
+  c.Put("a", 1, "1234", EntryKind::kInput);   // 4 bytes
+  c.Put("b", 2, "5678", EntryKind::kInput);   // 8 total
+  c.Get("a");                                  // promote a
+  c.Put("c", 3, "abcd", EntryKind::kInput);   // needs eviction: b goes
+  EXPECT_TRUE(c.Contains("a"));
+  EXPECT_FALSE(c.Contains("b"));
+  EXPECT_TRUE(c.Contains("c"));
+  EXPECT_EQ(c.stats().evictions, 1u);
+  EXPECT_LE(c.used(), c.capacity());
+}
+
+TEST(LruCache, RejectsOversizedObject) {
+  LruCache c(4);
+  EXPECT_FALSE(c.Put("big", 1, "12345", EntryKind::kInput));
+  EXPECT_EQ(c.Count(), 0u);
+}
+
+TEST(LruCache, ZeroCapacityCachesNothing) {
+  LruCache c(0);
+  EXPECT_FALSE(c.Put("a", 1, "x", EntryKind::kInput));
+  EXPECT_FALSE(c.Get("a").has_value());
+}
+
+TEST(LruCache, OverwriteUpdatesBytes) {
+  LruCache c(100);
+  c.Put("a", 1, "12345678", EntryKind::kInput);
+  c.Put("a", 1, "12", EntryKind::kInput);
+  EXPECT_EQ(c.used(), 2u);
+  EXPECT_EQ(c.Count(), 1u);
+}
+
+TEST(LruCache, PerPartitionStats) {
+  LruCache c(1000);
+  c.Put("in", 1, "x", EntryKind::kInput);
+  c.Put("out", 2, "y", EntryKind::kOutput);
+  c.Get("in");
+  c.Get("out");
+  c.Get("out");
+  EXPECT_EQ(c.stats(EntryKind::kInput).hits, 1u);
+  EXPECT_EQ(c.stats(EntryKind::kOutput).hits, 2u);
+  EXPECT_EQ(c.stats().hits, 3u);
+}
+
+TEST(LruCache, ResizeEvicts) {
+  LruCache c(100);
+  c.Put("a", 1, std::string(40, 'a'), EntryKind::kInput);
+  c.Put("b", 2, std::string(40, 'b'), EntryKind::kInput);
+  c.Resize(50);
+  EXPECT_FALSE(c.Contains("a"));  // LRU victim
+  EXPECT_TRUE(c.Contains("b"));
+  EXPECT_EQ(c.capacity(), 50u);
+}
+
+TEST(LruCache, ExtractRangePullsOnlyInRange) {
+  LruCache c(1000);
+  c.Put("low", 100, "L", EntryKind::kInput);
+  c.Put("mid", 500, "M", EntryKind::kOutput);
+  c.Put("high", 900, "H", EntryKind::kInput);
+  auto moved = c.ExtractRange(KeyRange{400, 600, false});
+  ASSERT_EQ(moved.size(), 1u);
+  EXPECT_EQ(moved[0].first.id, "mid");
+  EXPECT_EQ(moved[0].first.kind, EntryKind::kOutput);
+  EXPECT_EQ(moved[0].second, "M");
+  EXPECT_FALSE(c.Contains("mid"));
+  EXPECT_TRUE(c.Contains("low"));
+  EXPECT_TRUE(c.Contains("high"));
+  EXPECT_EQ(c.used(), 2u);
+}
+
+TEST(LruCache, PlaceholderAccountsSizeWithoutPayload) {
+  LruCache c(100);
+  EXPECT_TRUE(c.PutPlaceholder("blk", 1, 60, EntryKind::kInput));
+  EXPECT_EQ(c.used(), 60u);
+  auto got = c.Get("blk");
+  ASSERT_TRUE(got.has_value());
+  EXPECT_TRUE(got->empty());
+  // A second 60-byte placeholder evicts the first.
+  EXPECT_TRUE(c.PutPlaceholder("blk2", 2, 60, EntryKind::kInput));
+  EXPECT_FALSE(c.Contains("blk"));
+}
+
+TEST(LruCache, EntriesMostRecentFirst) {
+  LruCache c(1000);
+  c.Put("a", 1, "1", EntryKind::kInput);
+  c.Put("b", 2, "2", EntryKind::kInput);
+  c.Get("a");
+  auto entries = c.Entries();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].id, "a");
+  EXPECT_EQ(entries[1].id, "b");
+}
+
+TEST(CacheNodeTest, RemoteFetch) {
+  net::InProcessTransport transport;
+  net::Dispatcher d;
+  CacheNode node(1, d, 1000);
+  transport.Register(1, d.AsHandler());
+  node.local().Put("obj", 5, "cached-data", EntryKind::kOutput);
+
+  CacheClient client(0, transport);
+  auto got = client.FetchFrom(1, "obj");
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, "cached-data");
+  EXPECT_FALSE(client.FetchFrom(1, "missing").has_value());
+  EXPECT_FALSE(client.FetchFrom(9, "obj").has_value());  // dead peer
+}
+
+TEST(CacheNodeTest, MigrateRangeMovesEntries) {
+  net::InProcessTransport transport;
+  net::Dispatcher d;
+  CacheNode donor(1, d, 1000);
+  transport.Register(1, d.AsHandler());
+  donor.local().Put("in-range", 500, "A", EntryKind::kInput);
+  donor.local().Put("out-of-range", 50, "B", EntryKind::kInput);
+
+  LruCache mine(1000);
+  CacheClient client(0, transport);
+  std::size_t moved = client.MigrateRange(1, KeyRange{400, 600, false}, mine);
+  EXPECT_EQ(moved, 1u);
+  EXPECT_TRUE(mine.Contains("in-range"));
+  EXPECT_FALSE(mine.Contains("out-of-range"));
+  EXPECT_FALSE(donor.local().Contains("in-range"));
+  EXPECT_TRUE(donor.local().Contains("out-of-range"));
+}
+
+}  // namespace
+}  // namespace eclipse::cache

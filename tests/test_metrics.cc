@@ -1,0 +1,102 @@
+#include "common/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "apps/wordcount.h"
+#include "mr/cluster.h"
+#include "workload/generators.h"
+
+namespace eclipse {
+namespace {
+
+TEST(Counter, AddAndReset) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Add();
+  c.Add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Counter, ConcurrentAddsAreExact) {
+  Counter c;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < 10000; ++i) c.Add();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), 80000u);
+}
+
+TEST(HistogramTest, MeanAndQuantiles) {
+  Histogram h;
+  for (std::uint64_t v : {1u, 2u, 4u, 8u, 1000u}) h.Record(v);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.sum(), 1015u);
+  EXPECT_DOUBLE_EQ(h.mean(), 203.0);
+  EXPECT_LE(h.ApproxQuantile(0.5), 7u);       // 3 of 5 samples <= 4
+  EXPECT_GE(h.ApproxQuantile(0.99), 1000u);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.ApproxQuantile(0.5), 0u);
+}
+
+TEST(HistogramTest, ZeroSample) {
+  Histogram h;
+  h.Record(0);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_LE(h.ApproxQuantile(1.0), 1u);
+}
+
+TEST(MetricsRegistryTest, GetOrCreateAndRender) {
+  MetricsRegistry reg;
+  reg.GetCounter("a.requests").Add(3);
+  reg.GetCounter("a.requests").Add(1);  // same counter
+  reg.GetCounter("b.errors").Add();
+  reg.GetHistogram("lat_us").Record(100);
+
+  auto snapshot = reg.CounterSnapshot();
+  ASSERT_EQ(snapshot.size(), 2u);
+  EXPECT_EQ(snapshot[0].first, "a.requests");
+  EXPECT_EQ(snapshot[0].second, 4u);
+  EXPECT_EQ(snapshot[1].second, 1u);
+
+  std::string report = reg.Render();
+  EXPECT_NE(report.find("a.requests"), std::string::npos);
+  EXPECT_NE(report.find("lat_us"), std::string::npos);
+
+  reg.ResetAll();
+  EXPECT_EQ(reg.CounterSnapshot()[0].second, 0u);
+}
+
+TEST(ClusterMetrics, JobsPopulateRegistry) {
+  mr::ClusterOptions opts;
+  opts.num_servers = 4;
+  opts.block_size = 256;
+  mr::Cluster cluster(opts);
+  Rng rng(5);
+  workload::TextOptions topts;
+  topts.target_bytes = 3000;
+  std::string text = workload::GenerateText(rng, topts);
+  ASSERT_TRUE(cluster.dfs().Upload("t", text).ok());
+
+  ASSERT_TRUE(cluster.Run(apps::WordCountJob("wc1", "t")).status.ok());
+  ASSERT_TRUE(cluster.Run(apps::WordCountJob("wc2", "t")).status.ok());
+
+  auto& m = cluster.metrics();
+  EXPECT_EQ(m.GetCounter("mr.jobs_completed").value(), 2u);
+  EXPECT_GT(m.GetCounter("mr.map_tasks").value(), 0u);
+  EXPECT_GT(m.GetCounter("mr.icache_hits").value(), 0u) << "second run hits";
+  EXPECT_EQ(m.GetHistogram("mr.job_wall_us").count(), 2u);
+
+  cluster.KillServer(1);
+  EXPECT_EQ(m.GetCounter("cluster.recoveries").value(), 1u);
+}
+
+}  // namespace
+}  // namespace eclipse

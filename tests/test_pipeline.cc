@@ -1,0 +1,152 @@
+// Job chaining & hardening:
+//  * pipelines where one job's persisted output is the next job's input
+//    (the paper's incremental-computation motivation, §II-B),
+//  * a chaos run: repeated jobs with random worker kills and joins between
+//    them, always ending in a correct answer,
+//  * misc public-API coverage (cache ranges, cluster stats, log levels).
+#include <gtest/gtest.h>
+
+#include "apps/grep.h"
+#include "apps/sort.h"
+#include "apps/text_util.h"
+#include "apps/wordcount.h"
+#include "common/log.h"
+#include "mr/cluster.h"
+#include "workload/generators.h"
+
+namespace eclipse::mr {
+namespace {
+
+ClusterOptions Opts(int servers = 5) {
+  ClusterOptions opts;
+  opts.num_servers = servers;
+  opts.block_size = 256;
+  opts.cache_capacity = 4_MiB;
+  return opts;
+}
+
+std::string SomeText(std::uint64_t seed, Bytes bytes = 5000) {
+  Rng rng(seed);
+  workload::TextOptions topts;
+  topts.target_bytes = bytes;
+  topts.vocabulary = 40;
+  return workload::GenerateText(rng, topts);
+}
+
+TEST(Pipeline, OutputOfOneJobFeedsTheNext) {
+  Cluster cluster(Opts());
+  std::string text = SomeText(1);
+  ASSERT_TRUE(cluster.dfs().Upload("corpus", text).ok());
+
+  // Stage 1: word count, persisted to the DHT FS.
+  JobSpec wc = apps::WordCountJob("wc", "corpus");
+  wc.output_file = "counts.tsv";
+  ASSERT_TRUE(cluster.Run(wc).status.ok());
+
+  // Stage 2: grep the persisted counts for a specific word's line.
+  JobResult hits = cluster.Run(apps::GrepJob("g", "counts.tsv", "w1\t"));
+  ASSERT_TRUE(hits.status.ok());
+  auto expected = apps::WordCountSerial(text);
+  ASSERT_EQ(hits.output.size(), 1u) << "exactly the w1 line matches";
+  EXPECT_EQ(hits.output[0].key, "w1\t" + std::to_string(expected.at("w1")));
+
+  // Stage 3: sort the counts file by word; output must be densely ordered.
+  JobResult sorted = cluster.Run(apps::SortJob("s", "counts.tsv"));
+  ASSERT_TRUE(sorted.status.ok());
+  ASSERT_EQ(sorted.output.size(), expected.size());
+  for (std::size_t i = 1; i < sorted.output.size(); ++i) {
+    EXPECT_LE(sorted.output[i - 1].key, sorted.output[i].key);
+  }
+}
+
+TEST(Pipeline, ChaosKillsAndJoinsBetweenJobs) {
+  Cluster cluster(Opts(7));
+  std::string text = SomeText(2, 8000);
+  ASSERT_TRUE(cluster.dfs().Upload("corpus", text).ok());
+  auto expected = apps::WordCountSerial(text);
+
+  Rng rng(99);
+  std::vector<int> killable = {0, 1, 2, 3, 4, 5, 6};
+  for (int round = 0; round < 6; ++round) {
+    // Random membership event between jobs.
+    switch (rng.Below(3)) {
+      case 0: {
+        if (killable.size() > 4) {  // keep >= 4 alive for 3-way replication
+          std::size_t pick = rng.Below(killable.size());
+          int victim = killable[pick];
+          killable.erase(killable.begin() + static_cast<std::ptrdiff_t>(pick));
+          auto report = cluster.KillServer(victim);
+          ASSERT_EQ(report.blocks_lost, 0u) << "round " << round;
+        }
+        break;
+      }
+      case 1: {
+        int id = cluster.AddServer();
+        killable.push_back(id);
+        break;
+      }
+      default:
+        break;  // quiet round
+    }
+
+    JobResult result =
+        cluster.Run(apps::WordCountJob("wc" + std::to_string(round), "corpus"));
+    ASSERT_TRUE(result.status.ok()) << "round " << round << ": "
+                                    << result.status.ToString();
+    ASSERT_EQ(result.output.size(), expected.size()) << "round " << round;
+    for (const auto& kv : result.output) {
+      ASSERT_EQ(kv.value, std::to_string(expected.at(kv.key)))
+          << "round " << round << " word " << kv.key;
+    }
+  }
+}
+
+TEST(Pipeline, ClusterIntrospectionApis) {
+  Cluster cluster(Opts(4));
+  EXPECT_EQ(cluster.WorkerIds().size(), 4u);
+  EXPECT_EQ(cluster.ring().size(), 4u);
+
+  RangeTable ranges = cluster.CacheRanges();
+  EXPECT_EQ(ranges.size(), 4u);
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) EXPECT_GE(ranges.Owner(rng.Next()), 0);
+
+  std::string text = SomeText(3);
+  ASSERT_TRUE(cluster.dfs().Upload("corpus", text).ok());
+  ASSERT_TRUE(cluster.Run(apps::WordCountJob("wc", "corpus")).status.ok());
+  auto stats = cluster.AggregateCacheStats();
+  EXPECT_GT(stats.inserts, 0u);
+  cluster.ResetCacheStats();
+  auto cleared = cluster.AggregateCacheStats();
+  EXPECT_EQ(cleared.inserts, 0u);
+  EXPECT_EQ(cleared.hits, 0u);
+
+  cluster.KillServer(2);
+  EXPECT_EQ(cluster.WorkerIds().size(), 3u);
+  EXPECT_TRUE(cluster.worker(2).dead());
+
+  // Files listable through the cluster's client.
+  auto files = cluster.dfs().ListFiles();
+  ASSERT_EQ(files.size(), 1u);
+  EXPECT_EQ(files[0].name, "corpus");
+}
+
+TEST(Pipeline, LogLevelsRoundTrip) {
+  LogLevel before = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  LOG_DEBUG << "suppressed";
+  LOG_INFO << "suppressed";
+  SetLogLevel(before);
+  EXPECT_EQ(GetLogLevel(), before);
+  for (auto code : {ErrorCode::kOk, ErrorCode::kNotFound, ErrorCode::kAlreadyExists,
+                    ErrorCode::kUnavailable, ErrorCode::kPermission,
+                    ErrorCode::kInvalidArgument, ErrorCode::kCorruption,
+                    ErrorCode::kExpired, ErrorCode::kResourceExhausted,
+                    ErrorCode::kInternal}) {
+    EXPECT_NE(std::string(ErrorCodeName(code)), "Unknown");
+  }
+}
+
+}  // namespace
+}  // namespace eclipse::mr

@@ -1,0 +1,148 @@
+#include "mr/record_reader.h"
+
+#include <gtest/gtest.h>
+
+namespace eclipse::mr {
+namespace {
+
+// Harness: slice `content` into blocks of `block_size` and extract each
+// block's records through the ownership rules.
+struct Harness {
+  Harness(std::string text, Bytes block_size) : content(std::move(text)) {
+    meta.name = "f";
+    meta.size = content.size();
+    meta.block_size = block_size;
+    meta.num_blocks = dfs::NumBlocks(content.size(), block_size);
+  }
+
+  std::string BlockData(std::uint64_t i) const {
+    return content.substr(i * meta.block_size, meta.block_size);
+  }
+
+  Result<std::vector<std::string>> RecordsOf(std::uint64_t i) const {
+    return ExtractRecords(
+        meta, i, '\n', BlockData(i),
+        [this](std::uint64_t j) -> Result<std::string> { return BlockData(j); },
+        [this](std::uint64_t j, Bytes off, Bytes len) -> Result<std::string> {
+          std::string b = BlockData(j);
+          if (off > b.size()) return Status::Error(ErrorCode::kInvalidArgument, "off");
+          return b.substr(off, len);
+        });
+  }
+
+  std::vector<std::string> AllRecords() const {
+    std::vector<std::string> all;
+    for (std::uint64_t i = 0; i < meta.num_blocks; ++i) {
+      auto r = RecordsOf(i);
+      EXPECT_TRUE(r.ok());
+      for (auto& rec : r.value()) all.push_back(rec);
+    }
+    return all;
+  }
+
+  std::string content;
+  dfs::FileMetadata meta;
+};
+
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t p = text.find('\n', start);
+    if (p == std::string::npos) p = text.size();
+    if (p > start) out.push_back(text.substr(start, p - start));
+    start = p + 1;
+  }
+  return out;
+}
+
+TEST(RecordReader, SingleBlockSimple) {
+  Harness h("aa\nbb\ncc\n", 100);
+  auto r = h.RecordsOf(0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), (std::vector<std::string>{"aa", "bb", "cc"}));
+}
+
+TEST(RecordReader, UnterminatedLastLine) {
+  Harness h("aa\nbb", 100);
+  EXPECT_EQ(h.AllRecords(), (std::vector<std::string>{"aa", "bb"}));
+}
+
+TEST(RecordReader, RecordSpansBlocks) {
+  // Block size 4: "aaaaaa\nbb" -> blocks "aaaa", "aa\nb", "b".
+  Harness h("aaaaaa\nbb", 4);
+  auto b0 = h.RecordsOf(0);
+  ASSERT_TRUE(b0.ok());
+  EXPECT_EQ(b0.value(), (std::vector<std::string>{"aaaaaa"}))
+      << "block 0 owns the record it starts and completes it from block 1";
+  auto b1 = h.RecordsOf(1);
+  ASSERT_TRUE(b1.ok());
+  EXPECT_EQ(b1.value(), (std::vector<std::string>{"bb"}))
+      << "block 1 owns 'bb' (starts at its offset 3); partial head skipped";
+  auto b2 = h.RecordsOf(2);
+  ASSERT_TRUE(b2.ok());
+  EXPECT_TRUE(b2.value().empty()) << "'b' continues a record started earlier";
+}
+
+TEST(RecordReader, BoundaryExactlyAtDelimiter) {
+  // "aaa\n" fills block 0 exactly; record "bbb" starts at block 1 byte 0.
+  Harness h("aaa\nbbb\n", 4);
+  EXPECT_EQ(h.RecordsOf(0).value(), (std::vector<std::string>{"aaa"}));
+  EXPECT_EQ(h.RecordsOf(1).value(), (std::vector<std::string>{"bbb"}))
+      << "previous block ended in delimiter: no skip";
+}
+
+TEST(RecordReader, LongRecordSpanningManyBlocks) {
+  std::string rec(20, 'x');
+  Harness h(rec + "\nyy\n", 4);
+  auto all = h.AllRecords();
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0], rec);
+  EXPECT_EQ(all[1], "yy");
+}
+
+TEST(RecordReader, EmptyBlockData) {
+  Harness h("", 4);
+  EXPECT_TRUE(h.RecordsOf(0).value().empty());
+}
+
+TEST(RecordReader, ConsecutiveDelimitersDropEmptyRecords) {
+  Harness h("a\n\n\nb\n", 100);
+  EXPECT_EQ(h.AllRecords(), (std::vector<std::string>{"a", "b"}));
+}
+
+// Exhaustive property: for any content and block size, the union of records
+// over all blocks equals the line split of the whole file, each exactly once
+// and in order.
+class RecordCoverage : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(RecordCoverage, EveryRecordExactlyOnce) {
+  auto [text_style, block_size] = GetParam();
+  std::string text;
+  switch (text_style) {
+    case 0:
+      for (int i = 0; i < 40; ++i) text += "line-" + std::to_string(i) + "\n";
+      break;
+    case 1:  // variable lengths, no trailing newline
+      for (int i = 0; i < 30; ++i) text += std::string(static_cast<std::size_t>(i % 11), 'a' + static_cast<char>(i % 26)) + "\n";
+      text += "tail-without-newline";
+      break;
+    case 2:  // long records vs small blocks
+      for (int i = 0; i < 6; ++i) text += std::string(37, static_cast<char>('A' + i)) + "\n";
+      break;
+    default:  // pathological: empties and singles
+      text = "\n\na\n\nbc\nd\n\n";
+      break;
+  }
+  Harness h(text, static_cast<Bytes>(block_size));
+  EXPECT_EQ(h.AllRecords(), SplitLines(text))
+      << "style=" << text_style << " block_size=" << block_size;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, RecordCoverage,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3),
+                       ::testing::Values(1, 2, 3, 5, 7, 16, 64, 1000)));
+
+}  // namespace
+}  // namespace eclipse::mr

@@ -1,0 +1,253 @@
+#include "dht/ring.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "dht/finger_table.h"
+
+namespace eclipse::dht {
+namespace {
+
+TEST(Ring, AddRemoveContains) {
+  Ring ring;
+  EXPECT_TRUE(ring.empty());
+  ring.AddServer(0);
+  ring.AddServer(1);
+  ring.AddServer(2);
+  EXPECT_EQ(ring.size(), 3u);
+  EXPECT_TRUE(ring.Contains(1));
+  ring.RemoveServer(1);
+  EXPECT_FALSE(ring.Contains(1));
+  EXPECT_EQ(ring.size(), 2u);
+  ring.RemoveServer(99);  // no-op
+  EXPECT_EQ(ring.size(), 2u);
+}
+
+TEST(Ring, ExplicitPositionsAndNeighbors) {
+  Ring ring;
+  ASSERT_TRUE(ring.AddServerAt(0, 100));
+  ASSERT_TRUE(ring.AddServerAt(1, 200));
+  ASSERT_TRUE(ring.AddServerAt(2, 300));
+  EXPECT_FALSE(ring.AddServerAt(3, 100));  // position collision
+  EXPECT_TRUE(ring.AddServerAt(0, 999));   // a second position = a vnode
+  EXPECT_EQ(ring.size(), 3u);
+  EXPECT_EQ(ring.NumPositions(), 4u);
+  EXPECT_EQ(ring.Owner(500), 0) << "vnode at 999 owns (300, 999]";
+  ring.RemoveServer(0);
+  EXPECT_EQ(ring.NumPositions(), 2u) << "removal drops every vnode";
+  ring.AddServerAt(0, 100);  // restore the original layout for the checks below
+
+  EXPECT_EQ(ring.SuccessorOf(0), 1);
+  EXPECT_EQ(ring.SuccessorOf(2), 0);  // wraps
+  EXPECT_EQ(ring.PredecessorOf(0), 2);
+  EXPECT_EQ(ring.PredecessorOf(1), 0);
+
+  EXPECT_EQ(ring.Owner(100), 0);
+  EXPECT_EQ(ring.Owner(101), 1);
+  EXPECT_EQ(ring.Owner(250), 2);
+  EXPECT_EQ(ring.Owner(301), 0);  // wraps to smallest
+  EXPECT_EQ(ring.Owner(50), 0);
+}
+
+TEST(Ring, SingleServerOwnsEverything) {
+  Ring ring;
+  ring.AddServerAt(9, 1000);
+  EXPECT_EQ(ring.Owner(0), 9);
+  EXPECT_EQ(ring.Owner(~HashKey{0}), 9);
+  EXPECT_EQ(ring.SuccessorOf(9), 9);
+  EXPECT_EQ(ring.PredecessorOf(9), 9);
+}
+
+TEST(Ring, ReplicasOwnerSuccessorPredecessor) {
+  Ring ring;
+  ring.AddServerAt(0, 100);
+  ring.AddServerAt(1, 200);
+  ring.AddServerAt(2, 300);
+  ring.AddServerAt(3, 400);
+
+  auto reps = ring.Replicas(150, 3);  // owner = 1
+  ASSERT_EQ(reps.size(), 3u);
+  EXPECT_EQ(reps[0], 1);
+  EXPECT_EQ(reps[1], 2);  // successor
+  EXPECT_EQ(reps[2], 0);  // predecessor
+}
+
+TEST(Ring, ReplicasCappedByMembership) {
+  Ring ring;
+  ring.AddServerAt(0, 100);
+  ring.AddServerAt(1, 200);
+  auto reps = ring.Replicas(150, 5);
+  ASSERT_EQ(reps.size(), 2u);
+  std::set<int> unique(reps.begin(), reps.end());
+  EXPECT_EQ(unique.size(), 2u);
+}
+
+TEST(Ring, MakeRangeTableAgreesWithOwner) {
+  Ring ring;
+  for (int i = 0; i < 10; ++i) ring.AddServer(i);
+  RangeTable t = ring.MakeRangeTable();
+  Rng rng(17);
+  for (int i = 0; i < 500; ++i) {
+    HashKey k = rng.Next();
+    EXPECT_EQ(t.Owner(k), ring.Owner(k));
+  }
+}
+
+// Consistent hashing's minimal-disruption property: removing one server only
+// reassigns keys that it owned.
+class RingDisruption : public ::testing::TestWithParam<int> {};
+
+TEST_P(RingDisruption, RemovalOnlyMovesVictimsKeys) {
+  int n = GetParam();
+  Ring ring;
+  for (int i = 0; i < n; ++i) ring.AddServer(i);
+
+  Rng rng(99);
+  std::vector<HashKey> keys;
+  for (int i = 0; i < 1000; ++i) keys.push_back(rng.Next());
+
+  std::vector<int> before;
+  for (HashKey k : keys) before.push_back(ring.Owner(k));
+
+  int victim = n / 2;
+  ring.RemoveServer(victim);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    int after = ring.Owner(keys[i]);
+    if (before[i] != victim) {
+      EXPECT_EQ(after, before[i]) << "non-victim key moved";
+    } else {
+      EXPECT_NE(after, victim);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RingDisruption, ::testing::Values(2, 4, 8, 40));
+
+TEST(Ring, VirtualNodesEvenOutOwnership) {
+  // The balance extension: with v vnodes per server the per-server owned
+  // fraction concentrates around 1/n.
+  auto spread = [](int vnodes) {
+    Ring ring;
+    const int n = 10;
+    for (int i = 0; i < n; ++i) ring.AddServer(i, vnodes);
+    double max_frac = 0, min_frac = 1, total = 0;
+    for (int i = 0; i < n; ++i) {
+      double f = ring.OwnedFraction(i);
+      max_frac = std::max(max_frac, f);
+      min_frac = std::min(min_frac, f);
+      total += f;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9) << "fractions tile the ring";
+    return max_frac / min_frac;
+  };
+  double skew_1 = spread(1);
+  double skew_32 = spread(32);
+  EXPECT_LT(skew_32, skew_1) << "vnodes must tighten the ownership spread";
+  EXPECT_LT(skew_32, 3.0);
+}
+
+TEST(Ring, VirtualNodesKeepReplicaInvariants) {
+  Ring ring;
+  for (int i = 0; i < 6; ++i) ring.AddServer(i, 8);
+  Rng rng(12);
+  for (int trial = 0; trial < 200; ++trial) {
+    HashKey k = rng.Next();
+    auto reps = ring.Replicas(k, 3);
+    ASSERT_EQ(reps.size(), 3u);
+    std::set<int> unique(reps.begin(), reps.end());
+    EXPECT_EQ(unique.size(), 3u) << "replicas must be distinct servers";
+    EXPECT_EQ(reps[0], ring.Owner(k));
+  }
+}
+
+TEST(Ring, VirtualNodesRangeTableAgreesWithOwner) {
+  Ring ring;
+  for (int i = 0; i < 5; ++i) ring.AddServer(i, 4);
+  RangeTable t = ring.MakeRangeTable();
+  EXPECT_EQ(t.size(), 20u) << "one range per position";
+  Rng rng(13);
+  for (int i = 0; i < 300; ++i) {
+    HashKey k = rng.Next();
+    EXPECT_EQ(t.Owner(k), ring.Owner(k));
+  }
+}
+
+TEST(FingerTable, CompleteTableIsOneHop) {
+  Ring ring;
+  for (int i = 0; i < 12; ++i) ring.AddServer(i);
+  std::vector<FingerTable> tables;
+  for (int i = 0; i < 12; ++i) tables.emplace_back(ring, i, ring.size());
+
+  Rng rng(3);
+  for (int trial = 0; trial < 100; ++trial) {
+    HashKey k = rng.Next();
+    int from = static_cast<int>(rng.Below(12));
+    auto path = RoutePath(ring, tables, from, k);
+    EXPECT_LE(path.size(), 2u) << "complete table must route in one hop";
+    EXPECT_EQ(path.back(), ring.Owner(k));
+  }
+}
+
+// With m fingers (m >= log2(S)), greedy routing reaches the owner within a
+// logarithmic number of hops.
+class FingerRouting : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(FingerRouting, ReachesOwnerWithinBound) {
+  auto [num_servers, m] = GetParam();
+  Ring ring;
+  for (int i = 0; i < num_servers; ++i) ring.AddServer(i);
+  std::vector<FingerTable> tables;
+  for (int i = 0; i < num_servers; ++i) {
+    tables.emplace_back(ring, i, static_cast<std::size_t>(m));
+  }
+
+  Rng rng(41);
+  std::size_t worst = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    HashKey k = rng.Next();
+    int from = static_cast<int>(rng.Below(static_cast<std::uint64_t>(num_servers)));
+    auto path = RoutePath(ring, tables, from, k);
+    ASSERT_EQ(path.back(), ring.Owner(k));
+    worst = std::max(worst, path.size() - 1);
+  }
+  // Never more hops than servers; with ample fingers, much fewer.
+  EXPECT_LE(worst, static_cast<std::size_t>(num_servers));
+  if (static_cast<std::size_t>(m) >= ring.size()) {
+    EXPECT_LE(worst, 1u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Configs, FingerRouting,
+                         ::testing::Values(std::make_tuple(8, 8),
+                                           std::make_tuple(16, 4),
+                                           std::make_tuple(32, 5),
+                                           std::make_tuple(64, 6),
+                                           std::make_tuple(64, 64),
+                                           std::make_tuple(40, 40)));
+
+TEST(FingerTable, FewerFingersMeansMoreHops) {
+  Ring ring;
+  for (int i = 0; i < 64; ++i) ring.AddServer(i);
+
+  auto avg_hops = [&](std::size_t m) {
+    std::vector<FingerTable> tables;
+    for (int i = 0; i < 64; ++i) tables.emplace_back(ring, i, m);
+    Rng rng(8);
+    double total = 0;
+    for (int t = 0; t < 300; ++t) {
+      auto path = RoutePath(ring, tables, static_cast<int>(rng.Below(64)), rng.Next());
+      total += static_cast<double>(path.size() - 1);
+    }
+    return total / 300.0;
+  };
+
+  double hops_full = avg_hops(64);
+  double hops_small = avg_hops(6);
+  EXPECT_LE(hops_full, 1.0);
+  EXPECT_GT(hops_small, hops_full);
+}
+
+}  // namespace
+}  // namespace eclipse::dht

@@ -1,0 +1,120 @@
+// Multi-hop DHT request routing (§II-A): when zero-hop routing is not
+// enabled (finger tables smaller than the ring), a block request forwarded
+// through finger tables still reaches the key's owner.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "dfs/dfs_client.h"
+#include "net/dispatcher.h"
+
+namespace eclipse::dfs {
+namespace {
+
+class RoutingTest : public ::testing::TestWithParam<std::size_t> {
+ protected:
+  void Boot(int n, std::size_t finger_entries) {
+    for (int i = 0; i < n; ++i) ring_.AddServer(i);
+    for (int i = 0; i < n; ++i) {
+      dispatchers_.push_back(std::make_unique<net::Dispatcher>());
+      nodes_.push_back(std::make_unique<DfsNode>(i, *dispatchers_.back()));
+      nodes_.back()->EnableRouting(transport_, [this] { return ring_; }, finger_entries);
+      transport_.Register(i, dispatchers_.back()->AsHandler());
+    }
+  }
+
+  net::InProcessTransport transport_;
+  dht::Ring ring_;
+  std::vector<std::unique_ptr<net::Dispatcher>> dispatchers_;
+  std::vector<std::unique_ptr<DfsNode>> nodes_;
+};
+
+TEST_P(RoutingTest, RoutedGetReachesOwnerFromAnyEntry) {
+  const std::size_t m = GetParam();
+  const int n = 24;
+  Boot(n, m);
+
+  // Store objects directly on their owners.
+  for (int i = 0; i < 20; ++i) {
+    std::string id = "obj-" + std::to_string(i);
+    HashKey key = KeyOf(id);
+    int owner = ring_.Owner(key);
+    nodes_[static_cast<std::size_t>(owner)]->blocks().Put(id, key, "data-" + std::to_string(i));
+  }
+
+  for (int i = 0; i < 20; ++i) {
+    std::string id = "obj-" + std::to_string(i);
+    HashKey key = KeyOf(id);
+    for (int entry : {0, 7, 15, 23}) {
+      auto got = RoutedGet(transport_, /*caller=*/1000, entry, id, key);
+      ASSERT_TRUE(got.ok()) << "entry " << entry << ": " << got.status().ToString();
+      EXPECT_EQ(got.value().data, "data-" + std::to_string(i));
+      EXPECT_EQ(got.value().owner, ring_.Owner(key));
+      if (m >= static_cast<std::size_t>(n)) {
+        EXPECT_LE(got.value().hops, 1u) << "complete tables route in one hop";
+      } else {
+        EXPECT_LE(got.value().hops, static_cast<std::uint32_t>(n));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(FingerSizes, RoutingTest, ::testing::Values(3, 5, 8, 24));
+
+TEST_F(RoutingTest, MissAtOwnerIsAuthoritative) {
+  Boot(8, 4);
+  HashKey key = KeyOf("ghost");
+  auto got = RoutedGet(transport_, 1000, 3, "ghost", key);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), ErrorCode::kNotFound);
+}
+
+TEST_F(RoutingTest, HopBudgetBounds) {
+  Boot(16, 4);
+  std::string id = "thing";
+  HashKey key = KeyOf(id);
+  int owner = ring_.Owner(key);
+  nodes_[static_cast<std::size_t>(owner)]->blocks().Put(id, key, "v");
+  // Zero extra hops from a non-owner entry: exhausted (unless entry is the
+  // owner or already holds it).
+  int entry = (owner + 1) % 16;
+  auto got = RoutedGet(transport_, 1000, entry, id, key, /*max_hops=*/0);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), ErrorCode::kResourceExhausted);
+}
+
+TEST_F(RoutingTest, ClientReadBlockRouted) {
+  Boot(12, 4);
+  DfsClientOptions copts;
+  copts.default_block_size = 64;
+  DfsClient client(1000, transport_, [this] { return ring_; }, copts);
+  std::string content(300, 'q');
+  ASSERT_TRUE(client.Upload("routed-file", content).ok());
+  auto meta = client.GetMetadata("routed-file").value();
+
+  for (std::uint64_t b = 0; b < meta.num_blocks; ++b) {
+    for (int entry : {0, 5, 11}) {
+      auto got = client.ReadBlockRouted(meta, b, entry);
+      ASSERT_TRUE(got.ok()) << "block " << b << " entry " << entry << ": "
+                            << got.status().ToString();
+      EXPECT_EQ(got.value(), content.substr(b * 64, 64));
+    }
+  }
+  EXPECT_FALSE(client.ReadBlockRouted(meta, 999, 0).ok());
+}
+
+TEST_F(RoutingTest, RoutingDisabledServesLocalOnly) {
+  // Nodes without EnableRouting answer from local state.
+  net::InProcessTransport transport;
+  net::Dispatcher d;
+  DfsNode node(0, d);
+  transport.Register(0, d.AsHandler());
+  node.blocks().Put("here", 1, "local");
+  auto got = RoutedGet(transport, 99, 0, "here", 1);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value().data, "local");
+  EXPECT_FALSE(RoutedGet(transport, 99, 0, "elsewhere", 2).ok());
+}
+
+}  // namespace
+}  // namespace eclipse::dfs

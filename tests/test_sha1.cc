@@ -1,0 +1,75 @@
+#include "common/sha1.h"
+
+#include <gtest/gtest.h>
+
+namespace eclipse {
+namespace {
+
+TEST(Sha1, EmptyString) {
+  EXPECT_EQ(ToHex(Sha1::Hash("")), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+}
+
+TEST(Sha1, Abc) {
+  EXPECT_EQ(ToHex(Sha1::Hash("abc")), "a9993e364706816aba3e25717850c26c9cd0d89d");
+}
+
+TEST(Sha1, TwoBlockMessage) {
+  EXPECT_EQ(ToHex(Sha1::Hash("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+}
+
+TEST(Sha1, MillionAs) {
+  Sha1 h;
+  std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.Update(chunk);
+  EXPECT_EQ(ToHex(h.Finish()), "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+}
+
+TEST(Sha1, QuickBrownFox) {
+  EXPECT_EQ(ToHex(Sha1::Hash("The quick brown fox jumps over the lazy dog")),
+            "2fd4e1c67a2d28fced849ee1bb76e7391b93eb12");
+}
+
+// Incremental updates must agree with one-shot hashing regardless of how the
+// input is chunked.
+class Sha1Chunking : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(Sha1Chunking, MatchesOneShot) {
+  std::string msg;
+  for (int i = 0; i < 500; ++i) msg += "payload-" + std::to_string(i) + "|";
+  Sha1Digest expected = Sha1::Hash(msg);
+
+  Sha1 h;
+  std::size_t chunk = GetParam();
+  for (std::size_t pos = 0; pos < msg.size(); pos += chunk) {
+    h.Update(msg.data() + pos, std::min(chunk, msg.size() - pos));
+  }
+  EXPECT_EQ(h.Finish(), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(ChunkSizes, Sha1Chunking,
+                         ::testing::Values(1, 3, 7, 63, 64, 65, 127, 128, 1000));
+
+TEST(Sha1, ResetAllowsReuse) {
+  Sha1 h;
+  h.Update("first message");
+  h.Finish();
+  h.Reset();
+  h.Update("abc");
+  EXPECT_EQ(ToHex(h.Finish()), "a9993e364706816aba3e25717850c26c9cd0d89d");
+}
+
+TEST(Sha1, BoundaryLengths) {
+  // Messages straddling the padding boundary (55/56/63/64 bytes).
+  for (std::size_t len : {55u, 56u, 57u, 63u, 64u, 65u, 119u, 120u}) {
+    std::string msg(len, 'x');
+    Sha1 a;
+    a.Update(msg);
+    Sha1 b;
+    for (char c : msg) b.Update(&c, 1);
+    EXPECT_EQ(a.Finish(), b.Finish()) << "len=" << len;
+  }
+}
+
+}  // namespace
+}  // namespace eclipse

@@ -1,0 +1,134 @@
+#include "mr/shuffle.h"
+
+#include <gtest/gtest.h>
+
+#include "dht/ring.h"
+#include "net/transport.h"
+
+namespace eclipse::mr {
+namespace {
+
+TEST(Spill, EncodeDecodeRoundTrip) {
+  std::vector<KV> pairs = {{"k1", "v1"}, {"k2", ""}, {"", "v3"}};
+  auto back = DecodeSpill(EncodeSpill(pairs));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), pairs);
+}
+
+TEST(Spill, DecodeTruncatedFails) {
+  auto data = EncodeSpill({{"key", "value"}});
+  EXPECT_FALSE(DecodeSpill(data.substr(0, data.size() - 2)).ok());
+  EXPECT_FALSE(DecodeSpill("").ok());
+}
+
+TEST(Manifest, RoundTrip) {
+  std::vector<SpillInfo> spills = {{"id1", 100, 5, 64}, {"id2", 200, 9, 128}};
+  auto back = DecodeManifest(EncodeManifest(spills));
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back.value().size(), 2u);
+  EXPECT_EQ(back.value()[0].id, "id1");
+  EXPECT_EQ(back.value()[1].range_begin, 200u);
+  EXPECT_EQ(back.value()[1].pairs, 9u);
+}
+
+TEST(SpillIdTest, DeterministicAndDistinct) {
+  EXPECT_EQ(SpillId("p", 10, 0), SpillId("p", 10, 0));
+  EXPECT_NE(SpillId("p", 10, 0), SpillId("p", 10, 1));
+  EXPECT_NE(SpillId("p", 10, 0), SpillId("p", 11, 0));
+  EXPECT_EQ(ManifestId("tag", "in", 3), "man/tag/in/b3");
+}
+
+class ShuffleWriterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    for (int i = 0; i < 4; ++i) ring_.AddServer(i);
+    for (int i = 0; i < 4; ++i) {
+      dispatchers_.push_back(std::make_unique<net::Dispatcher>());
+      nodes_.push_back(std::make_unique<dfs::DfsNode>(i, *dispatchers_.back()));
+      transport_.Register(i, dispatchers_.back()->AsHandler());
+    }
+    client_ = std::make_unique<dfs::DfsClient>(100, transport_, [this] { return ring_; });
+  }
+
+  net::InProcessTransport transport_;
+  dht::Ring ring_;
+  std::vector<std::unique_ptr<net::Dispatcher>> dispatchers_;
+  std::vector<std::unique_ptr<dfs::DfsNode>> nodes_;
+  std::unique_ptr<dfs::DfsClient> client_;
+};
+
+TEST_F(ShuffleWriterTest, FlushPersistsAllPairs) {
+  RangeTable ranges = ring_.MakeRangeTable();
+  ShuffleWriter w("im/job/b0", ranges, *client_, 1_MiB, std::chrono::milliseconds(0));
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(w.Add("key-" + std::to_string(i), "value").ok());
+  }
+  ASSERT_TRUE(w.Flush().ok());
+  ASSERT_FALSE(w.spills().empty());
+
+  // Reading every spill back recovers exactly the 100 pairs.
+  std::size_t total = 0;
+  for (const auto& spill : w.spills()) {
+    auto data = client_->GetObject(spill.id, spill.range_begin);
+    ASSERT_TRUE(data.ok());
+    auto pairs = DecodeSpill(data.value());
+    ASSERT_TRUE(pairs.ok());
+    total += pairs.value().size();
+    EXPECT_EQ(pairs.value().size(), spill.pairs);
+    // Every key in this spill must hash into the spill's range.
+    KeyRange range;
+    for (const auto& [server, kr] : ranges.entries()) {
+      if (kr.begin == spill.range_begin && !kr.IsEmpty()) range = kr;
+    }
+    for (const auto& kv : pairs.value()) {
+      EXPECT_TRUE(range.Contains(KeyOf(kv.key))) << kv.key;
+    }
+  }
+  EXPECT_EQ(total, 100u);
+}
+
+TEST_F(ShuffleWriterTest, ThresholdTriggersEarlySpills) {
+  RangeTable ranges = ring_.MakeRangeTable();
+  ShuffleWriter w("im/job/b1", ranges, *client_, 64, std::chrono::milliseconds(0));
+  // Push enough into one range to cross the 64-byte threshold repeatedly.
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(w.Add("constant-key", std::string(16, 'v')).ok());
+  }
+  // Spills happened before Flush.
+  EXPECT_GT(w.spills().size(), 1u);
+  ASSERT_TRUE(w.Flush().ok());
+}
+
+TEST_F(ShuffleWriterTest, SpillLandsOnRangeOwner) {
+  RangeTable ranges = ring_.MakeRangeTable();
+  ShuffleWriter w("im/job/b2", ranges, *client_, 1_MiB, std::chrono::milliseconds(0));
+  ASSERT_TRUE(w.Add("some-key", "v").ok());
+  ASSERT_TRUE(w.Flush().ok());
+  ASSERT_EQ(w.spills().size(), 1u);
+  const auto& spill = w.spills()[0];
+  int owner = ranges.Owner(spill.range_begin);
+  EXPECT_TRUE(nodes_[static_cast<std::size_t>(owner)]->blocks().Contains(spill.id))
+      << "proactive shuffle must place the spill reducer-side";
+}
+
+TEST_F(ShuffleWriterTest, DeterministicAcrossReruns) {
+  RangeTable ranges = ring_.MakeRangeTable();
+  auto run = [&] {
+    ShuffleWriter w("im/job/b3", ranges, *client_, 64, std::chrono::milliseconds(0));
+    for (int i = 0; i < 30; ++i) {
+      EXPECT_TRUE(w.Add("key-" + std::to_string(i % 7), "payload-" + std::to_string(i)).ok());
+    }
+    EXPECT_TRUE(w.Flush().ok());
+    return w.spills();
+  };
+  auto first = run();
+  auto second = run();  // re-execution overwrites identical ids
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].id, second[i].id);
+    EXPECT_EQ(first[i].pairs, second[i].pairs);
+  }
+}
+
+}  // namespace
+}  // namespace eclipse::mr

@@ -1,0 +1,320 @@
+// Cluster-simulator behaviour tests: the directional properties each paper
+// figure depends on must hold before the benches regenerate the figures.
+#include <gtest/gtest.h>
+
+#include "sim/eclipse_sim.h"
+#include "sim/hadoop_sim.h"
+#include "sim/spark_sim.h"
+#include "workload/generators.h"
+
+namespace eclipse::sim {
+namespace {
+
+SimConfig SmallConfig(int nodes = 10) {
+  SimConfig cfg;
+  cfg.num_nodes = nodes;
+  cfg.block_size = 128_MiB;
+  cfg.cache_per_node = 1_GiB;
+  return cfg;
+}
+
+SimJobSpec ScanJob(AppProfile app, std::uint32_t blocks, const std::string& dataset = "d") {
+  SimJobSpec spec;
+  spec.app = std::move(app);
+  spec.dataset = dataset;
+  spec.num_blocks = blocks;
+  return spec;
+}
+
+TEST(SlotPoolTest, QueueingSemantics) {
+  SlotPool pool(2);
+  EXPECT_DOUBLE_EQ(pool.Schedule(0.0, 10.0), 10.0);
+  EXPECT_DOUBLE_EQ(pool.Schedule(0.0, 10.0), 10.0);
+  // Third task queues behind the earliest slot.
+  EXPECT_DOUBLE_EQ(pool.Schedule(0.0, 5.0), 15.0);
+  EXPECT_DOUBLE_EQ(pool.MakeSpan(), 15.0);
+  EXPECT_EQ(pool.total_tasks(), 3u);
+  EXPECT_DOUBLE_EQ(pool.EarliestStart(0.0), 10.0);
+  EXPECT_FALSE(pool.HasIdleSlot(5.0));
+  pool.Reset();
+  EXPECT_DOUBLE_EQ(pool.MakeSpan(), 0.0);
+}
+
+TEST(SlotPoolTest, LateSubmitStartsAtSubmit) {
+  SlotPool pool(1);
+  EXPECT_DOUBLE_EQ(pool.Schedule(100.0, 5.0), 105.0);
+}
+
+TEST(EclipseSimTest, MoreNodesFinishFaster) {
+  auto job = ScanJob(GrepProfile(), 400);
+  EclipseSim small(SmallConfig(5), mr::SchedulerKind::kLaf);
+  EclipseSim big(SmallConfig(20), mr::SchedulerKind::kLaf);
+  double t_small = small.RunJob(job).job_seconds;
+  double t_big = big.RunJob(job).job_seconds;
+  EXPECT_LT(t_big, t_small);
+}
+
+TEST(EclipseSimTest, SecondRunHitsCache) {
+  SimConfig cfg = SmallConfig(8);
+  cfg.cache_per_node = 64_GiB;  // everything fits
+  EclipseSim sim(cfg, mr::SchedulerKind::kLaf);
+  auto job = ScanJob(GrepProfile(), 200);
+  auto cold = sim.RunJob(job);
+  auto warm = sim.RunJob(job);
+  EXPECT_EQ(cold.cache_hits, 0u);
+  EXPECT_GT(warm.cache_hits, warm.cache_misses);
+  EXPECT_LT(warm.job_seconds, cold.job_seconds);
+}
+
+TEST(EclipseSimTest, ZeroCacheNeverHits) {
+  SimConfig cfg = SmallConfig(8);
+  cfg.cache_per_node = 0;
+  EclipseSim sim(cfg, mr::SchedulerKind::kLaf);
+  auto job = ScanJob(GrepProfile(), 100);
+  sim.RunJob(job);
+  auto again = sim.RunJob(job);
+  EXPECT_EQ(again.cache_hits, 0u);
+}
+
+TEST(EclipseSimTest, LafBalancesSkewedTraceBetterThanDelay) {
+  // Fig. 7 setup in miniature: accesses drawn from two merged normals.
+  Rng rng(3);
+  workload::TraceOptions topts;
+  topts.shape = workload::TraceShape::kTwoNormals;
+  topts.num_blocks = 256;
+  topts.length = 4000;
+  auto trace = workload::GenerateTrace(rng, topts);
+
+  SimConfig cfg = SmallConfig(10);
+  auto job = ScanJob(GrepProfile(), 256);
+  job.accesses = trace;
+
+  EclipseSim laf_sim(cfg, mr::SchedulerKind::kLaf);
+  EclipseSim delay_sim(cfg, mr::SchedulerKind::kDelay);
+  auto laf_result = laf_sim.RunJob(job);
+  auto delay_result = delay_sim.RunJob(job);
+
+  EXPECT_LT(laf_result.slot_stddev, delay_result.slot_stddev)
+      << "LAF's equal-probability ranges must balance better (Fig. 7)";
+  EXPECT_LT(laf_result.job_seconds, delay_result.job_seconds);
+}
+
+TEST(EclipseSimTest, DelayAchievesHigherHitRatioOnSkew) {
+  // The paper's Fig. 7(b): static ranges + waiting yield more cache hits,
+  // at the price of load balance.
+  Rng rng(5);
+  workload::TraceOptions topts;
+  topts.shape = workload::TraceShape::kTwoNormals;
+  topts.num_blocks = 512;
+  topts.length = 6000;
+  auto trace = workload::GenerateTrace(rng, topts);
+
+  SimConfig cfg = SmallConfig(10);
+  cfg.cache_per_node = 2_GiB;
+  auto job = ScanJob(GrepProfile(), 512);
+  job.accesses = trace;
+
+  EclipseSim laf_sim(cfg, mr::SchedulerKind::kLaf,
+                     sched::LafOptions{.window = 128, .alpha = 1.0});
+  EclipseSim delay_sim(cfg, mr::SchedulerKind::kDelay);
+  auto laf_result = laf_sim.RunJob(job);
+  auto delay_result = delay_sim.RunJob(job);
+
+  EXPECT_GE(delay_result.HitRatio() + 1e-9, laf_result.HitRatio())
+      << "delay keeps keys pinned to static owners";
+}
+
+TEST(EclipseSimTest, BiggerCacheRaisesHitRatio) {
+  Rng rng(7);
+  workload::TraceOptions topts;
+  topts.shape = workload::TraceShape::kZipf;
+  topts.num_blocks = 400;
+  topts.length = 3000;
+  auto trace = workload::GenerateTrace(rng, topts);
+
+  auto run_with_cache = [&](Bytes cache) {
+    SimConfig cfg = SmallConfig(8);
+    cfg.cache_per_node = cache;
+    EclipseSim sim(cfg, mr::SchedulerKind::kLaf);
+    auto job = ScanJob(GrepProfile(), 400);
+    job.accesses = trace;
+    return sim.RunJob(job);
+  };
+  auto small = run_with_cache(512_MiB);
+  auto large = run_with_cache(8_GiB);
+  EXPECT_GT(large.HitRatio(), small.HitRatio());
+  EXPECT_LE(large.job_seconds, small.job_seconds + 1e-9);
+}
+
+TEST(EclipseSimTest, BatchSharesDatasetCache) {
+  SimConfig cfg = SmallConfig(8);
+  cfg.cache_per_node = 64_GiB;
+  EclipseSim sim(cfg, mr::SchedulerKind::kLaf);
+  // Two jobs scanning the same dataset (Fig. 8's word count + grep pair).
+  auto j1 = ScanJob(WordCountProfile(), 100, "shared");
+  auto j2 = ScanJob(GrepProfile(), 100, "shared");
+  auto results = sim.RunBatch({j1, j2});
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_GT(results[0].cache_hits + results[1].cache_hits, 0u)
+      << "interleaved jobs over one dataset must share cached blocks";
+}
+
+TEST(EclipseSimTest, HotSpotReplicatesAcrossServers) {
+  // Paper §II-E extreme case: one hash key is the only hot spot; LAF's
+  // re-partitioning must spread its tasks across (nearly) all servers, each
+  // of which caches the hot block.
+  SimConfig cfg = SmallConfig(10);
+  cfg.cache_per_node = 4_GiB;
+  sched::LafOptions laf;
+  laf.window = 64;
+  laf.alpha = 1.0;
+  laf.bandwidth = 1;  // no kernel smoothing: a pure point mass, so all
+                      // partition boundaries collapse onto one key
+  EclipseSim sim(cfg, mr::SchedulerKind::kLaf, laf);
+
+  SimJobSpec job = ScanJob(GrepProfile(), 64, "hot");
+  job.accesses.assign(2000, 7);  // every access hits block 7
+  auto r = sim.RunJob(job);
+
+  // After adaptation the hot block is served from many caches: overall hit
+  // ratio approaches 1 and the tasks-per-slot spread stays tight.
+  EXPECT_GT(r.HitRatio(), 0.8);
+  std::uint64_t busy_slots = 0;
+  // Static hashing would put all 2000 tasks on ONE server (8 slots); LAF
+  // must involve most of the cluster.
+  (void)busy_slots;
+  EXPECT_LT(r.slot_stddev, 10.0) << "2000 tasks on 80 slots: stddev must be far "
+                                    "below the single-server 250/slot pile-up";
+
+  // Delay, by contrast, pins everything to the static owner.
+  EclipseSim pinned(cfg, mr::SchedulerKind::kDelay);
+  auto rd = pinned.RunJob(job);
+  EXPECT_GT(rd.slot_stddev, r.slot_stddev);
+  EXPECT_GT(rd.job_seconds, r.job_seconds);
+}
+
+TEST(EclipseSimTest, StaggeredArrivalsRespectSubmitTimes) {
+  SimConfig cfg = SmallConfig(8);
+  EclipseSim sim(cfg, mr::SchedulerKind::kLaf);
+  auto early = ScanJob(GrepProfile(), 100, "a");
+  auto late = ScanJob(GrepProfile(), 100, "b");
+  late.submit_time = 1000.0;  // long after the first job drains
+  auto results = sim.RunBatch({early, late});
+  // The late job must not be charged for its arrival gap.
+  EXPECT_LT(results[1].job_seconds, results[0].job_seconds * 2.0 + 10.0);
+  EXPECT_GT(results[0].job_seconds, 0.0);
+}
+
+TEST(EclipseSimTest, StragglersHurtLafMoreThanDelay) {
+  // LAF ranges ignore server speed; delay's idle-steal routes around slow
+  // nodes. A documented sensitivity, not a paper figure.
+  SimConfig cfg = SmallConfig(10);
+  cfg.slow_nodes = 3;
+  cfg.slow_factor = 3.0;
+  auto job = ScanJob(KMeansProfile(), 300);
+
+  EclipseSim laf_sim(cfg, mr::SchedulerKind::kLaf);
+  EclipseSim delay_sim(cfg, mr::SchedulerKind::kDelay);
+  double t_laf = laf_sim.RunJob(job).job_seconds;
+  double t_delay = delay_sim.RunJob(job).job_seconds;
+
+  SimConfig homog = SmallConfig(10);
+  EclipseSim laf_homog(homog, mr::SchedulerKind::kLaf);
+  double t_base = laf_homog.RunJob(job).job_seconds;
+
+  EXPECT_GT(t_laf, t_base) << "stragglers must cost something";
+  EXPECT_LT(t_delay, t_laf) << "delay steals around slow nodes";
+}
+
+TEST(HadoopSimTest, SlowerThanEclipsePerJob) {
+  auto job = ScanJob(WordCountProfile(), 300);
+  EclipseSim eclipse(SmallConfig(10), mr::SchedulerKind::kLaf);
+  HadoopSim hadoop(SmallConfig(10));
+  double t_e = eclipse.RunJob(job).job_seconds;
+  double t_h = hadoop.RunJob(job).job_seconds;
+  EXPECT_LT(t_e, t_h) << "container + NameNode overheads must show (Fig. 5b/9)";
+}
+
+TEST(HadoopSimTest, IterativeJobsPayEveryIteration) {
+  auto job = ScanJob(KMeansProfile(), 100);
+  job.iterations = 3;
+  HadoopSim hadoop(SmallConfig(10));
+  auto result = hadoop.RunJob(job);
+  ASSERT_EQ(result.iteration_seconds.size(), 3u);
+  // No caching: iteration 2/3 cost about the same as iteration 1.
+  EXPECT_GT(result.iteration_seconds[1], 0.8 * result.iteration_seconds[0]);
+  EXPECT_GT(result.iteration_seconds[2], 0.8 * result.iteration_seconds[0]);
+}
+
+TEST(SparkSimTest, FirstIterationSlowestThenCached) {
+  auto job = ScanJob(KMeansProfile(), 200);
+  job.iterations = 5;
+  SparkSim spark(SmallConfig(10));
+  auto result = spark.RunJob(job);
+  ASSERT_EQ(result.iteration_seconds.size(), 5u);
+  for (std::size_t i = 1; i < 5; ++i) {
+    EXPECT_LT(result.iteration_seconds[i], 0.7 * result.iteration_seconds[0])
+        << "RDD-cached iterations must be much faster (Fig. 10)";
+  }
+  EXPECT_GT(result.cache_hits, 0u);
+}
+
+TEST(SparkSimTest, LastPageRankIterationWritesOutput) {
+  auto job = ScanJob(PageRankProfile(), 60);
+  job.iterations = 4;
+  SparkSim spark(SmallConfig(10));
+  auto result = spark.RunJob(job);
+  ASSERT_EQ(result.iteration_seconds.size(), 4u);
+  EXPECT_GT(result.iteration_seconds[3], result.iteration_seconds[2])
+      << "final output write must slow the last iteration (Fig. 10c)";
+}
+
+TEST(SparkSimTest, EclipseFasterOnIterativeCompute) {
+  // The Fig. 9 k-means relationship: EclipseMR well ahead of Spark.
+  auto job = ScanJob(KMeansProfile(), 200);
+  job.iterations = 5;
+  SimConfig cfg = SmallConfig(10);
+  EclipseSim eclipse(cfg, mr::SchedulerKind::kLaf);
+  SparkSim spark(cfg);
+  double t_e = eclipse.RunJob(job).job_seconds;
+  double t_s = spark.RunJob(job).job_seconds;
+  EXPECT_LT(t_e * 1.5, t_s) << "paper reports ~3.5x; at least 1.5x must hold";
+}
+
+TEST(SparkSimTest, SparkFasterOnPageRankIterations) {
+  // Fig. 9/10c: EclipseMR persists large iteration outputs, Spark does not,
+  // so Spark wins page rank middle iterations.
+  auto job = ScanJob(PageRankProfile(), 60);
+  job.iterations = 4;
+  SimConfig cfg = SmallConfig(10);
+  EclipseSim eclipse(cfg, mr::SchedulerKind::kLaf);
+  SparkSim spark(cfg);
+  auto r_e = eclipse.RunJob(job);
+  auto r_s = spark.RunJob(job);
+  EXPECT_LT(r_s.iteration_seconds[2], r_e.iteration_seconds[2])
+      << "Spark must win the no-write middle iterations";
+}
+
+TEST(DfsioShapes, HdfsPerJobThroughputCollapses) {
+  // Fig. 5: per-map-task throughput similar; per-job throughput divided by
+  // container/NameNode overheads on Hadoop.
+  auto job = ScanJob(DfsioProfile(), 300);
+  SimConfig cfg = SmallConfig(10);
+  EclipseSim eclipse(cfg, mr::SchedulerKind::kLaf);
+  HadoopSim hadoop(cfg);
+  auto r_e = eclipse.RunJob(job);
+  auto r_h = hadoop.RunJob(job);
+
+  double per_task_e =
+      static_cast<double>(r_e.bytes_read) / (1 << 20) / r_e.map_task_seconds_total;
+  double per_task_h =
+      static_cast<double>(r_h.bytes_read) / (1 << 20) / r_h.map_task_seconds_total;
+  double per_job_e = static_cast<double>(r_e.bytes_read) / (1 << 20) / r_e.job_seconds;
+  double per_job_h = static_cast<double>(r_h.bytes_read) / (1 << 20) / r_h.job_seconds;
+
+  EXPECT_GT(per_task_h, 0.1 * per_task_e) << "same disks: same order of magnitude";
+  EXPECT_GT(per_job_e, 2.0 * per_job_h) << "DHT FS must dominate bytes/job-time";
+}
+
+}  // namespace
+}  // namespace eclipse::sim
