@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10_iterative"
+  "../bench/bench_fig10_iterative.pdb"
+  "CMakeFiles/bench_fig10_iterative.dir/bench_fig10_iterative.cc.o"
+  "CMakeFiles/bench_fig10_iterative.dir/bench_fig10_iterative.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_iterative.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

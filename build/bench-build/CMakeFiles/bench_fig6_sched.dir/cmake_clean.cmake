@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_sched"
+  "../bench/bench_fig6_sched.pdb"
+  "CMakeFiles/bench_fig6_sched.dir/bench_fig6_sched.cc.o"
+  "CMakeFiles/bench_fig6_sched.dir/bench_fig6_sched.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_skew"
+  "../bench/bench_fig7_skew.pdb"
+  "CMakeFiles/bench_fig7_skew.dir/bench_fig7_skew.cc.o"
+  "CMakeFiles/bench_fig7_skew.dir/bench_fig7_skew.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_skew.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8_concurrent"
+  "../bench/bench_fig8_concurrent.pdb"
+  "CMakeFiles/bench_fig8_concurrent.dir/bench_fig8_concurrent.cc.o"
+  "CMakeFiles/bench_fig8_concurrent.dir/bench_fig8_concurrent.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_concurrent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

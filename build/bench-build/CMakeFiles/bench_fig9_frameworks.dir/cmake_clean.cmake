@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig9_frameworks"
+  "../bench/bench_fig9_frameworks.pdb"
+  "CMakeFiles/bench_fig9_frameworks.dir/bench_fig9_frameworks.cc.o"
+  "CMakeFiles/bench_fig9_frameworks.dir/bench_fig9_frameworks.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_frameworks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eclipsemr_shell.dir/eclipsemr_shell.cpp.o"
+  "CMakeFiles/eclipsemr_shell.dir/eclipsemr_shell.cpp.o.d"
+  "eclipsemr_shell"
+  "eclipsemr_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eclipsemr_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

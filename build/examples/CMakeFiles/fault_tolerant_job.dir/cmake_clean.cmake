@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_tolerant_job.dir/fault_tolerant_job.cpp.o"
+  "CMakeFiles/fault_tolerant_job.dir/fault_tolerant_job.cpp.o.d"
+  "fault_tolerant_job"
+  "fault_tolerant_job.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_tolerant_job.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/eclipse_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/eclipse_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/dht/CMakeFiles/eclipse_dht.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfs/CMakeFiles/eclipse_dfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/eclipse_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/eclipse_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/mr/CMakeFiles/eclipse_mr.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/eclipse_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/eclipse_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

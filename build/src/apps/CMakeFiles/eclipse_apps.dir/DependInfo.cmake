@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/grep.cc" "src/apps/CMakeFiles/eclipse_apps.dir/grep.cc.o" "gcc" "src/apps/CMakeFiles/eclipse_apps.dir/grep.cc.o.d"
+  "/root/repo/src/apps/inverted_index.cc" "src/apps/CMakeFiles/eclipse_apps.dir/inverted_index.cc.o" "gcc" "src/apps/CMakeFiles/eclipse_apps.dir/inverted_index.cc.o.d"
+  "/root/repo/src/apps/kmeans.cc" "src/apps/CMakeFiles/eclipse_apps.dir/kmeans.cc.o" "gcc" "src/apps/CMakeFiles/eclipse_apps.dir/kmeans.cc.o.d"
+  "/root/repo/src/apps/logreg.cc" "src/apps/CMakeFiles/eclipse_apps.dir/logreg.cc.o" "gcc" "src/apps/CMakeFiles/eclipse_apps.dir/logreg.cc.o.d"
+  "/root/repo/src/apps/pagerank.cc" "src/apps/CMakeFiles/eclipse_apps.dir/pagerank.cc.o" "gcc" "src/apps/CMakeFiles/eclipse_apps.dir/pagerank.cc.o.d"
+  "/root/repo/src/apps/sort.cc" "src/apps/CMakeFiles/eclipse_apps.dir/sort.cc.o" "gcc" "src/apps/CMakeFiles/eclipse_apps.dir/sort.cc.o.d"
+  "/root/repo/src/apps/text_util.cc" "src/apps/CMakeFiles/eclipse_apps.dir/text_util.cc.o" "gcc" "src/apps/CMakeFiles/eclipse_apps.dir/text_util.cc.o.d"
+  "/root/repo/src/apps/wordcount.cc" "src/apps/CMakeFiles/eclipse_apps.dir/wordcount.cc.o" "gcc" "src/apps/CMakeFiles/eclipse_apps.dir/wordcount.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/eclipse_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mr/CMakeFiles/eclipse_mr.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfs/CMakeFiles/eclipse_dfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/dht/CMakeFiles/eclipse_dht.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/eclipse_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/eclipse_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/eclipse_sched.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

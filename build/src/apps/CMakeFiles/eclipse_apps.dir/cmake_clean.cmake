@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eclipse_apps.dir/grep.cc.o"
+  "CMakeFiles/eclipse_apps.dir/grep.cc.o.d"
+  "CMakeFiles/eclipse_apps.dir/inverted_index.cc.o"
+  "CMakeFiles/eclipse_apps.dir/inverted_index.cc.o.d"
+  "CMakeFiles/eclipse_apps.dir/kmeans.cc.o"
+  "CMakeFiles/eclipse_apps.dir/kmeans.cc.o.d"
+  "CMakeFiles/eclipse_apps.dir/logreg.cc.o"
+  "CMakeFiles/eclipse_apps.dir/logreg.cc.o.d"
+  "CMakeFiles/eclipse_apps.dir/pagerank.cc.o"
+  "CMakeFiles/eclipse_apps.dir/pagerank.cc.o.d"
+  "CMakeFiles/eclipse_apps.dir/sort.cc.o"
+  "CMakeFiles/eclipse_apps.dir/sort.cc.o.d"
+  "CMakeFiles/eclipse_apps.dir/text_util.cc.o"
+  "CMakeFiles/eclipse_apps.dir/text_util.cc.o.d"
+  "CMakeFiles/eclipse_apps.dir/wordcount.cc.o"
+  "CMakeFiles/eclipse_apps.dir/wordcount.cc.o.d"
+  "libeclipse_apps.a"
+  "libeclipse_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eclipse_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eclipse_cache.dir/cache_node.cc.o"
+  "CMakeFiles/eclipse_cache.dir/cache_node.cc.o.d"
+  "CMakeFiles/eclipse_cache.dir/lru_cache.cc.o"
+  "CMakeFiles/eclipse_cache.dir/lru_cache.cc.o.d"
+  "libeclipse_cache.a"
+  "libeclipse_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eclipse_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/hash_key.cc" "src/common/CMakeFiles/eclipse_common.dir/hash_key.cc.o" "gcc" "src/common/CMakeFiles/eclipse_common.dir/hash_key.cc.o.d"
+  "/root/repo/src/common/log.cc" "src/common/CMakeFiles/eclipse_common.dir/log.cc.o" "gcc" "src/common/CMakeFiles/eclipse_common.dir/log.cc.o.d"
+  "/root/repo/src/common/metrics.cc" "src/common/CMakeFiles/eclipse_common.dir/metrics.cc.o" "gcc" "src/common/CMakeFiles/eclipse_common.dir/metrics.cc.o.d"
+  "/root/repo/src/common/result.cc" "src/common/CMakeFiles/eclipse_common.dir/result.cc.o" "gcc" "src/common/CMakeFiles/eclipse_common.dir/result.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/common/CMakeFiles/eclipse_common.dir/rng.cc.o" "gcc" "src/common/CMakeFiles/eclipse_common.dir/rng.cc.o.d"
+  "/root/repo/src/common/sha1.cc" "src/common/CMakeFiles/eclipse_common.dir/sha1.cc.o" "gcc" "src/common/CMakeFiles/eclipse_common.dir/sha1.cc.o.d"
+  "/root/repo/src/common/thread_pool.cc" "src/common/CMakeFiles/eclipse_common.dir/thread_pool.cc.o" "gcc" "src/common/CMakeFiles/eclipse_common.dir/thread_pool.cc.o.d"
+  "/root/repo/src/common/units.cc" "src/common/CMakeFiles/eclipse_common.dir/units.cc.o" "gcc" "src/common/CMakeFiles/eclipse_common.dir/units.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eclipse_common.dir/hash_key.cc.o"
+  "CMakeFiles/eclipse_common.dir/hash_key.cc.o.d"
+  "CMakeFiles/eclipse_common.dir/log.cc.o"
+  "CMakeFiles/eclipse_common.dir/log.cc.o.d"
+  "CMakeFiles/eclipse_common.dir/metrics.cc.o"
+  "CMakeFiles/eclipse_common.dir/metrics.cc.o.d"
+  "CMakeFiles/eclipse_common.dir/result.cc.o"
+  "CMakeFiles/eclipse_common.dir/result.cc.o.d"
+  "CMakeFiles/eclipse_common.dir/rng.cc.o"
+  "CMakeFiles/eclipse_common.dir/rng.cc.o.d"
+  "CMakeFiles/eclipse_common.dir/sha1.cc.o"
+  "CMakeFiles/eclipse_common.dir/sha1.cc.o.d"
+  "CMakeFiles/eclipse_common.dir/thread_pool.cc.o"
+  "CMakeFiles/eclipse_common.dir/thread_pool.cc.o.d"
+  "CMakeFiles/eclipse_common.dir/units.cc.o"
+  "CMakeFiles/eclipse_common.dir/units.cc.o.d"
+  "libeclipse_common.a"
+  "libeclipse_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eclipse_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dfs/block_store.cc" "src/dfs/CMakeFiles/eclipse_dfs.dir/block_store.cc.o" "gcc" "src/dfs/CMakeFiles/eclipse_dfs.dir/block_store.cc.o.d"
+  "/root/repo/src/dfs/dfs_client.cc" "src/dfs/CMakeFiles/eclipse_dfs.dir/dfs_client.cc.o" "gcc" "src/dfs/CMakeFiles/eclipse_dfs.dir/dfs_client.cc.o.d"
+  "/root/repo/src/dfs/dfs_node.cc" "src/dfs/CMakeFiles/eclipse_dfs.dir/dfs_node.cc.o" "gcc" "src/dfs/CMakeFiles/eclipse_dfs.dir/dfs_node.cc.o.d"
+  "/root/repo/src/dfs/metadata.cc" "src/dfs/CMakeFiles/eclipse_dfs.dir/metadata.cc.o" "gcc" "src/dfs/CMakeFiles/eclipse_dfs.dir/metadata.cc.o.d"
+  "/root/repo/src/dfs/recovery.cc" "src/dfs/CMakeFiles/eclipse_dfs.dir/recovery.cc.o" "gcc" "src/dfs/CMakeFiles/eclipse_dfs.dir/recovery.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/eclipse_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/eclipse_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/dht/CMakeFiles/eclipse_dht.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eclipse_dfs.dir/block_store.cc.o"
+  "CMakeFiles/eclipse_dfs.dir/block_store.cc.o.d"
+  "CMakeFiles/eclipse_dfs.dir/dfs_client.cc.o"
+  "CMakeFiles/eclipse_dfs.dir/dfs_client.cc.o.d"
+  "CMakeFiles/eclipse_dfs.dir/dfs_node.cc.o"
+  "CMakeFiles/eclipse_dfs.dir/dfs_node.cc.o.d"
+  "CMakeFiles/eclipse_dfs.dir/metadata.cc.o"
+  "CMakeFiles/eclipse_dfs.dir/metadata.cc.o.d"
+  "CMakeFiles/eclipse_dfs.dir/recovery.cc.o"
+  "CMakeFiles/eclipse_dfs.dir/recovery.cc.o.d"
+  "libeclipse_dfs.a"
+  "libeclipse_dfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eclipse_dfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dht/finger_table.cc" "src/dht/CMakeFiles/eclipse_dht.dir/finger_table.cc.o" "gcc" "src/dht/CMakeFiles/eclipse_dht.dir/finger_table.cc.o.d"
+  "/root/repo/src/dht/membership.cc" "src/dht/CMakeFiles/eclipse_dht.dir/membership.cc.o" "gcc" "src/dht/CMakeFiles/eclipse_dht.dir/membership.cc.o.d"
+  "/root/repo/src/dht/ring.cc" "src/dht/CMakeFiles/eclipse_dht.dir/ring.cc.o" "gcc" "src/dht/CMakeFiles/eclipse_dht.dir/ring.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/eclipse_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/eclipse_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eclipse_dht.dir/finger_table.cc.o"
+  "CMakeFiles/eclipse_dht.dir/finger_table.cc.o.d"
+  "CMakeFiles/eclipse_dht.dir/membership.cc.o"
+  "CMakeFiles/eclipse_dht.dir/membership.cc.o.d"
+  "CMakeFiles/eclipse_dht.dir/ring.cc.o"
+  "CMakeFiles/eclipse_dht.dir/ring.cc.o.d"
+  "libeclipse_dht.a"
+  "libeclipse_dht.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eclipse_dht.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

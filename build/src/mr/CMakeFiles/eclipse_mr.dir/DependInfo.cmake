@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mr/cluster.cc" "src/mr/CMakeFiles/eclipse_mr.dir/cluster.cc.o" "gcc" "src/mr/CMakeFiles/eclipse_mr.dir/cluster.cc.o.d"
+  "/root/repo/src/mr/iterative.cc" "src/mr/CMakeFiles/eclipse_mr.dir/iterative.cc.o" "gcc" "src/mr/CMakeFiles/eclipse_mr.dir/iterative.cc.o.d"
+  "/root/repo/src/mr/job_runner.cc" "src/mr/CMakeFiles/eclipse_mr.dir/job_runner.cc.o" "gcc" "src/mr/CMakeFiles/eclipse_mr.dir/job_runner.cc.o.d"
+  "/root/repo/src/mr/record_reader.cc" "src/mr/CMakeFiles/eclipse_mr.dir/record_reader.cc.o" "gcc" "src/mr/CMakeFiles/eclipse_mr.dir/record_reader.cc.o.d"
+  "/root/repo/src/mr/shuffle.cc" "src/mr/CMakeFiles/eclipse_mr.dir/shuffle.cc.o" "gcc" "src/mr/CMakeFiles/eclipse_mr.dir/shuffle.cc.o.d"
+  "/root/repo/src/mr/worker.cc" "src/mr/CMakeFiles/eclipse_mr.dir/worker.cc.o" "gcc" "src/mr/CMakeFiles/eclipse_mr.dir/worker.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/eclipse_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/eclipse_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/dht/CMakeFiles/eclipse_dht.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfs/CMakeFiles/eclipse_dfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/eclipse_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/eclipse_sched.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

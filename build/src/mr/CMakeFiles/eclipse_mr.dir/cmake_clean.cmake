@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eclipse_mr.dir/cluster.cc.o"
+  "CMakeFiles/eclipse_mr.dir/cluster.cc.o.d"
+  "CMakeFiles/eclipse_mr.dir/iterative.cc.o"
+  "CMakeFiles/eclipse_mr.dir/iterative.cc.o.d"
+  "CMakeFiles/eclipse_mr.dir/job_runner.cc.o"
+  "CMakeFiles/eclipse_mr.dir/job_runner.cc.o.d"
+  "CMakeFiles/eclipse_mr.dir/record_reader.cc.o"
+  "CMakeFiles/eclipse_mr.dir/record_reader.cc.o.d"
+  "CMakeFiles/eclipse_mr.dir/shuffle.cc.o"
+  "CMakeFiles/eclipse_mr.dir/shuffle.cc.o.d"
+  "CMakeFiles/eclipse_mr.dir/worker.cc.o"
+  "CMakeFiles/eclipse_mr.dir/worker.cc.o.d"
+  "libeclipse_mr.a"
+  "libeclipse_mr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eclipse_mr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eclipse_net.dir/dispatcher.cc.o"
+  "CMakeFiles/eclipse_net.dir/dispatcher.cc.o.d"
+  "CMakeFiles/eclipse_net.dir/tcp_transport.cc.o"
+  "CMakeFiles/eclipse_net.dir/tcp_transport.cc.o.d"
+  "CMakeFiles/eclipse_net.dir/transport.cc.o"
+  "CMakeFiles/eclipse_net.dir/transport.cc.o.d"
+  "libeclipse_net.a"
+  "libeclipse_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eclipse_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/cdf_partition.cc" "src/sched/CMakeFiles/eclipse_sched.dir/cdf_partition.cc.o" "gcc" "src/sched/CMakeFiles/eclipse_sched.dir/cdf_partition.cc.o.d"
+  "/root/repo/src/sched/delay_scheduler.cc" "src/sched/CMakeFiles/eclipse_sched.dir/delay_scheduler.cc.o" "gcc" "src/sched/CMakeFiles/eclipse_sched.dir/delay_scheduler.cc.o.d"
+  "/root/repo/src/sched/fair_scheduler.cc" "src/sched/CMakeFiles/eclipse_sched.dir/fair_scheduler.cc.o" "gcc" "src/sched/CMakeFiles/eclipse_sched.dir/fair_scheduler.cc.o.d"
+  "/root/repo/src/sched/key_histogram.cc" "src/sched/CMakeFiles/eclipse_sched.dir/key_histogram.cc.o" "gcc" "src/sched/CMakeFiles/eclipse_sched.dir/key_histogram.cc.o.d"
+  "/root/repo/src/sched/laf_scheduler.cc" "src/sched/CMakeFiles/eclipse_sched.dir/laf_scheduler.cc.o" "gcc" "src/sched/CMakeFiles/eclipse_sched.dir/laf_scheduler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/eclipse_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

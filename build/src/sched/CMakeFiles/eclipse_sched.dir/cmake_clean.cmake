@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eclipse_sched.dir/cdf_partition.cc.o"
+  "CMakeFiles/eclipse_sched.dir/cdf_partition.cc.o.d"
+  "CMakeFiles/eclipse_sched.dir/delay_scheduler.cc.o"
+  "CMakeFiles/eclipse_sched.dir/delay_scheduler.cc.o.d"
+  "CMakeFiles/eclipse_sched.dir/fair_scheduler.cc.o"
+  "CMakeFiles/eclipse_sched.dir/fair_scheduler.cc.o.d"
+  "CMakeFiles/eclipse_sched.dir/key_histogram.cc.o"
+  "CMakeFiles/eclipse_sched.dir/key_histogram.cc.o.d"
+  "CMakeFiles/eclipse_sched.dir/laf_scheduler.cc.o"
+  "CMakeFiles/eclipse_sched.dir/laf_scheduler.cc.o.d"
+  "libeclipse_sched.a"
+  "libeclipse_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eclipse_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/constants.cc" "src/sim/CMakeFiles/eclipse_sim.dir/constants.cc.o" "gcc" "src/sim/CMakeFiles/eclipse_sim.dir/constants.cc.o.d"
+  "/root/repo/src/sim/eclipse_des.cc" "src/sim/CMakeFiles/eclipse_sim.dir/eclipse_des.cc.o" "gcc" "src/sim/CMakeFiles/eclipse_sim.dir/eclipse_des.cc.o.d"
+  "/root/repo/src/sim/eclipse_sim.cc" "src/sim/CMakeFiles/eclipse_sim.dir/eclipse_sim.cc.o" "gcc" "src/sim/CMakeFiles/eclipse_sim.dir/eclipse_sim.cc.o.d"
+  "/root/repo/src/sim/event_engine.cc" "src/sim/CMakeFiles/eclipse_sim.dir/event_engine.cc.o" "gcc" "src/sim/CMakeFiles/eclipse_sim.dir/event_engine.cc.o.d"
+  "/root/repo/src/sim/hadoop_sim.cc" "src/sim/CMakeFiles/eclipse_sim.dir/hadoop_sim.cc.o" "gcc" "src/sim/CMakeFiles/eclipse_sim.dir/hadoop_sim.cc.o.d"
+  "/root/repo/src/sim/hdfs_model.cc" "src/sim/CMakeFiles/eclipse_sim.dir/hdfs_model.cc.o" "gcc" "src/sim/CMakeFiles/eclipse_sim.dir/hdfs_model.cc.o.d"
+  "/root/repo/src/sim/resources.cc" "src/sim/CMakeFiles/eclipse_sim.dir/resources.cc.o" "gcc" "src/sim/CMakeFiles/eclipse_sim.dir/resources.cc.o.d"
+  "/root/repo/src/sim/spark_sim.cc" "src/sim/CMakeFiles/eclipse_sim.dir/spark_sim.cc.o" "gcc" "src/sim/CMakeFiles/eclipse_sim.dir/spark_sim.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/eclipse_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dht/CMakeFiles/eclipse_dht.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/eclipse_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/eclipse_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/mr/CMakeFiles/eclipse_mr.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfs/CMakeFiles/eclipse_dfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/eclipse_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eclipse_sim.dir/constants.cc.o"
+  "CMakeFiles/eclipse_sim.dir/constants.cc.o.d"
+  "CMakeFiles/eclipse_sim.dir/eclipse_des.cc.o"
+  "CMakeFiles/eclipse_sim.dir/eclipse_des.cc.o.d"
+  "CMakeFiles/eclipse_sim.dir/eclipse_sim.cc.o"
+  "CMakeFiles/eclipse_sim.dir/eclipse_sim.cc.o.d"
+  "CMakeFiles/eclipse_sim.dir/event_engine.cc.o"
+  "CMakeFiles/eclipse_sim.dir/event_engine.cc.o.d"
+  "CMakeFiles/eclipse_sim.dir/hadoop_sim.cc.o"
+  "CMakeFiles/eclipse_sim.dir/hadoop_sim.cc.o.d"
+  "CMakeFiles/eclipse_sim.dir/hdfs_model.cc.o"
+  "CMakeFiles/eclipse_sim.dir/hdfs_model.cc.o.d"
+  "CMakeFiles/eclipse_sim.dir/resources.cc.o"
+  "CMakeFiles/eclipse_sim.dir/resources.cc.o.d"
+  "CMakeFiles/eclipse_sim.dir/spark_sim.cc.o"
+  "CMakeFiles/eclipse_sim.dir/spark_sim.cc.o.d"
+  "libeclipse_sim.a"
+  "libeclipse_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eclipse_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eclipse_workload.dir/generators.cc.o"
+  "CMakeFiles/eclipse_workload.dir/generators.cc.o.d"
+  "libeclipse_workload.a"
+  "libeclipse_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eclipse_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

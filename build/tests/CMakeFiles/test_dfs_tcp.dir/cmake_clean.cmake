@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dfs_tcp.dir/test_dfs_tcp.cc.o"
+  "CMakeFiles/test_dfs_tcp.dir/test_dfs_tcp.cc.o.d"
+  "test_dfs_tcp"
+  "test_dfs_tcp.pdb"
+  "test_dfs_tcp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dfs_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

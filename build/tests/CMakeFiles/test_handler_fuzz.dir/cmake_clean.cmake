@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_handler_fuzz.dir/test_handler_fuzz.cc.o"
+  "CMakeFiles/test_handler_fuzz.dir/test_handler_fuzz.cc.o.d"
+  "test_handler_fuzz"
+  "test_handler_fuzz.pdb"
+  "test_handler_fuzz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_handler_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

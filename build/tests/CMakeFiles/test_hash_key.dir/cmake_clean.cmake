@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hash_key.dir/test_hash_key.cc.o"
+  "CMakeFiles/test_hash_key.dir/test_hash_key.cc.o.d"
+  "test_hash_key"
+  "test_hash_key.pdb"
+  "test_hash_key[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hash_key.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mappers.dir/test_mappers.cc.o"
+  "CMakeFiles/test_mappers.dir/test_mappers.cc.o.d"
+  "test_mappers"
+  "test_mappers.pdb"
+  "test_mappers[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mappers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

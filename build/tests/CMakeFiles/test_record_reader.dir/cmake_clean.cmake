@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_record_reader.dir/test_record_reader.cc.o"
+  "CMakeFiles/test_record_reader.dir/test_record_reader.cc.o.d"
+  "test_record_reader"
+  "test_record_reader.pdb"
+  "test_record_reader[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_record_reader.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
