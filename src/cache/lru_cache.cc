@@ -3,13 +3,13 @@
 namespace eclipse::cache {
 
 bool LruCache::Put(const std::string& id, HashKey key, std::string data, EntryKind kind) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   Bytes size = data.size();
   return PutLocked(id, key, std::move(data), size, kind);
 }
 
 bool LruCache::PutPlaceholder(const std::string& id, HashKey key, Bytes size, EntryKind kind) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return PutLocked(id, key, std::string{}, size, kind);
 }
 
@@ -32,7 +32,7 @@ bool LruCache::PutLocked(const std::string& id, HashKey key, std::string data, B
 }
 
 std::optional<std::string> LruCache::Get(const std::string& id) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto it = index_.find(id);
   if (it == index_.end()) {
     // A miss's partition is unknown (the object isn't here); attribute input
@@ -46,12 +46,12 @@ std::optional<std::string> LruCache::Get(const std::string& id) {
 }
 
 bool LruCache::Contains(const std::string& id) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return index_.count(id) > 0;
 }
 
 void LruCache::Erase(const std::string& id) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto it = index_.find(id);
   if (it == index_.end()) return;
   used_ -= it->second->size;
@@ -61,7 +61,7 @@ void LruCache::Erase(const std::string& id) {
 
 std::vector<std::pair<CacheEntryInfo, std::string>> LruCache::ExtractRange(
     const KeyRange& range) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::pair<CacheEntryInfo, std::string>> out;
   for (auto it = lru_.begin(); it != lru_.end();) {
     if (range.Contains(it->key)) {
@@ -78,13 +78,13 @@ std::vector<std::pair<CacheEntryInfo, std::string>> LruCache::ExtractRange(
 }
 
 void LruCache::Resize(Bytes capacity) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   capacity_ = capacity;
   EvictToFitLocked(0);
 }
 
 std::vector<CacheEntryInfo> LruCache::Entries() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   std::vector<CacheEntryInfo> out;
   out.reserve(lru_.size());
   for (const auto& n : lru_) out.push_back(CacheEntryInfo{n.id, n.key, n.size, n.kind});
@@ -92,22 +92,22 @@ std::vector<CacheEntryInfo> LruCache::Entries() const {
 }
 
 Bytes LruCache::capacity() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return capacity_;
 }
 
 Bytes LruCache::used() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return used_;
 }
 
 std::size_t LruCache::Count() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return lru_.size();
 }
 
 CacheStats LruCache::stats() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   CacheStats s;
   for (const auto& part : stats_by_kind_) {
     s.hits += part.hits;
@@ -119,12 +119,12 @@ CacheStats LruCache::stats() const {
 }
 
 CacheStats LruCache::stats(EntryKind kind) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return stats_by_kind_[static_cast<int>(kind)];
 }
 
 void LruCache::ResetStats() {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   stats_by_kind_[0] = CacheStats{};
   stats_by_kind_[1] = CacheStats{};
 }

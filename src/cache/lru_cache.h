@@ -12,13 +12,13 @@
 
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/hash_key.h"
+#include "common/mutex.h"
 #include "common/units.h"
 
 namespace eclipse::cache {
@@ -101,15 +101,19 @@ class LruCache {
   };
 
   bool PutLocked(const std::string& id, HashKey key, std::string data, Bytes size,
-                 EntryKind kind);
-  void EvictToFitLocked(Bytes incoming);
+                 EntryKind kind) REQUIRES(mu_);
+  void EvictToFitLocked(Bytes incoming) REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  Bytes capacity_;
-  Bytes used_ = 0;
-  std::list<Node> lru_;  // front = most recent
-  std::unordered_map<std::string, std::list<Node>::iterator> index_;
-  CacheStats stats_by_kind_[2];
+  mutable Mutex mu_;
+  Bytes capacity_ GUARDED_BY(mu_);
+  Bytes used_ GUARDED_BY(mu_) = 0;
+  std::list<Node> lru_ GUARDED_BY(mu_);  // front = most recent
+  std::unordered_map<std::string, std::list<Node>::iterator> index_ GUARDED_BY(mu_);
+  // Invariant (made explicit by the annotation): every CacheStats counter
+  // mutation — hits, misses, inserts, evictions — happens under mu_; the
+  // non-atomic read-modify-writes in Get/PutLocked/EvictToFitLocked are
+  // correct only because of this.
+  CacheStats stats_by_kind_[2] GUARDED_BY(mu_);
 };
 
 }  // namespace eclipse::cache

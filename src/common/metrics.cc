@@ -40,6 +40,14 @@ std::uint64_t Histogram::ApproxQuantile(double quantile) const {
   return ~0ull;
 }
 
+std::array<std::uint64_t, Histogram::kBuckets> Histogram::BucketCounts() const {
+  std::array<std::uint64_t, kBuckets> out{};
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    out[b] = buckets_[b].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
 void Histogram::Reset() {
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
   count_.store(0, std::memory_order_relaxed);
@@ -47,21 +55,21 @@ void Histogram::Reset() {
 }
 
 Counter& MetricsRegistry::GetCounter(const std::string& name) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto& slot = counters_[name];
   if (!slot) slot = std::make_unique<Counter>();
   return *slot;
 }
 
 Histogram& MetricsRegistry::GetHistogram(const std::string& name) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto& slot = histograms_[name];
   if (!slot) slot = std::make_unique<Histogram>();
   return *slot;
 }
 
 std::vector<std::pair<std::string, std::uint64_t>> MetricsRegistry::CounterSnapshot() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::pair<std::string, std::uint64_t>> out;
   out.reserve(counters_.size());
   for (const auto& [name, counter] : counters_) out.emplace_back(name, counter->value());
@@ -69,7 +77,7 @@ std::vector<std::pair<std::string, std::uint64_t>> MetricsRegistry::CounterSnaps
 }
 
 std::string MetricsRegistry::Render() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   std::string out;
   char buf[160];
   for (const auto& [name, counter] : counters_) {
@@ -88,7 +96,7 @@ std::string MetricsRegistry::Render() const {
 }
 
 void MetricsRegistry::ResetAll() {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   for (auto& [name, counter] : counters_) counter->Reset();
   for (auto& [name, hist] : histograms_) hist->Reset();
 }

@@ -11,9 +11,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/mutex.h"
 
 namespace eclipse {
 
@@ -42,6 +43,11 @@ class Histogram {
   /// are <= v. Bucket-granular (a power of two).
   std::uint64_t ApproxQuantile(double quantile) const;
 
+  /// Per-bucket counts. After all recording threads are joined, these sum to
+  /// count() exactly (each Record increments one bucket and the count once);
+  /// mid-flight snapshots may observe the two increments independently.
+  std::array<std::uint64_t, kBuckets> BucketCounts() const;
+
   void Reset();
 
  private:
@@ -66,9 +72,11 @@ class MetricsRegistry {
   void ResetAll();
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  mutable Mutex mu_;
+  // The maps are guarded; the pointed-to Counter/Histogram objects are
+  // internally atomic and safely shared outside the lock.
+  std::map<std::string, std::unique_ptr<Counter>> counters_ GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_ GUARDED_BY(mu_);
 };
 
 }  // namespace eclipse

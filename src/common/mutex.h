@@ -1,0 +1,70 @@
+// Annotated mutex primitives for Clang thread-safety analysis.
+//
+// std::mutex carries no capability attributes, so the analysis cannot see
+// what a std::lock_guard protects. These thin wrappers (zero overhead beyond
+// std::mutex itself) carry the annotations from common/thread_annotations.h;
+// every mutex-protected structure in the concurrency-heavy layers uses them:
+//
+//   eclipse::Mutex mu_;
+//   int value_ GUARDED_BY(mu_);
+//   ...
+//   MutexLock lock(mu_);   // RAII, analysis knows mu_ is held in this scope
+//   ++value_;              // OK; without the lock: compile error under Clang
+//
+// Condition variables use CondVar (std::condition_variable_any), which
+// accepts MutexLock directly. Waits are written as explicit while-loops so
+// the analysis sees the lock held across the predicate:
+//
+//   MutexLock lock(mu_);
+//   while (!ready_) cv_.wait(lock);
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace eclipse {
+
+/// An exclusive lock, annotated as a thread-safety capability.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ACQUIRE() { mu_.lock(); }
+  void unlock() RELEASE() { mu_.unlock(); }
+  bool try_lock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// Static-analysis assertion that this mutex is held (no runtime check);
+  /// for lambdas that run with the lock held but outside a MutexLock scope.
+  void AssertHeld() const ASSERT_CAPABILITY(this) {}
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII lock for Mutex; also satisfies BasicLockable so CondVar::wait can
+/// release/reacquire it.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  // BasicLockable interface used internally by CondVar::wait. Calls must be
+  // balanced before the scope ends (the destructor unlocks unconditionally).
+  void lock() ACQUIRE() { mu_.lock(); }
+  void unlock() RELEASE() { mu_.unlock(); }
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable compatible with MutexLock.
+using CondVar = std::condition_variable_any;
+
+}  // namespace eclipse

@@ -1,0 +1,62 @@
+// Clang thread-safety-analysis annotation macros.
+//
+// Under Clang with -Wthread-safety these expand to the static-analysis
+// attributes documented at
+// https://clang.llvm.org/docs/ThreadSafetyAnalysis.html; under GCC (and any
+// other compiler) they expand to nothing, so annotated code builds
+// everywhere. The annotated lock types that make the analysis bite live in
+// common/mutex.h — annotate shared state with GUARDED_BY(mu_), lock-held
+// helper methods with REQUIRES(mu_), and the analysis machine-checks the
+// lock discipline at compile time.
+#pragma once
+
+#if defined(__clang__) && defined(__clang_major__) && !defined(SWIG)
+#define ECLIPSE_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define ECLIPSE_THREAD_ANNOTATION(x)  // no-op outside Clang
+#endif
+
+// A type that acts as a lock/capability (see eclipse::Mutex).
+#define CAPABILITY(x) ECLIPSE_THREAD_ANNOTATION(capability(x))
+
+// An RAII object that acquires a capability for its lifetime.
+#define SCOPED_CAPABILITY ECLIPSE_THREAD_ANNOTATION(scoped_lockable)
+
+// Data member readable/writable only while holding the given lock.
+#define GUARDED_BY(x) ECLIPSE_THREAD_ANNOTATION(guarded_by(x))
+
+// Pointer member whose *pointee* is protected by the given lock.
+#define PT_GUARDED_BY(x) ECLIPSE_THREAD_ANNOTATION(pt_guarded_by(x))
+
+// Lock-ordering declarations (deadlock prevention).
+#define ACQUIRED_BEFORE(...) ECLIPSE_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) ECLIPSE_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+// Function requires the listed capabilities to be held on entry.
+#define REQUIRES(...) ECLIPSE_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  ECLIPSE_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+// Function acquires/releases the listed capabilities.
+#define ACQUIRE(...) ECLIPSE_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) ECLIPSE_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define RELEASE(...) ECLIPSE_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) ECLIPSE_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+// Function acquires the capability only when returning `ret`.
+#define TRY_ACQUIRE(ret, ...) \
+  ECLIPSE_THREAD_ANNOTATION(try_acquire_capability(ret, __VA_ARGS__))
+
+// Function must NOT be called with the listed capabilities held
+// (non-reentrant public entry points of a locked class).
+#define EXCLUDES(...) ECLIPSE_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+// Runtime assertion that the capability is held (condition-wait predicates).
+#define ASSERT_CAPABILITY(x) ECLIPSE_THREAD_ANNOTATION(assert_capability(x))
+
+// Function returns a reference to the given capability.
+#define RETURN_CAPABILITY(x) ECLIPSE_THREAD_ANNOTATION(lock_returned(x))
+
+// Escape hatch: disable analysis for one function (init/teardown paths with
+// externally guaranteed exclusivity).
+#define NO_THREAD_SAFETY_ANALYSIS ECLIPSE_THREAD_ANNOTATION(no_thread_safety_analysis)

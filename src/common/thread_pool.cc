@@ -12,7 +12,7 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -21,24 +21,24 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::Post(std::function<void()> fn) {
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     queue_.push_back(std::move(fn));
   }
   cv_.notify_one();
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock lock(mu_);
-  idle_cv_.wait(lock, [this] { return queue_.empty() && running_ == 0; });
+  MutexLock lock(mu_);
+  while (!queue_.empty() || running_ != 0) idle_cv_.wait(lock);
 }
 
 std::size_t ThreadPool::QueueDepth() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return queue_.size();
 }
 
 std::size_t ThreadPool::Running() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return running_;
 }
 
@@ -46,8 +46,8 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!stop_ && queue_.empty()) cv_.wait(lock);
       if (queue_.empty()) return;  // stop_ set and drained
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -55,7 +55,7 @@ void ThreadPool::WorkerLoop() {
     }
     task();
     {
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       --running_;
       if (queue_.empty() && running_ == 0) idle_cv_.notify_all();
     }

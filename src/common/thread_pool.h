@@ -6,14 +6,14 @@
 // scheduling policy lives above this layer (in src/sched), never inside it.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
 
 namespace eclipse {
 
@@ -35,7 +35,7 @@ class ThreadPool {
     auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
     std::future<R> fut = task->get_future();
     {
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       queue_.emplace_back([task] { (*task)(); });
     }
     cv_.notify_one();
@@ -59,13 +59,13 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;        // work available / stopping
-  std::condition_variable idle_cv_;   // everything drained
-  std::deque<std::function<void()>> queue_;
-  std::vector<std::thread> workers_;
-  std::size_t running_ = 0;
-  bool stop_ = false;
+  mutable Mutex mu_;
+  CondVar cv_;       // work available / stopping
+  CondVar idle_cv_;  // everything drained
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
+  std::vector<std::thread> workers_;  // written only by the constructor
+  std::size_t running_ GUARDED_BY(mu_) = 0;
+  bool stop_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace eclipse

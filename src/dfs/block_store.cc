@@ -4,7 +4,7 @@ namespace eclipse::dfs {
 
 void BlockStore::Put(const std::string& id, HashKey key, std::string data,
                      std::chrono::milliseconds ttl) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto it = blocks_.find(id);
   if (it != blocks_.end()) total_bytes_ -= it->second.data.size();
   StoredBlock b;
@@ -18,7 +18,7 @@ void BlockStore::Put(const std::string& id, HashKey key, std::string data,
 }
 
 Result<std::string> BlockStore::Get(const std::string& id) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto it = blocks_.find(id);
   if (it == blocks_.end()) {
     return Status::Error(ErrorCode::kNotFound, "no block " + id);
@@ -32,13 +32,13 @@ Result<std::string> BlockStore::Get(const std::string& id) {
 }
 
 bool BlockStore::Contains(const std::string& id) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto it = blocks_.find(id);
   return it != blocks_.end() && !Expired(it->second);
 }
 
 void BlockStore::Erase(const std::string& id) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto it = blocks_.find(id);
   if (it == blocks_.end()) return;
   total_bytes_ -= it->second.data.size();
@@ -46,7 +46,7 @@ void BlockStore::Erase(const std::string& id) {
 }
 
 std::vector<BlockStore::BlockInfo> BlockStore::List() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   std::vector<BlockInfo> out;
   out.reserve(blocks_.size());
   for (const auto& [id, b] : blocks_) {
@@ -58,17 +58,17 @@ std::vector<BlockStore::BlockInfo> BlockStore::List() const {
 }
 
 Bytes BlockStore::TotalBytes() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return total_bytes_;
 }
 
 std::size_t BlockStore::Count() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return blocks_.size();
 }
 
 std::size_t BlockStore::Sweep() {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   std::size_t dropped = 0;
   for (auto it = blocks_.begin(); it != blocks_.end();) {
     if (Expired(it->second)) {

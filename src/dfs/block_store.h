@@ -7,13 +7,13 @@
 #pragma once
 
 #include <chrono>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/hash_key.h"
+#include "common/mutex.h"
 #include "common/result.h"
 #include "common/units.h"
 
@@ -61,9 +61,9 @@ class BlockStore {
            std::chrono::steady_clock::now() >= b.expiry;
   }
 
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, StoredBlock> blocks_;
-  Bytes total_bytes_ = 0;
+  mutable Mutex mu_;
+  std::unordered_map<std::string, StoredBlock> blocks_ GUARDED_BY(mu_);
+  Bytes total_bytes_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace eclipse::dfs

@@ -16,6 +16,7 @@ DfsNode::DfsNode(int self, net::Dispatcher& dispatcher) : self_(self) {
 
 void DfsNode::EnableRouting(net::Transport& transport, RingProvider ring_provider,
                             std::size_t finger_entries) {
+  MutexLock lock(route_mu_);
   transport_ = &transport;
   ring_provider_ = std::move(ring_provider);
   finger_entries_ = finger_entries;
@@ -43,10 +44,19 @@ net::Message DfsNode::HandleRoutedGet(const net::Message& m) {
   // Serve locally when we hold the data or when we own the key (in which
   // case a miss is authoritative).
   if (blocks_.Contains(id)) return answer(id);
-  if (!transport_ || !ring_provider_) {
+  net::Transport* transport;
+  RingProvider ring_provider;
+  std::size_t finger_entries;
+  {
+    MutexLock lock(route_mu_);
+    transport = transport_;
+    ring_provider = ring_provider_;
+    finger_entries = finger_entries_;
+  }
+  if (!transport || !ring_provider) {
     return net::ErrorMessage(ErrorCode::kNotFound, "no block " + id + " (routing disabled)");
   }
-  dht::Ring ring = ring_provider_();
+  dht::Ring ring = ring_provider();
   if (!ring.Contains(self_) || ring.Owner(key) == self_) {
     return net::ErrorMessage(ErrorCode::kNotFound, "owner has no block " + id);
   }
@@ -55,7 +65,7 @@ net::Message DfsNode::HandleRoutedGet(const net::Message& m) {
   }
 
   // Classic DHT forwarding through this server's finger table (§II-A).
-  dht::FingerTable fingers(ring, self_, finger_entries_);
+  dht::FingerTable fingers(ring, self_, finger_entries);
   int next = fingers.NextHop(key);
   if (next == self_) next = ring.SuccessorOf(self_);
 
@@ -63,7 +73,7 @@ net::Message DfsNode::HandleRoutedGet(const net::Message& m) {
   fw.PutString(id);
   fw.PutU64(key);
   fw.PutU32(hops_remaining - 1);
-  auto resp = transport_->Call(self_, next, net::Message{msg::kRoutedGet, fw.Take()});
+  auto resp = transport->Call(self_, next, net::Message{msg::kRoutedGet, fw.Take()});
   if (!resp.ok()) {
     return net::ErrorMessage(resp.status().code(), resp.status().message());
   }
@@ -104,12 +114,12 @@ Result<RoutedGetResult> RoutedGet(net::Transport& transport, int caller, int ent
 }
 
 void DfsNode::PutMetadataLocal(const FileMetadata& m) {
-  std::lock_guard lock(meta_mu_);
+  MutexLock lock(meta_mu_);
   metadata_[m.name] = m;
 }
 
 Result<FileMetadata> DfsNode::GetMetadataLocal(const std::string& name) const {
-  std::lock_guard lock(meta_mu_);
+  MutexLock lock(meta_mu_);
   auto it = metadata_.find(name);
   if (it == metadata_.end()) {
     return Status::Error(ErrorCode::kNotFound, "no metadata for " + name);
@@ -118,7 +128,7 @@ Result<FileMetadata> DfsNode::GetMetadataLocal(const std::string& name) const {
 }
 
 std::vector<FileMetadata> DfsNode::ListMetadataLocal() const {
-  std::lock_guard lock(meta_mu_);
+  MutexLock lock(meta_mu_);
   std::vector<FileMetadata> out;
   out.reserve(metadata_.size());
   for (const auto& [name, m] : metadata_) out.push_back(m);
@@ -126,7 +136,7 @@ std::vector<FileMetadata> DfsNode::ListMetadataLocal() const {
 }
 
 void DfsNode::DeleteMetadataLocal(const std::string& name) {
-  std::lock_guard lock(meta_mu_);
+  MutexLock lock(meta_mu_);
   metadata_.erase(name);
 }
 

@@ -7,9 +7,9 @@
 #pragma once
 
 #include <functional>
-#include <mutex>
 #include <unordered_map>
 
+#include "common/mutex.h"
 #include "dfs/block_store.h"
 #include "dfs/metadata.h"
 #include "dht/ring.h"
@@ -67,13 +67,15 @@ class DfsNode {
 
   const int self_;
   BlockStore blocks_;
-  mutable std::mutex meta_mu_;
-  std::unordered_map<std::string, FileMetadata> metadata_;
+  mutable Mutex meta_mu_;
+  std::unordered_map<std::string, FileMetadata> metadata_ GUARDED_BY(meta_mu_);
 
-  // Multi-hop routing state (optional).
-  net::Transport* transport_ = nullptr;
-  RingProvider ring_provider_;
-  std::size_t finger_entries_ = 0;
+  // Multi-hop routing state (optional). EnableRouting may race with inbound
+  // kRoutedGet traffic, so handlers snapshot this under route_mu_.
+  mutable Mutex route_mu_;
+  net::Transport* transport_ GUARDED_BY(route_mu_) = nullptr;
+  RingProvider ring_provider_ GUARDED_BY(route_mu_);
+  std::size_t finger_entries_ GUARDED_BY(route_mu_) = 0;
 };
 
 /// Client-side routed lookup: ask `entry_node` for the object stored under

@@ -35,7 +35,7 @@ MembershipAgent::MembershipAgent(int self, net::Transport& transport,
 MembershipAgent::~MembershipAgent() { Stop(); }
 
 void MembershipAgent::SetRing(const Ring& ring) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   ring_ = ring;
 }
 
@@ -55,7 +55,7 @@ bool MembershipAgent::Join(int seed) {
   }
   joined.AddServer(self_);
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     ring_ = joined;
   }
   for (int member : AliveMembersExceptSelf()) {
@@ -65,6 +65,7 @@ bool MembershipAgent::Join(int seed) {
 }
 
 void MembershipAgent::Start() {
+  MutexLock lock(mu_);
   if (started_) return;
   started_ = true;
   stopping_.store(false);
@@ -73,28 +74,35 @@ void MembershipAgent::Start() {
 
 void MembershipAgent::Stop() {
   stopping_.store(true);
-  if (heartbeat_thread_.joinable()) heartbeat_thread_.join();
-  started_ = false;
+  std::thread to_join;
+  {
+    MutexLock lock(mu_);
+    if (!started_) return;
+    to_join = std::move(heartbeat_thread_);
+    started_ = false;
+  }
+  // Join outside mu_: the heartbeat loop takes mu_ for ring reads.
+  if (to_join.joinable()) to_join.join();
 }
 
 void MembershipAgent::OnFailure(FailureCallback cb) {
-  std::lock_guard lock(cb_mu_);
+  MutexLock lock(cb_mu_);
   failure_cbs_.push_back(std::move(cb));
 }
 
 void MembershipAgent::OnCoordinator(CoordinatorCallback cb) {
-  std::lock_guard lock(cb_mu_);
+  MutexLock lock(cb_mu_);
   coordinator_cbs_.push_back(std::move(cb));
 }
 
 Ring MembershipAgent::ring_view() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return ring_;
 }
 
 std::vector<int> MembershipAgent::AliveMembersExceptSelf() const {
   std::vector<int> out;
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   for (int id : ring_.Servers()) {
     if (id != self_) out.push_back(id);
   }
@@ -116,7 +124,7 @@ net::Message MembershipAgent::Handle(int from, const net::Message& m) {
       {
         // Reject tokens for unknown candidates: a corrupted id could
         // otherwise circulate forever (it never matches any originator).
-        std::lock_guard lock(mu_);
+        MutexLock lock(mu_);
         if (!ring_.Contains(candidate)) {
           return net::ErrorMessage(ErrorCode::kInvalidArgument,
                                    "election token for unknown server");
@@ -131,7 +139,7 @@ net::Message MembershipAgent::Handle(int from, const net::Message& m) {
       coordinator_.store(winner);
       std::vector<CoordinatorCallback> cbs;
       {
-        std::lock_guard lock(cb_mu_);
+        MutexLock lock(cb_mu_);
         cbs = coordinator_cbs_;
       }
       for (auto& cb : cbs) cb(winner);
@@ -140,7 +148,7 @@ net::Message MembershipAgent::Handle(int from, const net::Message& m) {
 
     case msg::kGetRing: {
       BinaryWriter w;
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       auto positions = ring_.Positions();
       w.PutU32(static_cast<std::uint32_t>(positions.size()));
       for (const auto& [id, pos] : positions) {
@@ -152,7 +160,7 @@ net::Message MembershipAgent::Handle(int from, const net::Message& m) {
 
     case msg::kJoin: {
       int joiner = DecodeInt(m);
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       if (!ring_.Contains(joiner)) ring_.AddServer(joiner);
       return Ack();
     }
@@ -170,7 +178,7 @@ void MembershipAgent::HeartbeatLoop() {
 
     int succ, pred;
     {
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       succ = ring_.SuccessorOf(self_);
       pred = ring_.PredecessorOf(self_);
     }
@@ -180,7 +188,7 @@ void MembershipAgent::HeartbeatLoop() {
       bool alive = resp.ok() && !net::IsError(resp.value());
       int misses = 0;
       {
-        std::lock_guard lock(mu_);
+        MutexLock lock(mu_);
         if (alive) {
           miss_count_[neighbor] = 0;
           continue;
@@ -197,7 +205,7 @@ void MembershipAgent::HeartbeatLoop() {
 
 void MembershipAgent::HandleFailure(int failed, bool broadcast) {
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     if (!ring_.Contains(failed)) return;  // already processed
     ring_.RemoveServer(failed);
     miss_count_.erase(failed);
@@ -209,7 +217,7 @@ void MembershipAgent::HandleFailure(int failed, bool broadcast) {
   }
   std::vector<FailureCallback> cbs;
   {
-    std::lock_guard lock(cb_mu_);
+    MutexLock lock(cb_mu_);
     cbs = failure_cbs_;
   }
   for (auto& cb : cbs) cb(failed);
@@ -235,7 +243,7 @@ void MembershipAgent::SendElectionToken(int token) {
   for (;;) {
     int succ;
     {
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       succ = ring_.SuccessorOf(self_);
     }
     if (succ < 0 || succ == self_) {
@@ -252,7 +260,7 @@ void MembershipAgent::AnnounceCoordinator(int winner) {
   coordinator_.store(winner);
   std::vector<CoordinatorCallback> cbs;
   {
-    std::lock_guard lock(cb_mu_);
+    MutexLock lock(cb_mu_);
     cbs = coordinator_cbs_;
   }
   for (auto& cb : cbs) cb(winner);

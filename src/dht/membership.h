@@ -21,11 +21,11 @@
 #include <atomic>
 #include <chrono>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "dht/ring.h"
 #include "net/dispatcher.h"
 
@@ -102,18 +102,24 @@ class MembershipAgent {
   net::Transport& transport_;
   MembershipConfig cfg_;
 
-  mutable std::mutex mu_;
-  Ring ring_;
-  std::unordered_map<int, int> miss_count_;
+  // Lock hierarchy: mu_ (ring state) and cb_mu_ (callback lists) are leaf
+  // locks — no transport call or callback runs while either is held.
+  mutable Mutex mu_;
+  Ring ring_ GUARDED_BY(mu_);
+  std::unordered_map<int, int> miss_count_ GUARDED_BY(mu_);
 
   std::atomic<int> coordinator_{-1};
   std::atomic<bool> stopping_{false};
-  std::thread heartbeat_thread_;
-  bool started_ = false;
+  // Lifecycle state: Start/Stop may race (e.g. a stress test stopping an
+  // agent while another thread starts it); both go through mu_. The thread
+  // handle is moved out under the lock and joined outside it, so the
+  // heartbeat loop (which takes mu_ briefly) can always make progress.
+  std::thread heartbeat_thread_ GUARDED_BY(mu_);
+  bool started_ GUARDED_BY(mu_) = false;
 
-  std::mutex cb_mu_;
-  std::vector<FailureCallback> failure_cbs_;
-  std::vector<CoordinatorCallback> coordinator_cbs_;
+  Mutex cb_mu_;
+  std::vector<FailureCallback> failure_cbs_ GUARDED_BY(cb_mu_);
+  std::vector<CoordinatorCallback> coordinator_cbs_ GUARDED_BY(cb_mu_);
 };
 
 }  // namespace eclipse::dht

@@ -15,7 +15,10 @@ Cluster::Cluster(ClusterOptions options) : options_(std::move(options)) {
     transport_ = std::make_unique<net::InProcessTransport>();
   }
 
-  for (int i = 0; i < options_.num_servers; ++i) ring_.AddServer(i, options_.vnodes);
+  {
+    MutexLock lock(ring_mu_);
+    for (int i = 0; i < options_.num_servers; ++i) ring_.AddServer(i, options_.vnodes);
+  }
 
   dfs::RingProvider ring_provider = [this] { return ring(); };
 
@@ -27,6 +30,7 @@ Cluster::Cluster(ClusterOptions options) : options_(std::move(options)) {
   wopts.dfs_client.replication = options_.replication;
   wopts.dfs_client.user = options_.user;
 
+  MutexLock lock(workers_mu_);  // no concurrency yet; satisfies the analysis
   workers_.reserve(options_.num_servers);
   for (int i = 0; i < options_.num_servers; ++i) {
     workers_.push_back(
@@ -55,20 +59,23 @@ Cluster::Cluster(ClusterOptions options) : options_(std::move(options)) {
 }
 
 Cluster::~Cluster() {
+  MutexLock lock(workers_mu_);
   for (auto& agent : agents_) agent->Stop();
 }
 
 dht::Ring Cluster::ring() const {
-  std::lock_guard lock(ring_mu_);
+  MutexLock lock(ring_mu_);
   return ring_;
 }
 
 WorkerServer& Cluster::worker(int id) {
+  MutexLock lock(workers_mu_);
   assert(id >= 0 && static_cast<std::size_t>(id) < workers_.size());
   return *workers_[static_cast<std::size_t>(id)];
 }
 
 std::vector<int> Cluster::WorkerIds() const {
+  MutexLock lock(workers_mu_);
   std::vector<int> out;
   for (const auto& w : workers_) {
     if (!w->dead()) out.push_back(w->id());
@@ -76,11 +83,21 @@ std::vector<int> Cluster::WorkerIds() const {
   return out;
 }
 
+std::shared_ptr<sched::LafScheduler> Cluster::laf() const {
+  MutexLock lock(sched_mu_);
+  return laf_;
+}
+
+std::shared_ptr<sched::DelayScheduler> Cluster::delay() const {
+  MutexLock lock(sched_mu_);
+  return delay_;
+}
+
 void Cluster::RebuildSchedulers() {
   dht::Ring r = ring();
   RangeTable fs_ranges = r.MakeRangeTable();
   std::vector<int> servers = r.Servers();
-  std::lock_guard lock(sched_mu_);
+  MutexLock lock(sched_mu_);
   laf_ = std::make_shared<sched::LafScheduler>(servers, fs_ranges, options_.laf);
   delay_ = std::make_shared<sched::DelayScheduler>(servers, fs_ranges, options_.delay);
 }
@@ -88,7 +105,7 @@ void Cluster::RebuildSchedulers() {
 dfs::RecoveryReport Cluster::KillServer(int id) {
   worker(id).Kill();
   {
-    std::lock_guard lock(ring_mu_);
+    MutexLock lock(ring_mu_);
     ring_.RemoveServer(id);
   }
   RebuildSchedulers();
@@ -106,7 +123,7 @@ dfs::RecoveryReport Cluster::KillServer(int id) {
 
 void Cluster::HandleMembershipFailure(int failed) {
   {
-    std::lock_guard lock(ring_mu_);
+    MutexLock lock(ring_mu_);
     if (!ring_.Contains(failed)) return;  // already handled (every surviving
                                           // agent reports the same failure)
     ring_.RemoveServer(failed);
@@ -119,8 +136,6 @@ void Cluster::HandleMembershipFailure(int failed) {
 }
 
 int Cluster::AddServer(dfs::RecoveryReport* report) {
-  const int id = static_cast<int>(workers_.size());
-
   WorkerOptions wopts;
   wopts.map_slots = options_.map_slots;
   wopts.reduce_slots = options_.reduce_slots;
@@ -130,29 +145,39 @@ int Cluster::AddServer(dfs::RecoveryReport* report) {
   wopts.dfs_client.user = options_.user;
 
   dfs::RingProvider ring_provider = [this] { return ring(); };
-  workers_.push_back(
-      std::make_unique<WorkerServer>(id, *transport_, ring_provider, wopts));
+  int id;
+  dht::MembershipAgent* agent = nullptr;
   {
-    std::lock_guard lock(ring_mu_);
+    MutexLock lock(workers_mu_);
+    id = static_cast<int>(workers_.size());
+    workers_.push_back(
+        std::make_unique<WorkerServer>(id, *transport_, ring_provider, wopts));
+    if (options_.start_membership) {
+      agents_.push_back(std::make_unique<dht::MembershipAgent>(
+          id, *transport_, workers_.back()->dispatcher(), options_.membership));
+      agent = agents_.back().get();
+    }
+  }
+  {
+    MutexLock lock(ring_mu_);
     ring_.AddServer(id, options_.vnodes);
   }
   RebuildSchedulers();
 
-  if (options_.start_membership) {
-    agents_.push_back(std::make_unique<dht::MembershipAgent>(
-        id, *transport_, workers_.back()->dispatcher(), options_.membership));
+  if (agent) {
     // Join through any live peer; fall back to a direct ring snapshot when
-    // the newcomer is the only member.
+    // the newcomer is the only member. Outside workers_mu_: Join makes
+    // transport calls into peers.
     bool joined = false;
     for (int peer : WorkerIds()) {
-      if (peer != id && agents_.back()->Join(peer)) {
+      if (peer != id && agent->Join(peer)) {
         joined = true;
         break;
       }
     }
-    if (!joined) agents_.back()->SetRing(ring());
-    agents_.back()->OnFailure([this](int failed) { HandleMembershipFailure(failed); });
-    agents_.back()->Start();
+    if (!joined) agent->SetRing(ring());
+    agent->OnFailure([this](int failed) { HandleMembershipFailure(failed); });
+    agent->Start();
   }
 
   // Rebalance: the newcomer takes over its hash-key ranges' data.
@@ -182,6 +207,7 @@ std::size_t Cluster::MigrateMisplacedCache() {
 }
 
 cache::CacheStats Cluster::AggregateCacheStats() const {
+  MutexLock lock(workers_mu_);
   cache::CacheStats total;
   for (const auto& w : workers_) {
     auto s = w->cache().stats();
@@ -194,15 +220,17 @@ cache::CacheStats Cluster::AggregateCacheStats() const {
 }
 
 void Cluster::ResetCacheStats() {
+  MutexLock lock(workers_mu_);
   for (const auto& w : workers_) w->cache().ResetStats();
 }
 
 RangeTable Cluster::CacheRanges() const {
-  std::lock_guard lock(sched_mu_);
+  MutexLock lock(sched_mu_);
   return options_.scheduler == SchedulerKind::kLaf ? laf_->ranges() : delay_->ranges();
 }
 
 dht::MembershipAgent* Cluster::membership(int id) {
+  MutexLock lock(workers_mu_);
   for (auto& agent : agents_) {
     if (agent->self() == id) return agent.get();
   }

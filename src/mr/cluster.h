@@ -13,10 +13,10 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "common/metrics.h"
+#include "common/mutex.h"
 #include "dfs/recovery.h"
 #include "dht/membership.h"
 #include "mr/types.h"
@@ -105,8 +105,10 @@ class Cluster {
   const ClusterOptions& options() const { return options_; }
   net::Transport& transport() { return *transport_; }
 
-  sched::LafScheduler* laf() { return laf_.get(); }
-  sched::DelayScheduler* delay() { return delay_.get(); }
+  // Snapshot of the current scheduler (RebuildSchedulers may swap it at any
+  // time; the returned object stays valid but may become stale).
+  std::shared_ptr<sched::LafScheduler> laf() const;
+  std::shared_ptr<sched::DelayScheduler> delay() const;
 
   /// The cache-layer partition currently in force (LAF's dynamic ranges or
   /// Delay's static ones).
@@ -130,22 +132,31 @@ class Cluster {
   void HandleMembershipFailure(int failed);
   int ClientEndpointId() const { return 1'000'000; }
 
+  // Lock hierarchy (outermost first): workers_mu_ → ring_mu_ → sched_mu_.
+  // All three are held only for brief state reads/copies; no transport call,
+  // scheduler decision, or recovery pass runs under any of them.
   ClusterOptions options_;
   std::unique_ptr<net::Transport> transport_;
 
-  mutable std::mutex ring_mu_;
-  dht::Ring ring_;
+  mutable Mutex ring_mu_ ACQUIRED_AFTER(workers_mu_);
+  dht::Ring ring_ GUARDED_BY(ring_mu_);
 
-  std::vector<std::unique_ptr<WorkerServer>> workers_;
-  std::vector<std::unique_ptr<dht::MembershipAgent>> agents_;  // empty when
-                                                               // membership is off
+  // AddServer grows these vectors while jobs, heartbeat callbacks, and tests
+  // read them concurrently; the mutex protects the vectors themselves. The
+  // pointed-to WorkerServer/MembershipAgent objects are stable once inserted
+  // (never erased — KillServer only marks them dead) and internally
+  // thread-safe, so references handed out by worker() stay valid unlocked.
+  mutable Mutex workers_mu_;
+  std::vector<std::unique_ptr<WorkerServer>> workers_ GUARDED_BY(workers_mu_);
+  std::vector<std::unique_ptr<dht::MembershipAgent>> agents_
+      GUARDED_BY(workers_mu_);  // empty when membership is off
   std::unique_ptr<dfs::DfsClient> client_;
 
   MetricsRegistry metrics_;
 
-  mutable std::mutex sched_mu_;
-  std::shared_ptr<sched::LafScheduler> laf_;
-  std::shared_ptr<sched::DelayScheduler> delay_;
+  mutable Mutex sched_mu_ ACQUIRED_AFTER(ring_mu_);
+  std::shared_ptr<sched::LafScheduler> laf_ GUARDED_BY(sched_mu_);
+  std::shared_ptr<sched::DelayScheduler> delay_ GUARDED_BY(sched_mu_);
 };
 
 }  // namespace eclipse::mr

@@ -140,7 +140,7 @@ JobResult JobRunner::Run() {
 Status JobRunner::RunReducePhase(std::vector<KV>* output) {
   std::map<HashKey, std::vector<SpillInfo>> by_range;
   {
-    std::lock_guard lock(state_mu_);
+    MutexLock lock(state_mu_);
     for (const auto& [id, info] : spills_) by_range[info.range_begin].push_back(info);
   }
 
@@ -160,7 +160,7 @@ Status JobRunner::RunReducePhase(std::vector<KV>* output) {
         // reduce plan, so propagate NotFound after the re-run.
         std::vector<BlockRef> rerun;
         {
-          std::lock_guard lock(state_mu_);
+          MutexLock lock(state_mu_);
           for (const auto& id : outcome.missing_spills) {
             auto it = spill_block_.find(id);
             if (it != spill_block_.end()) rerun.push_back(it->second);
@@ -231,7 +231,7 @@ Status JobRunner::RunMapPhase(const std::vector<BlockRef>& blocks,
       } else if (!outcome.skipped) {
         ++stats_.icache_misses;
       }
-      std::lock_guard lock(state_mu_);
+      MutexLock lock(state_mu_);
       if (force_recompute) {
         // Drop the block's previous (possibly manifest-derived, possibly
         // stale-range) spills: the fresh execution is authoritative.
@@ -257,15 +257,20 @@ Status JobRunner::RunMapPhase(const std::vector<BlockRef>& blocks,
 
 int JobRunner::PickMapServer(HashKey hkey) {
   if (cluster_.options().scheduler == SchedulerKind::kLaf) {
-    std::lock_guard lock(cluster_.sched_mu_);
-    int server = cluster_.laf_->Assign(hkey);
+    int server;
+    {
+      // sched_mu_ is the innermost lock: release it before worker(), which
+      // takes workers_mu_ (outermost), or the hierarchy inverts.
+      MutexLock lock(cluster_.sched_mu_);
+      server = cluster_.laf_->Assign(hkey);
+    }
     if (!cluster_.worker(server).dead()) return server;
   } else {
     // Delay scheduling (§II-F): wait up to the timeout for a slot on the
     // static range owner, then give up locality and take any idle server.
     std::shared_ptr<sched::DelayScheduler> delay;
     {
-      std::lock_guard lock(cluster_.sched_mu_);
+      MutexLock lock(cluster_.sched_mu_);
       delay = cluster_.delay_;
     }
     int preferred = delay->Preferred(hkey);
@@ -274,7 +279,7 @@ int JobRunner::PickMapServer(HashKey hkey) {
                         std::chrono::duration<double>(delay->options().wait_timeout_sec));
     for (;;) {
       if (!cluster_.worker(preferred).dead() && cluster_.worker(preferred).FreeMapSlots() > 0) {
-        std::lock_guard lock(cluster_.sched_mu_);
+        MutexLock lock(cluster_.sched_mu_);
         delay->RecordAssignment(preferred);
         return preferred;
       }
@@ -291,7 +296,7 @@ int JobRunner::PickMapServer(HashKey hkey) {
     int chosen = fallback >= 0 ? fallback : preferred;
     if (cluster_.worker(chosen).dead()) chosen = -1;
     if (chosen >= 0) {
-      std::lock_guard lock(cluster_.sched_mu_);
+      MutexLock lock(cluster_.sched_mu_);
       delay->RecordAssignment(chosen);
       return chosen;
     }

@@ -73,10 +73,12 @@ class JobRunner {
   RangeTable fs_ranges_;  // captured once; spill range identities are stable
                           // across mid-job membership changes
 
-  std::mutex state_mu_;
-  std::map<std::string, SpillInfo> spills_;       // id -> info (deduped)
-  std::map<std::string, BlockRef> spill_block_;   // id -> producing input block
-  JobStats stats_;
+  Mutex state_mu_;
+  std::map<std::string, SpillInfo> spills_ GUARDED_BY(state_mu_);  // id -> info (deduped)
+  std::map<std::string, BlockRef> spill_block_
+      GUARDED_BY(state_mu_);  // id -> producing input block
+  JobStats stats_;            // driver-thread only (outcomes are collected on
+                              // the submitting thread, never on pool threads)
 };
 
 }  // namespace eclipse::mr

@@ -5,7 +5,7 @@
 namespace eclipse::net {
 
 void Dispatcher::Route(std::uint32_t first, std::uint32_t last, Handler handler) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   routes_[last] = Entry{first, std::move(handler)};
 }
 
@@ -16,7 +16,7 @@ Handler Dispatcher::AsHandler() {
 Message Dispatcher::Dispatch(NodeId from, const Message& msg) {
   Handler h;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     auto it = routes_.lower_bound(msg.type);
     if (it == routes_.end() || msg.type < it->second.first) {
       return ErrorMessage(ErrorCode::kInvalidArgument,

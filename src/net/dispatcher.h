@@ -12,8 +12,8 @@
 #pragma once
 
 #include <map>
-#include <mutex>
 
+#include "common/mutex.h"
 #include "net/transport.h"
 
 namespace eclipse::net {
@@ -30,13 +30,13 @@ class Dispatcher {
  private:
   Message Dispatch(NodeId from, const Message& msg);
 
-  std::mutex mu_;
+  Mutex mu_;
   // Keyed by range end; value holds range start + handler.
   struct Entry {
     std::uint32_t first;
     Handler handler;
   };
-  std::map<std::uint32_t, Entry> routes_;
+  std::map<std::uint32_t, Entry> routes_ GUARDED_BY(mu_);
 };
 
 /// Conventional "error" response: type 0 with a Status message payload.

@@ -39,7 +39,7 @@ bool WriteFull(int fd, const void* buf, std::size_t n) {
 TcpTransport::~TcpTransport() {
   std::vector<NodeId> nodes;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     for (auto& [id, ep] : endpoints_) nodes.push_back(id);
   }
   for (NodeId id : nodes) Unregister(id);
@@ -75,14 +75,14 @@ void TcpTransport::Register(NodeId node, Handler handler) {
 
   Endpoint* raw = ep.get();
   ep->accept_thread = std::thread([this, raw, node] { AcceptLoop(raw, node); });
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   endpoints_[node] = std::move(ep);
 }
 
 void TcpTransport::Unregister(NodeId node) {
   std::unique_ptr<Endpoint> ep;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     auto it = endpoints_.find(node);
     if (it == endpoints_.end()) return;
     ep = std::move(it->second);
@@ -94,8 +94,11 @@ void TcpTransport::Unregister(NodeId node) {
   if (ep->accept_thread.joinable()) ep->accept_thread.join();
   // Wait for in-flight connection handlers so no handler outlives the
   // endpoint (callers may destroy the handled objects right after this).
-  std::unique_lock lock(ep->drain_mu);
-  ep->drained.wait(lock, [&] { return ep->active_connections.load() == 0; });
+  // The drain state is co-owned by those handlers, so it stays valid even
+  // after `ep` is destroyed on return.
+  std::shared_ptr<DrainState> drain = ep->drain;
+  MutexLock lock(drain->mu);
+  while (drain->active_connections != 0) drain->drained.wait(lock);
 }
 
 void TcpTransport::AcceptLoop(Endpoint* ep, NodeId /*node*/) {
@@ -103,8 +106,12 @@ void TcpTransport::AcceptLoop(Endpoint* ep, NodeId /*node*/) {
     int fd = ::accept(ep->listen_fd, nullptr, nullptr);
     if (fd < 0) break;  // listen socket closed during Unregister
     std::shared_ptr<Handler> handler = ep->handler;
-    ep->active_connections.fetch_add(1);
-    std::thread([fd, handler, ep] {
+    std::shared_ptr<DrainState> drain = ep->drain;
+    {
+      MutexLock lock(drain->mu);
+      ++drain->active_connections;
+    }
+    std::thread([fd, handler, drain] {
       // Serve exactly one request per connection.
       std::uint32_t body_len = 0;
       if (ReadFull(fd, &body_len, sizeof body_len) && body_len >= 8) {
@@ -126,10 +133,12 @@ void TcpTransport::AcceptLoop(Endpoint* ep, NodeId /*node*/) {
       }
       ::close(fd);
       {
-        std::lock_guard lock(ep->drain_mu);
-        ep->active_connections.fetch_sub(1);
+        MutexLock lock(drain->mu);
+        --drain->active_connections;
+        // Notify under the lock: the waiter may destroy the Endpoint the
+        // moment it observes zero, but `drain` is co-owned by this thread.
+        drain->drained.notify_all();
       }
-      ep->drained.notify_all();
     }).detach();
   }
 }
@@ -181,7 +190,7 @@ Result<Message> TcpTransport::Call(NodeId from, NodeId to, const Message& reques
 }
 
 int TcpTransport::PortOf(NodeId node) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto it = endpoints_.find(node);
   return it == endpoints_.end() ? 0 : it->second->port;
 }

@@ -12,13 +12,12 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "net/transport.h"
 
 namespace eclipse::net {
@@ -38,6 +37,18 @@ class TcpTransport : public Transport {
   int PortOf(NodeId node) const;
 
  private:
+  // Drain bookkeeping for detached per-connection workers. Shared (not owned
+  // by Endpoint) because a worker's final decrement-and-notify may run after
+  // Unregister has already destroyed the Endpoint: each worker co-owns the
+  // state, so the mutex/condvar outlive every notifier.
+  struct DrainState {
+    Mutex mu;
+    CondVar drained;
+    // Mutated and read only under mu, so the waiter cannot miss the final
+    // notify between its predicate check and its wait.
+    int active_connections GUARDED_BY(mu) = 0;
+  };
+
   struct Endpoint {
     int listen_fd = -1;
     int port = 0;
@@ -45,18 +56,18 @@ class TcpTransport : public Transport {
     std::thread accept_thread;
     std::atomic<bool> stopping{false};
     // Per-connection workers run detached (a joinable thread per request
-    // would accumulate unjoined TIDs for the listener's lifetime); this
-    // counter lets Unregister drain in-flight handlers before returning.
-    std::atomic<int> active_connections{0};
-    std::mutex drain_mu;
-    std::condition_variable drained;
+    // would accumulate unjoined TIDs for the listener's lifetime); the drain
+    // state lets Unregister wait out in-flight handlers before returning.
+    std::shared_ptr<DrainState> drain = std::make_shared<DrainState>();
   };
 
   void AcceptLoop(Endpoint* ep, NodeId node);
   void Unregister(NodeId node);
 
-  mutable std::mutex mu_;
-  std::unordered_map<NodeId, std::unique_ptr<Endpoint>> endpoints_;
+  mutable Mutex mu_;
+  // Endpoints are removed from the map before teardown, so AcceptLoop and
+  // connection threads always see a live Endpoint via their raw pointer.
+  std::unordered_map<NodeId, std::unique_ptr<Endpoint>> endpoints_ GUARDED_BY(mu_);
 };
 
 }  // namespace eclipse::net

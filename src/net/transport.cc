@@ -3,7 +3,7 @@
 namespace eclipse::net {
 
 void InProcessTransport::Register(NodeId node, Handler handler) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   if (handler) {
     handlers_[node] = std::make_shared<Handler>(std::move(handler));
   } else {
@@ -14,7 +14,7 @@ void InProcessTransport::Register(NodeId node, Handler handler) {
 Result<Message> InProcessTransport::Call(NodeId from, NodeId to, const Message& request) {
   std::shared_ptr<Handler> h;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     auto it = handlers_.find(to);
     if (it == handlers_.end()) {
       return Status::Error(ErrorCode::kUnavailable,

@@ -14,10 +14,10 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
+#include "common/mutex.h"
 #include "common/result.h"
 
 namespace eclipse::net {
@@ -56,8 +56,10 @@ class InProcessTransport : public Transport {
   Result<Message> Call(NodeId from, NodeId to, const Message& request) override;
 
  private:
-  std::mutex mu_;
-  std::unordered_map<NodeId, std::shared_ptr<Handler>> handlers_;
+  Mutex mu_;
+  // Handlers are shared_ptr so Call can invoke them outside the lock while a
+  // concurrent Register replaces or detaches the slot.
+  std::unordered_map<NodeId, std::shared_ptr<Handler>> handlers_ GUARDED_BY(mu_);
 };
 
 }  // namespace eclipse::net

@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <thread>
+#include <vector>
 
 #include "apps/wordcount.h"
 #include "mr/cluster.h"
@@ -51,6 +53,89 @@ TEST(HistogramTest, ZeroSample) {
   h.Record(0);
   EXPECT_EQ(h.count(), 1u);
   EXPECT_LE(h.ApproxQuantile(1.0), 1u);
+}
+
+TEST(HistogramTest, ConcurrentRecordKeepsBucketInvariant) {
+  // Many writers, one snapshotting reader. After the barrier (join), every
+  // Record must be fully visible: count == sum of bucket counts, and sum
+  // matches the arithmetic total of what the writers recorded.
+  Histogram h;
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 20000;
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load()) {
+      // Mid-flight snapshots must be internally sane even if they straddle a
+      // Record (bucket and count are separate atomics).
+      auto buckets = h.BucketCounts();
+      std::uint64_t bucket_total = 0;
+      for (auto b : buckets) bucket_total += b;
+      (void)h.mean();
+      (void)h.ApproxQuantile(0.99);
+      ASSERT_LE(bucket_total, kThreads * kPerThread);
+    }
+  });
+  std::vector<std::thread> writers;
+  std::uint64_t expected_sum = 0;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&h, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        h.Record(i % (16u << t));  // spread across buckets, per-thread range
+      }
+    });
+    for (std::uint64_t i = 0; i < kPerThread; ++i) expected_sum += i % (16u << t);
+  }
+  for (auto& w : writers) w.join();
+  stop.store(true);
+  reader.join();
+
+  EXPECT_EQ(h.count(), kThreads * kPerThread);
+  EXPECT_EQ(h.sum(), expected_sum);
+  auto buckets = h.BucketCounts();
+  std::uint64_t bucket_total = 0;
+  for (auto b : buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, h.count()) << "a Record was torn across the barrier";
+}
+
+TEST(MetricsRegistryTest, ConcurrentGetOrCreateAndSnapshot) {
+  // Hammer the registry's get-or-create path for the same and distinct names
+  // while another thread snapshots/renders: exercises the map lock, and the
+  // returned references must stay stable across rehashing inserts.
+  MetricsRegistry reg;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 5000;
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load()) {
+      (void)reg.CounterSnapshot();
+      (void)reg.Render();
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&reg, t] {
+      for (int i = 0; i < kIters; ++i) {
+        reg.GetCounter("shared.ops").Add();
+        reg.GetCounter("thread." + std::to_string(t)).Add();
+        reg.GetHistogram("lat." + std::to_string(i % 17)).Record(static_cast<std::uint64_t>(i));
+      }
+    });
+  }
+  for (auto& w : writers) w.join();
+  stop.store(true);
+  reader.join();
+
+  EXPECT_EQ(reg.GetCounter("shared.ops").value(),
+            static_cast<std::uint64_t>(kThreads) * kIters);
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(reg.GetCounter("thread." + std::to_string(t)).value(),
+              static_cast<std::uint64_t>(kIters));
+  }
+  std::uint64_t hist_total = 0;
+  for (int i = 0; i < 17; ++i) {
+    hist_total += reg.GetHistogram("lat." + std::to_string(i)).count();
+  }
+  EXPECT_EQ(hist_total, static_cast<std::uint64_t>(kThreads) * kIters);
 }
 
 TEST(MetricsRegistryTest, GetOrCreateAndRender) {

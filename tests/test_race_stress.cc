@@ -1,0 +1,379 @@
+// Race-hunting stress suite: designed to make TSan bite.
+//
+// Every test here hammers one of the concurrency-heavy layers from many
+// threads at once — the shared-budget LRU cache, the worker thread pools,
+// transport registration vs. in-flight calls, DHT membership churn racing
+// routing lookups, and a full job running concurrently with a server kill.
+// The assertions check invariants that only hold if the locking is right;
+// the real teeth are the sanitizer build modes (-DECLIPSE_SANITIZE=thread /
+// address), under which CI runs this binary.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "apps/wordcount.h"
+#include "cache/lru_cache.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "dfs/block_store.h"
+#include "dht/membership.h"
+#include "mr/cluster.h"
+#include "net/dispatcher.h"
+#include "net/transport.h"
+#include "workload/generators.h"
+
+namespace eclipse {
+namespace {
+
+using cache::EntryKind;
+using cache::LruCache;
+
+TEST(RaceStress, LruCachePutGetEvictHammer) {
+  // 6 mutators + 2 structural threads (ExtractRange / Resize) against one
+  // byte budget small enough to force constant eviction.
+  LruCache cache(64_KiB);
+  constexpr int kMutators = 6;
+  constexpr int kIters = 4000;
+  std::atomic<std::uint64_t> gets{0};
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kMutators; ++t) {
+    threads.emplace_back([&cache, &gets, t] {
+      Rng rng(static_cast<std::uint64_t>(t) + 1);
+      for (int i = 0; i < kIters; ++i) {
+        std::string id = "obj-" + std::to_string(rng.Below(300));
+        HashKey key = KeyOf(id);
+        switch (i % 5) {
+          case 0:
+            cache.Put(id, key, std::string(1024, 'x'),
+                      t % 2 ? EntryKind::kInput : EntryKind::kOutput);
+            break;
+          case 1:
+            cache.PutPlaceholder(id, key, 2048, EntryKind::kInput);
+            break;
+          case 2:
+            (void)cache.Get(id);
+            gets.fetch_add(1, std::memory_order_relaxed);
+            break;
+          case 3:
+            (void)cache.Contains(id);
+            break;
+          default:
+            cache.Erase(id);
+            break;
+        }
+      }
+    });
+  }
+  std::atomic<bool> stop{false};
+  threads.emplace_back([&cache, &stop] {
+    Rng rng(99);
+    while (!stop.load()) {
+      HashKey begin = rng.Next();
+      (void)cache.ExtractRange(KeyRange{begin, begin + (HashKey{1} << 32), false});
+      (void)cache.Entries();
+      (void)cache.stats();
+    }
+  });
+  threads.emplace_back([&cache, &stop] {
+    Bytes sizes[] = {16_KiB, 64_KiB, 128_KiB};
+    int i = 0;
+    while (!stop.load()) {
+      cache.Resize(sizes[i++ % 3]);
+      std::this_thread::yield();
+    }
+  });
+  for (int t = 0; t < kMutators; ++t) threads[static_cast<std::size_t>(t)].join();
+  stop.store(true);
+  threads[kMutators].join();
+  threads[kMutators + 1].join();
+
+  cache.Resize(64_KiB);
+  EXPECT_LE(cache.used(), cache.capacity());
+  EXPECT_EQ(cache.Entries().size(), cache.Count());
+  auto stats = cache.stats();
+  EXPECT_EQ(stats.hits + stats.misses, gets.load()) << "lost or double-counted a Get";
+}
+
+TEST(RaceStress, ThreadPoolSubmitWaitDestroy) {
+  // Repeatedly build a pool, hammer Submit/Post/Wait/QueueDepth from several
+  // threads, then destroy it with work possibly still queued: the destructor
+  // must drain every task (counter proves none were dropped or double-run).
+  for (int round = 0; round < 10; ++round) {
+    std::atomic<std::uint64_t> executed{0};
+    std::uint64_t submitted = 0;
+    {
+      ThreadPool pool(4);
+      std::vector<std::thread> submitters;
+      std::atomic<std::uint64_t> submitted_atomic{0};
+      for (int t = 0; t < 3; ++t) {
+        submitters.emplace_back([&pool, &executed, &submitted_atomic] {
+          for (int i = 0; i < 200; ++i) {
+            if (i % 3 == 0) {
+              pool.Post([&executed] { executed.fetch_add(1); });
+            } else {
+              (void)pool.Submit([&executed] {
+                executed.fetch_add(1);
+                return 0;
+              });
+            }
+            submitted_atomic.fetch_add(1);
+          }
+        });
+      }
+      std::thread prober([&pool] {
+        for (int i = 0; i < 50; ++i) {
+          (void)pool.QueueDepth();
+          (void)pool.Running();
+          pool.Wait();
+        }
+      });
+      for (auto& s : submitters) s.join();
+      prober.join();
+      submitted = submitted_atomic.load();
+      // Pool destroyed here, possibly with tasks still queued.
+    }
+    EXPECT_EQ(executed.load(), submitted) << "destructor dropped queued tasks";
+  }
+}
+
+TEST(RaceStress, TransportRegisterVsCall) {
+  // Callers race a churn thread that detaches/reattaches the target node:
+  // every call must either reach the handler or fail Unavailable — never
+  // crash or hang on a half-registered endpoint.
+  net::InProcessTransport transport;
+  std::atomic<std::uint64_t> handled{0};
+  net::Handler handler = [&handled](net::NodeId, const net::Message& m) {
+    handled.fetch_add(1);
+    return net::Message{m.type, m.payload};
+  };
+  transport.Register(7, handler);
+
+  std::atomic<bool> stop{false};
+  std::thread churn([&] {
+    for (int i = 0; i < 2000; ++i) {
+      transport.Register(7, nullptr);
+      transport.Register(7, handler);
+    }
+    stop.store(true);
+  });
+  std::atomic<std::uint64_t> ok{0};
+  std::vector<std::thread> callers;
+  for (int t = 0; t < 4; ++t) {
+    callers.emplace_back([&] {
+      while (!stop.load()) {
+        auto resp = transport.Call(1, 7, net::Message{42, "ping"});
+        if (resp.ok()) {
+          ok.fetch_add(1);
+          EXPECT_EQ(resp.value().payload, "ping");
+        } else {
+          EXPECT_EQ(resp.status().code(), ErrorCode::kUnavailable);
+        }
+      }
+    });
+  }
+  churn.join();
+  for (auto& c : callers) c.join();
+  EXPECT_EQ(handled.load(), ok.load());
+}
+
+TEST(RaceStress, BlockStoreTtlSweepHammer) {
+  dfs::BlockStore store;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&store, t] {
+      for (int i = 0; i < 3000; ++i) {
+        std::string id = "b-" + std::to_string((t * 31 + i) % 200);
+        auto ttl = (i % 4 == 0) ? std::chrono::milliseconds(1)
+                                : std::chrono::milliseconds::zero();
+        store.Put(id, KeyOf(id), std::string(256, 'd'), ttl);
+        (void)store.Get(id);
+        (void)store.Contains(id);
+        if (i % 16 == 0) store.Erase(id);
+      }
+    });
+  }
+  threads.emplace_back([&store, &stop] {
+    while (!stop.load()) {
+      (void)store.Sweep();
+      (void)store.List();
+      (void)store.TotalBytes();
+    }
+  });
+  for (int t = 0; t < 4; ++t) threads[static_cast<std::size_t>(t)].join();
+  stop.store(true);
+  threads[4].join();
+
+  // Let every 1 ms TTL lapse, sweep, then the byte counter must equal the
+  // sum of live block sizes exactly.
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  store.Sweep();
+  Bytes listed = 0;
+  for (const auto& info : store.List()) listed += info.size;
+  EXPECT_EQ(store.TotalBytes(), listed);
+}
+
+TEST(RaceStress, MembershipChurnVsRoutingLookups) {
+  // Join/leave churn racing ring_view()/Owner() readers. A node is killed
+  // (detached from the transport) while reader threads continuously resolve
+  // owners from every surviving agent's view, then a new node joins mid-read.
+  net::InProcessTransport transport;
+  constexpr int kNodes = 5;
+  dht::MembershipConfig cfg;
+  cfg.heartbeat_interval = std::chrono::milliseconds(3);
+  cfg.miss_threshold = 2;
+
+  std::vector<std::unique_ptr<net::Dispatcher>> dispatchers;
+  std::vector<std::unique_ptr<dht::MembershipAgent>> agents;
+  dht::Ring initial;
+  for (int i = 0; i < kNodes; ++i) initial.AddServer(i);
+  for (int i = 0; i < kNodes; ++i) {
+    dispatchers.push_back(std::make_unique<net::Dispatcher>());
+    agents.push_back(std::make_unique<dht::MembershipAgent>(
+        i, transport, *dispatchers[static_cast<std::size_t>(i)], cfg));
+    agents[static_cast<std::size_t>(i)]->SetRing(initial);
+    transport.Register(i, dispatchers[static_cast<std::size_t>(i)]->AsHandler());
+  }
+  for (auto& a : agents) a->Start();
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&agents, &stop, t] {
+      Rng rng(static_cast<std::uint64_t>(t) + 7);
+      while (!stop.load()) {
+        for (int i = 0; i < kNodes - 1; ++i) {  // agent kNodes-1 gets killed
+          dht::Ring view = agents[static_cast<std::size_t>(i)]->ring_view();
+          if (view.empty()) continue;
+          EXPECT_GE(view.Owner(rng.Next()), 0);
+        }
+      }
+    });
+  }
+
+  // Kill the last node: detach its endpoint and stop its heartbeats.
+  const int victim = kNodes - 1;
+  transport.Register(victim, nullptr);
+  agents[static_cast<std::size_t>(victim)]->Stop();
+
+  // Every surviving agent must drop the victim from its view.
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  for (int i = 0; i < victim; ++i) {
+    auto& agent = *agents[static_cast<std::size_t>(i)];
+    while (agent.ring_view().Contains(victim) &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    EXPECT_FALSE(agent.ring_view().Contains(victim))
+        << "agent " << i << " never noticed the failure";
+  }
+
+  // A newcomer joins through node 0 while the readers keep hammering.
+  net::Dispatcher joiner_dispatcher;
+  dht::MembershipAgent joiner(kNodes, transport, joiner_dispatcher, cfg);
+  transport.Register(kNodes, joiner_dispatcher.AsHandler());
+  ASSERT_TRUE(joiner.Join(0));
+  joiner.Start();
+  for (int i = 0; i < victim; ++i) {
+    auto& agent = *agents[static_cast<std::size_t>(i)];
+    while (!agent.ring_view().Contains(kNodes) &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    EXPECT_TRUE(agent.ring_view().Contains(kNodes))
+        << "agent " << i << " never saw the join";
+  }
+
+  stop.store(true);
+  for (auto& r : readers) r.join();
+  joiner.Stop();
+  for (auto& a : agents) a->Stop();
+  // Detach all endpoints before the agents are destroyed so no in-flight
+  // handler outlives its agent.
+  for (int i = 0; i <= kNodes; ++i) transport.Register(i, nullptr);
+}
+
+TEST(RaceStress, ShuffleConcurrentWithServerKill) {
+  // The fault path under concurrency: a job's map phase (proactive shuffle
+  // included) races KillServer on a node that may hold its spills. The job
+  // must either finish correctly or fail with a clean Status — never crash
+  // or hang — and afterwards the recovered cluster must run the same job.
+  for (int round = 0; round < 3; ++round) {
+    mr::ClusterOptions opts;
+    opts.num_servers = 6;
+    opts.block_size = 512;
+    opts.cache_capacity = 8_MiB;
+    mr::Cluster cluster(opts);
+    Rng rng(static_cast<std::uint64_t>(round) + 11);
+    workload::TextOptions topts;
+    topts.target_bytes = 20000;
+    topts.vocabulary = 50;
+    ASSERT_TRUE(cluster.dfs().Upload("corpus", workload::GenerateText(rng, topts)).ok());
+
+    mr::JobResult result;
+    std::thread job([&] { result = cluster.Run(apps::WordCountJob("wc", "corpus")); });
+    std::thread killer([&cluster, round] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1 + round));
+      cluster.KillServer(1 + round);
+    });
+    job.join();
+    killer.join();
+
+    if (result.status.ok()) {
+      EXPECT_GT(result.output.size(), 0u);
+    }
+    // Post-recovery the cluster must be fully functional.
+    auto rerun = cluster.Run(apps::WordCountJob("wc-after", "corpus"));
+    ASSERT_TRUE(rerun.status.ok()) << rerun.status.ToString();
+    EXPECT_GT(rerun.output.size(), 0u);
+  }
+}
+
+TEST(RaceStress, ClusterAddServerVsJobs) {
+  // Membership growth racing live traffic: AddServer rebalances (and grows
+  // the worker vector) while two driver threads run jobs back to back.
+  mr::ClusterOptions opts;
+  opts.num_servers = 4;
+  opts.block_size = 512;
+  mr::Cluster cluster(opts);
+  Rng rng(23);
+  workload::TextOptions topts;
+  topts.target_bytes = 10000;
+  std::string text_a = workload::GenerateText(rng, topts);
+  std::string text_b = workload::GenerateText(rng, topts);
+  ASSERT_TRUE(cluster.dfs().Upload("a", text_a).ok());
+  ASSERT_TRUE(cluster.dfs().Upload("b", text_b).ok());
+
+  std::atomic<int> ok_jobs{0};
+  std::vector<std::thread> drivers;
+  for (int t = 0; t < 2; ++t) {
+    drivers.emplace_back([&cluster, &ok_jobs, t] {
+      for (int i = 0; i < 3; ++i) {
+        auto r = cluster.Run(
+            apps::WordCountJob("j" + std::to_string(t) + "-" + std::to_string(i),
+                               t == 0 ? "a" : "b"));
+        if (r.status.ok()) ok_jobs.fetch_add(1);
+      }
+    });
+  }
+  int added = cluster.AddServer();
+  EXPECT_GE(added, 4);
+  for (auto& d : drivers) d.join();
+  EXPECT_EQ(ok_jobs.load(), 6) << "jobs failed during AddServer rebalance";
+
+  // The grown cluster must produce oracle-correct output.
+  auto after = cluster.Run(apps::WordCountJob("after-grow", "a"));
+  ASSERT_TRUE(after.status.ok()) << after.status.ToString();
+  auto expected = apps::WordCountSerial(text_a);
+  ASSERT_EQ(after.output.size(), expected.size());
+}
+
+}  // namespace
+}  // namespace eclipse

@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# Static-analysis driver: clang-tidy (bugprone/concurrency/performance, see
+# .clang-tidy) plus a Clang thread-safety-annotation build
+# (-Werror=thread-safety against the annotations in
+# src/common/thread_annotations.h).
+#
+# Usage:
+#   tools/run_static_analysis.sh [--tidy-only|--tsa-only] [paths...]
+#
+# With no paths, analyzes every .cc under src/. Each stage is skipped (with a
+# warning, not a failure) when its toolchain is absent, so the script degrades
+# gracefully on gcc-only boxes; CI installs clang and runs both stages.
+set -u
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${BUILD_DIR:-$ROOT/build-analysis}"
+MODE=all
+if [[ "${1:-}" == "--tidy-only" ]]; then MODE=tidy; shift; fi
+if [[ "${1:-}" == "--tsa-only" ]]; then MODE=tsa; shift; fi
+
+fail=0
+
+find_tool() {
+  for cand in "$1" "$1-19" "$1-18" "$1-17" "$1-16" "$1-15" "$1-14"; do
+    if command -v "$cand" > /dev/null 2>&1; then
+      echo "$cand"
+      return 0
+    fi
+  done
+  return 1
+}
+
+files=("$@")
+if [[ ${#files[@]} -eq 0 ]]; then
+  mapfile -t files < <(find "$ROOT/src" -name '*.cc' | sort)
+fi
+
+# ---- Stage 1: clang-tidy over the compile database ----
+if [[ $MODE != tsa ]]; then
+  if TIDY="$(find_tool clang-tidy)"; then
+    if [[ ! -f "$BUILD_DIR/compile_commands.json" ]]; then
+      echo "== configuring $BUILD_DIR for the compile database"
+      cmake -B "$BUILD_DIR" -S "$ROOT" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null || exit 1
+    fi
+    echo "== clang-tidy ($TIDY) over ${#files[@]} files"
+    "$TIDY" -p "$BUILD_DIR" --quiet "${files[@]}" || fail=1
+  else
+    echo "WARNING: clang-tidy not found; skipping the tidy stage" >&2
+  fi
+fi
+
+# ---- Stage 2: Clang build with thread-safety analysis ----
+if [[ $MODE != tidy ]]; then
+  if CLANGXX="$(find_tool clang++)"; then
+    TSA_DIR="${TSA_BUILD_DIR:-$ROOT/build-tsa}"
+    echo "== clang thread-safety build ($CLANGXX, -Werror=thread-safety)"
+    cmake -B "$TSA_DIR" -S "$ROOT" -DCMAKE_CXX_COMPILER="$CLANGXX" > /dev/null || exit 1
+    cmake --build "$TSA_DIR" -j "$(nproc)" || fail=1
+  else
+    echo "WARNING: clang++ not found; skipping the thread-safety build" >&2
+  fi
+fi
+
+exit $fail
