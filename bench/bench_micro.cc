@@ -14,6 +14,7 @@
 #include "mr/record_reader.h"
 #include "mr/shuffle.h"
 #include "net/tcp_transport.h"
+#include "obs/trace.h"
 #include "sched/laf_scheduler.h"
 
 using namespace eclipse;
@@ -160,5 +161,41 @@ static void BM_LruPutGet(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_LruPutGet);
+
+// Trace-emission cost (ISSUE acceptance: enabled span < 100 ns/event). The
+// flight recorder is bounded, so a long benchmark loop simply recycles chunks;
+// overwrite accounting is relaxed and does not perturb the measured path.
+static void BM_TraceEmitEvent(benchmark::State& state) {
+  auto& tracer = obs::Tracer::Global();
+  tracer.Start();
+  for (auto _ : state) {
+    tracer.Emit('i', "bench", "tick", 1, {obs::U64("n", 1)});
+  }
+  tracer.Stop();
+  tracer.Clear();
+}
+BENCHMARK(BM_TraceEmitEvent);
+
+static void BM_TraceSpan(benchmark::State& state) {
+  auto& tracer = obs::Tracer::Global();
+  tracer.Start();
+  for (auto _ : state) {
+    obs::TraceSpan span("bench", "work", 1, {obs::U64("n", 1)});
+    benchmark::DoNotOptimize(&span);
+  }
+  tracer.Stop();
+  tracer.Clear();
+}
+BENCHMARK(BM_TraceSpan);
+
+static void BM_TraceSpanDisabled(benchmark::State& state) {
+  auto& tracer = obs::Tracer::Global();
+  tracer.Stop();
+  for (auto _ : state) {
+    obs::TraceSpan span("bench", "work", 1, {obs::U64("n", 1)});
+    benchmark::DoNotOptimize(&span);
+  }
+}
+BENCHMARK(BM_TraceSpanDisabled);
 
 BENCHMARK_MAIN();

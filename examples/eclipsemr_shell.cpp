@@ -15,6 +15,10 @@
 //   ring                        show ring membership & positions
 //   cache                       per-server cache occupancy & hit ratios
 //   metrics                     cluster metrics report
+//   prom                        Prometheus text exposition of the metrics
+//   trace on|off                start / stop a trace capture
+//   trace summary               per-job summary of the current capture
+//   trace dump <path>           write the capture as Chrome trace JSON
 //   quit
 //
 // Run with a script on stdin for non-interactive use:
@@ -27,6 +31,8 @@
 #include "apps/sort.h"
 #include "apps/wordcount.h"
 #include "mr/cluster.h"
+#include "obs/summary.h"
+#include "obs/trace.h"
 #include "workload/generators.h"
 
 using namespace eclipse;
@@ -78,7 +84,8 @@ int main() {
     if (cmd == "quit" || cmd == "exit") break;
 
     if (cmd == "help") {
-      std::printf("put gen ls cat rm wc grep sort kill add ring cache metrics quit\n");
+      std::printf(
+          "put gen ls cat rm wc grep sort kill add ring cache metrics prom trace quit\n");
 
     } else if (cmd == "put") {
       std::string name, rest;
@@ -170,6 +177,28 @@ int main() {
 
     } else if (cmd == "metrics") {
       std::printf("%s", cluster.metrics().Render().c_str());
+
+    } else if (cmd == "prom") {
+      std::printf("%s", cluster.MetricsPrometheus().c_str());
+
+    } else if (cmd == "trace") {
+      std::string sub, path;
+      in >> sub >> path;
+      auto& tracer = obs::Tracer::Global();
+      if (sub == "on") {
+        tracer.Start();
+        std::printf("tracing on (new capture)\n");
+      } else if (sub == "off") {
+        tracer.Stop();
+        std::printf("tracing off; %zu events captured\n", tracer.Snapshot().size());
+      } else if (sub == "summary") {
+        std::printf("%s", obs::RenderCurrentCapture().c_str());
+      } else if (sub == "dump" && !path.empty()) {
+        Status s = tracer.WriteChromeTrace(path);
+        std::printf("%s\n", s.ok() ? ("wrote " + path).c_str() : s.ToString().c_str());
+      } else {
+        std::printf("usage: trace on|off|summary|dump <path>\n");
+      }
 
     } else {
       std::printf("unknown command '%s' (try 'help')\n", cmd.c_str());

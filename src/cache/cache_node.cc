@@ -1,6 +1,7 @@
 #include "cache/cache_node.h"
 
 #include "common/serde.h"
+#include "obs/trace.h"
 
 namespace eclipse::cache {
 
@@ -20,6 +21,11 @@ net::Message CacheNode::Handle(int from, const net::Message& m) {
         return net::ErrorMessage(ErrorCode::kInvalidArgument, "bad cache fetch");
       }
       auto data = cache_.Get(id);
+      // Instant on the serving node's track: which peers reach into this
+      // server's LRU and whether the reach pays off (outer-ring traffic).
+      obs::Tracer::Global().Emit('i', "cache", "peer_fetch", self_,
+                                 {obs::Str("result", data ? "hit" : "miss"),
+                                  obs::U64("from", static_cast<std::uint64_t>(from))});
       if (!data) return net::ErrorMessage(ErrorCode::kNotFound, "not cached: " + id);
       return net::Message{msg::kOk, std::move(*data)};
     }
@@ -49,10 +55,13 @@ net::Message CacheNode::Handle(int from, const net::Message& m) {
 }
 
 std::optional<std::string> CacheClient::FetchFrom(int server, const std::string& id) {
+  obs::TraceSpan fetch_span("cache", "remote_fetch", self_,
+                            {obs::U64("server", static_cast<std::uint64_t>(server))});
   BinaryWriter w;
   w.PutString(id);
   auto resp = transport_.Call(self_, server, net::Message{msg::kFetch, w.Take()});
   if (!resp.ok() || net::IsError(resp.value())) return std::nullopt;
+  fetch_span.AddArg(obs::U64("bytes", resp.value().payload.size()));
   return std::move(resp.value().payload);
 }
 

@@ -1,5 +1,6 @@
 #include "common/metrics.h"
 
+#include <algorithm>
 #include <cstdio>
 
 namespace eclipse {
@@ -12,6 +13,71 @@ std::size_t BucketOf(std::uint64_t sample) {
     ++b;
   }
   return b;
+}
+
+void AppendLabelValueEscaped(std::string& out, const std::string& v) {
+  for (char c : v) {
+    if (c == '\\' || c == '"') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+}
+
+// Serialized sorted label set: `k1="v1",k2="v2"` — used both as the series
+// key and verbatim inside the rendered `{...}`.
+std::string SerializeLabels(const MetricLabels& labels) {
+  if (labels.empty()) return {};
+  MetricLabels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  std::string out;
+  for (const auto& [k, v] : sorted) {
+    if (!out.empty()) out += ',';
+    out += k;
+    out += "=\"";
+    AppendLabelValueEscaped(out, v);
+    out += '"';
+  }
+  return out;
+}
+
+std::string SeriesName(const std::string& family, const std::string& labels) {
+  if (labels.empty()) return family;
+  return family + "{" + labels + "}";
+}
+
+// Prometheus metric names allow [a-zA-Z0-9_:]; the registry's dotted names
+// map onto that by replacing every other character with '_'.
+std::string SanitizePromName(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') ||
+              c == '_' || c == ':';
+    if (!ok) c = '_';
+  }
+  if (!out.empty() && out[0] >= '0' && out[0] <= '9') out.insert(out.begin(), '_');
+  return out;
+}
+
+void AppendPromSeries(std::string& out, const std::string& family, const std::string& suffix,
+                      const std::string& labels, const std::string& extra_label,
+                      unsigned long long value) {
+  out += family;
+  out += suffix;
+  if (!labels.empty() || !extra_label.empty()) {
+    out += '{';
+    out += labels;
+    if (!labels.empty() && !extra_label.empty()) out += ',';
+    out += extra_label;
+    out += '}';
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, " %llu\n", value);
+  out += buf;
 }
 
 }  // namespace
@@ -54,25 +120,47 @@ void Histogram::Reset() {
   sum_.store(0, std::memory_order_relaxed);
 }
 
-Counter& MetricsRegistry::GetCounter(const std::string& name) {
-  MutexLock lock(mu_);
-  auto& slot = counters_[name];
-  if (!slot) slot = std::make_unique<Counter>();
+template <typename T>
+T& MetricsRegistry::GetIn(std::map<std::string, Family<T>>& families, const std::string& name,
+                          const MetricLabels& labels) {
+  auto& slot = families[name][SerializeLabels(labels)];
+  if (!slot) slot = std::make_unique<T>();
   return *slot;
 }
 
-Histogram& MetricsRegistry::GetHistogram(const std::string& name) {
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  return GetCounter(name, {});
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name, const MetricLabels& labels) {
   MutexLock lock(mu_);
-  auto& slot = histograms_[name];
-  if (!slot) slot = std::make_unique<Histogram>();
-  return *slot;
+  return GetIn(counters_, name, labels);
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) { return GetGauge(name, {}); }
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name, const MetricLabels& labels) {
+  MutexLock lock(mu_);
+  return GetIn(gauges_, name, labels);
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name) {
+  return GetHistogram(name, {});
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name, const MetricLabels& labels) {
+  MutexLock lock(mu_);
+  return GetIn(histograms_, name, labels);
 }
 
 std::vector<std::pair<std::string, std::uint64_t>> MetricsRegistry::CounterSnapshot() const {
   MutexLock lock(mu_);
   std::vector<std::pair<std::string, std::uint64_t>> out;
-  out.reserve(counters_.size());
-  for (const auto& [name, counter] : counters_) out.emplace_back(name, counter->value());
+  for (const auto& [name, family] : counters_) {
+    for (const auto& [labels, counter] : family) {
+      out.emplace_back(SeriesName(name, labels), counter->value());
+    }
+  }
   return out;
 }
 
@@ -80,25 +168,91 @@ std::string MetricsRegistry::Render() const {
   MutexLock lock(mu_);
   std::string out;
   char buf[160];
-  for (const auto& [name, counter] : counters_) {
-    std::snprintf(buf, sizeof buf, "%-40s %llu\n", name.c_str(),
-                  static_cast<unsigned long long>(counter->value()));
-    out += buf;
+  for (const auto& [name, family] : counters_) {
+    for (const auto& [labels, counter] : family) {
+      std::snprintf(buf, sizeof buf, "%-40s %llu\n", SeriesName(name, labels).c_str(),
+                    static_cast<unsigned long long>(counter->value()));
+      out += buf;
+    }
   }
-  for (const auto& [name, hist] : histograms_) {
-    std::snprintf(buf, sizeof buf, "%-40s n=%llu mean=%.1f p50<=%llu p99<=%llu\n",
-                  name.c_str(), static_cast<unsigned long long>(hist->count()),
-                  hist->mean(), static_cast<unsigned long long>(hist->ApproxQuantile(0.5)),
-                  static_cast<unsigned long long>(hist->ApproxQuantile(0.99)));
-    out += buf;
+  for (const auto& [name, family] : gauges_) {
+    for (const auto& [labels, gauge] : family) {
+      std::snprintf(buf, sizeof buf, "%-40s %lld\n", SeriesName(name, labels).c_str(),
+                    static_cast<long long>(gauge->value()));
+      out += buf;
+    }
+  }
+  for (const auto& [name, family] : histograms_) {
+    for (const auto& [labels, hist] : family) {
+      std::snprintf(buf, sizeof buf, "%-40s n=%llu mean=%.1f p50<=%llu p99<=%llu\n",
+                    SeriesName(name, labels).c_str(),
+                    static_cast<unsigned long long>(hist->count()), hist->mean(),
+                    static_cast<unsigned long long>(hist->ApproxQuantile(0.5)),
+                    static_cast<unsigned long long>(hist->ApproxQuantile(0.99)));
+      out += buf;
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::RenderPrometheus() const {
+  MutexLock lock(mu_);
+  std::string out;
+  for (const auto& [name, family] : counters_) {
+    std::string prom = SanitizePromName(name);
+    out += "# TYPE " + prom + " counter\n";
+    for (const auto& [labels, counter] : family) {
+      AppendPromSeries(out, prom, "", labels, "", counter->value());
+    }
+  }
+  for (const auto& [name, family] : gauges_) {
+    std::string prom = SanitizePromName(name);
+    out += "# TYPE " + prom + " gauge\n";
+    for (const auto& [labels, gauge] : family) {
+      out += prom;
+      if (!labels.empty()) out += "{" + labels + "}";
+      char buf[32];
+      std::snprintf(buf, sizeof buf, " %lld\n", static_cast<long long>(gauge->value()));
+      out += buf;
+    }
+  }
+  for (const auto& [name, family] : histograms_) {
+    std::string prom = SanitizePromName(name);
+    out += "# TYPE " + prom + " histogram\n";
+    for (const auto& [labels, hist] : family) {
+      auto buckets = hist->BucketCounts();
+      std::size_t top = 0;
+      for (std::size_t b = 0; b < Histogram::kBuckets; ++b) {
+        if (buckets[b] != 0) top = b + 1;
+      }
+      std::uint64_t cumulative = 0;
+      for (std::size_t b = 0; b < top; ++b) {
+        cumulative += buckets[b];
+        std::uint64_t le = b + 1 >= 64 ? ~0ull : (std::uint64_t{1} << (b + 1)) - 1;
+        char lebuf[48];
+        std::snprintf(lebuf, sizeof lebuf, "le=\"%llu\"",
+                      static_cast<unsigned long long>(le));
+        AppendPromSeries(out, prom, "_bucket", labels, lebuf, cumulative);
+      }
+      AppendPromSeries(out, prom, "_bucket", labels, "le=\"+Inf\"", hist->count());
+      AppendPromSeries(out, prom, "_sum", labels, "", hist->sum());
+      AppendPromSeries(out, prom, "_count", labels, "", hist->count());
+    }
   }
   return out;
 }
 
 void MetricsRegistry::ResetAll() {
   MutexLock lock(mu_);
-  for (auto& [name, counter] : counters_) counter->Reset();
-  for (auto& [name, hist] : histograms_) hist->Reset();
+  for (auto& [name, family] : counters_) {
+    for (auto& [labels, counter] : family) counter->Reset();
+  }
+  for (auto& [name, family] : gauges_) {
+    for (auto& [labels, gauge] : family) gauge->Reset();
+  }
+  for (auto& [name, family] : histograms_) {
+    for (auto& [labels, hist] : family) hist->Reset();
+  }
 }
 
 }  // namespace eclipse

@@ -1,9 +1,13 @@
-// Lightweight process-wide metrics: named counters and duration histograms.
+// Lightweight process-wide metrics: named counters, gauges, and duration
+// histograms, with optional Prometheus-style labels.
 //
 // Components record operational events (blocks served, remote reads, task
 // retries, spill bytes…) into a MetricsRegistry; operators snapshot and
-// render it (see Cluster::MetricsReport and the eclipsemr_shell example).
-// Counters are lock-free; histograms use fixed log-scaled buckets.
+// render it (see Cluster::metrics() and the `metrics` / `prom` commands in
+// the eclipsemr_shell example). Counters and gauges are lock-free;
+// histograms use fixed log-scaled buckets. Render() gives the human
+// format, RenderPrometheus() the Prometheus text exposition format
+// (docs/observability.md documents every metric the engine emits).
 #pragma once
 
 #include <array>
@@ -12,11 +16,17 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/mutex.h"
 
 namespace eclipse {
+
+/// Label set for one metric instance, e.g. {{"server", "3"},
+/// {"locality", "memory"}}. Order-insensitive: label sets are sorted by key
+/// before lookup, so {{a,1},{b,2}} and {{b,2},{a,1}} name the same series.
+using MetricLabels = std::vector<std::pair<std::string, std::string>>;
 
 class Counter {
  public:
@@ -26,6 +36,18 @@ class Counter {
 
  private:
   std::atomic<std::uint64_t> value_{0};
+};
+
+/// A value that can go up and down (queue depth, cache bytes, live servers).
+class Gauge {
+ public:
+  void Set(std::int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(std::int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
 };
 
 /// Log2-bucketed histogram of non-negative samples (e.g. microseconds or
@@ -57,26 +79,50 @@ class Histogram {
 };
 
 /// Named metric registry. Get-or-create accessors are cheap after first use;
-/// returned references live as long as the registry.
+/// returned references live as long as the registry. The no-label overloads
+/// address the unlabeled series of the same family.
 class MetricsRegistry {
  public:
   Counter& GetCounter(const std::string& name);
+  Counter& GetCounter(const std::string& name, const MetricLabels& labels);
+  Gauge& GetGauge(const std::string& name);
+  Gauge& GetGauge(const std::string& name, const MetricLabels& labels);
   Histogram& GetHistogram(const std::string& name);
+  Histogram& GetHistogram(const std::string& name, const MetricLabels& labels);
 
-  /// Snapshot of every counter value, sorted by name.
+  /// Snapshot of every counter value, sorted by name. Labeled series render
+  /// as `name{k="v",...}` and sort after the unlabeled series of the same
+  /// family.
   std::vector<std::pair<std::string, std::uint64_t>> CounterSnapshot() const;
 
-  /// Multi-line human-readable dump (counters, then histogram summaries).
+  /// Multi-line human-readable dump (counters, gauges, then histogram
+  /// summaries).
   std::string Render() const;
+
+  /// Prometheus text exposition format: `# TYPE` headers, sanitized names
+  /// ('.' and '-' become '_'), label sets, and cumulative `_bucket{le=...}`
+  /// series for histograms (le bounds are the log2 bucket upper bounds,
+  /// 2^(b+1)-1).
+  std::string RenderPrometheus() const;
 
   void ResetAll();
 
  private:
+  // One family = one metric name; series within it are keyed by the
+  // serialized sorted label set ("" = unlabeled).
+  template <typename T>
+  using Family = std::map<std::string, std::unique_ptr<T>>;
+
+  template <typename T>
+  static T& GetIn(std::map<std::string, Family<T>>& families, const std::string& name,
+                  const MetricLabels& labels);
+
   mutable Mutex mu_;
-  // The maps are guarded; the pointed-to Counter/Histogram objects are
+  // The maps are guarded; the pointed-to Counter/Gauge/Histogram objects are
   // internally atomic and safely shared outside the lock.
-  std::map<std::string, std::unique_ptr<Counter>> counters_ GUARDED_BY(mu_);
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_ GUARDED_BY(mu_);
+  std::map<std::string, Family<Counter>> counters_ GUARDED_BY(mu_);
+  std::map<std::string, Family<Gauge>> gauges_ GUARDED_BY(mu_);
+  std::map<std::string, Family<Histogram>> histograms_ GUARDED_BY(mu_);
 };
 
 }  // namespace eclipse

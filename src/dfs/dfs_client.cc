@@ -101,6 +101,11 @@ Result<FileMetadata> DfsClient::GetMetadata(const std::string& name) {
 }
 
 Result<std::string> DfsClient::ReadBlock(const FileMetadata& meta, std::uint64_t index) {
+  return ReadBlock(meta, index, nullptr);
+}
+
+Result<std::string> DfsClient::ReadBlock(const FileMetadata& meta, std::uint64_t index,
+                                         int* served_by) {
   if (index >= meta.num_blocks) {
     return Status::Error(ErrorCode::kInvalidArgument, "block index out of range");
   }
@@ -113,7 +118,10 @@ Result<std::string> DfsClient::ReadBlock(const FileMetadata& meta, std::uint64_t
   Status last = Status::Error(ErrorCode::kNotFound, "block unavailable");
   for (int server : ring.Replicas(key, options_.replication)) {
     auto resp = CallOk(server, get);
-    if (resp.ok()) return std::move(resp.value().payload);
+    if (resp.ok()) {
+      if (served_by != nullptr) *served_by = server;
+      return std::move(resp.value().payload);
+    }
     last = resp.status();
   }
   return last;

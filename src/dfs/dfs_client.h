@@ -56,6 +56,13 @@ class DfsClient {
   /// Read one block, trying the owner first and then the other replicas.
   Result<std::string> ReadBlock(const FileMetadata& meta, std::uint64_t index);
 
+  /// Same, reporting which server actually served the block in
+  /// `*served_by` (unchanged on failure). The MapReduce engine uses this to
+  /// classify a map task's locality: served_by == the worker's own id means
+  /// the block came off local disk, anything else was a remote-disk read.
+  Result<std::string> ReadBlock(const FileMetadata& meta, std::uint64_t index,
+                                int* served_by);
+
   /// Read `len` bytes of block `index` starting at `offset` (clamped to the
   /// block end). The record reader uses this to peek at one boundary byte
   /// without transferring the whole previous block.
@@ -84,6 +91,10 @@ class DfsClient {
   void DeleteObject(const std::string& id, HashKey key, std::size_t replication = 1);
 
   const DfsClientOptions& options() const { return options_; }
+
+  /// The endpoint id this client calls from (a worker id, or an external
+  /// client id).
+  int self() const { return self_; }
 
  private:
   Result<net::Message> CallOk(int to, const net::Message& m);

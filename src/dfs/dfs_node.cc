@@ -1,6 +1,7 @@
 #include "dfs/dfs_node.h"
 
 #include "dht/finger_table.h"
+#include "obs/trace.h"
 
 namespace eclipse::dfs {
 namespace {
@@ -186,7 +187,13 @@ net::Message DfsNode::Handle(int from, const net::Message& m) {
       if (!r.GetString(&id) || !r.GetU64(&key) || !r.GetU64(&ttl_ms) || !r.GetString(&data)) {
         return net::ErrorMessage(ErrorCode::kInvalidArgument, "bad PutBlock request");
       }
+      std::uint64_t bytes = data.size();
       blocks_.Put(id, key, std::move(data), std::chrono::milliseconds(ttl_ms));
+      // Instants on the storing node's track: per-replica write traffic
+      // (three per logical block under 3-way replication, §II-A).
+      obs::Tracer::Global().Emit('i', "dfs", "block_put", self_,
+                                 {obs::U64("bytes", bytes),
+                                  obs::U64("from", static_cast<std::uint64_t>(from))});
       return Ok();
     }
 
@@ -198,6 +205,9 @@ net::Message DfsNode::Handle(int from, const net::Message& m) {
       }
       auto data = blocks_.Get(id);
       if (!data.ok()) return net::ErrorMessage(data.status().code(), data.status().message());
+      obs::Tracer::Global().Emit('i', "dfs", "block_serve", self_,
+                                 {obs::U64("bytes", data.value().size()),
+                                  obs::U64("to", static_cast<std::uint64_t>(from))});
       return Ok(std::move(data.value()));
     }
 

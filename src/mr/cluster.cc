@@ -4,6 +4,7 @@
 
 #include "common/log.h"
 #include "net/tcp_transport.h"
+#include "obs/trace.h"
 
 namespace eclipse::mr {
 
@@ -11,8 +12,10 @@ Cluster::Cluster(ClusterOptions options) : options_(std::move(options)) {
   assert(options_.num_servers > 0);
   if (options_.use_tcp_transport) {
     transport_ = std::make_unique<net::TcpTransport>();
+    transport_->BindMetrics(metrics_, "tcp");
   } else {
     transport_ = std::make_unique<net::InProcessTransport>();
+    transport_->BindMetrics(metrics_, "inproc");
   }
 
   {
@@ -103,6 +106,8 @@ void Cluster::RebuildSchedulers() {
 }
 
 dfs::RecoveryReport Cluster::KillServer(int id) {
+  obs::Tracer::Global().Emit('i', "cluster", "kill_server", obs::kDriverPid,
+                             {obs::U64("server", static_cast<std::uint64_t>(id))});
   worker(id).Kill();
   {
     MutexLock lock(ring_mu_);
@@ -185,6 +190,9 @@ int Cluster::AddServer(dfs::RecoveryReport* report) {
   auto r = recovery.Repair(options_.replication, /*drop_extraneous=*/true);
   LOG_INFO << "rebalance after adding server " << id << ": " << r.blocks_copied
            << " blocks copied, " << r.blocks_dropped << " dropped";
+  obs::Tracer::Global().Emit('i', "cluster", "add_server", obs::kDriverPid,
+                             {obs::U64("server", static_cast<std::uint64_t>(id)),
+                              obs::U64("blocks_copied", r.blocks_copied)});
   if (report) *report = r;
   return id;
 }
@@ -222,6 +230,26 @@ cache::CacheStats Cluster::AggregateCacheStats() const {
 void Cluster::ResetCacheStats() {
   MutexLock lock(workers_mu_);
   for (const auto& w : workers_) w->cache().ResetStats();
+}
+
+std::string Cluster::MetricsPrometheus() {
+  std::int64_t live = 0;
+  {
+    MutexLock lock(workers_mu_);
+    for (const auto& w : workers_) {
+      if (w->dead()) continue;
+      ++live;
+      MetricLabels labels{{"server", std::to_string(w->id())}};
+      metrics_.GetGauge("cache.used_bytes", labels)
+          .Set(static_cast<std::int64_t>(w->cache().used()));
+      metrics_.GetGauge("cache.capacity_bytes", labels)
+          .Set(static_cast<std::int64_t>(w->cache().capacity()));
+      metrics_.GetGauge("cache.entries", labels)
+          .Set(static_cast<std::int64_t>(w->cache().Count()));
+    }
+  }
+  metrics_.GetGauge("cluster.live_servers").Set(live);
+  return metrics_.RenderPrometheus();
 }
 
 RangeTable Cluster::CacheRanges() const {

@@ -122,6 +122,12 @@ class Cluster {
   /// MetricsRegistry::Render for the report format.
   MetricsRegistry& metrics() { return metrics_; }
 
+  /// Prometheus text exposition of metrics(). Refreshes point-in-time gauges
+  /// first (cluster.live_servers plus per-server cache.used_bytes /
+  /// cache.capacity_bytes / cache.entries, labelled {server="N"}), then
+  /// renders every family. See docs/observability.md for the full catalog.
+  std::string MetricsPrometheus();
+
  private:
   friend class JobRunner;
 

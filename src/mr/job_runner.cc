@@ -1,17 +1,24 @@
 #include "mr/job_runner.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <cstring>
 #include <future>
 #include <thread>
 
 #include "common/log.h"
 #include "mr/record_reader.h"
+#include "obs/trace.h"
 
 namespace eclipse::mr {
 namespace {
 
 constexpr int kMaxAttemptsPerTask = 5;
+
+// Process-wide job sequence: the `job` argument on every job span, letting
+// one capture hold several jobs and still attribute tasks to the right one.
+std::atomic<std::uint64_t> g_job_seq{0};
 
 /// MapContext bound to a ShuffleWriter.
 class ShuffleMapContext : public MapContext {
@@ -51,6 +58,8 @@ JobRunner::JobRunner(Cluster& cluster, const JobSpec& spec) : cluster_(cluster),
 JobResult JobRunner::Run() {
   JobResult result;
   auto t0 = std::chrono::steady_clock::now();
+  const std::uint64_t job_seq = g_job_seq.fetch_add(1) + 1;
+  obs::TraceSpan job_span("mr", "job", obs::kDriverPid, {obs::U64("job", job_seq)});
 
   // Step 1-2 (Fig. 2): metadata from each input's file-metadata owner.
   std::vector<std::string> inputs{spec_.input_file};
@@ -96,10 +105,14 @@ JobResult JobRunner::Run() {
     return result;
   }
 
-  std::stable_sort(output.begin(), output.end(),
-                   [](const KV& a, const KV& b) { return a.key < b.key; });
+  {
+    obs::TraceSpan sort_span("mr", "sort", obs::kDriverPid);
+    std::stable_sort(output.begin(), output.end(),
+                     [](const KV& a, const KV& b) { return a.key < b.key; });
+  }
 
   if (!spec_.output_file.empty()) {
+    obs::TraceSpan upload_span("mr", "output_upload", obs::kDriverPid);
     std::string serialized;
     for (const auto& kv : output) {
       serialized += kv.key;
@@ -132,12 +145,25 @@ JobResult JobRunner::Run() {
   metrics.GetCounter("mr.bytes_spilled").Add(stats_.bytes_spilled);
   metrics.GetCounter("mr.icache_hits").Add(stats_.icache_hits);
   metrics.GetCounter("mr.icache_misses").Add(stats_.icache_misses);
+  metrics.GetCounter("mr.ocache_hits").Add(stats_.ocache_hits);
+  metrics.GetCounter("mr.ocache_misses").Add(stats_.ocache_misses);
+  metrics.GetCounter("mr.map_tasks_by_locality", {{"locality", "memory"}})
+      .Add(stats_.maps_memory);
+  metrics.GetCounter("mr.map_tasks_by_locality", {{"locality", "local_disk"}})
+      .Add(stats_.maps_local_disk);
+  metrics.GetCounter("mr.map_tasks_by_locality", {{"locality", "remote_disk"}})
+      .Add(stats_.maps_remote_disk);
+  metrics.GetCounter("mr.map_tasks_by_locality", {{"locality", "skipped"}})
+      .Add(stats_.maps_skipped);
   metrics.GetHistogram("mr.job_wall_us")
       .Record(static_cast<std::uint64_t>(stats_.wall_seconds * 1e6));
+  job_span.AddArg(obs::U64("maps", stats_.map_tasks));
+  job_span.AddArg(obs::U64("reduces", stats_.reduce_tasks));
   return result;
 }
 
 Status JobRunner::RunReducePhase(std::vector<KV>* output) {
+  obs::TraceSpan phase_span("mr", "reduce_phase", obs::kDriverPid);
   std::map<HashKey, std::vector<SpillInfo>> by_range;
   {
     MutexLock lock(state_mu_);
@@ -196,12 +222,17 @@ Status JobRunner::RunMapPhase(const std::vector<BlockRef>& blocks,
   for (auto b : blocks) queue.push_back(Pending{b, 0});
 
   while (!queue.empty()) {
+    obs::TraceSpan wave_span("mr", "map_phase", obs::kDriverPid,
+                             {obs::U64("tasks", queue.size())});
     std::vector<std::tuple<BlockRef, int, std::future<MapOutcome>>> inflight;
     inflight.reserve(queue.size());
     for (auto& p : queue) {
       HashKey hkey = metas_[p.ref.file].KeyOfBlock(p.ref.block);
       int server = PickMapServer(hkey);
       if (server < 0) return Status::Error(ErrorCode::kUnavailable, "no servers left");
+      obs::Tracer::Global().Emit('i', "sched", "sched_assign", obs::kDriverPid,
+                                 {obs::U64("block", p.ref.block),
+                                  obs::U64("server", static_cast<std::uint64_t>(server))});
       WorkerServer& w = cluster_.worker(server);
       BlockRef ref = p.ref;
       inflight.emplace_back(ref, p.attempts,
@@ -230,6 +261,13 @@ Status JobRunner::RunMapPhase(const std::vector<BlockRef>& blocks,
         ++stats_.icache_hits;
       } else if (!outcome.skipped) {
         ++stats_.icache_misses;
+      }
+      if (std::strcmp(outcome.locality, "memory") == 0) {
+        ++stats_.maps_memory;
+      } else if (std::strcmp(outcome.locality, "local_disk") == 0) {
+        ++stats_.maps_local_disk;
+      } else if (std::strcmp(outcome.locality, "remote_disk") == 0) {
+        ++stats_.maps_remote_disk;
       }
       MutexLock lock(state_mu_);
       if (force_recompute) {
@@ -296,6 +334,11 @@ int JobRunner::PickMapServer(HashKey hkey) {
     int chosen = fallback >= 0 ? fallback : preferred;
     if (cluster_.worker(chosen).dead()) chosen = -1;
     if (chosen >= 0) {
+      // The locality wait expired: the task runs off its preferred server.
+      obs::Tracer::Global().Emit(
+          'i', "sched", "delay_fallback", obs::kDriverPid,
+          {obs::U64("preferred", static_cast<std::uint64_t>(preferred)),
+           obs::U64("chosen", static_cast<std::uint64_t>(chosen))});
       MutexLock lock(cluster_.sched_mu_);
       delay->RecordAssignment(chosen);
       return chosen;
@@ -309,6 +352,27 @@ int JobRunner::PickMapServer(HashKey hkey) {
 JobRunner::MapOutcome JobRunner::RunMapTask(WorkerServer& w, BlockRef ref,
                                             bool force_recompute) {
   MapOutcome out;
+  obs::TraceSpan task_span("mr", "map_task", w.id(),
+                           {obs::U64("file", ref.file), obs::U64("block", ref.block)});
+  auto task_t0 = std::chrono::steady_clock::now();
+  // Close the span with the outcome's classification whatever exit path the
+  // task takes; also feed the per-locality latency histogram.
+  struct SpanCloser {
+    obs::TraceSpan& span;
+    MapOutcome& out;
+    JobRunner& runner;
+    std::chrono::steady_clock::time_point t0;
+    ~SpanCloser() {
+      span.AddArg(obs::Str("locality", out.locality));
+      span.AddArg(obs::U64("bytes", out.input_bytes));
+      auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+      runner.cluster_.metrics()
+          .GetHistogram("mr.map_task_us", {{"locality", out.locality}})
+          .Record(static_cast<std::uint64_t>(us));
+    }
+  } closer{task_span, out, *this, task_t0};
   if (w.dead()) {
     out.status = Status::Error(ErrorCode::kUnavailable, "worker died");
     return out;
@@ -349,12 +413,15 @@ JobRunner::MapOutcome JobRunner::RunMapTask(WorkerServer& w, BlockRef ref,
   if (auto cached = w.cache().Get(block_id)) {
     data = std::move(*cached);
     out.icache_hit = true;
+    out.locality = "memory";
   } else {
-    auto read = w.dfs().ReadBlock(meta_, block);
+    int served_by = -1;
+    auto read = w.dfs().ReadBlock(meta_, block, &served_by);
     if (!read.ok()) {
       out.status = read.status();
       return out;
     }
+    out.locality = served_by == w.id() ? "local_disk" : "remote_disk";
     data = std::move(read.value());
     if (spec_.cache_input) {
       w.cache().Put(block_id, block_key, data, cache::EntryKind::kInput);
@@ -410,6 +477,24 @@ JobRunner::MapOutcome JobRunner::RunMapTask(WorkerServer& w, BlockRef ref,
 JobRunner::ReduceOutcome JobRunner::RunReduceTask(WorkerServer& w,
                                                   const std::vector<SpillInfo>& spills) {
   ReduceOutcome out;
+  obs::TraceSpan task_span("mr", "reduce_task", w.id(),
+                           {obs::U64("spills", spills.size())});
+  auto task_t0 = std::chrono::steady_clock::now();
+  struct SpanCloser {
+    obs::TraceSpan& span;
+    ReduceOutcome& out;
+    JobRunner& runner;
+    std::chrono::steady_clock::time_point t0;
+    ~SpanCloser() {
+      span.AddArg(obs::U64("ocache_hits", out.ocache_hits));
+      span.AddArg(obs::U64("ocache_misses", out.ocache_misses));
+      auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+      runner.cluster_.metrics().GetHistogram("mr.reduce_task_us").Record(
+          static_cast<std::uint64_t>(us));
+    }
+  } closer{task_span, out, *this, task_t0};
   if (w.dead()) {
     out.status = Status::Error(ErrorCode::kUnavailable, "worker died");
     return out;

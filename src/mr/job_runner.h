@@ -29,6 +29,10 @@ class JobRunner {
     bool skipped = false;     // fed entirely from tagged intermediates
     bool icache_hit = false;
     Bytes input_bytes = 0;
+    /// Locality class of the input read: "memory", "local_disk",
+    /// "remote_disk", or "skipped" (string literal; also used as the trace
+    /// span's `locality` argument and the metrics label value).
+    const char* locality = "skipped";
   };
 
   struct ReduceOutcome {

@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "common/serde.h"
+#include "obs/trace.h"
 
 namespace eclipse::mr {
 
@@ -128,6 +129,11 @@ Status ShuffleWriter::SpillRange(HashKey range_begin, RangeBuffer& buf) {
   info.range_begin = range_begin;
   info.pairs = buf.pairs.size();
   info.bytes = buf.bytes;
+
+  // The proactive-shuffle push (§II-D), traced on the mapping server's
+  // track: the transfer overlaps the rest of the map computation.
+  obs::TraceSpan spill_span("mr", "spill", dfs_.self(),
+                            {obs::U64("bytes", info.bytes), obs::U64("pairs", info.pairs)});
 
   // Placement key: the range's begin — by construction owned by the range's
   // server under the static FS partition, so the spill lands reducer-side.

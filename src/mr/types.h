@@ -109,6 +109,14 @@ struct JobStats {
   std::uint64_t reduce_tasks = 0;
   std::uint64_t maps_skipped = 0;       // served entirely from tagged spills
   std::uint64_t map_retries = 0;        // re-executions after worker failure
+
+  // Map-task locality classes (the paper's Fig. 6 task-state breakdown):
+  // where each completed map task's input actually came from. The three
+  // classes plus maps_skipped partition map_tasks.
+  std::uint64_t maps_memory = 0;       // iCache hit on the assigned server
+  std::uint64_t maps_local_disk = 0;   // block served by the server's own DHT-FS node
+  std::uint64_t maps_remote_disk = 0;  // block pulled from a replica on another server
+
   std::uint64_t icache_hits = 0;
   std::uint64_t icache_misses = 0;
   std::uint64_t ocache_hits = 0;

@@ -1,5 +1,7 @@
 #include "mr/worker.h"
 
+#include "obs/trace.h"
+
 namespace eclipse::mr {
 
 WorkerServer::WorkerServer(int id, net::Transport& transport,
@@ -22,6 +24,9 @@ WorkerServer::~WorkerServer() {
 }
 
 void WorkerServer::Kill() {
+  // Marks the end of this server's trace track: events after this instant
+  // are stragglers from tasks that observed dead() mid-flight.
+  obs::Tracer::Global().Emit('i', "cluster", "worker_kill", id_, {});
   dead_.store(true);
   transport_.Register(id_, nullptr);
 }

@@ -144,6 +144,12 @@ void TcpTransport::AcceptLoop(Endpoint* ep, NodeId /*node*/) {
 }
 
 Result<Message> TcpTransport::Call(NodeId from, NodeId to, const Message& request) {
+  Result<Message> response = CallImpl(from, to, request);
+  AccountCall(request.payload.size(), response);
+  return response;
+}
+
+Result<Message> TcpTransport::CallImpl(NodeId from, NodeId to, const Message& request) {
   int port = PortOf(to);
   if (port == 0) {
     return Status::Error(ErrorCode::kUnavailable, "node " + std::to_string(to) + " not listening");

@@ -63,6 +63,7 @@ class TcpTransport : public Transport {
 
   void AcceptLoop(Endpoint* ep, NodeId node);
   void Unregister(NodeId node);
+  Result<Message> CallImpl(NodeId from, NodeId to, const Message& request);
 
   mutable Mutex mu_;
   // Endpoints are removed from the map before teardown, so AcceptLoop and

@@ -2,6 +2,29 @@
 
 namespace eclipse::net {
 
+void Transport::BindMetrics(MetricsRegistry& registry, const char* label) {
+  MetricLabels labels{{"transport", label}};
+  // Publish bytes/errors first: a racing AccountCall keys off calls_ being
+  // set, so once it sees calls_ the other three are visible too.
+  bytes_received_.store(&registry.GetCounter("net.bytes_received", labels),
+                        std::memory_order_relaxed);
+  bytes_sent_.store(&registry.GetCounter("net.bytes_sent", labels), std::memory_order_relaxed);
+  errors_.store(&registry.GetCounter("net.call_errors", labels), std::memory_order_relaxed);
+  calls_.store(&registry.GetCounter("net.calls", labels), std::memory_order_release);
+}
+
+void Transport::AccountCall(std::size_t request_bytes, const Result<Message>& response) const {
+  Counter* calls = calls_.load(std::memory_order_acquire);
+  if (!calls) return;
+  calls->Add();
+  bytes_sent_.load(std::memory_order_relaxed)->Add(request_bytes);
+  if (response.ok()) {
+    bytes_received_.load(std::memory_order_relaxed)->Add(response.value().payload.size());
+  } else {
+    errors_.load(std::memory_order_relaxed)->Add();
+  }
+}
+
 void InProcessTransport::Register(NodeId node, Handler handler) {
   MutexLock lock(mu_);
   if (handler) {
@@ -17,13 +40,17 @@ Result<Message> InProcessTransport::Call(NodeId from, NodeId to, const Message& 
     MutexLock lock(mu_);
     auto it = handlers_.find(to);
     if (it == handlers_.end()) {
-      return Status::Error(ErrorCode::kUnavailable,
-                           "node " + std::to_string(to) + " is not reachable");
+      auto unreachable = Result<Message>(Status::Error(
+          ErrorCode::kUnavailable, "node " + std::to_string(to) + " is not reachable"));
+      AccountCall(request.payload.size(), unreachable);
+      return unreachable;
     }
     h = it->second;
   }
   // Dispatch outside the lock so handlers may themselves make calls.
-  return (*h)(from, request);
+  auto response = Result<Message>((*h)(from, request));
+  AccountCall(request.payload.size(), response);
+  return response;
 }
 
 }  // namespace eclipse::net

@@ -11,12 +11,14 @@
 //    TCP, demonstrating the same node code runs over a real wire.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
 #include <unordered_map>
 
+#include "common/metrics.h"
 #include "common/mutex.h"
 #include "common/result.h"
 
@@ -45,6 +47,24 @@ class Transport {
 
   /// Synchronous RPC from `from` to `to`.
   virtual Result<Message> Call(NodeId from, NodeId to, const Message& request) = 0;
+
+  /// Wire per-call accounting into `registry`, labelling every series with
+  /// {transport=`label`}. Counters are resolved once here and cached, so the
+  /// per-call cost is a handful of relaxed atomic increments — transports are
+  /// deliberately NOT span-traced (a per-RPC span would dominate captures; see
+  /// docs/observability.md). The registry must outlive this transport.
+  void BindMetrics(MetricsRegistry& registry, const char* label);
+
+ protected:
+  /// Implementations call this once per Call() with the outcome. No-op until
+  /// BindMetrics; safe from any thread.
+  void AccountCall(std::size_t request_bytes, const Result<Message>& response) const;
+
+ private:
+  std::atomic<Counter*> calls_{nullptr};
+  std::atomic<Counter*> errors_{nullptr};
+  std::atomic<Counter*> bytes_sent_{nullptr};
+  std::atomic<Counter*> bytes_received_{nullptr};
 };
 
 /// All endpoints live in this process; Call() dispatches directly on the

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "obs/trace.h"
+
 namespace eclipse::sched {
 
 LafScheduler::LafScheduler(std::vector<int> servers, RangeTable initial, LafOptions options)
@@ -59,6 +61,11 @@ void LafScheduler::Repartition() {
   auto cdf = ConstructCdf(moving_average_);
   ranges_ = PartitionCdf(cdf, servers_);
   ++repartitions_;
+  // Boundary shift (Algorithm 1 line 24): an instant on the driver track —
+  // Assign runs on the submitting thread under the cluster's sched lock,
+  // and trace emission takes no shared lock, so this cannot contend.
+  obs::Tracer::Global().Emit('i', "sched", "laf_repartition", obs::kDriverPid,
+                             {obs::U64("repartitions", repartitions_)});
 }
 
 double CountStdDev(const std::vector<std::uint64_t>& counts) {

@@ -1,11 +1,23 @@
 #include "sim/eclipse_des.h"
 
 #include <algorithm>
+#include <atomic>
+
+#include "obs/trace.h"
 
 namespace eclipse::sim {
 namespace {
 
 double MegaBytes(Bytes b) { return static_cast<double>(b) / (1024.0 * 1024.0); }
+
+/// Simulated seconds → trace microseconds. The simulator emits complete 'X'
+/// events with explicit sim-time stamps into the same global Tracer (same
+/// names, categories, and args as the real engine), so one capture of a sim
+/// run reads with the exact tooling used for real runs. Don't mix real and
+/// sim captures in one session: their clocks are unrelated.
+std::uint64_t SimUs(SimTime t) { return static_cast<std::uint64_t>(t * 1e6); }
+
+std::atomic<std::uint64_t> g_sim_job_seq{0};
 
 }  // namespace
 
@@ -75,19 +87,29 @@ SimJobResult EclipseDes::RunJob(const SimJobSpec& spec) {
     bool write_outputs = spec.iterations == 1 || spec.persist_iteration_outputs ||
                          it + 1 == spec.iterations;
 
+    // The map phase that fed this wave is complete: one 'X' span over it on
+    // the driver track, mirroring the real engine's per-wave map_phase span.
+    obs::Tracer::Global().EmitAt(SimUs(iter.started), SimUs(engine.now() - iter.started),
+                                 'X', "mr", "map_phase", obs::kDriverPid, 0,
+                                 {obs::U64("tasks", accesses.size())});
+
     iter.reduces_remaining = n;
     for (std::size_t s = 0; s < n; ++s) {
       reduce_slots[s]->Submit([&, s, inter_share, out_share, write_outputs,
                                it](EventEngine::Callback release) {
         // NOTE: everything a continuation needs from THIS lambda's frame is
         // captured by value — the frame is gone by the time events fire.
-        auto after_read = [&, s, inter_share, out_share, write_outputs, it, release] {
+        const SimTime r_t0 = engine.now();
+        auto after_read = [&, s, inter_share, out_share, write_outputs, it, r_t0, release] {
           double cpu = spec.app.reduce_cpu_sec_per_mb * MegaBytes(inter_share);
           if (static_cast<int>(s) < config_.slow_nodes) cpu *= config_.slow_factor;
-          engine.After(cpu, [&, s, out_share, write_outputs, it, release] {
-            auto finish = [&, it, release] {
+          engine.After(cpu, [&, s, inter_share, out_share, write_outputs, it, r_t0, release] {
+            auto finish = [&, s, inter_share, it, r_t0, release] {
               release();
               ++result.reduce_tasks;
+              obs::Tracer::Global().EmitAt(SimUs(r_t0), SimUs(engine.now() - r_t0), 'X',
+                                           "mr", "reduce_task", static_cast<int>(s), 0,
+                                           {obs::U64("bytes", inter_share)});
               if (--iter.reduces_remaining == 0) {
                 result.iteration_seconds.push_back(engine.now() - iter.started);
                 if (it + 1 < spec.iterations) {
@@ -128,17 +150,30 @@ SimJobResult EclipseDes::RunJob(const SimJobSpec& spec) {
       auto sidx = static_cast<std::size_t>(server);
 
       map_slots[sidx]->Submit([&, key, id, server, sidx, it](EventEngine::Callback release) {
-        auto compute_and_spill = [&, sidx, server, it, release] {
+        const SimTime m_t0 = engine.now();
+        // The input's locality class is decided synchronously below; compute
+        // it up front so the completion event can name it (same three-way
+        // split the real engine records — sim "local_disk" means the block's
+        // FS owner is the assigned server).
+        const bool cache_hit = caches_[sidx]->Get(id).has_value();
+        const int owner = fs_ranges_.Owner(key);
+        const char* locality =
+            cache_hit ? "memory" : (owner == server ? "local_disk" : "remote_disk");
+
+        auto compute_and_spill = [&, sidx, server, it, m_t0, locality, release] {
           double cpu = spec.app.map_cpu_sec_per_mb * MegaBytes(bs);
           if (server < config_.slow_nodes) cpu *= config_.slow_factor;
           Bytes spill =
               static_cast<Bytes>(spec.app.map_output_ratio * static_cast<double>(bs));
 
           auto joined = std::make_shared<int>(2);
-          auto join = [&, joined, it, release] {
+          auto join = [&, joined, server, it, m_t0, locality, release] {
             if (--*joined != 0) return;
             release();
             ++result.map_tasks;
+            obs::Tracer::Global().EmitAt(SimUs(m_t0), SimUs(engine.now() - m_t0), 'X',
+                                         "mr", "map_task", server, 0,
+                                         {obs::Str("locality", locality), obs::U64("bytes", bs)});
             if (--iter.maps_remaining == 0) reduce_wave(it);
           };
           engine.After(config_.eclipse_task_overhead_sec + cpu, join);
@@ -151,13 +186,12 @@ SimJobResult EclipseDes::RunJob(const SimJobSpec& spec) {
           }
         };
 
-        if (caches_[sidx]->Get(id)) {
+        if (cache_hit) {
           ++result.cache_hits;
           engine.After(MegaBytes(bs) / config_.mem_mbps, compute_and_spill);
         } else {
           ++result.cache_misses;
           caches_[sidx]->PutPlaceholder(id, key, bs, cache::EntryKind::kInput);
-          int owner = fs_ranges_.Owner(key);
           if (owner == server) {
             disk_read[static_cast<std::size_t>(owner)]->Transfer(bs, compute_and_spill);
           } else if (RackOf(owner) == RackOf(server)) {
@@ -178,8 +212,13 @@ SimJobResult EclipseDes::RunJob(const SimJobSpec& spec) {
     }
   };
 
+  const std::uint64_t job_seq = g_sim_job_seq.fetch_add(1) + 1;
   start_iteration(0);
   result.job_seconds = engine.Run();
+  obs::Tracer::Global().EmitAt(0, SimUs(result.job_seconds), 'X', "mr", "job",
+                               obs::kDriverPid, 0,
+                               {obs::U64("job", job_seq), obs::U64("maps", result.map_tasks),
+                                obs::U64("reduces", result.reduce_tasks)});
 
   // Per-slot balance is tracked by the scheduler's per-server counts here
   // (slot-granular accounting lives in the greedy model).

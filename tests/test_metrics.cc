@@ -159,6 +159,138 @@ TEST(MetricsRegistryTest, GetOrCreateAndRender) {
   EXPECT_EQ(reg.CounterSnapshot()[0].second, 0u);
 }
 
+TEST(GaugeTest, SetAddReset) {
+  Gauge g;
+  EXPECT_EQ(g.value(), 0);
+  g.Set(42);
+  g.Add(-2);
+  EXPECT_EQ(g.value(), 40);
+  g.Reset();
+  EXPECT_EQ(g.value(), 0);
+}
+
+TEST(MetricsRegistryTest, LabeledSeriesAreDistinct) {
+  MetricsRegistry reg;
+  reg.GetCounter("mr.map_tasks_by_locality", {{"locality", "memory"}}).Add(3);
+  reg.GetCounter("mr.map_tasks_by_locality", {{"locality", "remote_disk"}}).Add(1);
+  reg.GetCounter("mr.map_tasks_by_locality", {{"locality", "memory"}}).Add(2);
+  reg.GetCounter("mr.map_tasks_by_locality").Add(6);  // unlabeled series
+
+  EXPECT_EQ(reg.GetCounter("mr.map_tasks_by_locality", {{"locality", "memory"}}).value(), 5u);
+  EXPECT_EQ(reg.GetCounter("mr.map_tasks_by_locality", {{"locality", "remote_disk"}}).value(),
+            1u);
+  EXPECT_EQ(reg.GetCounter("mr.map_tasks_by_locality").value(), 6u);
+
+  auto snapshot = reg.CounterSnapshot();
+  ASSERT_EQ(snapshot.size(), 3u);
+  EXPECT_EQ(snapshot[0].first, "mr.map_tasks_by_locality");  // unlabeled sorts first
+  EXPECT_EQ(snapshot[1].first, "mr.map_tasks_by_locality{locality=\"memory\"}");
+  EXPECT_EQ(snapshot[1].second, 5u);
+}
+
+TEST(MetricsRegistryTest, LabelOrderDoesNotSplitSeries) {
+  MetricsRegistry reg;
+  reg.GetCounter("x", {{"a", "1"}, {"b", "2"}}).Add(1);
+  reg.GetCounter("x", {{"b", "2"}, {"a", "1"}}).Add(1);
+  EXPECT_EQ(reg.GetCounter("x", {{"a", "1"}, {"b", "2"}}).value(), 2u);
+  EXPECT_EQ(reg.CounterSnapshot().size(), 1u);
+}
+
+// Every non-comment line of the exposition must parse as
+// `name{label="value",...} <number>` with a sanitized metric name — the
+// format Prometheus's text parser accepts line by line.
+void ExpectPrometheusParses(const std::string& text) {
+  std::size_t pos = 0;
+  int series = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    ASSERT_NE(eol, std::string::npos) << "exposition must end with a newline";
+    std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty()) continue;
+    if (line.rfind("# TYPE ", 0) == 0) continue;
+    ASSERT_FALSE(line[0] == '#') << "only # TYPE comments are emitted: " << line;
+
+    std::size_t i = 0;
+    auto name_char = [](char c, bool first) {
+      bool alpha = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' || c == ':';
+      return first ? alpha : (alpha || (c >= '0' && c <= '9'));
+    };
+    ASSERT_TRUE(i < line.size() && name_char(line[i], true)) << line;
+    while (i < line.size() && name_char(line[i], false)) ++i;
+    if (i < line.size() && line[i] == '{') {
+      std::size_t close = line.find('}', i);
+      ASSERT_NE(close, std::string::npos) << line;
+      i = close + 1;
+    }
+    ASSERT_TRUE(i < line.size() && line[i] == ' ') << line;
+    ++i;
+    ASSERT_LT(i, line.size()) << line;
+    if (line[i] == '-') ++i;
+    ASSERT_LT(i, line.size()) << line;
+    while (i < line.size()) {
+      ASSERT_TRUE(line[i] >= '0' && line[i] <= '9') << line;
+      ++i;
+    }
+    ++series;
+  }
+  EXPECT_GT(series, 0);
+}
+
+TEST(MetricsRegistryTest, PrometheusExposition) {
+  MetricsRegistry reg;
+  reg.GetCounter("a.requests").Add(4);
+  reg.GetCounter("net.calls", {{"transport", "tcp"}}).Add(2);
+  reg.GetGauge("cluster.live_servers").Set(8);
+  reg.GetHistogram("mr.map_task_us", {{"locality", "memory"}}).Record(100);
+  reg.GetHistogram("mr.map_task_us", {{"locality", "memory"}}).Record(3);
+
+  std::string prom = reg.RenderPrometheus();
+  ExpectPrometheusParses(prom);
+
+  EXPECT_NE(prom.find("# TYPE a_requests counter\n"), std::string::npos);
+  EXPECT_NE(prom.find("a_requests 4\n"), std::string::npos);
+  EXPECT_NE(prom.find("net_calls{transport=\"tcp\"} 2\n"), std::string::npos);
+  EXPECT_NE(prom.find("# TYPE cluster_live_servers gauge\n"), std::string::npos);
+  EXPECT_NE(prom.find("cluster_live_servers 8\n"), std::string::npos);
+  EXPECT_NE(prom.find("# TYPE mr_map_task_us histogram\n"), std::string::npos);
+  // Cumulative buckets: sample 3 falls in [2,4) => le="3" bucket holds 1,
+  // sample 100 in [64,128) => le="127" reaches 2; +Inf, sum, count follow.
+  EXPECT_NE(prom.find("mr_map_task_us_bucket{locality=\"memory\",le=\"3\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("mr_map_task_us_bucket{locality=\"memory\",le=\"127\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("mr_map_task_us_bucket{locality=\"memory\",le=\"+Inf\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("mr_map_task_us_sum{locality=\"memory\"} 103\n"), std::string::npos);
+  EXPECT_NE(prom.find("mr_map_task_us_count{locality=\"memory\"} 2\n"), std::string::npos);
+}
+
+TEST(ClusterMetrics, PrometheusExpositionCoversLayers) {
+  mr::ClusterOptions opts;
+  opts.num_servers = 4;
+  opts.block_size = 256;
+  mr::Cluster cluster(opts);
+  Rng rng(9);
+  workload::TextOptions topts;
+  topts.target_bytes = 3000;
+  ASSERT_TRUE(cluster.dfs().Upload("t", workload::GenerateText(rng, topts)).ok());
+  ASSERT_TRUE(cluster.Run(apps::WordCountJob("wc", "t")).status.ok());
+
+  std::string prom = cluster.MetricsPrometheus();
+  ExpectPrometheusParses(prom);
+  EXPECT_NE(prom.find("cluster_live_servers 4\n"), std::string::npos);
+  EXPECT_NE(prom.find("cache_used_bytes{server=\"0\"}"), std::string::npos);
+  EXPECT_NE(prom.find("cache_capacity_bytes{server=\"3\"}"), std::string::npos);
+  EXPECT_NE(prom.find("mr_map_tasks_by_locality{locality="), std::string::npos);
+  EXPECT_NE(prom.find("net_calls{transport=\"inproc\"}"), std::string::npos);
+  EXPECT_NE(prom.find("mr_jobs_completed 1\n"), std::string::npos);
+
+  cluster.KillServer(1);
+  prom = cluster.MetricsPrometheus();
+  EXPECT_NE(prom.find("cluster_live_servers 3\n"), std::string::npos);
+}
+
 TEST(ClusterMetrics, JobsPopulateRegistry) {
   mr::ClusterOptions opts;
   opts.num_servers = 4;
