@@ -1,0 +1,167 @@
+// chaos_wordcount — the fault-tolerance quick-start (chaos drill):
+// run word count twice on identical corpora, once on a healthy cluster and
+// once under a seeded FaultPlan — ≥5% dropped requests everywhere, a slow
+// disk on one server, duplicated deliveries — plus a genuine mid-job server
+// crash, with retries, deadlines, and speculative execution turned on.
+//
+// The drill passes only if the chaos run's output is bit-identical to the
+// healthy run's: every injected failure was absorbed by a retry, a replica
+// fall-through, a producer re-run, or a backup attempt, never by changing
+// the answer. The trace capture of the chaos run is validated in-process and
+// written out for tools/trace_report.py, and must contain fault-injection
+// events (proof the drill actually injected, not silently no-op'd).
+//
+// Usage: chaos_wordcount [trace_out.json] [seed]
+// Exit code is non-zero if either job fails, outputs differ, the trace does
+// not validate, or no fault events were captured — so CI can run this binary
+// as the chaos smoke test. See docs/fault-tolerance.md for the walkthrough.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+#include "apps/wordcount.h"
+#include "fault/fault_plan.h"
+#include "mr/cluster.h"
+#include "obs/summary.h"
+#include "obs/trace.h"
+#include "workload/generators.h"
+
+using namespace eclipse;
+using namespace std::chrono_literals;
+
+namespace {
+
+std::string MakeCorpus() {
+  Rng rng(42);
+  workload::TextOptions topts;
+  topts.target_bytes = 200_KiB;
+  return workload::GenerateText(rng, topts);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string trace_path = argc > 1 ? argv[1] : "chaos_trace.json";
+  const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 1234;
+  const std::string corpus = MakeCorpus();
+
+  // ---- Reference: the same job on a healthy cluster. ----------------------
+  mr::JobResult reference;
+  {
+    mr::ClusterOptions options;
+    options.num_servers = 8;
+    options.block_size = 4_KiB;
+    options.cache_capacity = 32_MiB;
+    mr::Cluster cluster(options);
+    if (Status s = cluster.dfs().Upload("corpus", corpus); !s.ok()) {
+      std::fprintf(stderr, "reference upload failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    reference = cluster.Run(apps::WordCountJob("wc-ref", "corpus"));
+    if (!reference.status.ok()) {
+      std::fprintf(stderr, "reference job failed: %s\n",
+                   reference.status.ToString().c_str());
+      return 1;
+    }
+  }
+
+  // ---- Chaos run: same corpus, same job, hostile environment. -------------
+  auto& tracer = obs::Tracer::Global();
+  tracer.Start();
+
+  auto controller = std::make_shared<fault::FaultController>();
+  mr::ClusterOptions options;
+  options.num_servers = 8;
+  options.block_size = 4_KiB;
+  options.cache_capacity = 32_MiB;
+  options.fault_controller = controller;
+  // Flaky-network posture (docs/fault-tolerance.md): more attempts and a
+  // bigger budget than the conservative defaults, since ~7% of requests
+  // will need at least one retry.
+  options.rpc_retry.max_attempts = 6;
+  options.rpc_retry.initial_backoff = 200us;
+  options.rpc_retry.max_backoff = 5ms;
+  options.rpc_retry.budget = 500ms;
+  mr::Cluster cluster(options);
+  if (Status s = cluster.dfs().Upload("corpus", corpus); !s.ok()) {
+    std::fprintf(stderr, "chaos upload failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  fault::FaultPlan plan;
+  plan.seed = seed;
+  // Every edge drops 5% of requests and 2% of responses, and duplicates 1%
+  // of deliveries (idempotency check rides along for free).
+  plan.edges.push_back(fault::EdgeFault{.from = fault::kAnyNode,
+                                        .to = fault::kAnyNode,
+                                        .drop_request = 0.05,
+                                        .drop_response = 0.02,
+                                        .duplicate = 0.01});
+  // Server 2's disk answers, slowly — the gray failure speculation targets.
+  plan.slow_disk_nodes = {2};
+  plan.slow_disk_latency = 2ms;
+  fault::ScopedFaultPlan scoped(*controller, plan);
+
+  mr::JobSpec job = apps::WordCountJob("wc-chaos", "corpus");
+  job.task_deadline = 2000ms;
+  job.speculative_execution = true;
+  job.straggler_percentile = 0.75;
+  job.straggler_multiplier = 3.0;
+  job.speculation_min_completed = 3;
+
+  // The mid-job crash: server 5 dies while the job runs; recovery re-reads
+  // replicas and re-runs the producers of any spills that died with it.
+  std::thread killer([&cluster] {
+    std::this_thread::sleep_for(20ms);
+    cluster.KillServer(5);
+  });
+  mr::JobResult chaos = cluster.Run(job);
+  killer.join();
+  tracer.Stop();
+
+  if (!chaos.status.ok()) {
+    std::fprintf(stderr, "chaos job failed: %s\n", chaos.status.ToString().c_str());
+    return 1;
+  }
+  if (chaos.output != reference.output) {
+    std::fprintf(stderr, "MISMATCH: chaos output (%zu pairs) != reference (%zu pairs)\n",
+                 chaos.output.size(), reference.output.size());
+    return 1;
+  }
+
+  // The drill must actually have injected something.
+  std::size_t fault_events = 0;
+  for (const auto& ev : tracer.Snapshot()) {
+    if (ev.cat && std::string_view(ev.cat) == "fault") ++fault_events;
+  }
+  if (fault_events == 0) {
+    std::fprintf(stderr, "no fault events captured — the plan never fired\n");
+    return 1;
+  }
+
+  std::string json = tracer.ExportChromeTrace();
+  if (Status valid = obs::ValidateChromeTrace(json); !valid.ok()) {
+    std::fprintf(stderr, "trace failed validation: %s\n", valid.ToString().c_str());
+    return 1;
+  }
+  if (Status wrote = tracer.WriteChromeTrace(trace_path); !wrote.ok()) {
+    std::fprintf(stderr, "trace write failed: %s\n", wrote.ToString().c_str());
+    return 1;
+  }
+
+  std::printf("chaos drill passed: %zu output pairs identical to the healthy run\n",
+              chaos.output.size());
+  std::printf("  seed %llu, %zu fault events, wrote %s\n",
+              static_cast<unsigned long long>(seed), fault_events, trace_path.c_str());
+  std::printf("  map retries: %llu  maps speculated: %llu  reduces speculated: %llu  "
+              "speculative wins: %llu\n",
+              static_cast<unsigned long long>(chaos.stats.map_retries),
+              static_cast<unsigned long long>(chaos.stats.maps_speculated),
+              static_cast<unsigned long long>(chaos.stats.reduces_speculated),
+              static_cast<unsigned long long>(chaos.stats.speculative_wins));
+  std::printf("\n%s\n", obs::RenderJobSummaries(obs::Summarize(tracer.Snapshot())).c_str());
+  std::printf("--- prometheus exposition ---\n%s", cluster.MetricsPrometheus().c_str());
+  return 0;
+}

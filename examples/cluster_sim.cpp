@@ -9,7 +9,8 @@
 //
 // Flags (all optional):
 //   --app=grep|wordcount|inverted_index|sort|kmeans|pagerank|logreg|dfsio
-//   --framework=eclipse|hadoop|spark          (default eclipse)
+//   --framework=eclipse|hadoop|spark|des      (default eclipse; des = the
+//                                              discrete-event EclipseDes model)
 //   --scheduler=laf|delay                     (eclipse only, default laf)
 //   --nodes=N          (default 40)           --blocks=N (default 2000)
 //   --cache=BYTES[K|M|G]                      (default 1G per server)
@@ -17,10 +18,16 @@
 //   --skew=uniform|zipf|two-normals           (default: one full scan)
 //   --accesses=N       trace length when --skew is given
 //   --alpha=F          LAF moving-average weight (default 0.001)
+//   --slow-nodes=N     straggler ablation: N nodes run --slow-factor slower
+//   --slow-factor=F    (default 1.0)
+//   --speculate=0|1    (des only) LATE-style backup attempts for straggling
+//                      maps; see docs/fault-tolerance.md §4 for the knobs
+//   --straggler-multiplier=F                  (default 2.0)
 #include <cstdio>
 #include <cstring>
 #include <string>
 
+#include "sim/eclipse_des.h"
 #include "sim/eclipse_sim.h"
 #include "sim/hadoop_sim.h"
 #include "sim/spark_sim.h"
@@ -77,6 +84,12 @@ int main(int argc, char** argv) {
   SimConfig cfg;
   cfg.num_nodes = std::stoi(FlagValue(argc, argv, "nodes", "40"));
   cfg.cache_per_node = ParseBytes(FlagValue(argc, argv, "cache", "1G"));
+  cfg.map_slots = std::stoi(FlagValue(argc, argv, "map-slots", "8"));
+  cfg.slow_nodes = std::stoi(FlagValue(argc, argv, "slow-nodes", "0"));
+  cfg.slow_factor = std::stod(FlagValue(argc, argv, "slow-factor", "1.0"));
+  cfg.speculative_execution = FlagValue(argc, argv, "speculate", "0") == "1";
+  cfg.straggler_multiplier =
+      std::stod(FlagValue(argc, argv, "straggler-multiplier", "2.0"));
 
   SimJobSpec job;
   job.app = ProfileFor(app);
@@ -102,6 +115,9 @@ int main(int argc, char** argv) {
   } else if (framework == "spark") {
     SparkSim sim(cfg);
     r = sim.RunJob(job);
+  } else if (framework == "des") {
+    EclipseDes sim(cfg);
+    r = sim.RunJob(job);
   } else {
     sched::LafOptions laf;
     laf.alpha = std::stod(FlagValue(argc, argv, "alpha", "0.001"));
@@ -120,6 +136,11 @@ int main(int argc, char** argv) {
   std::printf("bytes read      : %s\n", FormatBytes(r.bytes_read).c_str());
   std::printf("cache hit ratio : %.1f%%\n", r.HitRatio() * 100.0);
   std::printf("slot stddev     : %.2f\n", r.slot_stddev);
+  if (r.speculative_tasks > 0) {
+    std::printf("speculation     : %llu backup(s), %llu won\n",
+                static_cast<unsigned long long>(r.speculative_tasks),
+                static_cast<unsigned long long>(r.speculative_wins));
+  }
   if (r.iteration_seconds.size() > 1) {
     std::printf("per-iteration   :");
     for (double t : r.iteration_seconds) std::printf(" %.1f", t);

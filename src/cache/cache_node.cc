@@ -1,6 +1,7 @@
 #include "cache/cache_node.h"
 
 #include "common/serde.h"
+#include "net/retry.h"
 #include "obs/trace.h"
 
 namespace eclipse::cache {
@@ -55,6 +56,11 @@ net::Message CacheNode::Handle(int from, const net::Message& m) {
 }
 
 std::optional<std::string> CacheClient::FetchFrom(int server, const std::string& id) {
+  // A peer-cache fetch is an optimization with a mandatory fallback (the
+  // DHT FS read), so degrade instead of insisting: never retry an
+  // unreachable peer, and skip the attempt entirely once the caller's
+  // deadline has expired — the remaining time belongs to the replica reads.
+  if (net::CurrentDeadline().expired()) return std::nullopt;
   obs::TraceSpan fetch_span("cache", "remote_fetch", self_,
                             {obs::U64("server", static_cast<std::uint64_t>(server))});
   BinaryWriter w;

@@ -14,6 +14,8 @@ const char* ErrorCodeName(ErrorCode c) {
     case ErrorCode::kExpired: return "Expired";
     case ErrorCode::kResourceExhausted: return "ResourceExhausted";
     case ErrorCode::kInternal: return "Internal";
+    case ErrorCode::kDeadlineExceeded: return "DeadlineExceeded";
+    case ErrorCode::kCancelled: return "Cancelled";
   }
   return "Unknown";
 }

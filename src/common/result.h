@@ -23,6 +23,8 @@ enum class ErrorCode {
   kExpired,         // TTL-invalidated intermediate result
   kResourceExhausted,
   kInternal,
+  kDeadlineExceeded, // per-request / per-task deadline elapsed
+  kCancelled,        // duplicate speculative attempt lost the race
 };
 
 /// Human-readable name for an ErrorCode ("NotFound", "Unavailable", ...).

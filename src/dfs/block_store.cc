@@ -2,8 +2,23 @@
 
 namespace eclipse::dfs {
 
+void BlockStore::SetOpHook(std::function<void()> hook) {
+  MutexLock lock(hook_mu_);
+  op_hook_ = hook ? std::make_shared<const std::function<void()>>(std::move(hook)) : nullptr;
+}
+
+void BlockStore::RunOpHook() const {
+  std::shared_ptr<const std::function<void()>> hook;
+  {
+    MutexLock lock(hook_mu_);
+    hook = op_hook_;
+  }
+  if (hook) (*hook)();
+}
+
 void BlockStore::Put(const std::string& id, HashKey key, std::string data,
                      std::chrono::milliseconds ttl) {
+  RunOpHook();
   MutexLock lock(mu_);
   auto it = blocks_.find(id);
   if (it != blocks_.end()) total_bytes_ -= it->second.data.size();
@@ -18,6 +33,7 @@ void BlockStore::Put(const std::string& id, HashKey key, std::string data,
 }
 
 Result<std::string> BlockStore::Get(const std::string& id) {
+  RunOpHook();
   MutexLock lock(mu_);
   auto it = blocks_.find(id);
   if (it == blocks_.end()) {

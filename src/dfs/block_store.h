@@ -7,6 +7,8 @@
 #pragma once
 
 #include <chrono>
+#include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -55,7 +57,16 @@ class BlockStore {
   /// Drop every expired entry; returns how many were dropped.
   std::size_t Sweep();
 
+  /// Install (or clear, with nullptr) a hook invoked at the top of every
+  /// Put/Get, outside the store's lock. The fault layer uses it to inject
+  /// slow-disk latency (mr::Cluster wires it to FaultController::DiskDelay);
+  /// a sleeping hook therefore delays the operation without blocking
+  /// concurrent ones. Safe to call while operations are in flight.
+  void SetOpHook(std::function<void()> hook);
+
  private:
+  void RunOpHook() const;
+
   static bool Expired(const StoredBlock& b) {
     return b.expiry != std::chrono::steady_clock::time_point{} &&
            std::chrono::steady_clock::now() >= b.expiry;
@@ -64,6 +75,11 @@ class BlockStore {
   mutable Mutex mu_;
   std::unordered_map<std::string, StoredBlock> blocks_ GUARDED_BY(mu_);
   Bytes total_bytes_ GUARDED_BY(mu_) = 0;
+
+  // Hook is shared_ptr-swapped under its own leaf lock so SetOpHook can
+  // race with in-flight operations (the hook runs outside both locks).
+  mutable Mutex hook_mu_;
+  std::shared_ptr<const std::function<void()>> op_hook_ GUARDED_BY(hook_mu_);
 };
 
 }  // namespace eclipse::dfs

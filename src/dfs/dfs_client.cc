@@ -14,7 +14,8 @@ DfsClient::DfsClient(int self, net::Transport& transport, RingProvider ring_prov
       options_(std::move(options)) {}
 
 Result<net::Message> DfsClient::CallOk(int to, const net::Message& m) {
-  auto resp = transport_.Call(self_, to, m);
+  auto resp = net::CallWithRetry(transport_, self_, to, m, options_.retry,
+                                 static_cast<std::uint64_t>(self_));
   if (!resp.ok()) return resp.status();
   if (net::IsError(resp.value())) return net::DecodeError(resp.value());
   return resp;
@@ -96,6 +97,8 @@ Result<FileMetadata> DfsClient::GetMetadata(const std::string& name) {
     last = resp.status();
     // A definitive denial at the owner should not be retried on replicas.
     if (last.code() == ErrorCode::kPermission) return last;
+    // Out of time entirely — no point probing further replicas.
+    if (last.code() == ErrorCode::kDeadlineExceeded) return last;
   }
   return last;
 }
@@ -123,6 +126,7 @@ Result<std::string> DfsClient::ReadBlock(const FileMetadata& meta, std::uint64_t
       return std::move(resp.value().payload);
     }
     last = resp.status();
+    if (last.code() == ErrorCode::kDeadlineExceeded) return last;
   }
   return last;
 }
@@ -145,6 +149,7 @@ Result<std::string> DfsClient::ReadBlockRange(const FileMetadata& meta, std::uin
     auto resp = CallOk(server, get);
     if (resp.ok()) return std::move(resp.value().payload);
     last = resp.status();
+    if (last.code() == ErrorCode::kDeadlineExceeded) return last;
   }
   return last;
 }
@@ -266,6 +271,7 @@ Result<std::string> DfsClient::GetObject(const std::string& id, HashKey key) {
     if (resp.ok()) return std::move(resp.value().payload);
     last = resp.status();
     if (last.code() == ErrorCode::kExpired) return last;
+    if (last.code() == ErrorCode::kDeadlineExceeded) return last;
   }
   return last;
 }

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "dfs/dfs_node.h"
+#include "net/retry.h"
 #include "net/transport.h"
 
 namespace eclipse::dfs {
@@ -20,6 +21,11 @@ struct DfsClientOptions {
   Bytes default_block_size = 4_KiB;  // tests/examples scale; paper used 128 MiB
   std::size_t replication = 3;       // owner + successor + predecessor
   std::string user = "eclipse";
+  /// Per-call retry policy (kUnavailable only; see net/retry.h). The
+  /// default retries twice with millisecond backoff — enough to ride out a
+  /// dropped frame, cheap enough that probing a genuinely dead server stays
+  /// fast before falling through to the next replica.
+  net::RetryPolicy retry;
 };
 
 class DfsClient {

@@ -1,0 +1,138 @@
+#include "fault/fault_plan.h"
+
+#include <algorithm>
+
+namespace eclipse::fault {
+namespace {
+
+// SplitMix64 finalizer (same mixer as common/rng.h), used statelessly: the
+// decision for message #n on an edge is a pure function of
+// (seed, edge, n, salt), which is what makes replay exact.
+std::uint64_t Mix(std::uint64_t z) {
+  z += 0x9E3779B97F4A7C15ull;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+double UnitDouble(std::uint64_t bits) { return static_cast<double>(bits >> 11) * 0x1.0p-53; }
+
+std::uint64_t EdgeKey(int from, int to) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(from)) << 32) |
+         static_cast<std::uint32_t>(to);
+}
+
+bool Contains(const std::vector<int>& v, int node) {
+  return std::find(v.begin(), v.end(), node) != v.end();
+}
+
+bool Severed(const FaultPlan& plan, int from, int to) {
+  for (const Partition& p : plan.partitions) {
+    bool cross_ab = Contains(p.group_a, from) && Contains(p.group_b, to);
+    bool cross_ba = Contains(p.group_b, from) && Contains(p.group_a, to);
+    if (cross_ab || cross_ba) return true;
+  }
+  return false;
+}
+
+const EdgeFault* MatchEdge(const FaultPlan& plan, int from, int to) {
+  for (const EdgeFault& e : plan.edges) {
+    bool from_ok = e.from == kAnyNode || e.from == from;
+    bool to_ok = e.to == kAnyNode || e.to == to;
+    if (from_ok && to_ok) return &e;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+void FaultController::Install(FaultPlan plan) {
+  {
+    MutexLock lock(mu_);
+    plan_ = std::make_shared<const FaultPlan>(std::move(plan));
+    edge_counters_.clear();
+  }
+  version_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+void FaultController::Clear() {
+  {
+    MutexLock lock(mu_);
+    plan_.reset();
+    edge_counters_.clear();
+  }
+  version_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+std::shared_ptr<const FaultPlan> FaultController::Snapshot() const {
+  MutexLock lock(mu_);
+  return plan_;
+}
+
+EdgeDecision FaultController::Decide(int from, int to) {
+  EdgeDecision d;
+  std::shared_ptr<const FaultPlan> plan;
+  std::uint64_t counter = 0;
+  {
+    MutexLock lock(mu_);
+    if (!plan_) return d;
+    plan = plan_;
+    counter = edge_counters_[EdgeKey(from, to)]++;
+  }
+  if (Severed(*plan, from, to)) {
+    d.partitioned = true;
+    return d;
+  }
+  if (Contains(plan->hung_nodes, to) || Contains(plan->hung_nodes, from)) {
+    d.hang = true;
+    return d;
+  }
+  const EdgeFault* e = MatchEdge(*plan, from, to);
+  if (!e) return d;
+
+  // Independent substream per decision kind: distinct salts over the same
+  // (seed, edge, message#) base keep the probabilities uncorrelated.
+  const std::uint64_t base = Mix(plan->seed ^ Mix(EdgeKey(from, to)) ^ counter);
+  if (e->delay.count() > 0 || e->delay_jitter.count() > 0) {
+    std::uint64_t jitter = 0;
+    if (e->delay_jitter.count() > 0) {
+      jitter = Mix(base ^ 0xD1u) % static_cast<std::uint64_t>(e->delay_jitter.count());
+    }
+    d.delay_us = static_cast<std::uint64_t>(e->delay.count()) + jitter;
+  }
+  if (e->drop_request > 0 && UnitDouble(Mix(base ^ 0xA1u)) < e->drop_request) {
+    d.drop_request = true;
+    return d;
+  }
+  if (e->duplicate > 0 && UnitDouble(Mix(base ^ 0xB1u)) < e->duplicate) {
+    d.duplicate = true;
+    return d;
+  }
+  if (e->drop_response > 0 && UnitDouble(Mix(base ^ 0xC1u)) < e->drop_response) {
+    d.drop_response = true;
+    return d;
+  }
+  return d;
+}
+
+std::chrono::microseconds FaultController::DiskDelay(int node) const {
+  std::shared_ptr<const FaultPlan> plan = Snapshot();
+  if (!plan || plan->slow_disk_latency.count() <= 0) return std::chrono::microseconds::zero();
+  if (!Contains(plan->slow_disk_nodes, node)) return std::chrono::microseconds::zero();
+  return plan->slow_disk_latency;
+}
+
+ScopedFaultPlan::ScopedFaultPlan(FaultController& controller, FaultPlan plan)
+    : controller_(controller), previous_(controller.Snapshot()) {
+  controller_.Install(std::move(plan));
+}
+
+ScopedFaultPlan::~ScopedFaultPlan() {
+  if (previous_) {
+    controller_.Install(*previous_);
+  } else {
+    controller_.Clear();
+  }
+}
+
+}  // namespace eclipse::fault

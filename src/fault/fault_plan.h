@@ -1,0 +1,152 @@
+// Deterministic fault-injection plans for the emulated cluster.
+//
+// A FaultPlan is a declarative description of the gray failures to inject —
+// dropped / delayed / duplicated messages on transport edges, partitioned
+// server groups, hung peers, and slow disks — evaluated deterministically
+// from a seed: the i-th message on a given (from, to) edge makes the same
+// drop/delay/duplicate decision in every run with the same seed, so chaos
+// drills replay bit-identically (the property test_fault_injection.cc pins).
+//
+// Plans are installed into a FaultController, which the wrappers
+// (fault::FaultInjectingTransport, the BlockStore op hook wired by
+// mr::Cluster) consult on every operation. Install/Clear are atomic
+// (shared_ptr swap); ScopedFaultPlan gives RAII scoping so a test's faults
+// cannot leak into the next test. See docs/fault-tolerance.md for the full
+// schema reference and examples.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/mutex.h"
+
+namespace eclipse::fault {
+
+/// Wildcard for EdgeFault::from / EdgeFault::to: matches any node.
+inline constexpr int kAnyNode = -1;
+
+/// Fault behavior for transport edges matching (from, to). The first
+/// matching rule in FaultPlan::edges wins; kAnyNode wildcards either side.
+/// Probabilities are evaluated independently per message from the plan's
+/// seeded stream.
+struct EdgeFault {
+  int from = kAnyNode;
+  int to = kAnyNode;
+  /// P(request never reaches the handler) — no side effect, caller sees
+  /// kUnavailable.
+  double drop_request = 0.0;
+  /// P(handler runs but the response is lost) — side effect happens, caller
+  /// still sees kUnavailable. Exercises non-idempotent handlers.
+  double drop_response = 0.0;
+  /// P(handler is invoked twice for one logical send) — exercises
+  /// idempotency; the caller sees the second response.
+  double duplicate = 0.0;
+  /// Fixed extra latency added before dispatch (both directions share it).
+  std::chrono::microseconds delay{0};
+  /// Additional uniform [0, delay_jitter) latency — staggers concurrent
+  /// messages on the edge, which is what reorders them relative to each
+  /// other and to other edges.
+  std::chrono::microseconds delay_jitter{0};
+};
+
+/// A network partition: nodes in `group_a` cannot exchange messages with
+/// nodes in `group_b` (both directions fail kUnavailable). Nodes in neither
+/// group are unrestricted, and traffic within one group is unaffected.
+struct Partition {
+  std::vector<int> group_a;
+  std::vector<int> group_b;
+};
+
+struct FaultPlan {
+  /// Seeds every probabilistic decision. Two runs with equal plans make
+  /// identical per-edge, per-message decisions.
+  std::uint64_t seed = 1;
+
+  std::vector<EdgeFault> edges;
+  std::vector<Partition> partitions;
+
+  /// Calls to (or from) these nodes block — cooperatively: the injecting
+  /// wrapper sleeps in slices, re-checking the installed plan (heal), the
+  /// caller's deadline, and `hang_cap`, so a hung peer can never wedge the
+  /// process. Deadline expiry surfaces kDeadlineExceeded; the cap surfaces
+  /// kUnavailable.
+  std::vector<int> hung_nodes;
+  std::chrono::microseconds hang_cap{200'000};
+
+  /// Every BlockStore operation on these nodes takes `slow_disk_latency`
+  /// longer — the gray-failure mode (a disk that answers, slowly) that
+  /// straggler speculation exists for.
+  std::vector<int> slow_disk_nodes;
+  std::chrono::microseconds slow_disk_latency{0};
+};
+
+/// Outcome of evaluating the plan against one transport message. At most
+/// one of the booleans is set (evaluation order: partition, hang, drop
+/// request, duplicate, drop response); delay_us applies independently.
+struct EdgeDecision {
+  bool partitioned = false;
+  bool hang = false;
+  bool drop_request = false;
+  bool drop_response = false;
+  bool duplicate = false;
+  std::uint64_t delay_us = 0;
+};
+
+/// Holds the installed plan and answers the wrappers' per-operation
+/// queries. Thread-safe; queries are wait-free snapshot reads. One
+/// controller is shared by the transport wrapper and every BlockStore hook
+/// of a cluster.
+class FaultController {
+ public:
+  /// Atomically replace the installed plan. Version bumps wake hung calls
+  /// so they re-evaluate against the new plan.
+  void Install(FaultPlan plan);
+
+  /// Remove the installed plan (heal everything). Version bumps too.
+  void Clear();
+
+  /// Snapshot of the installed plan; null when none is installed.
+  std::shared_ptr<const FaultPlan> Snapshot() const;
+
+  /// Monotone counter bumped by Install/Clear; hung calls poll it.
+  std::uint64_t Version() const { return version_.load(std::memory_order_acquire); }
+
+  /// Evaluate the installed plan for one message on (from, to). Advances
+  /// the edge's deterministic decision stream (so the result depends only
+  /// on the seed and how many messages this edge has carried).
+  EdgeDecision Decide(int from, int to);
+
+  /// Added latency for one disk operation on `node` (zero when the node's
+  /// disk is healthy or no plan is installed).
+  std::chrono::microseconds DiskDelay(int node) const;
+
+ private:
+  mutable Mutex mu_;
+  std::shared_ptr<const FaultPlan> plan_ GUARDED_BY(mu_);
+  // Per-edge message counters: the position in each edge's decision stream,
+  // keyed by packed (from, to). Reset on Install so a re-installed plan
+  // replays from the start.
+  std::unordered_map<std::uint64_t, std::uint64_t> edge_counters_ GUARDED_BY(mu_);
+  std::atomic<std::uint64_t> version_{0};
+};
+
+/// RAII plan scope: installs on construction, restores the previously
+/// installed plan (usually none) on destruction.
+class ScopedFaultPlan {
+ public:
+  ScopedFaultPlan(FaultController& controller, FaultPlan plan);
+  ~ScopedFaultPlan();
+
+  ScopedFaultPlan(const ScopedFaultPlan&) = delete;
+  ScopedFaultPlan& operator=(const ScopedFaultPlan&) = delete;
+
+ private:
+  FaultController& controller_;
+  std::shared_ptr<const FaultPlan> previous_;
+};
+
+}  // namespace eclipse::fault

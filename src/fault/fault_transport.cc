@@ -1,0 +1,126 @@
+#include "fault/fault_transport.h"
+
+#include <string>
+#include <thread>
+
+#include "net/retry.h"
+#include "obs/trace.h"
+
+namespace eclipse::fault {
+namespace {
+
+// Hung-peer calls sleep in slices so they can notice a healed plan or an
+// expiring deadline promptly without busy-waiting.
+constexpr std::chrono::microseconds kHangPollSlice{2000};
+
+void Bump(const std::atomic<Counter*>& c) {
+  if (Counter* p = c.load(std::memory_order_acquire)) p->Add();
+}
+
+}  // namespace
+
+FaultInjectingTransport::FaultInjectingTransport(std::unique_ptr<net::Transport> inner,
+                                                 std::shared_ptr<FaultController> controller)
+    : inner_(std::move(inner)), controller_(std::move(controller)) {}
+
+FaultInjectingTransport::~FaultInjectingTransport() = default;
+
+void FaultInjectingTransport::Register(net::NodeId node, net::Handler handler) {
+  inner_->Register(node, std::move(handler));
+}
+
+void FaultInjectingTransport::BindFaultMetrics(MetricsRegistry& registry) {
+  duplicates_.store(&registry.GetCounter("fault.injected", {{"fault", "duplicate"}}),
+                    std::memory_order_relaxed);
+  delays_.store(&registry.GetCounter("fault.injected", {{"fault", "delay"}}),
+                std::memory_order_relaxed);
+  partitions_.store(&registry.GetCounter("fault.injected", {{"fault", "partition"}}),
+                    std::memory_order_relaxed);
+  hangs_.store(&registry.GetCounter("fault.injected", {{"fault", "hang"}}),
+               std::memory_order_relaxed);
+  drops_.store(&registry.GetCounter("fault.injected", {{"fault", "drop"}}),
+               std::memory_order_release);
+}
+
+Result<net::Message> FaultInjectingTransport::Call(net::NodeId from, net::NodeId to,
+                                                   const net::Message& request) {
+  EdgeDecision decision = controller_->Decide(from, to);
+  Result<net::Message> response = Apply(decision, from, to, request);
+  AccountCall(request.payload.size(), response);
+  return response;
+}
+
+Result<net::Message> FaultInjectingTransport::Apply(const EdgeDecision& decision,
+                                                    net::NodeId from, net::NodeId to,
+                                                    const net::Message& request) {
+  auto& tracer = obs::Tracer::Global();
+  const auto u64 = [](net::NodeId n) { return static_cast<std::uint64_t>(n); };
+
+  if (decision.partitioned) {
+    Bump(partitions_);
+    tracer.Emit('i', "fault", "fault_partition", from, {obs::U64("to", u64(to))});
+    return Status::Error(ErrorCode::kUnavailable,
+                         "partitioned from node " + std::to_string(to));
+  }
+
+  if (decision.hang) {
+    Bump(hangs_);
+    tracer.Emit('i', "fault", "fault_hang", from, {obs::U64("to", u64(to))});
+    const std::uint64_t entry_version = controller_->Version();
+    const net::Deadline deadline = net::CurrentDeadline();
+    std::chrono::microseconds waited{0};
+    std::chrono::microseconds cap{200'000};
+    if (auto plan = controller_->Snapshot()) cap = plan->hang_cap;
+    while (waited < cap) {
+      if (deadline.expired()) {
+        return Status::Error(ErrorCode::kDeadlineExceeded,
+                             "deadline expired waiting on hung node " + std::to_string(to));
+      }
+      if (controller_->Version() != entry_version) {
+        // Plan changed (healed or replaced): re-evaluate from scratch.
+        return Call(from, to, request);
+      }
+      auto slice = std::min(kHangPollSlice, cap - waited);
+      if (!deadline.never()) slice = std::min(slice, deadline.remaining());
+      std::this_thread::sleep_for(slice);
+      waited += slice;
+    }
+    return Status::Error(ErrorCode::kUnavailable,
+                         "node " + std::to_string(to) + " is hung");
+  }
+
+  if (decision.delay_us > 0) {
+    Bump(delays_);
+    tracer.Emit('i', "fault", "fault_delay", from,
+                {obs::U64("to", u64(to)), obs::U64("delay_us", decision.delay_us)});
+    std::this_thread::sleep_for(std::chrono::microseconds(decision.delay_us));
+  }
+
+  if (decision.drop_request) {
+    Bump(drops_);
+    tracer.Emit('i', "fault", "fault_drop", from,
+                {obs::U64("to", u64(to)), obs::Str("side", "request")});
+    return Status::Error(ErrorCode::kUnavailable,
+                         "request to node " + std::to_string(to) + " dropped");
+  }
+
+  if (decision.duplicate) {
+    Bump(duplicates_);
+    tracer.Emit('i', "fault", "fault_duplicate", from, {obs::U64("to", u64(to))});
+    (void)inner_->Call(from, to, request);  // first delivery's response is lost
+    return inner_->Call(from, to, request);
+  }
+
+  Result<net::Message> response = inner_->Call(from, to, request);
+
+  if (decision.drop_response && response.ok()) {
+    Bump(drops_);
+    tracer.Emit('i', "fault", "fault_drop", from,
+                {obs::U64("to", u64(to)), obs::Str("side", "response")});
+    return Status::Error(ErrorCode::kUnavailable,
+                         "response from node " + std::to_string(to) + " dropped");
+  }
+  return response;
+}
+
+}  // namespace eclipse::fault

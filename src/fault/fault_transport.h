@@ -1,0 +1,58 @@
+// Transport decorator that injects the installed FaultPlan's network
+// faults.
+//
+// Wraps any Transport (in-process or TCP) and applies the controller's
+// per-message decisions around the inner Call: drops surface as
+// kUnavailable (exactly what a crashed peer produces, so every existing
+// recovery path is exercised unmodified), duplicates invoke the inner
+// handler twice, delays sleep before dispatch, partitions sever node
+// groups, and hung peers block cooperatively until the plan heals, the
+// caller's deadline (net::CurrentDeadline) expires, or the plan's hang_cap
+// elapses. Every injected fault emits a trace instant (cat "fault") so
+// chaos drills are visible in Perfetto next to the spans they perturb, and
+// counts into fault.* metrics when BindFaultMetrics is wired.
+//
+// With no plan installed the overhead is one atomic load + one mutex-free
+// shared_ptr read per call.
+#pragma once
+
+#include <memory>
+
+#include "common/metrics.h"
+#include "fault/fault_plan.h"
+#include "net/transport.h"
+
+namespace eclipse::fault {
+
+class FaultInjectingTransport : public net::Transport {
+ public:
+  /// The controller is shared (the cluster's BlockStore hooks consult the
+  /// same one); it must outlive this transport.
+  FaultInjectingTransport(std::unique_ptr<net::Transport> inner,
+                          std::shared_ptr<FaultController> controller);
+  ~FaultInjectingTransport() override;
+
+  void Register(net::NodeId node, net::Handler handler) override;
+  Result<net::Message> Call(net::NodeId from, net::NodeId to,
+                            const net::Message& request) override;
+
+  /// Per-kind injected-fault counters ({fault="drop"|"duplicate"|"delay"|
+  /// "partition"|"hang"} labels on fault.injected). Optional; call once.
+  void BindFaultMetrics(MetricsRegistry& registry);
+
+  net::Transport& inner() { return *inner_; }
+
+ private:
+  Result<net::Message> Apply(const EdgeDecision& decision, net::NodeId from, net::NodeId to,
+                             const net::Message& request);
+
+  std::unique_ptr<net::Transport> inner_;
+  std::shared_ptr<FaultController> controller_;
+  std::atomic<Counter*> drops_{nullptr};
+  std::atomic<Counter*> duplicates_{nullptr};
+  std::atomic<Counter*> delays_{nullptr};
+  std::atomic<Counter*> partitions_{nullptr};
+  std::atomic<Counter*> hangs_{nullptr};
+};
+
+}  // namespace eclipse::fault

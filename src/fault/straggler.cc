@@ -1,0 +1,38 @@
+#include "fault/straggler.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace eclipse::fault {
+
+StragglerDetector::StragglerDetector(StragglerOptions options) : options_(options) {}
+
+void StragglerDetector::Record(std::uint64_t duration_us) {
+  MutexLock lock(mu_);
+  durations_.insert(std::upper_bound(durations_.begin(), durations_.end(), duration_us),
+                    duration_us);
+}
+
+std::uint64_t StragglerDetector::ThresholdUs() const {
+  MutexLock lock(mu_);
+  if (durations_.size() < static_cast<std::size_t>(std::max(options_.min_completed, 1))) {
+    return 0;
+  }
+  double rank = options_.percentile * static_cast<double>(durations_.size() - 1);
+  auto idx = static_cast<std::size_t>(std::llround(rank));
+  idx = std::min(idx, durations_.size() - 1);
+  double threshold = static_cast<double>(durations_[idx]) * options_.multiplier;
+  return static_cast<std::uint64_t>(threshold);
+}
+
+bool StragglerDetector::IsStraggler(std::uint64_t elapsed_us) const {
+  std::uint64_t threshold = ThresholdUs();
+  return threshold > 0 && elapsed_us > threshold;
+}
+
+int StragglerDetector::completed() const {
+  MutexLock lock(mu_);
+  return static_cast<int>(durations_.size());
+}
+
+}  // namespace eclipse::fault

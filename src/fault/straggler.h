@@ -1,0 +1,55 @@
+// Percentile-based straggler detection for speculative task execution.
+//
+// Both the real JobRunner and the discrete-event simulator feed completed
+// task durations into a StragglerDetector and ask whether a still-running
+// task has become a straggler: its elapsed time exceeds
+//
+//     threshold = percentile(completed durations) × multiplier
+//
+// No verdict is issued until `min_completed` samples exist (early tasks on
+// a cold cluster are not stragglers, the job just started). This mirrors
+// the LATE heuristic family: relative to the population, not an absolute
+// cutoff, so it adapts per job and per phase. Thread-safe — map tasks
+// record completions concurrently while the driver polls.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/mutex.h"
+
+namespace eclipse::fault {
+
+struct StragglerOptions {
+  /// Which completed-duration percentile anchors the threshold (0..1].
+  double percentile = 0.75;
+  /// Threshold = percentile duration × this.
+  double multiplier = 2.0;
+  /// Completed samples required before any straggler verdict.
+  int min_completed = 3;
+};
+
+class StragglerDetector {
+ public:
+  explicit StragglerDetector(StragglerOptions options = {});
+
+  /// Record one completed task's duration.
+  void Record(std::uint64_t duration_us);
+
+  /// Current threshold in µs, or 0 while below min_completed (no verdict).
+  std::uint64_t ThresholdUs() const;
+
+  /// True when `elapsed_us` exceeds the current threshold (never true while
+  /// below min_completed samples).
+  bool IsStraggler(std::uint64_t elapsed_us) const;
+
+  int completed() const;
+
+ private:
+  const StragglerOptions options_;
+  mutable Mutex mu_;
+  // Kept sorted: Record inserts in order, so ThresholdUs is an index read.
+  std::vector<std::uint64_t> durations_ GUARDED_BY(mu_);
+};
+
+}  // namespace eclipse::fault

@@ -1,8 +1,10 @@
 #include "mr/cluster.h"
 
 #include <cassert>
+#include <thread>
 
 #include "common/log.h"
+#include "fault/fault_transport.h"
 #include "net/tcp_transport.h"
 #include "obs/trace.h"
 
@@ -10,13 +12,21 @@ namespace eclipse::mr {
 
 Cluster::Cluster(ClusterOptions options) : options_(std::move(options)) {
   assert(options_.num_servers > 0);
+  const char* transport_label = options_.use_tcp_transport ? "tcp" : "inproc";
   if (options_.use_tcp_transport) {
     transport_ = std::make_unique<net::TcpTransport>();
-    transport_->BindMetrics(metrics_, "tcp");
   } else {
     transport_ = std::make_unique<net::InProcessTransport>();
-    transport_->BindMetrics(metrics_, "inproc");
   }
+  if (options_.fault_controller) {
+    // The wrapper becomes the cluster transport: metrics are bound on it
+    // (the inner transport's counters stay unbound — one account per call).
+    auto wrapped = std::make_unique<fault::FaultInjectingTransport>(
+        std::move(transport_), options_.fault_controller);
+    wrapped->BindFaultMetrics(metrics_);
+    transport_ = std::move(wrapped);
+  }
+  transport_->BindMetrics(metrics_, transport_label);
 
   {
     MutexLock lock(ring_mu_);
@@ -32,12 +42,14 @@ Cluster::Cluster(ClusterOptions options) : options_(std::move(options)) {
   wopts.dfs_client.default_block_size = options_.block_size;
   wopts.dfs_client.replication = options_.replication;
   wopts.dfs_client.user = options_.user;
+  wopts.dfs_client.retry = options_.rpc_retry;
 
   MutexLock lock(workers_mu_);  // no concurrency yet; satisfies the analysis
   workers_.reserve(options_.num_servers);
   for (int i = 0; i < options_.num_servers; ++i) {
     workers_.push_back(
         std::make_unique<WorkerServer>(i, *transport_, ring_provider, wopts));
+    WireSlowDisk(*workers_.back());
   }
 
   if (options_.start_membership) {
@@ -69,6 +81,20 @@ Cluster::~Cluster() {
 dht::Ring Cluster::ring() const {
   MutexLock lock(ring_mu_);
   return ring_;
+}
+
+void Cluster::WireSlowDisk(WorkerServer& w) {
+  if (!options_.fault_controller) return;
+  std::shared_ptr<fault::FaultController> ctl = options_.fault_controller;
+  const int id = w.id();
+  w.dfs_node().blocks().SetOpHook([ctl, id] {
+    auto delay = ctl->DiskDelay(id);
+    if (delay.count() <= 0) return;
+    obs::Tracer::Global().Emit(
+        'i', "fault", "fault_slow_disk", id,
+        {obs::U64("delay_us", static_cast<std::uint64_t>(delay.count()))});
+    std::this_thread::sleep_for(delay);
+  });
 }
 
 WorkerServer& Cluster::worker(int id) {
@@ -148,6 +174,7 @@ int Cluster::AddServer(dfs::RecoveryReport* report) {
   wopts.dfs_client.default_block_size = options_.block_size;
   wopts.dfs_client.replication = options_.replication;
   wopts.dfs_client.user = options_.user;
+  wopts.dfs_client.retry = options_.rpc_retry;
 
   dfs::RingProvider ring_provider = [this] { return ring(); };
   int id;
@@ -157,6 +184,7 @@ int Cluster::AddServer(dfs::RecoveryReport* report) {
     id = static_cast<int>(workers_.size());
     workers_.push_back(
         std::make_unique<WorkerServer>(id, *transport_, ring_provider, wopts));
+    WireSlowDisk(*workers_.back());
     if (options_.start_membership) {
       agents_.push_back(std::make_unique<dht::MembershipAgent>(
           id, *transport_, workers_.back()->dispatcher(), options_.membership));

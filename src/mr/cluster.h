@@ -19,6 +19,7 @@
 #include "common/mutex.h"
 #include "dfs/recovery.h"
 #include "dht/membership.h"
+#include "fault/fault_plan.h"
 #include "mr/types.h"
 #include "mr/worker.h"
 #include "sched/delay_scheduler.h"
@@ -59,6 +60,17 @@ struct ClusterOptions {
   /// intermediate-result push crosses real sockets. Slower; proves the node
   /// code is wire-agnostic.
   bool use_tcp_transport = false;
+
+  /// When set, the cluster transport is wrapped in a
+  /// fault::FaultInjectingTransport and every worker's BlockStore consults
+  /// the controller for slow-disk latency — install a FaultPlan on the
+  /// controller to run a chaos drill (docs/fault-tolerance.md). Null: no
+  /// fault layer, zero overhead.
+  std::shared_ptr<fault::FaultController> fault_controller;
+
+  /// Per-RPC retry policy used by every DfsClient in the cluster (workers
+  /// and the external client). See net/retry.h for the defaults.
+  net::RetryPolicy rpc_retry;
 
   std::string user = "eclipse";
 };
@@ -136,6 +148,9 @@ class Cluster {
   /// callbacks when a worker is declared dead — mirrors KillServer's
   /// bookkeeping and re-replication without an operator in the loop.
   void HandleMembershipFailure(int failed);
+  /// Point the worker's BlockStore op hook at the fault controller's
+  /// slow-disk delay (no-op without a controller).
+  void WireSlowDisk(WorkerServer& w);
   int ClientEndpointId() const { return 1'000'000; }
 
   // Lock hierarchy (outermost first): workers_mu_ → ring_mu_ → sched_mu_.

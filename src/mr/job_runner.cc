@@ -9,12 +9,31 @@
 
 #include "common/log.h"
 #include "mr/record_reader.h"
+#include "net/retry.h"
 #include "obs/trace.h"
 
 namespace eclipse::mr {
 namespace {
 
 constexpr int kMaxAttemptsPerTask = 5;
+
+/// Poll interval of the speculative collection loops. Short enough that
+/// test-scale tasks (sub-millisecond) complete a wave without noticeable
+/// idle time, long enough not to spin.
+constexpr std::chrono::microseconds kSpecPollInterval{200};
+
+net::Deadline TaskDeadline(const JobSpec& spec) {
+  return spec.task_deadline.count() > 0
+             ? net::Deadline::After(std::chrono::duration_cast<std::chrono::microseconds>(
+                   spec.task_deadline))
+             : net::Deadline::Never();
+}
+
+std::uint64_t ElapsedUs(std::chrono::steady_clock::time_point since,
+                        std::chrono::steady_clock::time_point now) {
+  auto us = std::chrono::duration_cast<std::chrono::microseconds>(now - since).count();
+  return us < 0 ? 0 : static_cast<std::uint64_t>(us);
+}
 
 // Process-wide job sequence: the `job` argument on every job span, letting
 // one capture hold several jobs and still attribute tasks to the right one.
@@ -140,6 +159,9 @@ JobResult JobRunner::Run() {
   metrics.GetCounter("mr.map_tasks").Add(stats_.map_tasks);
   metrics.GetCounter("mr.maps_skipped").Add(stats_.maps_skipped);
   metrics.GetCounter("mr.map_retries").Add(stats_.map_retries);
+  metrics.GetCounter("mr.maps_speculated").Add(stats_.maps_speculated);
+  metrics.GetCounter("mr.reduces_speculated").Add(stats_.reduces_speculated);
+  metrics.GetCounter("mr.speculative_wins").Add(stats_.speculative_wins);
   metrics.GetCounter("mr.reduce_tasks").Add(stats_.reduce_tasks);
   metrics.GetCounter("mr.spills").Add(stats_.spills);
   metrics.GetCounter("mr.bytes_spilled").Add(stats_.bytes_spilled);
@@ -163,6 +185,11 @@ JobResult JobRunner::Run() {
 }
 
 Status JobRunner::RunReducePhase(std::vector<KV>* output) {
+  return spec_.speculative_execution ? RunReducePhaseSpeculative(output)
+                                     : RunReducePhaseSequential(output);
+}
+
+Status JobRunner::RunReducePhaseSequential(std::vector<KV>* output) {
   obs::TraceSpan phase_span("mr", "reduce_phase", obs::kDriverPid);
   std::map<HashKey, std::vector<SpillInfo>> by_range;
   {
@@ -211,6 +238,197 @@ Status JobRunner::RunReducePhase(std::vector<KV>* output) {
   return Status::Ok();
 }
 
+Status JobRunner::RunReducePhaseSpeculative(std::vector<KV>* output) {
+  obs::TraceSpan phase_span("mr", "reduce_phase", obs::kDriverPid);
+  std::map<HashKey, std::vector<SpillInfo>> by_range;
+  {
+    MutexLock lock(state_mu_);
+    for (const auto& [id, info] : spills_) by_range[info.range_begin].push_back(info);
+  }
+
+  struct Attempt {
+    int server = -1;
+    bool backup = false;
+    bool done = false;
+    std::shared_ptr<std::atomic<bool>> cancel;
+    std::chrono::steady_clock::time_point start;
+    std::future<ReduceOutcome> fut;
+  };
+  struct Task {
+    HashKey range_begin = 0;
+    const std::vector<SpillInfo>* group = nullptr;  // node-stable: by_range is a std::map
+    int tries = 0;          // primary (re)launches, counted against kMaxAttemptsPerTask
+    bool has_backup = false;
+    bool resolved = false;  // a successful outcome has been taken
+    bool concluded = false;  // no further launches for this task
+    ReduceOutcome outcome;  // the winner when resolved, else the last real failure
+    std::vector<Attempt> attempts;
+  };
+
+  fault::StragglerDetector detector(fault::StragglerOptions{
+      spec_.straggler_percentile, spec_.straggler_multiplier, spec_.speculation_min_completed});
+  std::vector<Task> tasks;  // std::map iteration order == ascending range order
+  tasks.reserve(by_range.size());
+  for (auto& [range_begin, group] : by_range) {
+    Task t;
+    t.range_begin = range_begin;
+    t.group = &group;
+    tasks.push_back(std::move(t));
+  }
+
+  Status fatal = Status::Ok();
+  auto launch = [&](Task& t, int server, bool backup) {
+    Attempt a;
+    a.server = server;
+    a.backup = backup;
+    a.cancel = std::make_shared<std::atomic<bool>>(false);
+    a.start = std::chrono::steady_clock::now();
+    WorkerServer& w = cluster_.worker(server);
+    const std::vector<SpillInfo>* group = t.group;
+    auto cancel = a.cancel;
+    a.fut = w.reduce_pool().Submit(
+        [this, &w, group, cancel] { return RunReduceTask(w, *group, cancel); });
+    t.attempts.push_back(std::move(a));
+  };
+
+  for (auto& t : tasks) {
+    int target = fatal.ok() ? cluster_.ring().Owner(t.range_begin) : -1;
+    if (target < 0) {
+      if (fatal.ok()) fatal = Status::Error(ErrorCode::kUnavailable, "no servers left");
+      t.concluded = true;
+      continue;
+    }
+    ++t.tries;
+    launch(t, target, /*backup=*/false);
+  }
+
+  // Drain every attempt before returning anything — outstanding futures
+  // reference this JobRunner and the group vectors. Losers get their cancel
+  // token set the moment a sibling wins, so the join is short.
+  for (;;) {
+    bool all_done = true;
+    bool progress = false;
+    auto now = std::chrono::steady_clock::now();
+    for (auto& t : tasks) {
+      bool attempts_done = true;
+      for (auto& a : t.attempts) {
+        if (a.done) continue;
+        if (a.fut.wait_for(std::chrono::seconds(0)) != std::future_status::ready) {
+          attempts_done = false;
+          continue;
+        }
+        a.done = true;
+        progress = true;
+        ReduceOutcome o = a.fut.get();
+        if (o.status.ok() && !t.resolved) {
+          t.resolved = true;
+          detector.Record(ElapsedUs(a.start, now));
+          if (a.backup) {
+            ++stats_.speculative_wins;
+            obs::Tracer::Global().Emit(
+                'i', "mr", "speculative_win", obs::kDriverPid,
+                {obs::Str("task", "reduce"),
+                 obs::U64("server", static_cast<std::uint64_t>(a.server))});
+          }
+          for (auto& other : t.attempts) {
+            if (!other.done && other.cancel) other.cancel->store(true);
+          }
+          t.outcome = std::move(o);
+        } else if (!t.resolved) {
+          // Remember the most informative failure: a kCancelled from a loser
+          // never shadows a real error.
+          if (o.status.code() != ErrorCode::kCancelled || t.outcome.status.ok()) {
+            t.outcome = std::move(o);
+          }
+        }
+      }
+      if (!attempts_done) {
+        all_done = false;
+      } else if (!t.concluded) {
+        if (t.resolved || !fatal.ok()) {
+          t.concluded = true;
+        } else if (!t.outcome.missing_spills.empty()) {
+          t.concluded = true;  // producers re-run after the drain
+        } else if (t.tries >= kMaxAttemptsPerTask) {
+          fatal = t.outcome.status;
+          t.concluded = true;
+        } else {
+          // Unavailable target: the ring has changed; re-resolve the owner.
+          int target = cluster_.ring().Owner(t.range_begin);
+          if (target < 0) {
+            fatal = Status::Error(ErrorCode::kUnavailable, "no servers left");
+            t.concluded = true;
+          } else {
+            ++t.tries;
+            t.has_backup = false;
+            launch(t, target, /*backup=*/false);
+            all_done = false;
+          }
+        }
+      }
+      // LATE-style speculation: one backup per running attempt generation,
+      // placed on a different live server, triggered when the attempt's
+      // elapsed time exceeds the completed-duration percentile threshold.
+      if (!t.concluded && !t.resolved && !t.has_backup && !t.attempts.empty()) {
+        Attempt& running = t.attempts.back();
+        if (!running.done && detector.IsStraggler(ElapsedUs(running.start, now))) {
+          int backup = PickBackupServer(running.server);
+          if (backup >= 0) {
+            t.has_backup = true;
+            ++stats_.reduces_speculated;
+            obs::Tracer::Global().Emit(
+                'i', "mr", "speculate", obs::kDriverPid,
+                {obs::Str("task", "reduce"),
+                 obs::U64("server", static_cast<std::uint64_t>(backup))});
+            launch(t, backup, /*backup=*/true);
+            all_done = false;
+          }
+        }
+      }
+    }
+    if (all_done) break;
+    if (!progress) std::this_thread::sleep_for(kSpecPollInterval);
+  }
+
+  if (!fatal.ok()) return fatal;
+
+  // Lost-spill handling mirrors the sequential phase: re-run the producers
+  // of every missing spill (union across tasks) with reuse disabled, then
+  // hand NotFound back so the caller rebuilds the whole reduce plan.
+  Status missing_status = Status::Ok();
+  std::vector<BlockRef> rerun;
+  std::size_t missing_count = 0;
+  {
+    MutexLock lock(state_mu_);
+    for (const auto& t : tasks) {
+      if (t.resolved || t.outcome.missing_spills.empty()) continue;
+      missing_status = t.outcome.status;
+      missing_count += t.outcome.missing_spills.size();
+      for (const auto& id : t.outcome.missing_spills) {
+        auto it = spill_block_.find(id);
+        if (it != spill_block_.end()) rerun.push_back(it->second);
+      }
+    }
+  }
+  if (!missing_status.ok()) {
+    std::sort(rerun.begin(), rerun.end());
+    rerun.erase(std::unique(rerun.begin(), rerun.end()), rerun.end());
+    LOG_INFO << "reduce lost " << missing_count << " spills; re-running " << rerun.size()
+             << " map tasks";
+    Status s = RunMapPhase(rerun, /*force_recompute=*/true);
+    return s.ok() ? missing_status : s;
+  }
+
+  for (auto& t : tasks) {  // ascending range order: deterministic output
+    ++stats_.reduce_tasks;
+    stats_.ocache_hits += t.outcome.ocache_hits;
+    stats_.ocache_misses += t.outcome.ocache_misses;
+    output->insert(output->end(), std::make_move_iterator(t.outcome.output.begin()),
+                   std::make_move_iterator(t.outcome.output.end()));
+  }
+  return Status::Ok();
+}
+
 Status JobRunner::RunMapPhase(const std::vector<BlockRef>& blocks,
                               bool force_recompute) {
   struct Pending {
@@ -221,40 +439,147 @@ Status JobRunner::RunMapPhase(const std::vector<BlockRef>& blocks,
   queue.reserve(blocks.size());
   for (auto b : blocks) queue.push_back(Pending{b, 0});
 
+  const bool speculate = spec_.speculative_execution;
+  // Persists across waves: retry waves inherit the duration population.
+  fault::StragglerDetector detector(fault::StragglerOptions{
+      spec_.straggler_percentile, spec_.straggler_multiplier, spec_.speculation_min_completed});
+
   while (!queue.empty()) {
     obs::TraceSpan wave_span("mr", "map_phase", obs::kDriverPid,
                              {obs::U64("tasks", queue.size())});
-    std::vector<std::tuple<BlockRef, int, std::future<MapOutcome>>> inflight;
-    inflight.reserve(queue.size());
+    struct Attempt {
+      int server = -1;
+      bool backup = false;
+      bool done = false;
+      std::shared_ptr<std::atomic<bool>> cancel;  // null when speculation is off
+      std::chrono::steady_clock::time_point start;
+      std::future<MapOutcome> fut;
+    };
+    struct Task {
+      BlockRef ref;
+      int prior_attempts = 0;
+      bool resolved = false;  // a successful outcome has been taken
+      MapOutcome outcome;     // the winner when resolved, else the last real failure
+      std::vector<Attempt> attempts;
+    };
+
+    auto launch = [&](Task& t, int server, bool backup) {
+      Attempt a;
+      a.server = server;
+      a.backup = backup;
+      a.cancel = speculate ? std::make_shared<std::atomic<bool>>(false) : nullptr;
+      a.start = std::chrono::steady_clock::now();
+      WorkerServer& w = cluster_.worker(server);
+      BlockRef ref = t.ref;
+      auto cancel = a.cancel;
+      a.fut = w.map_pool().Submit([this, &w, ref, force_recompute, cancel] {
+        return RunMapTask(w, ref, force_recompute, cancel);
+      });
+      t.attempts.push_back(std::move(a));
+    };
+
+    std::vector<Task> tasks;
+    tasks.reserve(queue.size());
+    Status dispatch_error = Status::Ok();
     for (auto& p : queue) {
       HashKey hkey = metas_[p.ref.file].KeyOfBlock(p.ref.block);
       int server = PickMapServer(hkey);
-      if (server < 0) return Status::Error(ErrorCode::kUnavailable, "no servers left");
+      if (server < 0) {
+        // Drain the attempts already dispatched before reporting — they
+        // reference this JobRunner.
+        dispatch_error = Status::Error(ErrorCode::kUnavailable, "no servers left");
+        break;
+      }
       obs::Tracer::Global().Emit('i', "sched", "sched_assign", obs::kDriverPid,
                                  {obs::U64("block", p.ref.block),
                                   obs::U64("server", static_cast<std::uint64_t>(server))});
-      WorkerServer& w = cluster_.worker(server);
-      BlockRef ref = p.ref;
-      inflight.emplace_back(ref, p.attempts,
-                            w.map_pool().Submit([this, &w, ref, force_recompute] {
-                              return RunMapTask(w, ref, force_recompute);
-                            }));
+      Task t;
+      t.ref = p.ref;
+      t.prior_attempts = p.attempts;
+      tasks.push_back(std::move(t));
+      launch(tasks.back(), server, /*backup=*/false);
     }
     queue.clear();
 
-    for (auto& [ref, attempts, fut] : inflight) {
-      MapOutcome outcome = fut.get();
-      if (!outcome.status.ok()) {
-        if (attempts + 1 >= kMaxAttemptsPerTask) {
-          return Status::Error(outcome.status.code(),
-                               "map task for block " + std::to_string(ref.block) +
-                                   " of input " + std::to_string(ref.file) +
-                                   " failed repeatedly: " + outcome.status.message());
+    if (!speculate) {
+      for (auto& t : tasks) {
+        t.outcome = t.attempts[0].fut.get();
+        t.attempts[0].done = true;
+        t.resolved = t.outcome.status.ok();
+      }
+    } else {
+      // Poll until every attempt (originals and backups) has been joined;
+      // launch at most one backup per straggling task, first completion wins.
+      for (;;) {
+        bool all_done = true;
+        bool progress = false;
+        auto now = std::chrono::steady_clock::now();
+        for (auto& t : tasks) {
+          for (auto& a : t.attempts) {
+            if (a.done) continue;
+            if (a.fut.wait_for(std::chrono::seconds(0)) != std::future_status::ready) {
+              all_done = false;
+              continue;
+            }
+            a.done = true;
+            progress = true;
+            MapOutcome o = a.fut.get();
+            if (o.status.ok() && !t.resolved) {
+              t.resolved = true;
+              detector.Record(ElapsedUs(a.start, now));
+              if (a.backup) {
+                ++stats_.speculative_wins;
+                obs::Tracer::Global().Emit(
+                    'i', "mr", "speculative_win", obs::kDriverPid,
+                    {obs::Str("task", "map"), obs::U64("block", t.ref.block),
+                     obs::U64("server", static_cast<std::uint64_t>(a.server))});
+              }
+              for (auto& other : t.attempts) {
+                if (!other.done && other.cancel) other.cancel->store(true);
+              }
+              t.outcome = std::move(o);
+            } else if (!t.resolved) {
+              // A kCancelled from a loser never shadows a real error.
+              if (o.status.code() != ErrorCode::kCancelled || t.outcome.status.ok()) {
+                t.outcome = std::move(o);
+              }
+            }
+          }
+          if (!t.resolved && t.attempts.size() == 1 && !t.attempts[0].done &&
+              detector.IsStraggler(ElapsedUs(t.attempts[0].start, now))) {
+            int backup = PickBackupServer(t.attempts[0].server);
+            if (backup >= 0) {
+              ++stats_.maps_speculated;
+              obs::Tracer::Global().Emit(
+                  'i', "mr", "speculate", obs::kDriverPid,
+                  {obs::Str("task", "map"), obs::U64("block", t.ref.block),
+                   obs::U64("server", static_cast<std::uint64_t>(backup))});
+              launch(t, backup, /*backup=*/true);
+              all_done = false;
+            }
+          }
+        }
+        if (all_done) break;
+        if (!progress) std::this_thread::sleep_for(kSpecPollInterval);
+      }
+    }
+
+    if (!dispatch_error.ok()) return dispatch_error;
+
+    for (auto& t : tasks) {
+      if (!t.resolved) {
+        const Status& failure = t.outcome.status;
+        if (t.prior_attempts + 1 >= kMaxAttemptsPerTask) {
+          return Status::Error(failure.code(),
+                               "map task for block " + std::to_string(t.ref.block) +
+                                   " of input " + std::to_string(t.ref.file) +
+                                   " failed repeatedly: " + failure.message());
         }
         ++stats_.map_retries;
-        queue.push_back(Pending{ref, attempts + 1});
+        queue.push_back(Pending{t.ref, t.prior_attempts + 1});
         continue;
       }
+      MapOutcome& outcome = t.outcome;
       ++stats_.map_tasks;
       if (outcome.skipped) ++stats_.maps_skipped;
       if (outcome.icache_hit) {
@@ -274,7 +599,7 @@ Status JobRunner::RunMapPhase(const std::vector<BlockRef>& blocks,
         // Drop the block's previous (possibly manifest-derived, possibly
         // stale-range) spills: the fresh execution is authoritative.
         for (auto it = spill_block_.begin(); it != spill_block_.end();) {
-          if (it->second == ref) {
+          if (it->second == t.ref) {
             spills_.erase(it->first);
             it = spill_block_.erase(it);
           } else {
@@ -285,7 +610,7 @@ Status JobRunner::RunMapPhase(const std::vector<BlockRef>& blocks,
       for (auto& info : outcome.spills) {
         stats_.bytes_spilled += info.bytes;
         ++stats_.spills;
-        spill_block_[info.id] = ref;
+        spill_block_[info.id] = t.ref;
         spills_[info.id] = std::move(info);
       }
     }
@@ -349,9 +674,29 @@ int JobRunner::PickMapServer(HashKey hkey) {
   return owner;
 }
 
+int JobRunner::PickBackupServer(int avoid) {
+  int best = -1;
+  int best_slots = -1;
+  for (int id : cluster_.WorkerIds()) {
+    if (id == avoid) continue;
+    WorkerServer& w = cluster_.worker(id);
+    if (w.dead()) continue;
+    int slots = w.FreeMapSlots();
+    if (slots > best_slots) {
+      best = id;
+      best_slots = slots;
+    }
+  }
+  return best;
+}
+
 JobRunner::MapOutcome JobRunner::RunMapTask(WorkerServer& w, BlockRef ref,
-                                            bool force_recompute) {
+                                            bool force_recompute,
+                                            std::shared_ptr<std::atomic<bool>> cancel) {
   MapOutcome out;
+  // Every RPC this attempt makes (cache fetches, DHT-FS reads, spill
+  // pushes) sees this cutoff through CurrentDeadline().
+  net::ScopedDeadline task_deadline(TaskDeadline(spec_));
   obs::TraceSpan task_span("mr", "map_task", w.id(),
                            {obs::U64("file", ref.file), obs::U64("block", ref.block)});
   auto task_t0 = std::chrono::steady_clock::now();
@@ -453,6 +798,10 @@ JobRunner::MapOutcome JobRunner::RunMapTask(WorkerServer& w, BlockRef ref,
       out.status = Status::Error(ErrorCode::kUnavailable, "worker died mid-map");
       return out;
     }
+    if (cancel && cancel->load(std::memory_order_relaxed)) {
+      out.status = Status::Error(ErrorCode::kCancelled, "duplicate map attempt lost the race");
+      return out;
+    }
   }
   mapper->Finish(ctx);
   if (!ctx.status().ok()) {
@@ -475,8 +824,10 @@ JobRunner::MapOutcome JobRunner::RunMapTask(WorkerServer& w, BlockRef ref,
 }
 
 JobRunner::ReduceOutcome JobRunner::RunReduceTask(WorkerServer& w,
-                                                  const std::vector<SpillInfo>& spills) {
+                                                  const std::vector<SpillInfo>& spills,
+                                                  std::shared_ptr<std::atomic<bool>> cancel) {
   ReduceOutcome out;
+  net::ScopedDeadline task_deadline(TaskDeadline(spec_));
   obs::TraceSpan task_span("mr", "reduce_task", w.id(),
                            {obs::U64("spills", spills.size())});
   auto task_t0 = std::chrono::steady_clock::now();
@@ -502,6 +853,11 @@ JobRunner::ReduceOutcome JobRunner::RunReduceTask(WorkerServer& w,
 
   std::map<std::string, std::vector<std::string>> groups;
   for (const auto& spill : spills) {
+    if (cancel && cancel->load(std::memory_order_relaxed)) {
+      out.status =
+          Status::Error(ErrorCode::kCancelled, "duplicate reduce attempt lost the race");
+      return out;
+    }
     std::string data;
     if (auto cached = w.cache().Get(spill.id)) {
       data = std::move(*cached);
@@ -536,6 +892,11 @@ JobRunner::ReduceOutcome JobRunner::RunReduceTask(WorkerServer& w,
     reducer->Reduce(key, values, ctx);
     if (w.dead()) {
       out.status = Status::Error(ErrorCode::kUnavailable, "worker died mid-reduce");
+      return out;
+    }
+    if (cancel && cancel->load(std::memory_order_relaxed)) {
+      out.status =
+          Status::Error(ErrorCode::kCancelled, "duplicate reduce attempt lost the race");
       return out;
     }
   }

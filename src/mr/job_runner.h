@@ -11,6 +11,10 @@
 //     by re-running their producers).
 #pragma once
 
+#include <atomic>
+#include <memory>
+
+#include "fault/straggler.h"
 #include "mr/cluster.h"
 #include "mr/shuffle.h"
 
@@ -53,17 +57,33 @@ class JobRunner {
     bool operator==(const BlockRef&) const = default;
   };
 
-  MapOutcome RunMapTask(WorkerServer& w, BlockRef ref, bool force_recompute);
-  ReduceOutcome RunReduceTask(WorkerServer& w, const std::vector<SpillInfo>& spills);
+  /// `cancel` (optional) is the attempt's duplicate-cancellation token:
+  /// speculative execution sets it once a sibling attempt wins, and the task
+  /// exits kCancelled at its next record boundary. Output stays correct
+  /// either way — spill ids are deterministic and contents identical, so
+  /// concurrent duplicate attempts overwrite each other idempotently
+  /// (first-writer-wins).
+  MapOutcome RunMapTask(WorkerServer& w, BlockRef ref, bool force_recompute,
+                        std::shared_ptr<std::atomic<bool>> cancel = nullptr);
+  ReduceOutcome RunReduceTask(WorkerServer& w, const std::vector<SpillInfo>& spills,
+                              std::shared_ptr<std::atomic<bool>> cancel = nullptr);
 
   /// Pick the map server for a block key under the configured policy. For
   /// Delay this may block up to the locality-wait timeout.
   int PickMapServer(HashKey hkey);
 
+  /// Backup-attempt placement: the live server (≠ `avoid`) with the most
+  /// free map slots, or -1 when no other server is alive.
+  int PickBackupServer(int avoid);
+
   /// One pass over the reduce plan derived from the current spill set.
   /// Returns NotFound after re-running producers of lost spills (caller
   /// rebuilds the plan and retries), or the first fatal status.
   Status RunReducePhase(std::vector<KV>* output);
+  Status RunReducePhaseSequential(std::vector<KV>* output);
+  /// Parallel dispatch across range groups with straggler speculation
+  /// (used when spec_.speculative_execution is set).
+  Status RunReducePhaseSpeculative(std::vector<KV>* output);
 
   /// Run the map phase over `blocks`, merging spills into spills_ /
   /// spill_block_. `force_recompute` bypasses tagged-intermediate reuse —

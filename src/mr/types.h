@@ -102,6 +102,33 @@ struct JobSpec {
   /// file of that name). Applications "tag and store ... job outputs for
   /// future reuse" this way (§II).
   std::string output_file;
+
+  // ---- Fault-tolerance knobs (docs/fault-tolerance.md) --------------------
+
+  /// Zero: no deadline. Otherwise each map/reduce task attempt runs under a
+  /// net::ScopedDeadline of this length, propagated to every RPC the task
+  /// makes (DHT-FS reads, cache fetches, spill pushes): a gray-failed peer
+  /// costs at most this long before the attempt fails kDeadlineExceeded and
+  /// is retried elsewhere.
+  std::chrono::milliseconds task_deadline{0};
+
+  /// Launch a backup attempt for straggling tasks (LATE-style mitigation):
+  /// when a running task's elapsed time exceeds
+  /// percentile(completed) × multiplier, a duplicate attempt starts on
+  /// another live server and the first completion wins. Safe because spill
+  /// ids are deterministic and re-execution is idempotent (§II-D).
+  bool speculative_execution = false;
+
+  /// Percentile of completed-task durations anchoring the straggler
+  /// threshold (0..1].
+  double straggler_percentile = 0.75;
+
+  /// Straggler threshold = percentile duration × this multiplier.
+  double straggler_multiplier = 2.0;
+
+  /// Completed tasks required before any speculation happens (a cold
+  /// cluster's first tasks are not stragglers, the job just started).
+  int speculation_min_completed = 3;
 };
 
 struct JobStats {
@@ -109,6 +136,9 @@ struct JobStats {
   std::uint64_t reduce_tasks = 0;
   std::uint64_t maps_skipped = 0;       // served entirely from tagged spills
   std::uint64_t map_retries = 0;        // re-executions after worker failure
+  std::uint64_t maps_speculated = 0;    // backup attempts launched for straggling maps
+  std::uint64_t reduces_speculated = 0; // backup attempts launched for straggling reduces
+  std::uint64_t speculative_wins = 0;   // backups that finished before their original
 
   // Map-task locality classes (the paper's Fig. 6 task-state breakdown):
   // where each completed map task's input actually came from. The three

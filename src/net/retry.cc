@@ -1,0 +1,98 @@
+#include "net/retry.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "obs/trace.h"
+
+namespace eclipse::net {
+namespace {
+
+// Thread-local effective deadline. A plain value (not a stack): ScopedDeadline
+// saves the previous value and restores it, which is equivalent to a stack of
+// min()s but free of allocation.
+thread_local Deadline g_deadline;  // NOLINT(cert-err58-cpp)
+
+// SplitMix64 finalizer — same mixer as common/rng.h, usable statelessly.
+std::uint64_t Mix(std::uint64_t z) {
+  z += 0x9E3779B97F4A7C15ull;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+std::chrono::microseconds Deadline::remaining() const {
+  if (never_) return std::chrono::microseconds::max();
+  auto left = std::chrono::duration_cast<std::chrono::microseconds>(at_ - Clock::now());
+  return std::max(left, std::chrono::microseconds::zero());
+}
+
+Deadline Deadline::Earlier(const Deadline& a, const Deadline& b) {
+  if (a.never_) return b;
+  if (b.never_) return a;
+  return a.at_ <= b.at_ ? a : b;
+}
+
+Deadline CurrentDeadline() { return g_deadline; }
+
+ScopedDeadline::ScopedDeadline(Deadline d) : previous_(g_deadline) {
+  g_deadline = Deadline::Earlier(previous_, d);
+}
+
+ScopedDeadline::~ScopedDeadline() { g_deadline = previous_; }
+
+Result<Message> CallWithRetry(Transport& transport, NodeId from, NodeId to,
+                              const Message& request, const RetryPolicy& policy,
+                              std::uint64_t seed) {
+  const Deadline deadline = CurrentDeadline();
+  const auto start = Deadline::Clock::now();
+  // Distinct jitter stream per (seed, edge) so concurrent retriers against
+  // the same dead peer don't sleep in lockstep.
+  std::uint64_t jitter_state =
+      Mix(seed ^ (static_cast<std::uint64_t>(static_cast<std::uint32_t>(from)) << 32) ^
+          static_cast<std::uint32_t>(to));
+
+  std::chrono::microseconds backoff = policy.initial_backoff;
+  Result<Message> last = Status::Error(ErrorCode::kUnavailable, "no attempt made");
+  const int attempts = std::max(policy.max_attempts, 1);
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (deadline.expired()) {
+      return Status::Error(ErrorCode::kDeadlineExceeded,
+                           "deadline expired before call to node " + std::to_string(to));
+    }
+    last = transport.Call(from, to, request);
+    if (last.ok() || last.status().code() != ErrorCode::kUnavailable) return last;
+    if (attempt + 1 >= attempts) break;
+
+    // Jittered sleep, clamped so we never overrun the budget or the deadline.
+    jitter_state = Mix(jitter_state);
+    double frac = 1.0;
+    if (policy.jitter > 0) {
+      double u = static_cast<double>(jitter_state >> 11) * 0x1.0p-53;
+      frac = 1.0 - policy.jitter * u;
+    }
+    auto sleep = std::chrono::microseconds(
+        static_cast<std::int64_t>(static_cast<double>(backoff.count()) * frac));
+    auto elapsed =
+        std::chrono::duration_cast<std::chrono::microseconds>(Deadline::Clock::now() - start);
+    if (elapsed + sleep > policy.budget) break;  // out of budget: surface kUnavailable
+    if (!deadline.never() && sleep >= deadline.remaining()) {
+      return Status::Error(ErrorCode::kDeadlineExceeded,
+                           "deadline expired while backing off from node " + std::to_string(to));
+    }
+    obs::Tracer::Global().Emit('i', "net", "rpc_retry", from,
+                               {obs::U64("to", static_cast<std::uint64_t>(to)),
+                                obs::U64("attempt", static_cast<std::uint64_t>(attempt + 1)),
+                                obs::U64("backoff_us", static_cast<std::uint64_t>(sleep.count()))});
+    std::this_thread::sleep_for(sleep);
+    backoff = std::min(
+        std::chrono::microseconds(static_cast<std::int64_t>(
+            static_cast<double>(backoff.count()) * policy.backoff_multiplier)),
+        policy.max_backoff);
+  }
+  return last;
+}
+
+}  // namespace eclipse::net

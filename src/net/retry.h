@@ -1,0 +1,116 @@
+// Per-request deadlines and budget-capped retries for the RPC layer.
+//
+// Transport::Call is synchronous and returns kUnavailable for any
+// unreachable peer — a crashed server, a dropped frame, a refused connect.
+// This header adds the two policies that turn that raw signal into
+// robustness:
+//
+//  * Deadline / ScopedDeadline — an absolute steady-clock cutoff carried in
+//    a thread-local stack. The JobRunner installs one per task attempt;
+//    everything the task calls (DfsClient, CacheClient, transports) reads
+//    CurrentDeadline() without any plumbing through intermediate APIs.
+//    Nested scopes only tighten the cutoff, never extend it.
+//  * RetryPolicy / CallWithRetry — exponential backoff with deterministic
+//    jitter, capped by both an attempt count and a wall-clock budget. Only
+//    kUnavailable is retried: it is the one code that means "the peer might
+//    answer if asked again"; every other error is a definitive answer.
+//
+// Retry exhaustion returns the last kUnavailable (callers fall through to
+// the next replica); deadline exhaustion returns kDeadlineExceeded (callers
+// stop trying replicas — the whole operation is out of time). See
+// docs/fault-tolerance.md for the policy-tuning guide.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#include "net/transport.h"
+
+namespace eclipse::net {
+
+/// An absolute steady-clock cutoff. Default-constructed deadlines never
+/// expire, so code that reads CurrentDeadline() needs no "is there one?"
+/// branch.
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  Deadline() = default;  // never expires
+
+  static Deadline Never() { return Deadline(); }
+  static Deadline After(std::chrono::microseconds d) {
+    Deadline dl;
+    dl.at_ = Clock::now() + d;
+    dl.never_ = false;
+    return dl;
+  }
+
+  bool never() const { return never_; }
+  bool expired() const { return !never_ && Clock::now() >= at_; }
+
+  /// Time left, clamped to zero. A huge value (~292 years) when never().
+  std::chrono::microseconds remaining() const;
+
+  /// The earlier of the two cutoffs (Never loses to anything finite).
+  static Deadline Earlier(const Deadline& a, const Deadline& b);
+
+ private:
+  Clock::time_point at_{};
+  bool never_ = true;
+};
+
+/// The calling thread's effective deadline: the tightest ScopedDeadline on
+/// its stack, or Never() when none is installed.
+Deadline CurrentDeadline();
+
+/// RAII deadline propagation. Installing a scope tightens the thread's
+/// effective deadline to min(current, given) for the scope's lifetime —
+/// a nested scope can never grant more time than its parent.
+class ScopedDeadline {
+ public:
+  explicit ScopedDeadline(Deadline d);
+  ~ScopedDeadline();
+
+  ScopedDeadline(const ScopedDeadline&) = delete;
+  ScopedDeadline& operator=(const ScopedDeadline&) = delete;
+
+ private:
+  Deadline previous_;
+};
+
+/// Knobs for CallWithRetry. The defaults are deliberately conservative —
+/// milliseconds of backoff and a small budget — so failure-path tests that
+/// expect a fast kUnavailable (dead-server probes, membership heartbeats)
+/// stay fast. Chaos drills and flaky-network scenarios raise them.
+struct RetryPolicy {
+  /// Total tries including the first. 1 disables retrying entirely.
+  int max_attempts = 3;
+  /// Sleep before the first retry; doubles (×backoff_multiplier) per retry.
+  std::chrono::microseconds initial_backoff{1000};
+  /// Per-retry sleep cap.
+  std::chrono::microseconds max_backoff{20'000};
+  double backoff_multiplier = 2.0;
+  /// Fraction of each backoff randomized away (0 = full sleep, 1 = uniform
+  /// in [0, backoff)). De-synchronizes retry storms from concurrent tasks.
+  double jitter = 0.5;
+  /// Wall-clock cap across all attempts and backoffs of one CallWithRetry.
+  std::chrono::microseconds budget{100'000};
+
+  /// A policy that never retries (plain Call semantics + deadline check).
+  static RetryPolicy None() {
+    RetryPolicy p;
+    p.max_attempts = 1;
+    return p;
+  }
+};
+
+/// Transport::Call with the policy applied. Retries only kUnavailable; any
+/// other outcome (success or definitive error) returns immediately. Checks
+/// CurrentDeadline() before every attempt and never sleeps past it:
+/// an expired deadline returns kDeadlineExceeded. `seed` feeds the
+/// deterministic jitter stream (mixed with from/to, so edges de-correlate).
+Result<Message> CallWithRetry(Transport& transport, NodeId from, NodeId to,
+                              const Message& request, const RetryPolicy& policy,
+                              std::uint64_t seed = 0);
+
+}  // namespace eclipse::net

@@ -8,6 +8,7 @@
 #include <cstring>
 
 #include "common/log.h"
+#include "net/retry.h"
 
 namespace eclipse::net {
 namespace {
@@ -32,6 +33,20 @@ bool WriteFull(int fd, const void* buf, std::size_t n) {
     n -= static_cast<std::size_t>(r);
   }
   return true;
+}
+
+// Apply the caller's effective deadline as socket send/recv timeouts so a
+// hung or partitioned peer cannot block a Call past its deadline. No-op for
+// the (default) never-expiring deadline.
+void ApplyDeadlineTimeouts(int fd, const Deadline& deadline) {
+  if (deadline.never()) return;
+  auto remaining = deadline.remaining();
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(remaining.count() / 1'000'000);
+  tv.tv_usec = static_cast<suseconds_t>(remaining.count() % 1'000'000);
+  if (tv.tv_sec == 0 && tv.tv_usec == 0) tv.tv_usec = 1;  // 0 would mean "no timeout"
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
 }
 
 }  // namespace
@@ -75,8 +90,18 @@ void TcpTransport::Register(NodeId node, Handler handler) {
 
   Endpoint* raw = ep.get();
   ep->accept_thread = std::thread([this, raw, node] { AcceptLoop(raw, node); });
-  MutexLock lock(mu_);
-  endpoints_[node] = std::move(ep);
+  // A concurrent Register for the same node may have inserted between our
+  // Unregister above and here. Swap the loser out under the lock and tear it
+  // down outside (destroying an Endpoint whose accept_thread is still
+  // joinable would std::terminate).
+  std::unique_ptr<Endpoint> displaced;
+  {
+    MutexLock lock(mu_);
+    auto& slot = endpoints_[node];
+    displaced = std::move(slot);
+    slot = std::move(ep);
+  }
+  if (displaced) Teardown(std::move(displaced));
 }
 
 void TcpTransport::Unregister(NodeId node) {
@@ -88,6 +113,10 @@ void TcpTransport::Unregister(NodeId node) {
     ep = std::move(it->second);
     endpoints_.erase(it);
   }
+  Teardown(std::move(ep));
+}
+
+void TcpTransport::Teardown(std::unique_ptr<Endpoint> ep) {
   ep->stopping.store(true);
   ::shutdown(ep->listen_fd, SHUT_RDWR);
   ::close(ep->listen_fd);
@@ -150,12 +179,18 @@ Result<Message> TcpTransport::Call(NodeId from, NodeId to, const Message& reques
 }
 
 Result<Message> TcpTransport::CallImpl(NodeId from, NodeId to, const Message& request) {
+  const Deadline deadline = CurrentDeadline();
+  if (deadline.expired()) {
+    return Status::Error(ErrorCode::kDeadlineExceeded,
+                         "deadline expired before call to node " + std::to_string(to));
+  }
   int port = PortOf(to);
   if (port == 0) {
     return Status::Error(ErrorCode::kUnavailable, "node " + std::to_string(to) + " not listening");
   }
   int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return Status::Error(ErrorCode::kInternal, "socket() failed");
+  ApplyDeadlineTimeouts(fd, deadline);
 
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
@@ -181,11 +216,19 @@ Result<Message> TcpTransport::CallImpl(NodeId from, NodeId to, const Message& re
   std::uint32_t resp_len = 0;
   if (!ReadFull(fd, &resp_len, sizeof resp_len) || resp_len < 4) {
     ::close(fd);
+    if (deadline.expired()) {
+      return Status::Error(ErrorCode::kDeadlineExceeded,
+                           "deadline expired awaiting node " + std::to_string(to));
+    }
     return Status::Error(ErrorCode::kUnavailable, "short response");
   }
   std::string body(resp_len, '\0');
   if (!ReadFull(fd, body.data(), resp_len)) {
     ::close(fd);
+    if (deadline.expired()) {
+      return Status::Error(ErrorCode::kDeadlineExceeded,
+                           "deadline expired awaiting node " + std::to_string(to));
+    }
     return Status::Error(ErrorCode::kUnavailable, "truncated response");
   }
   ::close(fd);

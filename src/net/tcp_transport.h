@@ -63,6 +63,9 @@ class TcpTransport : public Transport {
 
   void AcceptLoop(Endpoint* ep, NodeId node);
   void Unregister(NodeId node);
+  // Stop, join, and drain one endpoint (shared by Unregister and the
+  // lost-concurrent-Register path). Must be called without mu_ held.
+  void Teardown(std::unique_ptr<Endpoint> ep);
   Result<Message> CallImpl(NodeId from, NodeId to, const Message& request);
 
   mutable Mutex mu_;

@@ -53,6 +53,18 @@ struct SimConfig {
   int slow_nodes = 0;
   double slow_factor = 1.0;
 
+  // Speculative execution (EclipseDes only): the same LATE-style knobs the
+  // real engine exposes on JobSpec (docs/fault-tolerance.md). A straggling
+  // map task — elapsed > percentile(completed) × multiplier — gets one
+  // backup attempt on another node; the first completion wins and the loser
+  // only returns its slot.
+  bool speculative_execution = false;
+  double straggler_percentile = 0.75;
+  double straggler_multiplier = 2.0;
+  int speculation_min_completed = 3;
+  // Sim-time interval of the driver's straggler sweep.
+  double speculation_check_sec = 1.0;
+
   // Hadoop.
   double hadoop_container_overhead_sec = 7.0;  // [16][17]
   double hadoop_namenode_lookup_sec = 0.01;    // per-block metadata RPC

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 
+#include "fault/straggler.h"
 #include "obs/trace.h"
 
 namespace eclipse::sim {
@@ -70,10 +71,33 @@ SimJobResult EclipseDes::RunJob(const SimJobSpec& spec) {
     std::size_t maps_remaining = 0;
     std::size_t reduces_remaining = 0;
     SimTime started = 0.0;
+    int index = 0;
   } iter;
+
+  // Speculative-execution state: one entry per map task of the current
+  // iteration, shared between the primary attempt, its (at most one) backup,
+  // and the driver's straggler sweep. The engine is single-threaded, so
+  // plain bools suffice; the first attempt to complete marks `done` and the
+  // loser only returns its slot.
+  struct MapTaskState {
+    std::uint32_t block = 0;
+    HashKey key = 0;
+    std::string id;
+    int primary_server = -1;
+    SimTime start = 0.0;   // primary attempt's slot-acquired time
+    bool started = false;  // primary left the slot queue (queue wait is not straggling)
+    bool done = false;
+    bool backup = false;
+  };
+  std::vector<std::shared_ptr<MapTaskState>> live_tasks;
+  fault::StragglerDetector detector(fault::StragglerOptions{config_.straggler_percentile,
+                                                            config_.straggler_multiplier,
+                                                            config_.speculation_min_completed});
 
   // Forward declarations as std::functions so stages can chain.
   std::function<void(int)> start_iteration;
+  std::function<void(std::shared_ptr<MapTaskState>, int, bool, int)> launch_map;
+  std::function<void()> straggler_sweep;
 
   auto reduce_wave = [&](int it) {
     Bytes input_bytes = static_cast<Bytes>(accesses.size()) * bs;
@@ -136,79 +160,141 @@ SimJobResult EclipseDes::RunJob(const SimJobSpec& spec) {
     }
   };
 
+  // One map attempt (primary or backup) of the task in `st` on `server`.
+  launch_map = [&](std::shared_ptr<MapTaskState> st, int server, bool is_backup, int it) {
+    auto sidx = static_cast<std::size_t>(server);
+    map_slots[sidx]->Submit([&, st, server, sidx, is_backup,
+                             it](EventEngine::Callback release) {
+      if (st->done) {  // won while this attempt sat in the slot queue
+        release();
+        return;
+      }
+      const SimTime m_t0 = engine.now();
+      if (!is_backup) {
+        st->start = m_t0;
+        st->started = true;
+      }
+      // The input's locality class is decided synchronously below; compute
+      // it up front so the completion event can name it (same three-way
+      // split the real engine records — sim "local_disk" means the block's
+      // FS owner is the assigned server).
+      const bool cache_hit = caches_[sidx]->Get(st->id).has_value();
+      const int owner = fs_ranges_.Owner(st->key);
+      const char* locality =
+          cache_hit ? "memory" : (owner == server ? "local_disk" : "remote_disk");
+
+      auto compute_and_spill = [&, st, sidx, server, is_backup, it, m_t0, locality, release] {
+        double cpu = spec.app.map_cpu_sec_per_mb * MegaBytes(bs);
+        if (server < config_.slow_nodes) cpu *= config_.slow_factor;
+        Bytes spill =
+            static_cast<Bytes>(spec.app.map_output_ratio * static_cast<double>(bs));
+
+        auto joined = std::make_shared<int>(2);
+        auto join = [&, st, joined, server, is_backup, it, m_t0, locality, release] {
+          if (--*joined != 0) return;
+          release();
+          if (st->done) return;  // the sibling attempt already completed
+          st->done = true;
+          detector.Record(SimUs(engine.now() - m_t0));
+          ++result.map_tasks;
+          if (is_backup) {
+            ++result.speculative_wins;
+            obs::Tracer::Global().EmitAt(
+                SimUs(engine.now()), 0, 'i', "mr", "speculative_win", obs::kDriverPid, 0,
+                {obs::Str("task", "map"), obs::U64("server", static_cast<std::uint64_t>(server))});
+          }
+          obs::Tracer::Global().EmitAt(SimUs(m_t0), SimUs(engine.now() - m_t0), 'X',
+                                       "mr", "map_task", server, 0,
+                                       {obs::Str("locality", locality), obs::U64("bytes", bs)});
+          if (--iter.maps_remaining == 0) reduce_wave(it);
+        };
+        engine.After(config_.eclipse_task_overhead_sec + cpu, join);
+        // Proactive shuffle: stream the spill out through our NIC while
+        // computing (§II-D); the fluid model shares the NIC naturally.
+        if (spill > 0) {
+          nic[sidx]->Transfer(spill, join);
+        } else {
+          engine.After(0.0, join);
+        }
+      };
+
+      if (cache_hit) {
+        ++result.cache_hits;
+        engine.After(MegaBytes(bs) / config_.mem_mbps, compute_and_spill);
+      } else {
+        ++result.cache_misses;
+        caches_[sidx]->PutPlaceholder(st->id, st->key, bs, cache::EntryKind::kInput);
+        if (owner == server) {
+          disk_read[static_cast<std::size_t>(owner)]->Transfer(bs, compute_and_spill);
+        } else if (RackOf(owner) == RackOf(server)) {
+          nic[static_cast<std::size_t>(owner)]->Transfer(bs, compute_and_spill);
+        } else {
+          // Cross-rack path: bounded by both the owner's uplink and the
+          // shared trunk — completes when the slower leg drains.
+          auto joined = std::make_shared<int>(2);
+          auto path_done = [joined, compute_and_spill] {
+            if (--*joined == 0) compute_and_spill();
+          };
+          nic[static_cast<std::size_t>(owner)]->Transfer(bs, path_done);
+          trunk.Transfer(bs, path_done);
+        }
+      }
+      result.bytes_read += bs;
+    });
+  };
+
+  // Driver-side straggler sweep (speculative_execution only): every
+  // check-interval, give each started-but-unfinished primary whose elapsed
+  // time crosses the detector's threshold one backup attempt on another
+  // node — a non-slow one when the cluster has any. Reschedules itself only
+  // while maps remain, so the event queue drains normally.
+  straggler_sweep = [&] {
+    if (iter.maps_remaining == 0) return;
+    const SimTime now = engine.now();
+    for (auto& st : live_tasks) {
+      if (st->done || st->backup || !st->started) continue;
+      if (!detector.IsStraggler(SimUs(now - st->start))) continue;
+      int backup = -1;
+      for (int cand = 0; cand < config_.num_nodes; ++cand) {
+        if (cand == st->primary_server) continue;
+        if (backup < 0) backup = cand;
+        if (cand >= config_.slow_nodes) {
+          backup = cand;
+          break;
+        }
+      }
+      if (backup < 0) continue;
+      st->backup = true;
+      ++result.speculative_tasks;
+      obs::Tracer::Global().EmitAt(
+          SimUs(now), 0, 'i', "mr", "speculate", obs::kDriverPid, 0,
+          {obs::Str("task", "map"), obs::U64("block", st->block),
+           obs::U64("server", static_cast<std::uint64_t>(backup))});
+      launch_map(st, backup, /*is_backup=*/true, iter.index);
+    }
+    engine.After(config_.speculation_check_sec, straggler_sweep);
+  };
+
   start_iteration = [&](int it) {
     iter.started = engine.now();
     iter.maps_remaining = accesses.size();
+    iter.index = it;
+    live_tasks.clear();
     if (accesses.empty()) {
       reduce_wave(it);
       return;
     }
     for (std::uint32_t block : accesses) {
-      HashKey key = spec.KeyOfBlock(block);
-      const std::string id = spec.dataset + "#" + std::to_string(block);
-      int server = laf_->Assign(key);
-      auto sidx = static_cast<std::size_t>(server);
-
-      map_slots[sidx]->Submit([&, key, id, server, sidx, it](EventEngine::Callback release) {
-        const SimTime m_t0 = engine.now();
-        // The input's locality class is decided synchronously below; compute
-        // it up front so the completion event can name it (same three-way
-        // split the real engine records — sim "local_disk" means the block's
-        // FS owner is the assigned server).
-        const bool cache_hit = caches_[sidx]->Get(id).has_value();
-        const int owner = fs_ranges_.Owner(key);
-        const char* locality =
-            cache_hit ? "memory" : (owner == server ? "local_disk" : "remote_disk");
-
-        auto compute_and_spill = [&, sidx, server, it, m_t0, locality, release] {
-          double cpu = spec.app.map_cpu_sec_per_mb * MegaBytes(bs);
-          if (server < config_.slow_nodes) cpu *= config_.slow_factor;
-          Bytes spill =
-              static_cast<Bytes>(spec.app.map_output_ratio * static_cast<double>(bs));
-
-          auto joined = std::make_shared<int>(2);
-          auto join = [&, joined, server, it, m_t0, locality, release] {
-            if (--*joined != 0) return;
-            release();
-            ++result.map_tasks;
-            obs::Tracer::Global().EmitAt(SimUs(m_t0), SimUs(engine.now() - m_t0), 'X',
-                                         "mr", "map_task", server, 0,
-                                         {obs::Str("locality", locality), obs::U64("bytes", bs)});
-            if (--iter.maps_remaining == 0) reduce_wave(it);
-          };
-          engine.After(config_.eclipse_task_overhead_sec + cpu, join);
-          // Proactive shuffle: stream the spill out through our NIC while
-          // computing (§II-D); the fluid model shares the NIC naturally.
-          if (spill > 0) {
-            nic[sidx]->Transfer(spill, join);
-          } else {
-            engine.After(0.0, join);
-          }
-        };
-
-        if (cache_hit) {
-          ++result.cache_hits;
-          engine.After(MegaBytes(bs) / config_.mem_mbps, compute_and_spill);
-        } else {
-          ++result.cache_misses;
-          caches_[sidx]->PutPlaceholder(id, key, bs, cache::EntryKind::kInput);
-          if (owner == server) {
-            disk_read[static_cast<std::size_t>(owner)]->Transfer(bs, compute_and_spill);
-          } else if (RackOf(owner) == RackOf(server)) {
-            nic[static_cast<std::size_t>(owner)]->Transfer(bs, compute_and_spill);
-          } else {
-            // Cross-rack path: bounded by both the owner's uplink and the
-            // shared trunk — completes when the slower leg drains.
-            auto joined = std::make_shared<int>(2);
-            auto path_done = [joined, compute_and_spill] {
-              if (--*joined == 0) compute_and_spill();
-            };
-            nic[static_cast<std::size_t>(owner)]->Transfer(bs, path_done);
-            trunk.Transfer(bs, path_done);
-          }
-        }
-        result.bytes_read += bs;
-      });
+      auto st = std::make_shared<MapTaskState>();
+      st->block = block;
+      st->key = spec.KeyOfBlock(block);
+      st->id = spec.dataset + "#" + std::to_string(block);
+      st->primary_server = laf_->Assign(st->key);
+      live_tasks.push_back(st);
+      launch_map(st, st->primary_server, /*is_backup=*/false, it);
+    }
+    if (config_.speculative_execution) {
+      engine.After(config_.speculation_check_sec, straggler_sweep);
     }
   };
 

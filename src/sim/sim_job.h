@@ -53,6 +53,10 @@ struct SimJobResult {
   std::uint64_t cache_misses = 0;
   /// Stddev of tasks-per-slot across all map slots (Fig. 7 balance metric).
   double slot_stddev = 0.0;
+  /// Backup attempts launched / won by speculation (EclipseDes with
+  /// speculative_execution; always 0 elsewhere).
+  std::uint64_t speculative_tasks = 0;
+  std::uint64_t speculative_wins = 0;
   /// Per-iteration wall time for iterative jobs (Fig. 10 series).
   std::vector<double> iteration_seconds;
 

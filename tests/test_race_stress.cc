@@ -23,6 +23,7 @@
 #include "common/thread_pool.h"
 #include "dfs/block_store.h"
 #include "dht/membership.h"
+#include "fault/fault_plan.h"
 #include "mr/cluster.h"
 #include "net/dispatcher.h"
 #include "net/transport.h"
@@ -332,6 +333,64 @@ TEST(RaceStress, ShuffleConcurrentWithServerKill) {
     }
     // Post-recovery the cluster must be fully functional.
     auto rerun = cluster.Run(apps::WordCountJob("wc-after", "corpus"));
+    ASSERT_TRUE(rerun.status.ok()) << rerun.status.ToString();
+    EXPECT_GT(rerun.output.size(), 0u);
+  }
+}
+
+TEST(RaceStress, SpeculationRacesGenuineCompletionAndKill) {
+  // Speculative execution's worst neighborhood: a slow disk makes tasks
+  // straggle so backups launch, the primary and backup attempts race to
+  // completion (first-writer-wins on spills, loser cancelled), and a killer
+  // thread takes a server down while duplicates are in flight and churns
+  // the fault plan (heal mid-decision). Every round must end in a clean ok
+  // or a clean error, and the recovered cluster must still run the job.
+  for (int round = 0; round < 3; ++round) {
+    auto controller = std::make_shared<fault::FaultController>();
+    mr::ClusterOptions opts;
+    opts.num_servers = 6;
+    opts.block_size = 512;
+    opts.cache_capacity = 8_MiB;
+    opts.fault_controller = controller;
+    mr::Cluster cluster(opts);
+    Rng rng(static_cast<std::uint64_t>(round) + 31);
+    workload::TextOptions topts;
+    topts.target_bytes = 20000;
+    topts.vocabulary = 50;
+    std::string corpus = workload::GenerateText(rng, topts);
+    ASSERT_TRUE(cluster.dfs().Upload("corpus", corpus).ok());
+
+    fault::FaultPlan plan;
+    plan.slow_disk_nodes = {0};
+    plan.slow_disk_latency = std::chrono::milliseconds(5);
+    controller->Install(plan);
+
+    mr::JobSpec job = apps::WordCountJob("wc-spec", "corpus");
+    job.speculative_execution = true;
+    job.straggler_multiplier = 1.5;
+    job.speculation_min_completed = 2;
+
+    mr::JobResult result;
+    std::thread driver([&] { result = cluster.Run(job); });
+    std::thread killer([&cluster, &controller, round] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2 + round));
+      cluster.KillServer(2 + round);
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      controller->Clear();  // heal races in-flight Decide/DiskDelay reads
+    });
+    driver.join();
+    killer.join();
+
+    if (result.status.ok()) {
+      auto oracle = apps::WordCountSerial(corpus);
+      ASSERT_EQ(result.output.size(), oracle.size());
+      for (const auto& kv : result.output) {
+        EXPECT_EQ(kv.value, std::to_string(oracle.at(kv.key))) << kv.key;
+      }
+    }
+    // Post-recovery, with the plan cleared, the same speculative job must
+    // succeed outright.
+    auto rerun = cluster.Run(job);
     ASSERT_TRUE(rerun.status.ok()) << rerun.status.ToString();
     EXPECT_GT(rerun.output.size(), 0u);
   }
