@@ -1,0 +1,256 @@
+// Macro data-path benchmark — the performance trajectory of the
+// map→shuffle→reduce hot path (ROADMAP north star: "as fast as the hardware
+// allows").
+//
+// Measures, end to end on the emulated cluster plus in isolation:
+//
+//   cache_get_hit_*   — LruCache::Get on a cached 1 MiB block (the §II-C
+//                       memory-locality read every warm map task performs)
+//   shuffle_add_*     — ShuffleWriter::Add routing+buffering cost per
+//                       intermediate record, at 8 and 64 hash-key ranges
+//   wordcount_*/sort_* — whole jobs on an 8-server cluster, cold (disk) and
+//                       warm (iCache), with an output checksum so before/after
+//                       runs prove bit-identical results
+//
+// Output is a flat JSON object ("--out=<path>", default BENCH_macro_run.json)
+// committed pairwise (before/after) into BENCH_macro.json — see
+// docs/performance.md for how the trajectory accrues per PR. "--small" shrinks
+// every dimension for the CI smoke job.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "apps/sort.h"
+#include "apps/wordcount.h"
+#include "cache/lru_cache.h"
+#include "common/rng.h"
+#include "dfs/dfs_client.h"
+#include "dfs/dfs_node.h"
+#include "dht/ring.h"
+#include "mr/cluster.h"
+#include "mr/shuffle.h"
+#include "net/transport.h"
+#include "workload/generators.h"
+
+using namespace eclipse;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// FNV-1a 64 over the job output ("key\tvalue\n" per pair): before/after
+/// benchmark runs must agree on every checksum or the overhaul changed
+/// results, not just speed.
+std::uint64_t ChecksumOutput(const std::vector<mr::KV>& output) {
+  std::uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](const std::string& s) {
+    for (unsigned char c : s) {
+      h ^= c;
+      h *= 1099511628211ull;
+    }
+  };
+  for (const auto& kv : output) {
+    mix(kv.key);
+    h ^= '\t';
+    h *= 1099511628211ull;
+    mix(kv.value);
+    h ^= '\n';
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+struct Report {
+  std::vector<std::pair<std::string, std::string>> fields;
+
+  void Num(const std::string& name, double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.3f", v);
+    fields.emplace_back(name, buf);
+  }
+  void U64(const std::string& name, std::uint64_t v) {
+    fields.emplace_back(name, std::to_string(v));
+  }
+  void Hex(const std::string& name, std::uint64_t v) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "\"%016llx\"", static_cast<unsigned long long>(v));
+    fields.emplace_back(name, buf);
+  }
+
+  bool Write(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    std::fprintf(f, "{\n");
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+      std::fprintf(f, "  \"%s\": %s%s\n", fields[i].first.c_str(), fields[i].second.c_str(),
+                   i + 1 < fields.size() ? "," : "");
+    }
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    return true;
+  }
+};
+
+/// Cache-hit read path: one 1 MiB block served from the LRU over and over.
+/// Before the zero-copy change every hit deep-copied the block; after it,
+/// the cost must be flat in block size (a refcount bump + list splice).
+void BenchCacheGet(Report& report, bool small) {
+  const Bytes block = 1_MiB;
+  const int iters = small ? 500 : 5000;
+  cache::LruCache c(64_MiB);
+  c.Put("blk", 1, std::string(block, 'd'), cache::EntryKind::kInput);
+
+  std::uint64_t sink = 0;
+  auto t0 = Clock::now();
+  for (int i = 0; i < iters; ++i) {
+    auto v = c.Get("blk", cache::EntryKind::kInput);
+    if (v) sink += (*v).size();
+  }
+  double secs = SecondsSince(t0);
+  if (sink != static_cast<std::uint64_t>(iters) * block) {
+    std::fprintf(stderr, "cache_get_hit consumed %llu bytes, expected %llu\n",
+                 static_cast<unsigned long long>(sink),
+                 static_cast<unsigned long long>(static_cast<std::uint64_t>(iters) * block));
+    std::exit(1);
+  }
+  report.Num("cache_get_hit_ns_per_op", secs / iters * 1e9);
+  report.Num("cache_get_hit_gib_per_s",
+             static_cast<double>(sink) / (1024.0 * 1024.0 * 1024.0) / secs);
+  std::printf("cache_get_hit       %10.1f ns/op  %8.2f GiB/s\n", secs / iters * 1e9,
+              static_cast<double>(sink) / (1024.0 * 1024.0 * 1024.0) / secs);
+}
+
+/// ShuffleWriter::Add per-record cost at a given range-table size. The spill
+/// threshold is set above the total buffered volume so the timed loop
+/// isolates routing + buffering (the Flush network push runs untimed).
+void BenchShuffleAdd(Report& report, int servers, bool small) {
+  net::InProcessTransport transport;
+  dht::Ring ring;
+  std::vector<std::unique_ptr<net::Dispatcher>> dispatchers;
+  std::vector<std::unique_ptr<dfs::DfsNode>> nodes;
+  for (int i = 0; i < servers; ++i) {
+    ring.AddServer(i);
+    dispatchers.push_back(std::make_unique<net::Dispatcher>());
+    nodes.push_back(std::make_unique<dfs::DfsNode>(i, *dispatchers.back()));
+    transport.Register(i, dispatchers.back()->AsHandler());
+  }
+  dfs::DfsClient client(1000, transport, [&ring] { return ring; });
+  RangeTable ranges = ring.MakeRangeTable();
+
+  const int records = small ? 20000 : 400000;
+  std::vector<mr::KV> input;
+  input.reserve(static_cast<std::size_t>(records));
+  for (int i = 0; i < records; ++i) {
+    input.push_back(mr::KV{"key-" + std::to_string(i % 4096), "v" + std::to_string(i)});
+  }
+
+  mr::ShuffleWriter w("im/bench/b0", ranges, client, 1_GiB, std::chrono::milliseconds(0));
+  auto t0 = Clock::now();
+  for (const auto& kv : input) {
+    Status s = w.Add(kv.key, kv.value);
+    if (!s.ok()) {
+      std::fprintf(stderr, "shuffle add failed: %s\n", s.ToString().c_str());
+      std::exit(1);
+    }
+  }
+  double secs = SecondsSince(t0);
+  Status s = w.Flush();
+  if (!s.ok()) {
+    std::fprintf(stderr, "shuffle flush failed: %s\n", s.ToString().c_str());
+    std::exit(1);
+  }
+  std::string name = "shuffle_add_" + std::to_string(servers) + "r_ns_per_record";
+  report.Num(name, secs / records * 1e9);
+  std::printf("shuffle_add (%3dr)  %10.1f ns/record\n", servers, secs / records * 1e9);
+}
+
+/// One whole job, cold then warm: the warm run reads every input block from
+/// the iCache, so the pair brackets the cache's contribution to the data
+/// path (paper Fig. 5/6 premise).
+void BenchJob(Report& report, const std::string& label, const mr::JobSpec& spec_cold,
+              const mr::JobSpec& spec_warm, mr::Cluster& cluster) {
+  auto cold = cluster.Run(spec_cold);
+  if (!cold.status.ok()) {
+    std::fprintf(stderr, "%s cold failed: %s\n", label.c_str(),
+                 cold.status.ToString().c_str());
+    std::exit(1);
+  }
+  auto warm = cluster.Run(spec_warm);
+  if (!warm.status.ok()) {
+    std::fprintf(stderr, "%s warm failed: %s\n", label.c_str(),
+                 warm.status.ToString().c_str());
+    std::exit(1);
+  }
+  std::uint64_t cold_sum = ChecksumOutput(cold.output);
+  std::uint64_t warm_sum = ChecksumOutput(warm.output);
+  if (cold_sum != warm_sum) {
+    std::fprintf(stderr, "%s: warm output differs from cold output\n", label.c_str());
+    std::exit(1);
+  }
+  report.Num(label + "_cold_ms", cold.stats.wall_seconds * 1e3);
+  report.Num(label + "_warm_ms", warm.stats.wall_seconds * 1e3);
+  report.U64(label + "_warm_icache_hits", warm.stats.icache_hits);
+  report.Hex(label + "_output_fnv1a", cold_sum);
+  std::printf("%-18s  cold %8.1f ms   warm %8.1f ms   (%llu pairs, fnv %016llx)\n",
+              label.c_str(), cold.stats.wall_seconds * 1e3, warm.stats.wall_seconds * 1e3,
+              static_cast<unsigned long long>(cold.output.size()),
+              static_cast<unsigned long long>(cold_sum));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_macro_run.json";
+  bool small = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      out_path = argv[i] + 6;
+    } else if (std::strcmp(argv[i], "--small") == 0) {
+      small = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--out=path.json] [--small]\n", argv[0]);
+      return 1;
+    }
+  }
+
+  Report report;
+  report.U64("schema", 1);
+  report.U64("small", small ? 1 : 0);
+
+  BenchCacheGet(report, small);
+  BenchShuffleAdd(report, 8, small);
+  BenchShuffleAdd(report, 64, small);
+
+  mr::ClusterOptions options;
+  options.num_servers = 8;
+  options.block_size = 4_KiB;
+  options.cache_capacity = 64_MiB;
+  mr::Cluster cluster(options);
+
+  Rng rng(42);
+  workload::TextOptions topts;
+  topts.target_bytes = small ? 64_KiB : 512_KiB;
+  Status up = cluster.dfs().Upload("corpus", workload::GenerateText(rng, topts));
+  if (!up.ok()) {
+    std::fprintf(stderr, "upload failed: %s\n", up.ToString().c_str());
+    return 1;
+  }
+  BenchJob(report, "wordcount", apps::WordCountJob("wc-cold", "corpus"),
+           apps::WordCountJob("wc-warm", "corpus"), cluster);
+  BenchJob(report, "sort", apps::SortJob("sort-cold", "corpus"),
+           apps::SortJob("sort-warm", "corpus"), cluster);
+
+  if (!report.Write(out_path)) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

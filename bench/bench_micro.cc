@@ -157,7 +157,7 @@ static void BM_LruPutGet(benchmark::State& state) {
   for (auto _ : state) {
     std::string id = "blk" + std::to_string(i++ % 10000);
     c.Put(id, rng.Next(), data, cache::EntryKind::kInput);
-    benchmark::DoNotOptimize(c.Get(id));
+    benchmark::DoNotOptimize(c.Get(id, cache::EntryKind::kInput));
   }
 }
 BENCHMARK(BM_LruPutGet);

@@ -18,17 +18,20 @@ net::Message CacheNode::Handle(int from, const net::Message& m) {
     case msg::kFetch: {
       BinaryReader r(m.payload);
       std::string id;
-      if (!r.GetString(&id)) {
+      std::uint8_t expected;
+      if (!r.GetString(&id) || !r.GetU8(&expected) ||
+          expected >= static_cast<std::uint8_t>(kNumEntryKinds)) {
         return net::ErrorMessage(ErrorCode::kInvalidArgument, "bad cache fetch");
       }
-      auto data = cache_.Get(id);
+      CacheValue data = cache_.Get(id, static_cast<EntryKind>(expected));
       // Instant on the serving node's track: which peers reach into this
       // server's LRU and whether the reach pays off (outer-ring traffic).
       obs::Tracer::Global().Emit('i', "cache", "peer_fetch", self_,
                                  {obs::Str("result", data ? "hit" : "miss"),
                                   obs::U64("from", static_cast<std::uint64_t>(from))});
       if (!data) return net::ErrorMessage(ErrorCode::kNotFound, "not cached: " + id);
-      return net::Message{msg::kOk, std::move(*data)};
+      // The one unavoidable copy: the block leaves this address space here.
+      return net::Message{msg::kOk, *data};
     }
 
     case msg::kCollect: {
@@ -40,12 +43,20 @@ net::Message CacheNode::Handle(int from, const net::Message& m) {
       }
       auto extracted = cache_.ExtractRange(KeyRange{begin, end, full != 0});
       BinaryWriter w;
+      std::size_t wire_bytes = 4;
+      for (const auto& [info, data] : extracted) {
+        wire_bytes += info.id.size() + 4 + 8 + 1 + 8 + 4 + (data ? data->size() : 0);
+      }
+      w.Reserve(wire_bytes);
       w.PutU32(static_cast<std::uint32_t>(extracted.size()));
-      for (auto& [info, data] : extracted) {
+      for (const auto& [info, data] : extracted) {
         w.PutString(info.id);
         w.PutU64(info.key);
         w.PutU8(static_cast<std::uint8_t>(info.kind));
-        w.PutString(data);
+        // Size travels separately from the payload so placeholder entries
+        // (null data, nonzero size) survive migration as placeholders.
+        w.PutU64(info.size);
+        w.PutString(data ? std::string_view(*data) : std::string_view{});
       }
       return net::Message{msg::kOk, w.Take()};
     }
@@ -55,20 +66,21 @@ net::Message CacheNode::Handle(int from, const net::Message& m) {
   }
 }
 
-std::optional<std::string> CacheClient::FetchFrom(int server, const std::string& id) {
+CacheValue CacheClient::FetchFrom(int server, const std::string& id, EntryKind expected) {
   // A peer-cache fetch is an optimization with a mandatory fallback (the
   // DHT FS read), so degrade instead of insisting: never retry an
   // unreachable peer, and skip the attempt entirely once the caller's
   // deadline has expired — the remaining time belongs to the replica reads.
-  if (net::CurrentDeadline().expired()) return std::nullopt;
+  if (net::CurrentDeadline().expired()) return nullptr;
   obs::TraceSpan fetch_span("cache", "remote_fetch", self_,
                             {obs::U64("server", static_cast<std::uint64_t>(server))});
   BinaryWriter w;
   w.PutString(id);
+  w.PutU8(static_cast<std::uint8_t>(expected));
   auto resp = transport_.Call(self_, server, net::Message{msg::kFetch, w.Take()});
-  if (!resp.ok() || net::IsError(resp.value())) return std::nullopt;
+  if (!resp.ok() || net::IsError(resp.value())) return nullptr;
   fetch_span.AddArg(obs::U64("bytes", resp.value().payload.size()));
-  return std::move(resp.value().payload);
+  return std::make_shared<const std::string>(std::move(resp.value().payload));
 }
 
 std::size_t CacheClient::MigrateRange(int server, const KeyRange& range, LruCache& into) {
@@ -85,10 +97,17 @@ std::size_t CacheClient::MigrateRange(int server, const KeyRange& range, LruCach
   std::size_t moved = 0;
   for (std::uint32_t i = 0; i < n; ++i) {
     std::string id, data;
-    std::uint64_t key;
+    std::uint64_t key, size;
     std::uint8_t kind;
-    if (!r.GetString(&id) || !r.GetU64(&key) || !r.GetU8(&kind) || !r.GetString(&data)) break;
-    if (into.Put(id, key, std::move(data), static_cast<EntryKind>(kind))) ++moved;
+    if (!r.GetString(&id) || !r.GetU64(&key) || !r.GetU8(&kind) || !r.GetU64(&size) ||
+        !r.GetString(&data)) {
+      break;
+    }
+    if (kind >= kNumEntryKinds) continue;
+    bool ok = (data.empty() && size > 0)
+                  ? into.PutPlaceholder(id, key, size, static_cast<EntryKind>(kind))
+                  : into.Put(id, key, std::move(data), static_cast<EntryKind>(kind));
+    if (ok) ++moved;
   }
   return moved;
 }

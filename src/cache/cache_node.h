@@ -7,7 +7,6 @@
 #pragma once
 
 #include <memory>
-#include <optional>
 
 #include "cache/lru_cache.h"
 #include "net/dispatcher.h"
@@ -15,7 +14,7 @@
 namespace eclipse::cache {
 
 namespace msg {
-inline constexpr std::uint32_t kFetch = 300;     // id -> data or NotFound
+inline constexpr std::uint32_t kFetch = 300;     // id + expected kind -> data or NotFound
 inline constexpr std::uint32_t kCollect = 301;   // KeyRange -> extracted entries
 inline constexpr std::uint32_t kOk = 399;
 }  // namespace msg
@@ -41,8 +40,12 @@ class CacheClient {
  public:
   CacheClient(int self, net::Transport& transport) : self_(self), transport_(transport) {}
 
-  /// Fetch a cached object from `server` without moving it.
-  std::optional<std::string> FetchFrom(int server, const std::string& id);
+  /// Fetch a cached object from `server` without moving it. The payload
+  /// crosses the transport once and is returned as a refcounted handle
+  /// (wrapped, not re-copied, on arrival). `expected` attributes a miss on
+  /// the serving node's stats to the partition the caller was probing.
+  CacheValue FetchFrom(int server, const std::string& id,
+                       EntryKind expected = EntryKind::kOutput);
 
   /// Pull every entry of `server`'s cache whose key lies in `range` into
   /// `into` (removing them from the peer). Returns entries moved. This is

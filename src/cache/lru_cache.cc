@@ -3,17 +3,21 @@
 namespace eclipse::cache {
 
 bool LruCache::Put(const std::string& id, HashKey key, std::string data, EntryKind kind) {
+  return Put(id, key, std::make_shared<const std::string>(std::move(data)), kind);
+}
+
+bool LruCache::Put(const std::string& id, HashKey key, CacheValue data, EntryKind kind) {
   MutexLock lock(mu_);
-  Bytes size = data.size();
+  Bytes size = data->size();
   return PutLocked(id, key, std::move(data), size, kind);
 }
 
 bool LruCache::PutPlaceholder(const std::string& id, HashKey key, Bytes size, EntryKind kind) {
   MutexLock lock(mu_);
-  return PutLocked(id, key, std::string{}, size, kind);
+  return PutLocked(id, key, nullptr, size, kind);
 }
 
-bool LruCache::PutLocked(const std::string& id, HashKey key, std::string data, Bytes size,
+bool LruCache::PutLocked(const std::string& id, HashKey key, CacheValue data, Bytes size,
                          EntryKind kind) {
   if (size > capacity_) return false;
 
@@ -31,18 +35,32 @@ bool LruCache::PutLocked(const std::string& id, HashKey key, std::string data, B
   return true;
 }
 
-std::optional<std::string> LruCache::Get(const std::string& id) {
+CacheValue LruCache::Get(const std::string& id, EntryKind expected) {
   MutexLock lock(mu_);
   auto it = index_.find(id);
-  if (it == index_.end()) {
-    // A miss's partition is unknown (the object isn't here); attribute input
-    // by default — callers that care use the per-kind Get wrappers upstream.
-    ++stats_by_kind_[static_cast<int>(EntryKind::kInput)].misses;
-    return std::nullopt;
+  if (it == index_.end() || it->second->data == nullptr) {
+    // Absent, or a placeholder (present but payload-less — serving it would
+    // hand the consumer an empty block). Either way the caller must fall
+    // through to real storage, so the partition it *expected* the object in
+    // takes the miss.
+    ++stats_by_kind_[static_cast<int>(expected)].misses;
+    return nullptr;
   }
   lru_.splice(lru_.begin(), lru_, it->second);
   ++stats_by_kind_[static_cast<int>(it->second->kind)].hits;
   return it->second->data;
+}
+
+bool LruCache::Touch(const std::string& id, EntryKind expected) {
+  MutexLock lock(mu_);
+  auto it = index_.find(id);
+  if (it == index_.end()) {
+    ++stats_by_kind_[static_cast<int>(expected)].misses;
+    return false;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  ++stats_by_kind_[static_cast<int>(it->second->kind)].hits;
+  return true;
 }
 
 bool LruCache::Contains(const std::string& id) const {
@@ -59,10 +77,10 @@ void LruCache::Erase(const std::string& id) {
   index_.erase(it);
 }
 
-std::vector<std::pair<CacheEntryInfo, std::string>> LruCache::ExtractRange(
+std::vector<std::pair<CacheEntryInfo, CacheValue>> LruCache::ExtractRange(
     const KeyRange& range) {
   MutexLock lock(mu_);
-  std::vector<std::pair<CacheEntryInfo, std::string>> out;
+  std::vector<std::pair<CacheEntryInfo, CacheValue>> out;
   for (auto it = lru_.begin(); it != lru_.end();) {
     if (range.Contains(it->key)) {
       out.emplace_back(CacheEntryInfo{it->id, it->key, it->size, it->kind},
@@ -125,8 +143,7 @@ CacheStats LruCache::stats(EntryKind kind) const {
 
 void LruCache::ResetStats() {
   MutexLock lock(mu_);
-  stats_by_kind_[0] = CacheStats{};
-  stats_by_kind_[1] = CacheStats{};
+  for (auto& part : stats_by_kind_) part = CacheStats{};
 }
 
 void LruCache::EvictToFitLocked(Bytes incoming) {

@@ -8,11 +8,17 @@
 // iteration outputs) and statistics are kept per partition. "Each worker
 // server caches only a certain number of recently accessed data objects
 // using the LRU cache replacement policy" (§II-E).
+//
+// Values are refcounted (`CacheValue` = shared_ptr<const string>): Get hands
+// out a handle to the stored block instead of copying it, so a cache hit
+// costs a refcount bump no matter how large the block is, and eviction can
+// never invalidate a reader that is still holding the handle (see
+// docs/performance.md for the copy-discipline rules).
 #pragma once
 
 #include <cstdint>
 #include <list>
-#include <optional>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -27,6 +33,12 @@ enum class EntryKind : std::uint8_t {
   kInput = 0,   // iCache: input file blocks
   kOutput = 1,  // oCache: intermediate results and iteration outputs
 };
+
+inline constexpr std::size_t kNumEntryKinds = 2;
+
+/// Immutable, refcounted cache payload. Null means "no data": a miss from
+/// Get, or a placeholder entry's (absent) payload.
+using CacheValue = std::shared_ptr<const std::string>;
 
 struct CacheStats {
   std::uint64_t hits = 0;
@@ -56,14 +68,32 @@ class LruCache {
   /// the whole budget or the budget is zero.
   bool Put(const std::string& id, HashKey key, std::string data, EntryKind kind);
 
+  /// Zero-copy insert: the cache shares ownership of `data` with the caller
+  /// (a task that just read the block keeps using its handle; no byte is
+  /// duplicated). `data` must be non-null.
+  bool Put(const std::string& id, HashKey key, CacheValue data, EntryKind kind);
+
   /// Insert a metadata-only entry of a given size (no payload). The cluster
-  /// simulator uses this to model caching of multi-hundred-MiB blocks
-  /// without allocating them; Get() on such an entry returns an empty
-  /// string (still a hit).
+  /// simulators use this to model caching of multi-hundred-MiB blocks
+  /// without allocating them. Placeholders are presence-only: Touch() sees
+  /// them, Get() does not serve them.
   bool PutPlaceholder(const std::string& id, HashKey key, Bytes size, EntryKind kind);
 
-  /// Look up and promote to most-recently-used. Counts a hit or miss.
-  std::optional<std::string> Get(const std::string& id);
+  /// Look up and promote to most-recently-used; returns a refcounted handle
+  /// to the stored block (never a copy), or null on a miss. A hit counts
+  /// against the entry's own partition; a miss counts against `expected`,
+  /// the partition the caller was hoping to find the object in (this is
+  /// what keeps the Fig. 6-style per-partition summaries honest).
+  /// Placeholder entries are NOT served: the lookup counts as a miss and
+  /// the caller falls through to the real storage path — a placeholder has
+  /// no bytes to feed a consumer (it would decode as corruption).
+  CacheValue Get(const std::string& id, EntryKind expected);
+
+  /// Presence probe with LRU promotion and hit/miss accounting — the
+  /// simulators' lookup: placeholder entries count as hits here, because
+  /// the sims model residency, not payload bytes. Returns true if the entry
+  /// (real or placeholder) is cached.
+  bool Touch(const std::string& id, EntryKind expected);
 
   /// Look up without promoting or counting (scheduler probes).
   bool Contains(const std::string& id) const;
@@ -72,8 +102,9 @@ class LruCache {
   void Erase(const std::string& id);
 
   /// Remove and return every entry whose hash key lies in `range` — the
-  /// misplaced-cached-data migration path (§II-E).
-  std::vector<std::pair<CacheEntryInfo, std::string>> ExtractRange(const KeyRange& range);
+  /// misplaced-cached-data migration path (§II-E). Placeholder entries are
+  /// returned with a null value (their size travels in the info).
+  std::vector<std::pair<CacheEntryInfo, CacheValue>> ExtractRange(const KeyRange& range);
 
   /// Change the byte budget, evicting as needed.
   void Resize(Bytes capacity);
@@ -95,12 +126,12 @@ class LruCache {
   struct Node {
     std::string id;
     HashKey key;
-    std::string data;
-    Bytes size;  // == data.size() except for placeholder entries
+    CacheValue data;  // null for placeholder entries
+    Bytes size;       // == data->size() except for placeholder entries
     EntryKind kind;
   };
 
-  bool PutLocked(const std::string& id, HashKey key, std::string data, Bytes size,
+  bool PutLocked(const std::string& id, HashKey key, CacheValue data, Bytes size,
                  EntryKind kind) REQUIRES(mu_);
   void EvictToFitLocked(Bytes incoming) REQUIRES(mu_);
 
@@ -112,8 +143,10 @@ class LruCache {
   // Invariant (made explicit by the annotation): every CacheStats counter
   // mutation — hits, misses, inserts, evictions — happens under mu_; the
   // non-atomic read-modify-writes in Get/PutLocked/EvictToFitLocked are
-  // correct only because of this.
-  CacheStats stats_by_kind_[2] GUARDED_BY(mu_);
+  // correct only because of this. The stored CacheValue pointees are
+  // immutable (const string), so handles returned by Get stay valid and
+  // data-race-free after the lock is dropped — even across eviction.
+  CacheStats stats_by_kind_[kNumEntryKinds] GUARDED_BY(mu_);
 };
 
 }  // namespace eclipse::cache

@@ -17,6 +17,11 @@ namespace eclipse {
 
 class BinaryWriter {
  public:
+  /// Pre-size the backing buffer. Encoders whose output size is knowable up
+  /// front (spills, manifests, block writes) call this once so the hot data
+  /// path appends without reallocation (docs/performance.md).
+  void Reserve(std::size_t bytes) { buf_.reserve(bytes); }
+
   void PutU8(std::uint8_t v) { buf_.push_back(static_cast<char>(v)); }
   void PutU32(std::uint32_t v) { PutRaw(&v, sizeof v); }
   void PutU64(std::uint64_t v) { PutRaw(&v, sizeof v); }

@@ -2,6 +2,7 @@
 
 #include <map>
 #include <mutex>
+#include <string_view>
 #include <thread>
 
 #include "common/log.h"
@@ -49,9 +50,13 @@ Status DfsClient::Upload(const std::string& name, const std::string& content,
   for (std::uint64_t i = 0; i < meta.num_blocks; ++i) {
     HashKey key = meta.KeyOfBlock(i);
     Bytes off = i * block_size;
-    std::string data = content.substr(off, block_size);
+    // A view into `content` — the block bytes are copied exactly once,
+    // straight into the pre-sized wire buffer.
+    std::string_view data = std::string_view(content).substr(off, block_size);
+    std::string id = BlockId(name, i);
     BinaryWriter w;
-    w.PutString(BlockId(name, i));
+    w.Reserve(4 + id.size() + 8 + 8 + 4 + data.size());
+    w.PutString(id);
     w.PutU64(key);
     w.PutU64(0);  // no TTL
     w.PutString(data);
@@ -247,6 +252,7 @@ Status DfsClient::PutObject(const std::string& id, HashKey key, const std::strin
   dht::Ring ring = ring_();
   if (ring.empty()) return Status::Error(ErrorCode::kUnavailable, "no servers");
   BinaryWriter w;
+  w.Reserve(4 + id.size() + 8 + 8 + 4 + data.size());
   w.PutString(id);
   w.PutU64(key);
   w.PutU64(static_cast<std::uint64_t>(ttl.count()));

@@ -730,19 +730,17 @@ JobRunner::MapOutcome JobRunner::RunMapTask(WorkerServer& w, BlockRef ref,
   const std::string manifest_id = ManifestId(spill_scope, meta_.name, block);
   const HashKey manifest_key = KeyOf(manifest_id);
 
-  // §II-C reuse: tagged intermediates let the map skip computation.
+  // §II-C reuse: tagged intermediates let the map skip computation. The
+  // cached manifest is consumed through its handle — no copy on hit.
   if (!tag.empty() && !force_recompute) {
-    std::string manifest_data;
-    bool have = false;
-    if (auto cached = w.cache().Get(manifest_id)) {
-      manifest_data = *cached;
-      have = true;
-    } else if (auto obj = w.dfs().GetObject(manifest_id, manifest_key); obj.ok()) {
-      manifest_data = obj.value();
-      have = true;
+    cache::CacheValue manifest_data = w.cache().Get(manifest_id, cache::EntryKind::kOutput);
+    if (!manifest_data) {
+      if (auto obj = w.dfs().GetObject(manifest_id, manifest_key); obj.ok()) {
+        manifest_data = std::make_shared<const std::string>(std::move(obj.value()));
+      }
     }
-    if (have) {
-      if (auto man = DecodeManifest(manifest_data); man.ok()) {
+    if (manifest_data) {
+      if (auto man = DecodeManifest(*manifest_data); man.ok()) {
         out.spills = man.value();
         out.skipped = true;
         out.status = Status::Ok();
@@ -752,11 +750,14 @@ JobRunner::MapOutcome JobRunner::RunMapTask(WorkerServer& w, BlockRef ref,
   }
 
   // Input through iCache; miss falls through to the DHT FS (Fig. 2 step 4).
+  // A hit hands back a refcounted handle to the cached block — no copy —
+  // and on a miss the freshly read block is shared with the cache, not
+  // duplicated into it. The handle keeps the bytes alive for the whole map
+  // even if the entry is evicted mid-task.
   const std::string block_id = dfs::BlockId(meta_.name, block);
   const HashKey block_key = meta_.KeyOfBlock(block);
-  std::string data;
-  if (auto cached = w.cache().Get(block_id)) {
-    data = std::move(*cached);
+  cache::CacheValue data = w.cache().Get(block_id, cache::EntryKind::kInput);
+  if (data) {
     out.icache_hit = true;
     out.locality = "memory";
   } else {
@@ -767,15 +768,15 @@ JobRunner::MapOutcome JobRunner::RunMapTask(WorkerServer& w, BlockRef ref,
       return out;
     }
     out.locality = served_by == w.id() ? "local_disk" : "remote_disk";
-    data = std::move(read.value());
+    data = std::make_shared<const std::string>(std::move(read.value()));
     if (spec_.cache_input) {
       w.cache().Put(block_id, block_key, data, cache::EntryKind::kInput);
     }
   }
-  out.input_bytes = data.size();
+  out.input_bytes = data->size();
 
   auto records = ExtractRecords(
-      meta_, block, spec_.record_delim, data,
+      meta_, block, spec_.record_delim, *data,
       [&](std::uint64_t j) { return w.dfs().ReadBlock(meta_, j); },
       [&](std::uint64_t j, Bytes off, Bytes len) {
         return w.dfs().ReadBlockRange(meta_, j, off, len);
@@ -815,9 +816,10 @@ JobRunner::MapOutcome JobRunner::RunMapTask(WorkerServer& w, BlockRef ref,
   out.spills = shuffle.spills();
 
   if (!tag.empty()) {
-    std::string manifest_data = EncodeManifest(out.spills);
-    w.dfs().PutObject(manifest_id, manifest_key, manifest_data, spec_.intermediate_ttl);
-    w.cache().Put(manifest_id, manifest_key, manifest_data, cache::EntryKind::kOutput);
+    auto manifest_data = std::make_shared<const std::string>(EncodeManifest(out.spills));
+    w.dfs().PutObject(manifest_id, manifest_key, *manifest_data, spec_.intermediate_ttl);
+    w.cache().Put(manifest_id, manifest_key, std::move(manifest_data),
+                  cache::EntryKind::kOutput);
   }
   out.status = Status::Ok();
   return out;
@@ -851,16 +853,22 @@ JobRunner::ReduceOutcome JobRunner::RunReduceTask(WorkerServer& w,
     return out;
   }
 
-  std::map<std::string, std::vector<std::string>> groups;
+  // Flat grouping: decode every spill into one pre-sized vector (oCache
+  // hits are consumed through their handles — no copy), sort once, then
+  // walk the key runs. Replaces a node-per-key std::map whose R·log(K)
+  // inserts and per-key allocations dominated large reduces.
+  std::uint64_t expected_pairs = 0;
+  for (const auto& spill : spills) expected_pairs += spill.pairs;
+  std::vector<KV> pairs;
+  pairs.reserve(expected_pairs);
   for (const auto& spill : spills) {
     if (cancel && cancel->load(std::memory_order_relaxed)) {
       out.status =
           Status::Error(ErrorCode::kCancelled, "duplicate reduce attempt lost the race");
       return out;
     }
-    std::string data;
-    if (auto cached = w.cache().Get(spill.id)) {
-      data = std::move(*cached);
+    cache::CacheValue data = w.cache().Get(spill.id, cache::EntryKind::kOutput);
+    if (data) {
       ++out.ocache_hits;
     } else {
       auto obj = w.dfs().GetObject(spill.id, spill.range_begin);
@@ -869,17 +877,15 @@ JobRunner::ReduceOutcome JobRunner::RunReduceTask(WorkerServer& w,
         continue;
       }
       ++out.ocache_misses;
-      data = std::move(obj.value());
+      data = std::make_shared<const std::string>(std::move(obj.value()));
       if (spec_.cache_intermediates) {
         w.cache().Put(spill.id, spill.range_begin, data, cache::EntryKind::kOutput);
       }
     }
-    auto pairs = DecodeSpill(data);
-    if (!pairs.ok()) {
-      out.status = pairs.status();
+    if (Status s = DecodeSpillInto(*data, &pairs); !s.ok()) {
+      out.status = s;
       return out;
     }
-    for (auto& kv : pairs.value()) groups[std::move(kv.key)].push_back(std::move(kv.value));
   }
   if (!out.missing_spills.empty()) {
     out.status = Status::Error(ErrorCode::kNotFound, "spills lost with their server");
@@ -888,18 +894,21 @@ JobRunner::ReduceOutcome JobRunner::RunReduceTask(WorkerServer& w,
 
   VectorReduceContext ctx;
   auto reducer = spec_.reducer();
-  for (auto& [key, values] : groups) {
-    reducer->Reduce(key, values, ctx);
-    if (w.dead()) {
-      out.status = Status::Error(ErrorCode::kUnavailable, "worker died mid-reduce");
-      return out;
-    }
-    if (cancel && cancel->load(std::memory_order_relaxed)) {
-      out.status =
-          Status::Error(ErrorCode::kCancelled, "duplicate reduce attempt lost the race");
-      return out;
-    }
-  }
+  bool completed = ForEachGroup(
+      pairs, [&](const std::string& key, std::vector<std::string>& values) {
+        reducer->Reduce(key, values, ctx);
+        if (w.dead()) {
+          out.status = Status::Error(ErrorCode::kUnavailable, "worker died mid-reduce");
+          return false;
+        }
+        if (cancel && cancel->load(std::memory_order_relaxed)) {
+          out.status =
+              Status::Error(ErrorCode::kCancelled, "duplicate reduce attempt lost the race");
+          return false;
+        }
+        return true;
+      });
+  if (!completed) return out;
   out.output = std::move(ctx.output());
   out.status = Status::Ok();
   return out;

@@ -1,5 +1,6 @@
 #include "mr/shuffle.h"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 
@@ -9,7 +10,10 @@
 namespace eclipse::mr {
 
 std::string EncodeSpill(const std::vector<KV>& pairs) {
+  std::size_t bytes = 4;
+  for (const auto& kv : pairs) bytes += 8 + kv.key.size() + kv.value.size();
   BinaryWriter w;
+  w.Reserve(bytes);
   w.PutU32(static_cast<std::uint32_t>(pairs.size()));
   for (const auto& kv : pairs) {
     w.PutString(kv.key);
@@ -18,7 +22,7 @@ std::string EncodeSpill(const std::vector<KV>& pairs) {
   return w.Take();
 }
 
-Result<std::vector<KV>> DecodeSpill(const std::string& data) {
+Status DecodeSpillInto(const std::string& data, std::vector<KV>* out) {
   BinaryReader r(data);
   std::uint32_t n = 0;
   if (!r.GetU32(&n)) return Status::Error(ErrorCode::kCorruption, "truncated spill");
@@ -27,16 +31,51 @@ Result<std::vector<KV>> DecodeSpill(const std::string& data) {
   if (static_cast<std::size_t>(n) > r.remaining() / 8 + 1) {
     return Status::Error(ErrorCode::kCorruption, "implausible spill entry count");
   }
-  std::vector<KV> out;
-  out.reserve(n);
+  out->reserve(out->size() + n);
   for (std::uint32_t i = 0; i < n; ++i) {
     KV kv;
     if (!r.GetString(&kv.key) || !r.GetString(&kv.value)) {
       return Status::Error(ErrorCode::kCorruption, "truncated spill entry");
     }
-    out.push_back(std::move(kv));
+    out->push_back(std::move(kv));
   }
+  return Status::Ok();
+}
+
+Result<std::vector<KV>> DecodeSpill(const std::string& data) {
+  std::vector<KV> out;
+  if (Status s = DecodeSpillInto(data, &out); !s.ok()) return s;
   return out;
+}
+
+std::size_t RouteToRange(const std::vector<HashKey>& sorted_begins, HashKey hk) {
+  // Ranges tile the ring: range i covers [begins[i], begins[i+1]) and the
+  // last range wraps around to begins[0]. The covering range is therefore
+  // the last boundary <= hk — and for hk below every boundary, the wrapping
+  // last range.
+  auto it = std::upper_bound(sorted_begins.begin(), sorted_begins.end(), hk);
+  if (it == sorted_begins.begin()) return sorted_begins.size() - 1;
+  return static_cast<std::size_t>(it - sorted_begins.begin()) - 1;
+}
+
+bool ForEachGroup(std::vector<KV>& pairs,
+                  const std::function<bool(const std::string& key,
+                                           std::vector<std::string>& values)>& fn) {
+  // Stable: ties keep their input (spill) order, so the value sequences are
+  // identical to what per-key append into a std::map produced.
+  std::stable_sort(pairs.begin(), pairs.end(),
+                   [](const KV& a, const KV& b) { return a.key < b.key; });
+  std::vector<std::string> values;
+  for (std::size_t i = 0; i < pairs.size();) {
+    std::size_t j = i + 1;
+    while (j < pairs.size() && pairs[j].key == pairs[i].key) ++j;
+    values.clear();
+    values.reserve(j - i);
+    for (std::size_t k = i; k < j; ++k) values.push_back(std::move(pairs[k].value));
+    if (!fn(pairs[i].key, values)) return false;
+    i = j;
+  }
+  return true;
 }
 
 std::string SpillId(const std::string& prefix, HashKey range_begin, std::uint64_t seq) {
@@ -47,7 +86,10 @@ std::string SpillId(const std::string& prefix, HashKey range_begin, std::uint64_
 }
 
 std::string EncodeManifest(const std::vector<SpillInfo>& spills) {
+  std::size_t bytes = 4;
+  for (const auto& s : spills) bytes += 4 + s.id.size() + 24;
   BinaryWriter w;
+  w.Reserve(bytes);
   w.PutU32(static_cast<std::uint32_t>(spills.size()));
   for (const auto& s : spills) {
     w.PutString(s.id);
@@ -87,43 +129,51 @@ ShuffleWriter::ShuffleWriter(std::string prefix, const RangeTable& fs_ranges,
                              dfs::DfsClient& dfs, Bytes spill_threshold,
                              std::chrono::milliseconds ttl)
     : prefix_(std::move(prefix)), dfs_(dfs), threshold_(spill_threshold), ttl_(ttl) {
+  std::vector<KeyRange> ranges;
   for (const auto& [server, range] : fs_ranges.entries()) {
     if (range.IsEmpty()) continue;
-    ranges_.emplace_back(range, range.begin);
+    ranges.push_back(range);
   }
+  // RangeTable keeps non-empty ranges in ring order, which is begin-sorted
+  // already; sort defensively so the binary-search invariant never depends
+  // on that.
+  std::sort(ranges.begin(), ranges.end(),
+            [](const KeyRange& a, const KeyRange& b) { return a.begin < b.begin; });
+  begins_.reserve(ranges.size());
+  for (const auto& r : ranges) begins_.push_back(r.begin);
+  ranges_ = std::move(ranges);
+  buffers_.resize(ranges_.size());
 }
 
 Status ShuffleWriter::Add(std::string key, std::string value) {
-  HashKey hk = KeyOf(key);
-  HashKey range_begin = 0;
-  bool found = false;
-  for (const auto& [range, begin] : ranges_) {
-    if (range.Contains(hk)) {
-      range_begin = begin;
-      found = true;
-      break;
-    }
-  }
-  if (!found) {
+  if (begins_.empty()) {
     return Status::Error(ErrorCode::kInternal, "no FS range covers intermediate key");
   }
-  auto& buf = buffers_[range_begin];
+  HashKey hk = KeyOf(key);
+  std::size_t idx = RouteToRange(begins_, hk);
+  if (!ranges_[idx].Contains(hk)) {
+    // Only reachable if the table did not tile the ring (Assign forbids it).
+    return Status::Error(ErrorCode::kInternal, "no FS range covers intermediate key");
+  }
+  RangeBuffer& buf = buffers_[idx];
   buf.bytes += key.size() + value.size();
   buf.pairs.push_back(KV{std::move(key), std::move(value)});
-  if (buf.bytes >= threshold_) return SpillRange(range_begin, buf);
+  if (buf.bytes >= threshold_) return SpillRange(idx);
   return Status::Ok();
 }
 
 Status ShuffleWriter::Flush() {
-  for (auto& [begin, buf] : buffers_) {
-    if (buf.pairs.empty()) continue;
-    Status s = SpillRange(begin, buf);
+  for (std::size_t i = 0; i < buffers_.size(); ++i) {
+    if (buffers_[i].pairs.empty()) continue;
+    Status s = SpillRange(i);
     if (!s.ok()) return s;
   }
   return Status::Ok();
 }
 
-Status ShuffleWriter::SpillRange(HashKey range_begin, RangeBuffer& buf) {
+Status ShuffleWriter::SpillRange(std::size_t idx) {
+  RangeBuffer& buf = buffers_[idx];
+  const HashKey range_begin = begins_[idx];
   SpillInfo info;
   info.id = SpillId(prefix_, range_begin, buf.seq);
   info.range_begin = range_begin;

@@ -11,10 +11,12 @@
 // The ShuffleWriter keeps one buffer per DHT-FS hash-key range; each spill
 // becomes a persisted object placed at the range owner, and the spill id is
 // reported back so the scheduler can place the reduce task where the
-// intermediates already live.
+// intermediates already live. Records route to their range by binary search
+// over the sorted range boundaries — O(log R) per record, the dominant
+// per-record cost after hashing (see docs/performance.md).
 #pragma once
 
-#include <map>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -34,6 +36,28 @@ struct SpillInfo {
 /// Serialize / parse one spill's KV payload.
 std::string EncodeSpill(const std::vector<KV>& pairs);
 Result<std::vector<KV>> DecodeSpill(const std::string& data);
+
+/// Append-decoding variant: parses into `*out` (reserving ahead) so a
+/// reducer can accumulate many spills into one flat vector without
+/// per-spill intermediate allocations. On error `*out` may hold a partial
+/// tail; callers treat the whole decode as failed.
+Status DecodeSpillInto(const std::string& data, std::vector<KV>* out);
+
+/// Index into `sorted_begins` (ascending range-begin boundaries of a set of
+/// ranges tiling the ring) of the range covering `hk`: the last begin <= hk,
+/// wrapping to the final range for keys below the first boundary. Pure —
+/// exercised directly by tests against the linear-scan reference.
+std::size_t RouteToRange(const std::vector<HashKey>& sorted_begins, HashKey hk);
+
+/// Sort-then-group `pairs` by key (stable: values keep their spill order)
+/// and invoke `fn(key, values)` once per distinct key in ascending key
+/// order, moving the values out of `pairs`. Returns false if `fn` returned
+/// false (early stop), true otherwise. This flat grouping replaces the old
+/// node-per-key std::map in the reduce path — one sort beats R·log(K) tree
+/// inserts and keeps values contiguous.
+bool ForEachGroup(std::vector<KV>& pairs,
+                  const std::function<bool(const std::string& key,
+                                           std::vector<std::string>& values)>& fn);
 
 class ShuffleWriter {
  public:
@@ -61,14 +85,18 @@ class ShuffleWriter {
     std::uint64_t seq = 0;
   };
 
-  Status SpillRange(HashKey range_begin, RangeBuffer& buf);
+  Status SpillRange(std::size_t idx);
 
   std::string prefix_;
   dfs::DfsClient& dfs_;
   Bytes threshold_;
   std::chrono::milliseconds ttl_;
-  std::vector<std::pair<KeyRange, HashKey>> ranges_;  // (range, its begin id)
-  std::map<HashKey, RangeBuffer> buffers_;            // keyed by range begin
+  // Parallel arrays over the non-empty ranges, sorted by range begin:
+  // begins_ is the binary-search index, ranges_ the defensive containment
+  // check, buffers_ the per-range accumulation state.
+  std::vector<HashKey> begins_;
+  std::vector<KeyRange> ranges_;
+  std::vector<RangeBuffer> buffers_;
   std::vector<SpillInfo> spills_;
 };
 

@@ -178,7 +178,7 @@ SimJobResult EclipseDes::RunJob(const SimJobSpec& spec) {
       // it up front so the completion event can name it (same three-way
       // split the real engine records — sim "local_disk" means the block's
       // FS owner is the assigned server).
-      const bool cache_hit = caches_[sidx]->Get(st->id).has_value();
+      const bool cache_hit = caches_[sidx]->Touch(st->id, cache::EntryKind::kInput);
       const int owner = fs_ranges_.Owner(st->key);
       const char* locality =
           cache_hit ? "memory" : (owner == server ? "local_disk" : "remote_disk");

@@ -153,7 +153,7 @@ std::vector<SimJobResult> EclipseSim::Execute(const std::vector<SimJobSpec>& spe
         auto sidx = static_cast<std::size_t>(placement.server);
 
         double read_t;
-        if (caches_[sidx]->Get(id)) {
+        if (caches_[sidx]->Touch(id, cache::EntryKind::kInput)) {
           ++j.result.cache_hits;
           read_t = TransferSeconds(bs, config_.mem_mbps);
         } else {

@@ -60,7 +60,7 @@ SimJobResult SparkSim::RunJob(const SimJobSpec& spec) {
         SimTime est = map_pools_[static_cast<std::size_t>(home)].EarliestStart(t);
         if (est - t <= config_.spark_delay_wait_sec) {
           server = home;
-          rdd_store_[static_cast<std::size_t>(home)]->Get(id);  // promote
+          rdd_store_[static_cast<std::size_t>(home)]->Touch(id, cache::EntryKind::kInput);  // promote
           ++result.cache_hits;
           read_t = TransferSeconds(bs, config_.mem_mbps);
         } else {

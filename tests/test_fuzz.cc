@@ -130,7 +130,7 @@ TEST_P(LruModelCheck, MatchesReferenceModel) {
         break;
       }
       case 2: {  // get
-        bool a = real.Get(id).has_value();
+        bool a = real.Get(id, cache::EntryKind::kInput) != nullptr;
         bool b = model.Get(id);
         ASSERT_EQ(a, b) << "op " << op;
         break;

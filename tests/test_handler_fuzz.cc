@@ -74,8 +74,8 @@ TEST_F(HandlerFuzz, AllTypesSurviveGarbagePayloads) {
   ASSERT_TRUE(blk.ok());
   EXPECT_EQ(blk.value(), "payload");
   cache_nodes_[0]->local().Put("obj2", 8, "fresh", cache::EntryKind::kInput);
-  auto obj = cache_nodes_[0]->local().Get("obj2");
-  ASSERT_TRUE(obj.has_value());
+  auto obj = cache_nodes_[0]->local().Get("obj2", cache::EntryKind::kInput);
+  ASSERT_TRUE(obj != nullptr);
   EXPECT_EQ(*obj, "fresh");
 }
 

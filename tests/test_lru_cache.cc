@@ -11,10 +11,10 @@ namespace {
 TEST(LruCache, PutGetHitMiss) {
   LruCache c(100);
   EXPECT_TRUE(c.Put("a", 1, "hello", EntryKind::kInput));
-  auto got = c.Get("a");
-  ASSERT_TRUE(got.has_value());
+  CacheValue got = c.Get("a", EntryKind::kInput);
+  ASSERT_TRUE(got != nullptr);
   EXPECT_EQ(*got, "hello");
-  EXPECT_FALSE(c.Get("b").has_value());
+  EXPECT_EQ(c.Get("b", EntryKind::kInput), nullptr);
   auto s = c.stats();
   EXPECT_EQ(s.hits, 1u);
   EXPECT_EQ(s.misses, 1u);
@@ -26,7 +26,7 @@ TEST(LruCache, EvictsLeastRecentlyUsed) {
   LruCache c(10);
   c.Put("a", 1, "1234", EntryKind::kInput);   // 4 bytes
   c.Put("b", 2, "5678", EntryKind::kInput);   // 8 total
-  c.Get("a");                                  // promote a
+  c.Get("a", EntryKind::kInput);               // promote a
   c.Put("c", 3, "abcd", EntryKind::kInput);   // needs eviction: b goes
   EXPECT_TRUE(c.Contains("a"));
   EXPECT_FALSE(c.Contains("b"));
@@ -44,7 +44,7 @@ TEST(LruCache, RejectsOversizedObject) {
 TEST(LruCache, ZeroCapacityCachesNothing) {
   LruCache c(0);
   EXPECT_FALSE(c.Put("a", 1, "x", EntryKind::kInput));
-  EXPECT_FALSE(c.Get("a").has_value());
+  EXPECT_EQ(c.Get("a", EntryKind::kInput), nullptr);
 }
 
 TEST(LruCache, OverwriteUpdatesBytes) {
@@ -59,12 +59,43 @@ TEST(LruCache, PerPartitionStats) {
   LruCache c(1000);
   c.Put("in", 1, "x", EntryKind::kInput);
   c.Put("out", 2, "y", EntryKind::kOutput);
-  c.Get("in");
-  c.Get("out");
-  c.Get("out");
+  c.Get("in", EntryKind::kInput);
+  c.Get("out", EntryKind::kOutput);
+  c.Get("out", EntryKind::kOutput);
   EXPECT_EQ(c.stats(EntryKind::kInput).hits, 1u);
   EXPECT_EQ(c.stats(EntryKind::kOutput).hits, 2u);
   EXPECT_EQ(c.stats().hits, 3u);
+}
+
+// Regression: misses used to be charged to the iCache partition regardless
+// of what the caller was looking for, understating oCache miss traffic.
+TEST(LruCache, MissChargedToExpectedKind) {
+  LruCache c(1000);
+  EXPECT_EQ(c.Get("nope", EntryKind::kOutput), nullptr);
+  EXPECT_EQ(c.stats(EntryKind::kOutput).misses, 1u);
+  EXPECT_EQ(c.stats(EntryKind::kInput).misses, 0u);
+  EXPECT_EQ(c.Get("nada", EntryKind::kInput), nullptr);
+  EXPECT_EQ(c.stats(EntryKind::kInput).misses, 1u);
+}
+
+// Regression: ResetStats used to clear hard-coded slots [0] and [1]; it must
+// clear every partition it reports.
+TEST(LruCache, ResetStatsClearsAllPartitions) {
+  LruCache c(1000);
+  c.Put("in", 1, "x", EntryKind::kInput);
+  c.Put("out", 2, "y", EntryKind::kOutput);
+  c.Get("in", EntryKind::kInput);
+  c.Get("out", EntryKind::kOutput);
+  c.Get("miss", EntryKind::kOutput);
+  c.ResetStats();
+  for (auto kind : {EntryKind::kInput, EntryKind::kOutput}) {
+    auto s = c.stats(kind);
+    EXPECT_EQ(s.hits, 0u);
+    EXPECT_EQ(s.misses, 0u);
+    EXPECT_EQ(s.inserts, 0u);
+    EXPECT_EQ(s.evictions, 0u);
+  }
+  EXPECT_EQ(c.stats().hits, 0u);
 }
 
 TEST(LruCache, ResizeEvicts) {
@@ -86,7 +117,8 @@ TEST(LruCache, ExtractRangePullsOnlyInRange) {
   ASSERT_EQ(moved.size(), 1u);
   EXPECT_EQ(moved[0].first.id, "mid");
   EXPECT_EQ(moved[0].first.kind, EntryKind::kOutput);
-  EXPECT_EQ(moved[0].second, "M");
+  ASSERT_TRUE(moved[0].second != nullptr);
+  EXPECT_EQ(*moved[0].second, "M");
   EXPECT_FALSE(c.Contains("mid"));
   EXPECT_TRUE(c.Contains("low"));
   EXPECT_TRUE(c.Contains("high"));
@@ -97,19 +129,64 @@ TEST(LruCache, PlaceholderAccountsSizeWithoutPayload) {
   LruCache c(100);
   EXPECT_TRUE(c.PutPlaceholder("blk", 1, 60, EntryKind::kInput));
   EXPECT_EQ(c.used(), 60u);
-  auto got = c.Get("blk");
-  ASSERT_TRUE(got.has_value());
-  EXPECT_TRUE(got->empty());
   // A second 60-byte placeholder evicts the first.
   EXPECT_TRUE(c.PutPlaceholder("blk2", 2, 60, EntryKind::kInput));
   EXPECT_FALSE(c.Contains("blk"));
+}
+
+// Regression: Get used to hand placeholder entries (no payload, nonzero
+// size) to data-path callers as real hits with an empty string. It must
+// miss; the Touch probe is where a placeholder still counts as resident.
+TEST(LruCache, GetSkipsPlaceholdersTouchSeesThem) {
+  LruCache c(100);
+  ASSERT_TRUE(c.PutPlaceholder("blk", 1, 60, EntryKind::kInput));
+  EXPECT_EQ(c.Get("blk", EntryKind::kInput), nullptr);
+  EXPECT_EQ(c.stats(EntryKind::kInput).misses, 1u);
+  EXPECT_TRUE(c.Touch("blk", EntryKind::kInput));
+  EXPECT_EQ(c.stats(EntryKind::kInput).hits, 1u);
+  EXPECT_FALSE(c.Touch("absent", EntryKind::kInput));
+  // Backfilling the placeholder with real bytes turns Get into a hit.
+  ASSERT_TRUE(c.Put("blk", 1, std::string(60, 'x'), EntryKind::kInput));
+  CacheValue got = c.Get("blk", EntryKind::kInput);
+  ASSERT_TRUE(got != nullptr);
+  EXPECT_EQ(got->size(), 60u);
+}
+
+// Zero-copy contract: repeated hits return the same shared block, and a
+// handle taken before an eviction keeps the bytes alive afterwards.
+TEST(LruCache, GetReturnsSharedHandleNotACopy) {
+  LruCache c(1000);
+  c.Put("a", 1, "same-bytes", EntryKind::kInput);
+  CacheValue first = c.Get("a", EntryKind::kInput);
+  CacheValue second = c.Get("a", EntryKind::kInput);
+  ASSERT_TRUE(first != nullptr);
+  EXPECT_EQ(first.get(), second.get());  // one block, two refcounts
+}
+
+TEST(LruCache, EvictionKeepsOutstandingReadersAlive) {
+  LruCache c(10);
+  c.Put("a", 1, "0123456789", EntryKind::kInput);
+  CacheValue held = c.Get("a", EntryKind::kInput);
+  ASSERT_TRUE(held != nullptr);
+  c.Put("b", 2, "9876543210", EntryKind::kInput);  // evicts a entirely
+  EXPECT_FALSE(c.Contains("a"));
+  EXPECT_EQ(*held, "0123456789");  // reader unaffected by the eviction
+  EXPECT_EQ(held.use_count(), 1);  // cache dropped its reference
+}
+
+TEST(LruCache, PutSharedHandleDoesNotCopy) {
+  LruCache c(1000);
+  auto block = std::make_shared<const std::string>("shared-block");
+  ASSERT_TRUE(c.Put("a", 1, block, EntryKind::kOutput));
+  CacheValue got = c.Get("a", EntryKind::kOutput);
+  EXPECT_EQ(got.get(), block.get());  // cache stored the same object
 }
 
 TEST(LruCache, EntriesMostRecentFirst) {
   LruCache c(1000);
   c.Put("a", 1, "1", EntryKind::kInput);
   c.Put("b", 2, "2", EntryKind::kInput);
-  c.Get("a");
+  c.Get("a", EntryKind::kInput);
   auto entries = c.Entries();
   ASSERT_EQ(entries.size(), 2u);
   EXPECT_EQ(entries[0].id, "a");
@@ -124,11 +201,24 @@ TEST(CacheNodeTest, RemoteFetch) {
   node.local().Put("obj", 5, "cached-data", EntryKind::kOutput);
 
   CacheClient client(0, transport);
-  auto got = client.FetchFrom(1, "obj");
-  ASSERT_TRUE(got.has_value());
+  CacheValue got = client.FetchFrom(1, "obj");
+  ASSERT_TRUE(got != nullptr);
   EXPECT_EQ(*got, "cached-data");
-  EXPECT_FALSE(client.FetchFrom(1, "missing").has_value());
-  EXPECT_FALSE(client.FetchFrom(9, "obj").has_value());  // dead peer
+  EXPECT_EQ(client.FetchFrom(1, "missing"), nullptr);
+  EXPECT_EQ(client.FetchFrom(9, "obj"), nullptr);  // dead peer
+}
+
+TEST(CacheNodeTest, RemoteFetchSkipsPlaceholders) {
+  net::InProcessTransport transport;
+  net::Dispatcher d;
+  CacheNode node(1, d, 1000);
+  transport.Register(1, d.AsHandler());
+  node.local().PutPlaceholder("ph", 5, 64, EntryKind::kOutput);
+
+  CacheClient client(0, transport);
+  // A placeholder has no bytes to serve; the peer must answer not-found
+  // rather than an empty payload masquerading as the block.
+  EXPECT_EQ(client.FetchFrom(1, "ph"), nullptr);
 }
 
 TEST(CacheNodeTest, MigrateRangeMovesEntries) {
@@ -147,6 +237,24 @@ TEST(CacheNodeTest, MigrateRangeMovesEntries) {
   EXPECT_FALSE(mine.Contains("out-of-range"));
   EXPECT_FALSE(donor.local().Contains("in-range"));
   EXPECT_TRUE(donor.local().Contains("out-of-range"));
+}
+
+TEST(CacheNodeTest, MigrateRangePreservesPlaceholders) {
+  net::InProcessTransport transport;
+  net::Dispatcher d;
+  CacheNode donor(1, d, 1000);
+  transport.Register(1, d.AsHandler());
+  donor.local().PutPlaceholder("ph", 500, 64, EntryKind::kInput);
+
+  LruCache mine(1000);
+  CacheClient client(0, transport);
+  std::size_t moved = client.MigrateRange(1, KeyRange{400, 600, false}, mine);
+  EXPECT_EQ(moved, 1u);
+  // Still a placeholder on the receiving side: size accounted, no payload.
+  EXPECT_TRUE(mine.Contains("ph"));
+  EXPECT_EQ(mine.used(), 64u);
+  EXPECT_EQ(mine.Get("ph", EntryKind::kInput), nullptr);
+  EXPECT_TRUE(mine.Touch("ph", EntryKind::kInput));
 }
 
 }  // namespace

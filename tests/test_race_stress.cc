@@ -60,7 +60,7 @@ TEST(RaceStress, LruCachePutGetEvictHammer) {
             cache.PutPlaceholder(id, key, 2048, EntryKind::kInput);
             break;
           case 2:
-            (void)cache.Get(id);
+            (void)cache.Get(id, EntryKind::kInput);
             gets.fetch_add(1, std::memory_order_relaxed);
             break;
           case 3:

@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
+
 #include "dht/ring.h"
 #include "net/transport.h"
+#include "common/rng.h"
 
 namespace eclipse::mr {
 namespace {
@@ -36,6 +39,98 @@ TEST(SpillIdTest, DeterministicAndDistinct) {
   EXPECT_NE(SpillId("p", 10, 0), SpillId("p", 10, 1));
   EXPECT_NE(SpillId("p", 10, 0), SpillId("p", 11, 0));
   EXPECT_EQ(ManifestId("tag", "in", 3), "man/tag/in/b3");
+}
+
+// The linear-scan reference RouteToRange replaced: first range whose
+// [begin, end) interval (reconstructed from the boundary list) covers hk.
+std::size_t RouteLinear(const std::vector<HashKey>& begins, HashKey hk) {
+  for (std::size_t i = 0; i < begins.size(); ++i) {
+    HashKey begin = begins[i];
+    HashKey end = begins[(i + 1) % begins.size()];
+    bool contains = begin < end ? (hk >= begin && hk < end)  // non-wrapping
+                                : (hk >= begin || hk < end);  // wraps past 0
+    if (begins.size() == 1 || contains) return i;
+  }
+  return begins.size();  // unreachable for a tiling boundary set
+}
+
+TEST(RouteToRangeTest, MatchesLinearScanOnRandomBoundaryTables) {
+  Rng rng(7);
+  for (int round = 0; round < 200; ++round) {
+    std::size_t n = 1 + rng.Below(12);
+    std::vector<HashKey> begins;
+    for (std::size_t i = 0; i < n; ++i) begins.push_back(rng.Next());
+    std::sort(begins.begin(), begins.end());
+    begins.erase(std::unique(begins.begin(), begins.end()), begins.end());
+    // Random probes plus the adversarial points: each boundary, its
+    // neighbors, and the ring extremes.
+    std::vector<HashKey> probes;
+    for (int i = 0; i < 64; ++i) probes.push_back(rng.Next());
+    for (HashKey b : begins) {
+      probes.push_back(b);
+      probes.push_back(b - 1);
+      probes.push_back(b + 1);
+    }
+    probes.push_back(0);
+    probes.push_back(~HashKey{0});
+    for (HashKey hk : probes) {
+      EXPECT_EQ(RouteToRange(begins, hk), RouteLinear(begins, hk))
+          << "round " << round << " hk " << hk;
+    }
+  }
+}
+
+TEST(ForEachGroupTest, MatchesMapGroupingIncludingValueOrder) {
+  Rng rng(11);
+  for (int round = 0; round < 50; ++round) {
+    std::vector<KV> pairs;
+    std::map<std::string, std::vector<std::string>> expect;
+    std::size_t n = rng.Below(200);
+    for (std::size_t i = 0; i < n; ++i) {
+      // Few distinct keys → long runs; values unique so order is observable.
+      KV kv{"k" + std::to_string(rng.Below(9)), "v" + std::to_string(i)};
+      expect[kv.key].push_back(kv.value);
+      pairs.push_back(std::move(kv));
+    }
+    std::map<std::string, std::vector<std::string>> got;
+    std::vector<std::string> key_order;
+    EXPECT_TRUE(ForEachGroup(pairs, [&](const std::string& key,
+                                        std::vector<std::string>& values) {
+      key_order.push_back(key);
+      got[key] = values;
+      return true;
+    }));
+    EXPECT_EQ(got, expect) << "round " << round;
+    // Ascending distinct keys, exactly once each — the std::map iteration
+    // order the reduce path used to rely on.
+    EXPECT_TRUE(std::is_sorted(key_order.begin(), key_order.end()));
+    EXPECT_EQ(key_order.size(), expect.size());
+  }
+}
+
+TEST(ForEachGroupTest, EarlyStopReturnsFalse) {
+  std::vector<KV> pairs = {{"b", "1"}, {"a", "2"}, {"b", "3"}};
+  int calls = 0;
+  EXPECT_FALSE(ForEachGroup(pairs, [&](const std::string&, std::vector<std::string>&) {
+    ++calls;
+    return false;
+  }));
+  EXPECT_EQ(calls, 1);
+  EXPECT_TRUE(ForEachGroup(pairs, [](const std::string&, std::vector<std::string>&) {
+    return true;
+  }));
+}
+
+TEST(DecodeSpillIntoTest, AppendsAcrossSpills) {
+  std::vector<KV> a = {{"k1", "v1"}, {"k2", "v2"}};
+  std::vector<KV> b = {{"k3", "v3"}};
+  std::vector<KV> out;
+  ASSERT_TRUE(DecodeSpillInto(EncodeSpill(a), &out).ok());
+  ASSERT_TRUE(DecodeSpillInto(EncodeSpill(b), &out).ok());
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].key, "k1");
+  EXPECT_EQ(out[2].value, "v3");
+  EXPECT_FALSE(DecodeSpillInto("garbage", &out).ok());
 }
 
 class ShuffleWriterTest : public ::testing::Test {
