@@ -16,11 +16,13 @@
 // committed pairwise (before/after) into BENCH_macro.json — see
 // docs/performance.md for how the trajectory accrues per PR. "--small" shrinks
 // every dimension for the CI smoke job.
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "apps/sort.h"
@@ -204,6 +206,47 @@ void BenchJob(Report& report, const std::string& label, const mr::JobSpec& spec_
               static_cast<unsigned long long>(cold_sum));
 }
 
+/// Multi-job throughput: four concurrent submitter threads each stream
+/// word-count jobs through Submit/Wait, keeping four jobs in flight over
+/// the shared workers. jobs/sec brackets the multi-tenant overhead (slot
+/// arbitration, epoch capture, queue hand-off) on top of the single-job
+/// path; every output is checksummed against a solo run, so concurrency
+/// provably does not change results.
+void BenchMultiJob(Report& report, mr::Cluster& cluster, bool small) {
+  const int submitters = 4;
+  const int jobs_each = small ? 2 : 6;
+  auto solo = cluster.Run(apps::WordCountJob("mj-solo", "corpus"));
+  if (!solo.status.ok()) {
+    std::fprintf(stderr, "multi_job solo failed: %s\n", solo.status.ToString().c_str());
+    std::exit(1);
+  }
+  const std::uint64_t expect = ChecksumOutput(solo.output);
+
+  std::atomic<bool> bad{false};
+  auto t0 = Clock::now();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < submitters; ++t) {
+    threads.emplace_back([&cluster, &bad, jobs_each, expect, t] {
+      for (int i = 0; i < jobs_each; ++i) {
+        mr::JobSpec job = apps::WordCountJob("mj", "corpus");
+        job.user = "u" + std::to_string(t);
+        mr::JobResult r = cluster.Submit(std::move(job)).Wait();
+        if (!r.status.ok() || ChecksumOutput(r.output) != expect) bad.store(true);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  double secs = SecondsSince(t0);
+  if (bad.load()) {
+    std::fprintf(stderr, "multi_job: a concurrent job failed or diverged from solo output\n");
+    std::exit(1);
+  }
+  double jobs_per_s = submitters * jobs_each / secs;
+  report.Num("multi_job_jobs_per_s_4sub", jobs_per_s);
+  std::printf("multi_job (4 sub)   %10.2f jobs/s  (%d jobs in %.1f ms)\n", jobs_per_s,
+              submitters * jobs_each, secs * 1e3);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -246,6 +289,7 @@ int main(int argc, char** argv) {
            apps::WordCountJob("wc-warm", "corpus"), cluster);
   BenchJob(report, "sort", apps::SortJob("sort-cold", "corpus"),
            apps::SortJob("sort-warm", "corpus"), cluster);
+  BenchMultiJob(report, cluster, small);
 
   if (!report.Write(out_path)) {
     std::fprintf(stderr, "cannot write %s\n", out_path.c_str());

@@ -1,5 +1,6 @@
 #include "mr/cluster.h"
 
+#include <atomic>
 #include <cassert>
 #include <thread>
 
@@ -9,6 +10,15 @@
 #include "obs/trace.h"
 
 namespace eclipse::mr {
+
+namespace {
+// Process-wide job sequence: the `job` argument on every job span, spill
+// scope, and metrics label — letting one capture hold several jobs (even
+// from several clusters) and still attribute tasks to the right one.
+std::atomic<std::uint64_t> g_job_seq{0};
+}  // namespace
+
+std::uint64_t Cluster::NextJobId() { return g_job_seq.fetch_add(1) + 1; }
 
 Cluster::Cluster(ClusterOptions options) : options_(std::move(options)) {
   assert(options_.num_servers > 0);
@@ -38,11 +48,16 @@ Cluster::Cluster(ClusterOptions options) : options_(std::move(options)) {
   WorkerOptions wopts;
   wopts.map_slots = options_.map_slots;
   wopts.reduce_slots = options_.reduce_slots;
+  wopts.slot_multiplier = options_.max_concurrent_jobs;
   wopts.cache_capacity = options_.cache_capacity;
   wopts.dfs_client.default_block_size = options_.block_size;
   wopts.dfs_client.replication = options_.replication;
   wopts.dfs_client.user = options_.user;
   wopts.dfs_client.retry = options_.rpc_retry;
+
+  for (const auto& [user, weight] : options_.user_weights) {
+    arbiter_.SetWeight(user, weight);
+  }
 
   MutexLock lock(workers_mu_);  // no concurrency yet; satisfies the analysis
   workers_.reserve(options_.num_servers);
@@ -50,6 +65,7 @@ Cluster::Cluster(ClusterOptions options) : options_(std::move(options)) {
     workers_.push_back(
         std::make_unique<WorkerServer>(i, *transport_, ring_provider, wopts));
     WireSlowDisk(*workers_.back());
+    arbiter_.AddWorker(i, options_.map_slots, options_.reduce_slots);
   }
 
   if (options_.start_membership) {
@@ -71,12 +87,19 @@ Cluster::Cluster(ClusterOptions options) : options_(std::move(options)) {
                                              copts);
 
   RebuildSchedulers();
+  queue_ = std::make_unique<JobQueue>(*this, options_.max_concurrent_jobs);
 }
 
 Cluster::~Cluster() {
+  // Drain the job queue first: queued jobs are cancelled, running jobs
+  // observe their tokens — runner threads must exit before the workers,
+  // transport, and arbiter they use are torn down.
+  queue_.reset();
   MutexLock lock(workers_mu_);
   for (auto& agent : agents_) agent->Stop();
 }
+
+JobHandle Cluster::Submit(JobSpec spec) { return queue_->Submit(std::move(spec)); }
 
 dht::Ring Cluster::ring() const {
   MutexLock lock(ring_mu_);
@@ -114,27 +137,38 @@ std::vector<int> Cluster::WorkerIds() const {
 
 std::shared_ptr<sched::LafScheduler> Cluster::laf() const {
   MutexLock lock(sched_mu_);
-  return laf_;
+  return epoch_->laf;
 }
 
 std::shared_ptr<sched::DelayScheduler> Cluster::delay() const {
   MutexLock lock(sched_mu_);
-  return delay_;
+  return epoch_->delay;
+}
+
+std::shared_ptr<const SchedulerEpoch> Cluster::CurrentEpoch() const {
+  MutexLock lock(sched_mu_);
+  return epoch_;
 }
 
 void Cluster::RebuildSchedulers() {
   dht::Ring r = ring();
-  RangeTable fs_ranges = r.MakeRangeTable();
+  auto next = std::make_shared<SchedulerEpoch>();
+  next->fs_ranges = r.MakeRangeTable();
   std::vector<int> servers = r.Servers();
+  next->laf =
+      std::make_shared<sched::LafScheduler>(servers, next->fs_ranges, options_.laf);
+  next->delay =
+      std::make_shared<sched::DelayScheduler>(servers, next->fs_ranges, options_.delay);
   MutexLock lock(sched_mu_);
-  laf_ = std::make_shared<sched::LafScheduler>(servers, fs_ranges, options_.laf);
-  delay_ = std::make_shared<sched::DelayScheduler>(servers, fs_ranges, options_.delay);
+  next->version = epoch_ ? epoch_->version + 1 : 1;
+  epoch_ = std::move(next);
 }
 
 dfs::RecoveryReport Cluster::KillServer(int id) {
   obs::Tracer::Global().Emit('i', "cluster", "kill_server", obs::kDriverPid,
                              {obs::U64("server", static_cast<std::uint64_t>(id))});
   worker(id).Kill();
+  arbiter_.RemoveWorker(id);  // waiters on its slots fail over elsewhere
   {
     MutexLock lock(ring_mu_);
     ring_.RemoveServer(id);
@@ -159,6 +193,7 @@ void Cluster::HandleMembershipFailure(int failed) {
                                           // agent reports the same failure)
     ring_.RemoveServer(failed);
   }
+  arbiter_.RemoveWorker(failed);
   RebuildSchedulers();
   dfs::FsRecovery recovery(ClientEndpointId(), *transport_, [this] { return ring(); });
   auto report = recovery.Repair(options_.replication);
@@ -170,6 +205,7 @@ int Cluster::AddServer(dfs::RecoveryReport* report) {
   WorkerOptions wopts;
   wopts.map_slots = options_.map_slots;
   wopts.reduce_slots = options_.reduce_slots;
+  wopts.slot_multiplier = options_.max_concurrent_jobs;
   wopts.cache_capacity = options_.cache_capacity;
   wopts.dfs_client.default_block_size = options_.block_size;
   wopts.dfs_client.replication = options_.replication;
@@ -191,6 +227,10 @@ int Cluster::AddServer(dfs::RecoveryReport* report) {
       agent = agents_.back().get();
     }
   }
+  // Visible to the arbiter before the ring: an in-flight job whose epoch
+  // predates the newcomer may still never be routed to it, while a job
+  // started after the rebuild can Acquire its slots immediately.
+  arbiter_.AddWorker(id, options_.map_slots, options_.reduce_slots);
   {
     MutexLock lock(ring_mu_);
     ring_.AddServer(id, options_.vnodes);
@@ -281,8 +321,9 @@ std::string Cluster::MetricsPrometheus() {
 }
 
 RangeTable Cluster::CacheRanges() const {
-  MutexLock lock(sched_mu_);
-  return options_.scheduler == SchedulerKind::kLaf ? laf_->ranges() : delay_->ranges();
+  std::shared_ptr<const SchedulerEpoch> epoch = CurrentEpoch();
+  return options_.scheduler == SchedulerKind::kLaf ? epoch->laf->ranges()
+                                                   : epoch->delay->ranges();
 }
 
 dht::MembershipAgent* Cluster::membership(int id) {

@@ -12,6 +12,7 @@
 //   mr::JobResult result = cluster.Run(job);
 #pragma once
 
+#include <map>
 #include <memory>
 #include <vector>
 
@@ -20,14 +21,33 @@
 #include "dfs/recovery.h"
 #include "dht/membership.h"
 #include "fault/fault_plan.h"
+#include "mr/job_queue.h"
 #include "mr/types.h"
 #include "mr/worker.h"
 #include "sched/delay_scheduler.h"
 #include "sched/laf_scheduler.h"
+#include "sched/slot_arbiter.h"
 
 namespace eclipse::mr {
 
 enum class SchedulerKind { kLaf, kDelay };
+
+/// One immutable generation of scheduling state. RebuildSchedulers (worker
+/// join/leave) publishes a fresh epoch; a JobRunner captures the current
+/// epoch once at start and works from it for the whole job, so a membership
+/// change — or another job's LAF repartition, which mutates only that
+/// epoch's scheduler — can never silently re-route an in-flight job's
+/// shuffle. The schedulers themselves are internally thread-safe, so the
+/// concurrent runners sharing an epoch contend only on their fine-grained
+/// locks.
+struct SchedulerEpoch {
+  std::uint64_t version = 0;
+  /// DHT-FS range table at epoch creation: spill placement + reduce-side
+  /// range identities for jobs started under this epoch.
+  RangeTable fs_ranges;
+  std::shared_ptr<sched::LafScheduler> laf;
+  std::shared_ptr<sched::DelayScheduler> delay;
+};
 
 struct ClusterOptions {
   int num_servers = 8;
@@ -72,7 +92,19 @@ struct ClusterOptions {
   /// and the external client). See net/retry.h for the defaults.
   net::RetryPolicy rpc_retry;
 
+  /// Default submitting user (jobs with an empty JobSpec::user inherit it).
   std::string user = "eclipse";
+
+  /// JobRunners executing at once through Submit (further submissions queue
+  /// FIFO). Also the worker executor oversizing factor: each worker's pools
+  /// hold slots × this threads so concurrent jobs' tasks reach the
+  /// SlotArbiter instead of queueing behind one job's wave.
+  int max_concurrent_jobs = 4;
+
+  /// Fair-share weights per user for contended-slot arbitration (absent
+  /// users weigh 1.0). A user with weight 2 receives twice the contended
+  /// slots of a weight-1 user under sustained demand.
+  std::map<std::string, double> user_weights;
 };
 
 class Cluster {
@@ -86,8 +118,29 @@ class Cluster {
   /// DHT-FS client bound to an external (non-worker) endpoint.
   dfs::DfsClient& dfs() { return *client_; }
 
-  /// Execute one MapReduce job to completion.
+  /// Execute one MapReduce job to completion on the calling thread. Safe to
+  /// call concurrently with Submit-ted jobs (slots are arbitrated either
+  /// way); for multi-job workloads prefer Submit.
   JobResult Run(const JobSpec& spec);
+
+  /// Enqueue a job for asynchronous execution; up to max_concurrent_jobs
+  /// run in parallel over the shared workers. See job_queue.h.
+  JobHandle Submit(JobSpec spec);
+
+  /// The multi-job front end (pending/running introspection for tests).
+  JobQueue& queue() { return *queue_; }
+
+  /// Cross-job per-worker slot arbitration (weighted max-min fair).
+  sched::SlotArbiter& arbiter() { return arbiter_; }
+
+  /// Process-wide monotonic job-id source — unique across every Cluster in
+  /// the process, so one trace capture holding several clusters' jobs still
+  /// attributes tasks unambiguously.
+  static std::uint64_t NextJobId();
+
+  /// The current scheduling epoch (never null after construction). Callers
+  /// keep the shared_ptr for as long as they need a consistent view.
+  std::shared_ptr<const SchedulerEpoch> CurrentEpoch() const;
 
   /// Current alive membership.
   dht::Ring ring() const;
@@ -117,8 +170,9 @@ class Cluster {
   const ClusterOptions& options() const { return options_; }
   net::Transport& transport() { return *transport_; }
 
-  // Snapshot of the current scheduler (RebuildSchedulers may swap it at any
-  // time; the returned object stays valid but may become stale).
+  // Snapshot of the current epoch's scheduler (RebuildSchedulers may publish
+  // a fresh epoch at any time; the returned object stays valid but may
+  // become stale).
   std::shared_ptr<sched::LafScheduler> laf() const;
   std::shared_ptr<sched::DelayScheduler> delay() const;
 
@@ -175,9 +229,16 @@ class Cluster {
 
   MetricsRegistry metrics_;
 
+  // Internally synchronized; takes no other cluster lock (leaf-level, like
+  // the metrics registry), so it may be called from anywhere.
+  sched::SlotArbiter arbiter_;
+
   mutable Mutex sched_mu_ ACQUIRED_AFTER(ring_mu_);
-  std::shared_ptr<sched::LafScheduler> laf_ GUARDED_BY(sched_mu_);
-  std::shared_ptr<sched::DelayScheduler> delay_ GUARDED_BY(sched_mu_);
+  std::shared_ptr<const SchedulerEpoch> epoch_ GUARDED_BY(sched_mu_);
+
+  // Destroyed first (declaration order): runner threads drain before the
+  // workers, transport, and arbiter they use go away.
+  std::unique_ptr<JobQueue> queue_;
 };
 
 }  // namespace eclipse::mr

@@ -1,0 +1,112 @@
+#include "mr/job_queue.h"
+
+#include <cassert>
+
+#include "mr/cluster.h"
+#include "mr/job_runner.h"
+#include "obs/trace.h"
+
+namespace eclipse::mr {
+
+JobResult JobHandle::Wait() {
+  assert(state_ != nullptr);
+  MutexLock lock(state_->mu);
+  while (!state_->done) state_->cv.wait(lock);
+  return state_->result;
+}
+
+bool JobHandle::done() const {
+  if (state_ == nullptr) return false;
+  MutexLock lock(state_->mu);
+  return state_->done;
+}
+
+void JobHandle::Cancel() {
+  if (state_ == nullptr) return;
+  state_->cancel->store(true, std::memory_order_relaxed);
+  obs::Tracer::Global().Emit('i', "mr", "job_cancel", obs::kDriverPid,
+                             {obs::U64("job", state_->job_id)});
+  // Wake any task of this job blocked in SlotArbiter::Acquire — but never
+  // after completion, when the Cluster (and its arbiter) may be gone.
+  MutexLock lock(state_->mu);
+  if (!state_->done && state_->poke) state_->poke();
+}
+
+JobQueue::JobQueue(Cluster& cluster, int max_concurrent) : cluster_(cluster) {
+  const int n = max_concurrent > 0 ? max_concurrent : 1;
+  runners_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    runners_.emplace_back([this] { RunnerLoop(); });
+  }
+}
+
+JobQueue::~JobQueue() {
+  {
+    MutexLock lock(mu_);
+    shutdown_ = true;
+    // Queued jobs never start: their runners complete them as cancelled.
+    for (auto& job : pending_) job->cancel->store(true, std::memory_order_relaxed);
+    cv_.notify_all();
+  }
+  for (auto& t : runners_) t.join();
+}
+
+JobHandle JobQueue::Submit(JobSpec spec) {
+  auto state = std::make_shared<internal::JobState>();
+  state->spec = std::move(spec);
+  state->job_id = Cluster::NextJobId();
+  state->poke = [this] { cluster_.arbiter().Poke(); };
+  obs::Tracer::Global().Emit('i', "mr", "job_submit", obs::kDriverPid,
+                             {obs::U64("job", state->job_id)});
+  {
+    MutexLock lock(mu_);
+    assert(!shutdown_ && "Submit after Cluster teardown began");
+    pending_.push_back(state);
+    cv_.notify_one();
+  }
+  return JobHandle(state);
+}
+
+std::size_t JobQueue::Pending() const {
+  MutexLock lock(mu_);
+  return pending_.size();
+}
+
+std::size_t JobQueue::Running() const {
+  MutexLock lock(mu_);
+  return running_;
+}
+
+void JobQueue::RunnerLoop() {
+  for (;;) {
+    std::shared_ptr<internal::JobState> job;
+    {
+      MutexLock lock(mu_);
+      while (!shutdown_ && pending_.empty()) cv_.wait(lock);
+      if (pending_.empty()) return;  // shutdown and fully drained
+      job = pending_.front();
+      pending_.pop_front();
+      ++running_;
+    }
+    JobResult result;
+    if (job->cancel->load(std::memory_order_relaxed)) {
+      result.status = Status::Error(ErrorCode::kCancelled, "job cancelled before start");
+      result.job_id = job->job_id;
+    } else {
+      JobRunner runner(cluster_, job->spec, job->job_id, job->cancel);
+      result = runner.Run();
+    }
+    {
+      MutexLock lock(job->mu);
+      job->result = std::move(result);
+      job->done = true;
+      job->cv.notify_all();
+    }
+    {
+      MutexLock lock(mu_);
+      --running_;
+    }
+  }
+}
+
+}  // namespace eclipse::mr

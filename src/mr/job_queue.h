@@ -1,0 +1,117 @@
+// Asynchronous multi-job front end (the paper's resource manager serving
+// "heavy traffic from millions of users", §II-A).
+//
+//   mr::JobHandle h1 = cluster.Submit(job_a);
+//   mr::JobHandle h2 = cluster.Submit(job_b);   // runs concurrently
+//   mr::JobResult r1 = h1.Wait();
+//   h2.Cancel();                                // best-effort stop
+//
+// Up to ClusterOptions::max_concurrent_jobs JobRunners execute at once over
+// the shared workers; further submissions queue FIFO. Per-worker slot
+// capacity is arbitrated across the concurrent runners by the cluster's
+// SlotArbiter (weighted max-min fair per JobSpec::user), each runner works
+// from its own immutable SchedulerEpoch, and every job carries a unique
+// process-wide job_id that namespaces its spill scope and labels its trace
+// spans and metrics.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/mutex.h"
+#include "mr/types.h"
+
+namespace eclipse::mr {
+
+class Cluster;
+class JobQueue;
+
+namespace internal {
+
+/// Shared between a JobHandle and the runner thread executing the job.
+struct JobState {
+  JobSpec spec;  // stable storage: the JobRunner holds a reference into this
+  std::uint64_t job_id = 0;
+  /// Job-level cancellation token, observed by every task attempt, slot
+  /// wait, and phase boundary of this job.
+  std::shared_ptr<std::atomic<bool>> cancel =
+      std::make_shared<std::atomic<bool>>(false);
+  /// Wakes slot-arbiter waiters after `cancel` flips (set at submit; not
+  /// called once `done` — handles must not outlive the Cluster).
+  std::function<void()> poke;
+
+  Mutex mu;
+  CondVar cv;
+  bool done GUARDED_BY(mu) = false;
+  JobResult result GUARDED_BY(mu);
+};
+
+}  // namespace internal
+
+/// Caller's view of a submitted job. Copyable (shared state); valid while
+/// the owning Cluster lives.
+class JobHandle {
+ public:
+  JobHandle() = default;
+
+  bool valid() const { return state_ != nullptr; }
+  std::uint64_t job_id() const { return state_ ? state_->job_id : 0; }
+
+  /// Block until the job completes (or its cancellation takes effect) and
+  /// return the result. Idempotent — later calls return the same result.
+  JobResult Wait();
+
+  /// Has the job finished (result available without blocking)?
+  bool done() const;
+
+  /// Request cancellation: a queued job never starts (result kCancelled);
+  /// a running job stops at its next task-record / slot-wait / phase
+  /// boundary and cleans up its partial spills. Safe to call repeatedly,
+  /// from any thread, including after completion (no-op then).
+  void Cancel();
+
+ private:
+  friend class JobQueue;
+  explicit JobHandle(std::shared_ptr<internal::JobState> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<internal::JobState> state_;
+};
+
+/// FIFO submit queue executing up to `max_concurrent` jobs in parallel on
+/// dedicated runner threads. Owned by the Cluster; use Cluster::Submit.
+class JobQueue {
+ public:
+  JobQueue(Cluster& cluster, int max_concurrent);
+  /// Cancels every queued job, waits for running jobs to finish (they
+  /// observe their cancel tokens), and joins the runner threads.
+  ~JobQueue();
+
+  JobQueue(const JobQueue&) = delete;
+  JobQueue& operator=(const JobQueue&) = delete;
+
+  JobHandle Submit(JobSpec spec);
+
+  /// Jobs submitted but not yet picked up by a runner thread.
+  std::size_t Pending() const;
+  /// Jobs currently executing.
+  std::size_t Running() const;
+
+ private:
+  void RunnerLoop();
+
+  Cluster& cluster_;
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::deque<std::shared_ptr<internal::JobState>> pending_ GUARDED_BY(mu_);
+  std::size_t running_ GUARDED_BY(mu_) = 0;
+  bool shutdown_ GUARDED_BY(mu_) = false;
+  std::vector<std::thread> runners_;  // immutable after construction
+};
+
+}  // namespace eclipse::mr

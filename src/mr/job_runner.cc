@@ -5,6 +5,7 @@
 #include <chrono>
 #include <cstring>
 #include <future>
+#include <set>
 #include <thread>
 
 #include "common/log.h"
@@ -34,10 +35,6 @@ std::uint64_t ElapsedUs(std::chrono::steady_clock::time_point since,
   auto us = std::chrono::duration_cast<std::chrono::microseconds>(now - since).count();
   return us < 0 ? 0 : static_cast<std::uint64_t>(us);
 }
-
-// Process-wide job sequence: the `job` argument on every job span, letting
-// one capture hold several jobs and still attribute tasks to the right one.
-std::atomic<std::uint64_t> g_job_seq{0};
 
 /// MapContext bound to a ShuffleWriter.
 class ShuffleMapContext : public MapContext {
@@ -70,15 +67,37 @@ class VectorReduceContext : public ReduceContext {
   std::vector<KV> output_;
 };
 
+/// RAII guard pairing SlotArbiter::Acquire with its Release.
+struct SlotLease {
+  sched::SlotArbiter& arbiter;
+  int worker;
+  sched::SlotKind kind;
+  const std::string& user;
+  ~SlotLease() { arbiter.Release(worker, kind, user); }
+};
+
 }  // namespace
 
-JobRunner::JobRunner(Cluster& cluster, const JobSpec& spec) : cluster_(cluster), spec_(spec) {}
+JobRunner::JobRunner(Cluster& cluster, const JobSpec& spec, std::uint64_t job_id,
+                     std::shared_ptr<std::atomic<bool>> cancel)
+    : cluster_(cluster),
+      spec_(spec),
+      job_id_(job_id),
+      cancel_(std::move(cancel)),
+      user_(spec.user.empty() ? cluster.options().user : spec.user) {}
 
 JobResult JobRunner::Run() {
   JobResult result;
+  result.job_id = job_id_;
   auto t0 = std::chrono::steady_clock::now();
-  const std::uint64_t job_seq = g_job_seq.fetch_add(1) + 1;
-  obs::TraceSpan job_span("mr", "job", obs::kDriverPid, {obs::U64("job", job_seq)});
+  // One immutable epoch for the whole job (see the epoch_ member comment).
+  epoch_ = cluster_.CurrentEpoch();
+  obs::TraceSpan job_span("mr", "job", obs::kDriverPid,
+                          {obs::U64("job", job_id_), obs::U64("epoch", epoch_->version)});
+  if (JobCancelled()) {
+    result.status = Status::Error(ErrorCode::kCancelled, "job cancelled before start");
+    return result;
+  }
 
   // Step 1-2 (Fig. 2): metadata from each input's file-metadata owner.
   std::vector<std::string> inputs{spec_.input_file};
@@ -92,7 +111,7 @@ JobResult JobRunner::Run() {
     stats_.input_bytes += meta.value().size;
     metas_.push_back(std::move(meta.value()));
   }
-  fs_ranges_ = cluster_.ring().MakeRangeTable();
+  fs_ranges_ = epoch_->fs_ranges;
 
   // Step 3-5: map phase over every block of every input.
   std::vector<BlockRef> blocks;
@@ -102,6 +121,11 @@ JobResult JobRunner::Run() {
     }
   }
   Status map_status = RunMapPhase(blocks);
+  if (JobCancelled()) {
+    CleanupCancelledSpills();
+    result.status = Status::Error(ErrorCode::kCancelled, "job cancelled during map phase");
+    return result;
+  }
   if (!map_status.ok()) {
     result.status = map_status;
     return result;
@@ -118,6 +142,12 @@ JobResult JobRunner::Run() {
     output.clear();
     reduce_status = RunReducePhase(&output);
     if (reduce_status.ok() || reduce_status.code() != ErrorCode::kNotFound) break;
+  }
+  if (JobCancelled()) {
+    CleanupCancelledSpills();
+    result.status =
+        Status::Error(ErrorCode::kCancelled, "job cancelled during reduce phase");
+    return result;
   }
   if (!reduce_status.ok()) {
     result.status = reduce_status;
@@ -155,6 +185,14 @@ JobResult JobRunner::Run() {
   result.status = Status::Ok();
 
   auto& metrics = cluster_.metrics();
+  // Per-job / per-user series (job="N" matches the trace spans' job arg) —
+  // alongside the unlabeled cluster-wide totals, which stay as before.
+  const MetricLabels job_label{{"job", std::to_string(job_id_)}};
+  metrics.GetCounter("mr.job_map_tasks", job_label).Add(stats_.map_tasks);
+  metrics.GetCounter("mr.job_reduce_tasks", job_label).Add(stats_.reduce_tasks);
+  metrics.GetHistogram("mr.job_wall_us_by_user", {{"user", user_}})
+      .Record(static_cast<std::uint64_t>(stats_.wall_seconds * 1e6));
+  metrics.GetCounter("mr.jobs_by_user", {{"user", user_}}).Add();
   metrics.GetCounter("mr.jobs_completed").Add();
   metrics.GetCounter("mr.map_tasks").Add(stats_.map_tasks);
   metrics.GetCounter("mr.maps_skipped").Add(stats_.maps_skipped);
@@ -189,8 +227,45 @@ Status JobRunner::RunReducePhase(std::vector<KV>* output) {
                                      : RunReducePhaseSequential(output);
 }
 
+void JobRunner::CleanupCancelledSpills() {
+  // Tagged intermediates stay: every spill in spills_ was fully written and
+  // its manifest is independently valid, so a later job with the same tag
+  // reuses them (§II-C). Untagged spills are private to this job_id — no
+  // other job can ever reference them, so delete them from the DHT FS.
+  if (!spec_.intermediate_tag.empty()) return;
+  std::vector<SpillInfo> doomed;
+  {
+    MutexLock lock(state_mu_);
+    doomed.reserve(spills_.size() + orphan_spills_.size());
+    for (const auto& [id, info] : spills_) doomed.push_back(info);
+    for (auto& info : orphan_spills_) doomed.push_back(std::move(info));
+    spills_.clear();
+    spill_block_.clear();
+    orphan_spills_.clear();
+  }
+  std::set<std::string> deleted;  // ledger ids may repeat across attempts
+  const std::vector<int> worker_ids = cluster_.WorkerIds();
+  for (const auto& info : doomed) {
+    if (!deleted.insert(info.id).second) continue;
+    cluster_.dfs().DeleteObject(info.id, info.range_begin);  // best-effort
+    // Reducers that ran before the cancellation cached the spill in oCache;
+    // the id is private to this job, so the entry can never hit again —
+    // evict it rather than let it squat on cache budget.
+    for (int id : worker_ids) {
+      WorkerServer& w = cluster_.worker(id);
+      if (!w.dead()) w.cache().Erase(info.id);
+    }
+  }
+  if (!deleted.empty()) {
+    obs::Tracer::Global().Emit('i', "mr", "cancel_cleanup", obs::kDriverPid,
+                               {obs::U64("job", job_id_),
+                                obs::U64("spills_deleted", deleted.size())});
+  }
+}
+
 Status JobRunner::RunReducePhaseSequential(std::vector<KV>* output) {
-  obs::TraceSpan phase_span("mr", "reduce_phase", obs::kDriverPid);
+  obs::TraceSpan phase_span("mr", "reduce_phase", obs::kDriverPid,
+                            {obs::U64("job", job_id_)});
   std::map<HashKey, std::vector<SpillInfo>> by_range;
   {
     MutexLock lock(state_mu_);
@@ -198,6 +273,9 @@ Status JobRunner::RunReducePhaseSequential(std::vector<KV>* output) {
   }
 
   for (auto& [range_begin, group] : by_range) {
+    if (JobCancelled()) {
+      return Status::Error(ErrorCode::kCancelled, "job cancelled during reduce phase");
+    }
     ReduceOutcome outcome;
     for (int attempt = 0; attempt < kMaxAttemptsPerTask; ++attempt) {
       int target = cluster_.ring().Owner(range_begin);
@@ -239,7 +317,8 @@ Status JobRunner::RunReducePhaseSequential(std::vector<KV>* output) {
 }
 
 Status JobRunner::RunReducePhaseSpeculative(std::vector<KV>* output) {
-  obs::TraceSpan phase_span("mr", "reduce_phase", obs::kDriverPid);
+  obs::TraceSpan phase_span("mr", "reduce_phase", obs::kDriverPid,
+                            {obs::U64("job", job_id_)});
   std::map<HashKey, std::vector<SpillInfo>> by_range;
   {
     MutexLock lock(state_mu_);
@@ -349,6 +428,10 @@ Status JobRunner::RunReducePhaseSpeculative(std::vector<KV>* output) {
           t.concluded = true;
         } else if (!t.outcome.missing_spills.empty()) {
           t.concluded = true;  // producers re-run after the drain
+        } else if (t.outcome.status.code() == ErrorCode::kCancelled && JobCancelled()) {
+          // Job-level cancellation is terminal — never relaunched.
+          fatal = t.outcome.status;
+          t.concluded = true;
         } else if (t.tries >= kMaxAttemptsPerTask) {
           fatal = t.outcome.status;
           t.concluded = true;
@@ -372,7 +455,7 @@ Status JobRunner::RunReducePhaseSpeculative(std::vector<KV>* output) {
       if (!t.concluded && !t.resolved && !t.has_backup && !t.attempts.empty()) {
         Attempt& running = t.attempts.back();
         if (!running.done && detector.IsStraggler(ElapsedUs(running.start, now))) {
-          int backup = PickBackupServer(running.server);
+          int backup = PickBackupServer(running.server, sched::SlotKind::kReduce);
           if (backup >= 0) {
             t.has_backup = true;
             ++stats_.reduces_speculated;
@@ -445,8 +528,11 @@ Status JobRunner::RunMapPhase(const std::vector<BlockRef>& blocks,
       spec_.straggler_percentile, spec_.straggler_multiplier, spec_.speculation_min_completed});
 
   while (!queue.empty()) {
+    if (JobCancelled()) {
+      return Status::Error(ErrorCode::kCancelled, "job cancelled during map phase");
+    }
     obs::TraceSpan wave_span("mr", "map_phase", obs::kDriverPid,
-                             {obs::U64("tasks", queue.size())});
+                             {obs::U64("tasks", queue.size()), obs::U64("job", job_id_)});
     struct Attempt {
       int server = -1;
       bool backup = false;
@@ -492,7 +578,8 @@ Status JobRunner::RunMapPhase(const std::vector<BlockRef>& blocks,
       }
       obs::Tracer::Global().Emit('i', "sched", "sched_assign", obs::kDriverPid,
                                  {obs::U64("block", p.ref.block),
-                                  obs::U64("server", static_cast<std::uint64_t>(server))});
+                                  obs::U64("server", static_cast<std::uint64_t>(server)),
+                                  obs::U64("job", job_id_)});
       Task t;
       t.ref = p.ref;
       t.prior_attempts = p.attempts;
@@ -547,7 +634,7 @@ Status JobRunner::RunMapPhase(const std::vector<BlockRef>& blocks,
           }
           if (!t.resolved && t.attempts.size() == 1 && !t.attempts[0].done &&
               detector.IsStraggler(ElapsedUs(t.attempts[0].start, now))) {
-            int backup = PickBackupServer(t.attempts[0].server);
+            int backup = PickBackupServer(t.attempts[0].server, sched::SlotKind::kMap);
             if (backup >= 0) {
               ++stats_.maps_speculated;
               obs::Tracer::Global().Emit(
@@ -566,9 +653,23 @@ Status JobRunner::RunMapPhase(const std::vector<BlockRef>& blocks,
 
     if (!dispatch_error.ok()) return dispatch_error;
 
+    {
+      // Failed attempts may have pushed partial spills into the DHT FS
+      // before they stopped; ledger them all *before* the loop below can
+      // return on the first cancelled task, so cancellation cleanup sees
+      // every orphan.
+      MutexLock lock(state_mu_);
+      for (auto& t : tasks) {
+        if (t.resolved) continue;
+        for (auto& info : t.outcome.spills) orphan_spills_.push_back(std::move(info));
+      }
+    }
     for (auto& t : tasks) {
       if (!t.resolved) {
         const Status& failure = t.outcome.status;
+        if (failure.code() == ErrorCode::kCancelled && JobCancelled()) {
+          return failure;  // job-level cancellation is terminal, not retried
+        }
         if (t.prior_attempts + 1 >= kMaxAttemptsPerTask) {
           return Status::Error(failure.code(),
                                "map task for block " + std::to_string(t.ref.block) +
@@ -620,42 +721,38 @@ Status JobRunner::RunMapPhase(const std::vector<BlockRef>& blocks,
 
 int JobRunner::PickMapServer(HashKey hkey) {
   if (cluster_.options().scheduler == SchedulerKind::kLaf) {
-    int server;
-    {
-      // sched_mu_ is the innermost lock: release it before worker(), which
-      // takes workers_mu_ (outermost), or the hierarchy inverts.
-      MutexLock lock(cluster_.sched_mu_);
-      server = cluster_.laf_->Assign(hkey);
-    }
+    // The epoch's scheduler is internally locked; no cluster lock involved.
+    int server = epoch_->laf->Assign(hkey);
     if (!cluster_.worker(server).dead()) return server;
   } else {
     // Delay scheduling (§II-F): wait up to the timeout for a slot on the
     // static range owner, then give up locality and take any idle server.
-    std::shared_ptr<sched::DelayScheduler> delay;
-    {
-      MutexLock lock(cluster_.sched_mu_);
-      delay = cluster_.delay_;
-    }
-    int preferred = delay->Preferred(hkey);
+    // The wait budget is this local deadline — per task attempt, per job —
+    // so concurrent jobs cannot consume each other's budgets.
+    const sched::DelayScheduler& delay = *epoch_->delay;
+    sched::SlotArbiter& arbiter = cluster_.arbiter();
+    int preferred = delay.Preferred(hkey);
     auto deadline = std::chrono::steady_clock::now() +
                     std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-                        std::chrono::duration<double>(delay->options().wait_timeout_sec));
+                        std::chrono::duration<double>(delay.options().wait_timeout_sec));
     for (;;) {
-      if (!cluster_.worker(preferred).dead() && cluster_.worker(preferred).FreeMapSlots() > 0) {
-        MutexLock lock(cluster_.sched_mu_);
-        delay->RecordAssignment(preferred);
+      if (!cluster_.worker(preferred).dead() &&
+          arbiter.FreeSlots(preferred, sched::SlotKind::kMap) > 0) {
+        epoch_->delay->RecordAssignment(preferred);
         return preferred;
       }
+      if (JobCancelled()) break;  // dispatch anyway; the task fails kCancelled fast
       if (std::chrono::steady_clock::now() >= deadline) break;
       std::this_thread::sleep_for(std::chrono::milliseconds(1));
     }
     std::vector<int> free_slots;
-    const auto& servers = delay->servers();
+    const auto& servers = delay.servers();
     free_slots.reserve(servers.size());
     for (int s : servers) {
-      free_slots.push_back(cluster_.worker(s).dead() ? 0 : cluster_.worker(s).FreeMapSlots());
+      free_slots.push_back(
+          cluster_.worker(s).dead() ? 0 : arbiter.FreeSlots(s, sched::SlotKind::kMap));
     }
-    int fallback = delay->Fallback(free_slots);
+    int fallback = delay.Fallback(free_slots);
     int chosen = fallback >= 0 ? fallback : preferred;
     if (cluster_.worker(chosen).dead()) chosen = -1;
     if (chosen >= 0) {
@@ -663,9 +760,9 @@ int JobRunner::PickMapServer(HashKey hkey) {
       obs::Tracer::Global().Emit(
           'i', "sched", "delay_fallback", obs::kDriverPid,
           {obs::U64("preferred", static_cast<std::uint64_t>(preferred)),
-           obs::U64("chosen", static_cast<std::uint64_t>(chosen))});
-      MutexLock lock(cluster_.sched_mu_);
-      delay->RecordAssignment(chosen);
+           obs::U64("chosen", static_cast<std::uint64_t>(chosen)),
+           obs::U64("job", job_id_)});
+      epoch_->delay->RecordAssignment(chosen);
       return chosen;
     }
   }
@@ -674,14 +771,14 @@ int JobRunner::PickMapServer(HashKey hkey) {
   return owner;
 }
 
-int JobRunner::PickBackupServer(int avoid) {
+int JobRunner::PickBackupServer(int avoid, sched::SlotKind kind) {
   int best = -1;
   int best_slots = -1;
   for (int id : cluster_.WorkerIds()) {
     if (id == avoid) continue;
     WorkerServer& w = cluster_.worker(id);
     if (w.dead()) continue;
-    int slots = w.FreeMapSlots();
+    int slots = cluster_.arbiter().FreeSlots(id, kind);
     if (slots > best_slots) {
       best = id;
       best_slots = slots;
@@ -694,11 +791,24 @@ JobRunner::MapOutcome JobRunner::RunMapTask(WorkerServer& w, BlockRef ref,
                                             bool force_recompute,
                                             std::shared_ptr<std::atomic<bool>> cancel) {
   MapOutcome out;
+  // The shared slot gate: block here (not in the pool queue) until this
+  // job's fair share of the worker's map slots admits the attempt. The
+  // wait aborts on job cancellation, attempt cancellation, or worker
+  // removal — each surfaces as the matching task status.
+  sched::SlotArbiter& arbiter = cluster_.arbiter();
+  Status slot = arbiter.Acquire(w.id(), sched::SlotKind::kMap, user_, cancel_.get(),
+                                cancel ? cancel.get() : nullptr);
+  if (!slot.ok()) {
+    out.status = slot;
+    return out;
+  }
+  SlotLease lease{arbiter, w.id(), sched::SlotKind::kMap, user_};
   // Every RPC this attempt makes (cache fetches, DHT-FS reads, spill
   // pushes) sees this cutoff through CurrentDeadline().
   net::ScopedDeadline task_deadline(TaskDeadline(spec_));
   obs::TraceSpan task_span("mr", "map_task", w.id(),
-                           {obs::U64("file", ref.file), obs::U64("block", ref.block)});
+                           {obs::U64("file", ref.file), obs::U64("block", ref.block),
+                            obs::U64("job", job_id_)});
   auto task_t0 = std::chrono::steady_clock::now();
   // Close the span with the outcome's classification whatever exit path the
   // task takes; also feed the per-locality latency histogram.
@@ -726,7 +836,12 @@ JobRunner::MapOutcome JobRunner::RunMapTask(WorkerServer& w, BlockRef ref,
   const std::uint64_t block = ref.block;
 
   const std::string tag = spec_.intermediate_tag;
-  const std::string spill_scope = tag.empty() ? spec_.name : tag;
+  // Untagged jobs get a job_id-namespaced scope: two concurrent submissions
+  // with the same JobSpec::name used to share deterministic spill ids, and
+  // first-writer-wins corrupted the loser's reduce input. Tagged scopes stay
+  // name-stable on purpose — cross-job §II-C reuse looks manifests up by tag.
+  const std::string spill_scope =
+      !tag.empty() ? tag : "j" + std::to_string(job_id_) + "/" + spec_.name;
   const std::string manifest_id = ManifestId(spill_scope, meta_.name, block);
   const HashKey manifest_key = KeyOf(manifest_id);
 
@@ -790,26 +905,39 @@ JobRunner::MapOutcome JobRunner::RunMapTask(WorkerServer& w, BlockRef ref,
   const std::string prefix = "im/" + spill_scope + "/" + meta_.name + "/b" +
                              std::to_string(block);
   ShuffleWriter shuffle(prefix, fs_ranges_, w.dfs(), spec_.spill_threshold,
-                        spec_.intermediate_ttl);
+                        spec_.intermediate_ttl, job_id_);
   ShuffleMapContext ctx(shuffle, spec_.shared_state);
   auto mapper = spec_.mapper();
+  // Every exit below reports shuffle.spills(): threshold-crossing Adds have
+  // already pushed objects into the DHT FS, so even a failed or cancelled
+  // attempt must surface them — the phase records failed attempts' spills in
+  // the cleanup ledger so a cancelled job leaves no orphans behind.
   for (const auto& record : records.value()) {
     mapper->Map(record, ctx);
     if (w.dead()) {
+      out.spills = shuffle.spills();
       out.status = Status::Error(ErrorCode::kUnavailable, "worker died mid-map");
       return out;
     }
     if (cancel && cancel->load(std::memory_order_relaxed)) {
+      out.spills = shuffle.spills();
       out.status = Status::Error(ErrorCode::kCancelled, "duplicate map attempt lost the race");
+      return out;
+    }
+    if (JobCancelled()) {
+      out.spills = shuffle.spills();
+      out.status = Status::Error(ErrorCode::kCancelled, "job cancelled mid-map");
       return out;
     }
   }
   mapper->Finish(ctx);
   if (!ctx.status().ok()) {
+    out.spills = shuffle.spills();
     out.status = ctx.status();
     return out;
   }
   if (Status s = shuffle.Flush(); !s.ok()) {
+    out.spills = shuffle.spills();
     out.status = s;
     return out;
   }
@@ -829,9 +957,17 @@ JobRunner::ReduceOutcome JobRunner::RunReduceTask(WorkerServer& w,
                                                   const std::vector<SpillInfo>& spills,
                                                   std::shared_ptr<std::atomic<bool>> cancel) {
   ReduceOutcome out;
+  sched::SlotArbiter& arbiter = cluster_.arbiter();
+  Status slot = arbiter.Acquire(w.id(), sched::SlotKind::kReduce, user_, cancel_.get(),
+                                cancel ? cancel.get() : nullptr);
+  if (!slot.ok()) {
+    out.status = slot;
+    return out;
+  }
+  SlotLease lease{arbiter, w.id(), sched::SlotKind::kReduce, user_};
   net::ScopedDeadline task_deadline(TaskDeadline(spec_));
   obs::TraceSpan task_span("mr", "reduce_task", w.id(),
-                           {obs::U64("spills", spills.size())});
+                           {obs::U64("spills", spills.size()), obs::U64("job", job_id_)});
   auto task_t0 = std::chrono::steady_clock::now();
   struct SpanCloser {
     obs::TraceSpan& span;
@@ -865,6 +1001,10 @@ JobRunner::ReduceOutcome JobRunner::RunReduceTask(WorkerServer& w,
     if (cancel && cancel->load(std::memory_order_relaxed)) {
       out.status =
           Status::Error(ErrorCode::kCancelled, "duplicate reduce attempt lost the race");
+      return out;
+    }
+    if (JobCancelled()) {
+      out.status = Status::Error(ErrorCode::kCancelled, "job cancelled mid-reduce");
       return out;
     }
     cache::CacheValue data = w.cache().Get(spill.id, cache::EntryKind::kOutput);
@@ -906,6 +1046,10 @@ JobRunner::ReduceOutcome JobRunner::RunReduceTask(WorkerServer& w,
               Status::Error(ErrorCode::kCancelled, "duplicate reduce attempt lost the race");
           return false;
         }
+        if (JobCancelled()) {
+          out.status = Status::Error(ErrorCode::kCancelled, "job cancelled mid-reduce");
+          return false;
+        }
         return true;
       });
   if (!completed) return out;
@@ -915,7 +1059,7 @@ JobRunner::ReduceOutcome JobRunner::RunReduceTask(WorkerServer& w,
 }
 
 JobResult Cluster::Run(const JobSpec& spec) {
-  JobRunner runner(*this, spec);
+  JobRunner runner(*this, spec, Cluster::NextJobId());
   return runner.Run();
 }
 

@@ -22,7 +22,13 @@ namespace eclipse::mr {
 
 class JobRunner {
  public:
-  JobRunner(Cluster& cluster, const JobSpec& spec);
+  /// `job_id` is the process-wide id from Cluster::NextJobId(); it
+  /// namespaces the job's spill scope and labels its observability.
+  /// `cancel` (optional) is the job-level cancellation token
+  /// (JobHandle::Cancel): every task attempt, slot wait, and phase boundary
+  /// observes it. `spec` must outlive the runner.
+  JobRunner(Cluster& cluster, const JobSpec& spec, std::uint64_t job_id,
+            std::shared_ptr<std::atomic<bool>> cancel = nullptr);
 
   JobResult Run();
 
@@ -68,13 +74,24 @@ class JobRunner {
   ReduceOutcome RunReduceTask(WorkerServer& w, const std::vector<SpillInfo>& spills,
                               std::shared_ptr<std::atomic<bool>> cancel = nullptr);
 
-  /// Pick the map server for a block key under the configured policy. For
-  /// Delay this may block up to the locality-wait timeout.
+  /// Pick the map server for a block key under this job's scheduler epoch.
+  /// For Delay this may block up to the locality-wait timeout (the wait
+  /// budget is a local per-call deadline, so concurrent jobs cannot consume
+  /// each other's budgets).
   int PickMapServer(HashKey hkey);
 
   /// Backup-attempt placement: the live server (≠ `avoid`) with the most
-  /// free map slots, or -1 when no other server is alive.
-  int PickBackupServer(int avoid);
+  /// free slots of `kind`, or -1 when no other server is alive.
+  int PickBackupServer(int avoid, sched::SlotKind kind);
+
+  /// Has JobHandle::Cancel been called on this job?
+  bool JobCancelled() const {
+    return cancel_ != nullptr && cancel_->load(std::memory_order_relaxed);
+  }
+
+  /// Best-effort removal of the cancelled job's partial intermediates from
+  /// the DHT FS (tagged jobs keep theirs — their manifests stay reusable).
+  void CleanupCancelledSpills();
 
   /// One pass over the reduce plan derived from the current spill set.
   /// Returns NotFound after re-running producers of lost spills (caller
@@ -93,14 +110,28 @@ class JobRunner {
 
   Cluster& cluster_;
   const JobSpec& spec_;
+  const std::uint64_t job_id_;
+  std::shared_ptr<std::atomic<bool>> cancel_;  // null when not cancellable
+  std::string user_;  // spec_.user, or the cluster default when empty
+  /// This job's immutable scheduling epoch, captured once at Run start:
+  /// another job's LAF repartition mutates only the shared epoch scheduler
+  /// (internally locked), and a membership rebuild publishes a *new* epoch —
+  /// neither can silently re-route this job's in-flight shuffle.
+  std::shared_ptr<const SchedulerEpoch> epoch_;
   std::vector<dfs::FileMetadata> metas_;  // input_file first, then extras
-  RangeTable fs_ranges_;  // captured once; spill range identities are stable
-                          // across mid-job membership changes
+  RangeTable fs_ranges_;  // epoch_->fs_ranges; spill range identities are
+                          // stable across mid-job membership changes
 
   Mutex state_mu_;
   std::map<std::string, SpillInfo> spills_ GUARDED_BY(state_mu_);  // id -> info (deduped)
   std::map<std::string, BlockRef> spill_block_
       GUARDED_BY(state_mu_);  // id -> producing input block
+  /// Spills reported by failed or cancelled attempts. Not part of the reduce
+  /// plan; CleanupCancelledSpills deletes them alongside spills_ so a
+  /// cancelled job leaves no partial intermediates in the DHT FS. Harmless
+  /// when the job goes on to succeed: spill ids are deterministic, so a
+  /// retried attempt re-registers the same ids in spills_.
+  std::vector<SpillInfo> orphan_spills_ GUARDED_BY(state_mu_);
   JobStats stats_;            // driver-thread only (outcomes are collected on
                               // the submitting thread, never on pool threads)
 };

@@ -127,8 +127,12 @@ std::string ManifestId(const std::string& tag, const std::string& input, std::ui
 
 ShuffleWriter::ShuffleWriter(std::string prefix, const RangeTable& fs_ranges,
                              dfs::DfsClient& dfs, Bytes spill_threshold,
-                             std::chrono::milliseconds ttl)
-    : prefix_(std::move(prefix)), dfs_(dfs), threshold_(spill_threshold), ttl_(ttl) {
+                             std::chrono::milliseconds ttl, std::uint64_t job_id)
+    : prefix_(std::move(prefix)),
+      dfs_(dfs),
+      threshold_(spill_threshold),
+      ttl_(ttl),
+      job_id_(job_id) {
   std::vector<KeyRange> ranges;
   for (const auto& [server, range] : fs_ranges.entries()) {
     if (range.IsEmpty()) continue;
@@ -183,7 +187,8 @@ Status ShuffleWriter::SpillRange(std::size_t idx) {
   // The proactive-shuffle push (§II-D), traced on the mapping server's
   // track: the transfer overlaps the rest of the map computation.
   obs::TraceSpan spill_span("mr", "spill", dfs_.self(),
-                            {obs::U64("bytes", info.bytes), obs::U64("pairs", info.pairs)});
+                            {obs::U64("bytes", info.bytes), obs::U64("pairs", info.pairs),
+                             obs::U64("job", job_id_)});
 
   // Placement key: the range's begin — by construction owned by the range's
   // server under the static FS partition, so the spill lands reducer-side.

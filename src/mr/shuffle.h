@@ -65,8 +65,11 @@ class ShuffleWriter {
   /// placed by `fs_ranges` (the static DHT-FS partition) through `dfs`.
   /// Spill ids are deterministic (prefix + range + sequence) so a
   /// re-executed map task overwrites its own earlier spills idempotently.
+  /// `job_id` only labels the spill trace spans (the id itself is scoped
+  /// through `prefix`); 0 for writers outside any job.
   ShuffleWriter(std::string prefix, const RangeTable& fs_ranges, dfs::DfsClient& dfs,
-                Bytes spill_threshold, std::chrono::milliseconds ttl);
+                Bytes spill_threshold, std::chrono::milliseconds ttl,
+                std::uint64_t job_id = 0);
 
   /// Buffer one intermediate pair under the range covering KeyOf(key);
   /// spills that range's buffer if it crossed the threshold.
@@ -91,6 +94,7 @@ class ShuffleWriter {
   dfs::DfsClient& dfs_;
   Bytes threshold_;
   std::chrono::milliseconds ttl_;
+  std::uint64_t job_id_;
   // Parallel arrays over the non-empty ranges, sorted by range begin:
   // begins_ is the binary-search index, ranges_ the defensive containment
   // check, buffers_ the per-range accumulation state.

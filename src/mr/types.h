@@ -65,8 +65,14 @@ using MapperFactory = std::function<std::unique_ptr<Mapper>()>;
 using ReducerFactory = std::function<std::unique_ptr<Reducer>()>;
 
 struct JobSpec {
-  std::string name;        // unique per submission (also names the output)
+  std::string name;        // job label (need not be unique: spill scopes are
+                           // namespaced by job_id, so same-named concurrent
+                           // submissions cannot collide)
   std::string input_file;  // DHT-FS path
+
+  /// Submitting user, for weighted max-min fair slot sharing between
+  /// concurrent jobs (SlotArbiter). Empty: the cluster's default user.
+  std::string user;
   /// Additional DHT-FS inputs mapped alongside input_file (one map task per
   /// block of every input; reducers see the union of intermediates).
   std::vector<std::string> extra_inputs;
@@ -168,6 +174,9 @@ struct JobResult {
   /// All reducer emissions, sorted by key (stable, deterministic).
   std::vector<KV> output;
   JobStats stats;
+  /// Process-wide monotonically-assigned job id — the `job` label on this
+  /// job's trace spans, metrics, and spill scopes.
+  std::uint64_t job_id = 0;
 };
 
 }  // namespace eclipse::mr

@@ -12,8 +12,11 @@ WorkerServer::WorkerServer(int id, net::Transport& transport,
   dfs_client_ =
       std::make_unique<dfs::DfsClient>(id, transport, ring_provider, options.dfs_client);
   cache_client_ = std::make_unique<cache::CacheClient>(id, transport);
-  map_pool_ = std::make_unique<ThreadPool>(static_cast<std::size_t>(options.map_slots));
-  reduce_pool_ = std::make_unique<ThreadPool>(static_cast<std::size_t>(options.reduce_slots));
+  const int mult = options.slot_multiplier > 0 ? options.slot_multiplier : 1;
+  map_pool_ =
+      std::make_unique<ThreadPool>(static_cast<std::size_t>(options.map_slots * mult));
+  reduce_pool_ =
+      std::make_unique<ThreadPool>(static_cast<std::size_t>(options.reduce_slots * mult));
   transport_.Register(id, dispatcher_.AsHandler());
 }
 

@@ -23,6 +23,12 @@ namespace eclipse::mr {
 struct WorkerOptions {
   int map_slots = 2;
   int reduce_slots = 2;
+  /// Executor threads per pool = slots × this. With concurrent jobs the
+  /// pools are deliberately oversized: the real slot limit is enforced by
+  /// the cluster's SlotArbiter (tasks Acquire a slot inside their body), and
+  /// the extra threads let tasks from different jobs reach the arbiter at
+  /// the same time instead of queueing FIFO behind one job's wave.
+  int slot_multiplier = 1;
   Bytes cache_capacity = 64_MiB;
   dfs::DfsClientOptions dfs_client;
 };

@@ -142,6 +142,12 @@ std::vector<JobSummary> Summarize(const std::vector<TraceEvent>& events) {
     jobs.push_back(std::move(j));
   }
 
+  auto by_id = [&jobs](std::uint64_t id) -> JobSummary* {
+    for (JobSummary& j : jobs) {
+      if (j.job_id == id) return &j;
+    }
+    return nullptr;
+  };
   auto owner = [&jobs](std::uint64_t ts) -> JobSummary* {
     // Last job whose interval contains ts (jobs are start-ordered; overlap
     // only happens with concurrent drivers, where "last started" is the
@@ -154,7 +160,17 @@ std::vector<JobSummary> Summarize(const std::vector<TraceEvent>& events) {
   };
 
   for (const CompletedSpan& s : spans) {
-    JobSummary* j = owner(s.ts_us);
+    // Attribution: an explicit `job` argument is authoritative — with
+    // concurrent jobs, intervals overlap and containment alone would lump
+    // every span into the last-started job. Spans without the argument
+    // (older captures, the DES simulator) fall back to interval containment.
+    JobSummary* j = nullptr;
+    if (!SameName(s.name, "job")) {
+      if (const TraceArg* a = FindArg(s, "job"); a != nullptr && a->sval == nullptr) {
+        j = by_id(a->uval);
+      }
+    }
+    if (j == nullptr) j = owner(s.ts_us);
     if (j == nullptr) continue;
     if (SameName(s.name, "map_task")) {
       ++j->maps_total;

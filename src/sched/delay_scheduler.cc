@@ -27,6 +27,7 @@ int DelayScheduler::Fallback(const std::vector<int>& free_slots) const {
 }
 
 void DelayScheduler::RecordAssignment(int server) {
+  MutexLock lock(mu_);
   for (std::size_t i = 0; i < servers_.size(); ++i) {
     if (servers_[i] == server) {
       ++assigned_[i];

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/hash_key.h"
+#include "common/mutex.h"
 
 namespace eclipse::sched {
 
@@ -37,19 +38,27 @@ class DelayScheduler {
   /// (caller keeps waiting). Ties break in ring order.
   int Fallback(const std::vector<int>& free_slots) const;
 
-  /// Record the final placement (for load-balance accounting).
+  /// Record the final placement (for load-balance accounting). Thread-safe:
+  /// concurrent JobRunners share one scheduler epoch. The locality-wait
+  /// budget itself is NOT stored here — each JobRunner computes a local
+  /// per-task-attempt deadline from options().wait_timeout_sec, so two
+  /// concurrent jobs cannot consume each other's wait budgets by design.
   void RecordAssignment(int server);
 
-  const RangeTable& ranges() const { return ranges_; }
-  const std::vector<int>& servers() const { return servers_; }
-  const std::vector<std::uint64_t>& assigned_counts() const { return assigned_; }
+  const RangeTable& ranges() const { return ranges_; }  // immutable
+  const std::vector<int>& servers() const { return servers_; }  // immutable
+  std::vector<std::uint64_t> assigned_counts() const {
+    MutexLock lock(mu_);
+    return assigned_;
+  }
   const DelayOptions& options() const { return options_; }
 
  private:
-  std::vector<int> servers_;
-  RangeTable ranges_;
+  std::vector<int> servers_;  // immutable after construction
+  RangeTable ranges_;         // immutable after construction (never repartitioned)
   DelayOptions options_;
-  std::vector<std::uint64_t> assigned_;
+  mutable Mutex mu_;
+  std::vector<std::uint64_t> assigned_ GUARDED_BY(mu_);
 };
 
 }  // namespace eclipse::sched

@@ -18,6 +18,7 @@ LafScheduler::LafScheduler(std::vector<int> servers, RangeTable initial, LafOpti
 }
 
 int LafScheduler::Assign(HashKey hkey) {
+  MutexLock lock(mu_);
   int server = ranges_.Owner(hkey);
   assert(server >= 0);
 
@@ -62,8 +63,8 @@ void LafScheduler::Repartition() {
   ranges_ = PartitionCdf(cdf, servers_);
   ++repartitions_;
   // Boundary shift (Algorithm 1 line 24): an instant on the driver track —
-  // Assign runs on the submitting thread under the cluster's sched lock,
-  // and trace emission takes no shared lock, so this cannot contend.
+  // trace emission is lock-free per thread, so holding mu_ here cannot
+  // contend with anything but another Assign.
   obs::Tracer::Global().Emit('i', "sched", "laf_repartition", obs::kDriverPid,
                              {obs::U64("repartitions", repartitions_)});
 }

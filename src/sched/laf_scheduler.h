@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/mutex.h"
 #include "sched/cdf_partition.h"
 #include "sched/key_histogram.h"
 
@@ -36,31 +37,47 @@ class LafScheduler {
   /// Algorithm 1: the task goes to the server whose current hash-key range
   /// covers `hkey`; the access is recorded, and every `window` accesses the
   /// ranges are re-partitioned from the updated moving average.
+  ///
+  /// Thread-safe: concurrent JobRunners share one scheduler epoch, so all
+  /// mutable state is behind an internal mutex (uncontended in the
+  /// single-threaded simulators).
   int Assign(HashKey hkey);
 
   /// Current cache-layer partition (what iCache/oCache addressing uses).
-  const RangeTable& ranges() const { return ranges_; }
+  /// Returned by value: a consistent snapshot even while other threads
+  /// Assign (and thereby Repartition) concurrently.
+  RangeTable ranges() const {
+    MutexLock lock(mu_);
+    return ranges_;
+  }
 
   /// Ranges rebuilt so far (observability for tests and benches).
-  std::uint64_t repartitions() const { return repartitions_; }
+  std::uint64_t repartitions() const {
+    MutexLock lock(mu_);
+    return repartitions_;
+  }
 
   /// Tasks assigned per server, aligned with the server list — the paper
   /// reports the stddev of this as its load-balance metric (§III-C).
-  const std::vector<std::uint64_t>& assigned_counts() const { return assigned_; }
-  const std::vector<int>& servers() const { return servers_; }
+  std::vector<std::uint64_t> assigned_counts() const {
+    MutexLock lock(mu_);
+    return assigned_;
+  }
+  const std::vector<int>& servers() const { return servers_; }  // immutable
 
   const LafOptions& options() const { return options_; }
 
  private:
-  void Repartition();
+  void Repartition() REQUIRES(mu_);
 
-  std::vector<int> servers_;
+  std::vector<int> servers_;  // immutable after construction
   LafOptions options_;
-  KeyHistogram histogram_;
-  std::vector<double> moving_average_;
-  RangeTable ranges_;
-  std::uint64_t repartitions_ = 0;
-  std::vector<std::uint64_t> assigned_;
+  mutable Mutex mu_;
+  KeyHistogram histogram_ GUARDED_BY(mu_);
+  std::vector<double> moving_average_ GUARDED_BY(mu_);
+  RangeTable ranges_ GUARDED_BY(mu_);
+  std::uint64_t repartitions_ GUARDED_BY(mu_) = 0;
+  std::vector<std::uint64_t> assigned_ GUARDED_BY(mu_);
 };
 
 /// Load-balance metric: population standard deviation of per-server counts.

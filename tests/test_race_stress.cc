@@ -435,6 +435,57 @@ TEST(RaceStress, ClusterAddServerVsJobs) {
   ASSERT_EQ(after.output.size(), expected.size());
 }
 
+TEST(RaceStress, SubmittedJobsVsAddServer) {
+  // The multi-job front end racing membership growth: six jobs from two
+  // users go through Submit (concurrent JobRunners sharing the SlotArbiter
+  // and one SchedulerEpoch) while AddServer rebalances the DHT FS and
+  // publishes a fresh epoch mid-flight. With replication 3 the grow path
+  // must be invisible: every job's output must match its serial oracle —
+  // in-flight jobs keep their captured epoch, new owners serve via replica
+  // fall-through. (The replication=1 window is documented in
+  // docs/architecture.md; this pin covers the supported configuration.)
+  mr::ClusterOptions opts;
+  opts.num_servers = 4;
+  opts.block_size = 512;
+  opts.max_concurrent_jobs = 6;
+  mr::Cluster cluster(opts);
+  Rng rng(47);
+  workload::TextOptions topts;
+  topts.target_bytes = 10000;
+  std::string text_a = workload::GenerateText(rng, topts);
+  std::string text_b = workload::GenerateText(rng, topts);
+  ASSERT_TRUE(cluster.dfs().Upload("a", text_a).ok());
+  ASSERT_TRUE(cluster.dfs().Upload("b", text_b).ok());
+  auto oracle_a = apps::WordCountSerial(text_a);
+  auto oracle_b = apps::WordCountSerial(text_b);
+
+  std::vector<mr::JobHandle> handles;
+  for (int i = 0; i < 6; ++i) {
+    mr::JobSpec job = apps::WordCountJob("grow-race", i % 2 ? "b" : "a");
+    job.user = i % 2 ? "bob" : "alice";
+    job.spill_threshold = 256;
+    handles.push_back(cluster.Submit(std::move(job)));
+  }
+  int added = cluster.AddServer();
+  EXPECT_GE(added, 4);
+  for (std::size_t i = 0; i < handles.size(); ++i) {
+    mr::JobResult r = handles[i].Wait();
+    ASSERT_TRUE(r.status.ok()) << "job " << i << ": " << r.status.ToString();
+    const auto& oracle = i % 2 ? oracle_b : oracle_a;
+    ASSERT_EQ(r.output.size(), oracle.size()) << "job " << i;
+    for (const auto& kv : r.output) {
+      ASSERT_EQ(kv.value, std::to_string(oracle.at(kv.key))) << "job " << i << " " << kv.key;
+    }
+  }
+  EXPECT_EQ(cluster.arbiter().InUse("alice"), 0);
+  EXPECT_EQ(cluster.arbiter().InUse("bob"), 0);
+
+  // The grown cluster still serves both tenants.
+  auto after = cluster.Run(apps::WordCountJob("after-grow", "a"));
+  ASSERT_TRUE(after.status.ok()) << after.status.ToString();
+  ASSERT_EQ(after.output.size(), oracle_a.size());
+}
+
 TEST(RaceStress, TraceEmissionVsCaptureControl) {
   // Span emission from many threads racing Start/Stop/Clear/Snapshot on the
   // global tracer: the per-thread buffers are lock-free on the append path

@@ -3,8 +3,13 @@
 // range narrowing).
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cmath>
+#include <functional>
 #include <map>
+#include <thread>
+#include <vector>
 
 #include "common/rng.h"
 #include "sched/cdf_partition.h"
@@ -12,6 +17,7 @@
 #include "sched/fair_scheduler.h"
 #include "sched/key_histogram.h"
 #include "sched/laf_scheduler.h"
+#include "sched/slot_arbiter.h"
 
 namespace eclipse::sched {
 namespace {
@@ -267,6 +273,181 @@ TEST(CountStdDevTest, Values) {
   EXPECT_DOUBLE_EQ(CountStdDev({}), 0.0);
   EXPECT_DOUBLE_EQ(CountStdDev({5, 5, 5}), 0.0);
   EXPECT_NEAR(CountStdDev({0, 10}), 5.0, 1e-12);
+}
+
+// ---- SlotArbiter: cross-job slot accounting and weighted fairness --------
+
+namespace {
+/// Spin until `fn()` is true or ~2 s elapse (the arbiter has no futures to
+/// join; waiter visibility is the only observable ordering signal).
+bool Eventually(const std::function<bool()>& fn) {
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(2);
+  while (!fn()) {
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return true;
+}
+}  // namespace
+
+TEST(SlotArbiter, AcquireReleaseAccounting) {
+  SlotArbiter arb;
+  arb.AddWorker(0, 2, 1);
+  EXPECT_EQ(arb.FreeSlots(0, SlotKind::kMap), 2);
+  EXPECT_EQ(arb.FreeSlots(0, SlotKind::kReduce), 1);
+  ASSERT_TRUE(arb.Acquire(0, SlotKind::kMap, "a").ok());
+  ASSERT_TRUE(arb.Acquire(0, SlotKind::kMap, "a").ok());
+  EXPECT_EQ(arb.FreeSlots(0, SlotKind::kMap), 0);
+  EXPECT_EQ(arb.InUse("a"), 2);
+  arb.Release(0, SlotKind::kMap, "a");
+  EXPECT_EQ(arb.FreeSlots(0, SlotKind::kMap), 1);
+  EXPECT_EQ(arb.InUse("a"), 1);
+  arb.Release(0, SlotKind::kMap, "a");
+  EXPECT_EQ(arb.InUse("a"), 0);
+  // Unknown worker fails immediately.
+  EXPECT_EQ(arb.Acquire(9, SlotKind::kMap, "a").code(), ErrorCode::kUnavailable);
+  EXPECT_EQ(arb.FreeSlots(9, SlotKind::kMap), 0);
+}
+
+TEST(SlotArbiter, ContendedSlotGoesToSmallestShare) {
+  // b holds nothing, a holds two slots elsewhere: when the contended slot on
+  // worker 0 frees, max-min fairness must hand it to b, regardless of who
+  // queued first.
+  SlotArbiter arb;
+  arb.AddWorker(0, 1, 0);
+  arb.AddWorker(1, 2, 0);
+  ASSERT_TRUE(arb.Acquire(1, SlotKind::kMap, "a").ok());
+  ASSERT_TRUE(arb.Acquire(1, SlotKind::kMap, "a").ok());
+  ASSERT_TRUE(arb.Acquire(0, SlotKind::kMap, "c").ok());  // the contended slot
+  std::atomic<int> a_state{0}, b_state{0};
+  std::thread ta([&] {
+    ASSERT_TRUE(arb.Acquire(0, SlotKind::kMap, "a").ok());
+    a_state.store(1);
+  });
+  ASSERT_TRUE(Eventually([&] { return arb.Waiting() == 1; }));
+  std::thread tb([&] {
+    ASSERT_TRUE(arb.Acquire(0, SlotKind::kMap, "b").ok());
+    b_state.store(1);
+  });
+  ASSERT_TRUE(Eventually([&] { return arb.Waiting() == 2; }));
+
+  arb.Release(0, SlotKind::kMap, "c");
+  ASSERT_TRUE(Eventually([&] { return b_state.load() == 1; }))
+      << "slot went to the larger-share user";
+  EXPECT_EQ(a_state.load(), 0);
+  arb.Release(0, SlotKind::kMap, "b");
+  ASSERT_TRUE(Eventually([&] { return a_state.load() == 1; }));
+  ta.join();
+  tb.join();
+  arb.Release(0, SlotKind::kMap, "a");
+  arb.Release(1, SlotKind::kMap, "a");
+  arb.Release(1, SlotKind::kMap, "a");
+  EXPECT_EQ(arb.InUse("a"), 0);
+  EXPECT_EQ(arb.InUse("b"), 0);
+  EXPECT_GE(arb.ContendedGrants(), 2u);
+}
+
+TEST(SlotArbiter, WeightScalesShare) {
+  // a and b each hold one slot, but b's weight is 4: b's share (1/4) is
+  // smaller than a's (1/1), so the freed contended slot goes to b.
+  SlotArbiter arb;
+  arb.AddWorker(0, 1, 0);
+  arb.AddWorker(1, 2, 0);
+  arb.SetWeight("b", 4.0);
+  ASSERT_TRUE(arb.Acquire(1, SlotKind::kMap, "a").ok());
+  ASSERT_TRUE(arb.Acquire(1, SlotKind::kMap, "b").ok());
+  ASSERT_TRUE(arb.Acquire(0, SlotKind::kMap, "c").ok());
+  std::atomic<int> winner{0};
+  std::thread ta([&] {
+    ASSERT_TRUE(arb.Acquire(0, SlotKind::kMap, "a").ok());
+    int expected = 0;
+    winner.compare_exchange_strong(expected, 1);
+  });
+  ASSERT_TRUE(Eventually([&] { return arb.Waiting() == 1; }));
+  std::thread tb([&] {
+    ASSERT_TRUE(arb.Acquire(0, SlotKind::kMap, "b").ok());
+    int expected = 0;
+    winner.compare_exchange_strong(expected, 2);
+  });
+  ASSERT_TRUE(Eventually([&] { return arb.Waiting() == 2; }));
+  arb.Release(0, SlotKind::kMap, "c");
+  ASSERT_TRUE(Eventually([&] { return winner.load() != 0; }));
+  EXPECT_EQ(winner.load(), 2) << "weight-4 user should win the contended slot";
+  arb.Release(0, SlotKind::kMap, "b");
+  ASSERT_TRUE(Eventually([&] { return arb.Waiting() == 0; }));
+  ta.join();
+  tb.join();
+  arb.Release(0, SlotKind::kMap, "a");
+  arb.Release(1, SlotKind::kMap, "a");
+  arb.Release(1, SlotKind::kMap, "b");
+}
+
+TEST(SlotArbiter, SameUserWaitersAreFifo) {
+  SlotArbiter arb;
+  arb.AddWorker(0, 1, 0);
+  ASSERT_TRUE(arb.Acquire(0, SlotKind::kMap, "u").ok());
+  std::vector<int> order;
+  Mutex order_mu;
+  std::thread t1([&] {
+    ASSERT_TRUE(arb.Acquire(0, SlotKind::kMap, "u").ok());
+    MutexLock l(order_mu);
+    order.push_back(1);
+  });
+  ASSERT_TRUE(Eventually([&] { return arb.Waiting() == 1; }));
+  std::thread t2([&] {
+    ASSERT_TRUE(arb.Acquire(0, SlotKind::kMap, "u").ok());
+    MutexLock l(order_mu);
+    order.push_back(2);
+  });
+  ASSERT_TRUE(Eventually([&] { return arb.Waiting() == 2; }));
+  arb.Release(0, SlotKind::kMap, "u");
+  ASSERT_TRUE(Eventually([&] {
+    MutexLock l(order_mu);
+    return order.size() == 1;
+  }));
+  arb.Release(0, SlotKind::kMap, "u");
+  ASSERT_TRUE(Eventually([&] {
+    MutexLock l(order_mu);
+    return order.size() == 2;
+  }));
+  t1.join();
+  t2.join();
+  MutexLock l(order_mu);
+  EXPECT_EQ(order, (std::vector<int>{1, 2})) << "same-user grants must stay FIFO";
+  arb.Release(0, SlotKind::kMap, "u");
+}
+
+TEST(SlotArbiter, RemoveWorkerFailsWaitersAndAbsorbsReleases) {
+  SlotArbiter arb;
+  arb.AddWorker(0, 1, 0);
+  ASSERT_TRUE(arb.Acquire(0, SlotKind::kMap, "u").ok());
+  Status waiter_status;
+  std::thread t([&] { waiter_status = arb.Acquire(0, SlotKind::kMap, "u"); });
+  ASSERT_TRUE(Eventually([&] { return arb.Waiting() == 1; }));
+  arb.RemoveWorker(0);
+  t.join();
+  EXPECT_EQ(waiter_status.code(), ErrorCode::kUnavailable);
+  // The held slot can still be returned; it is absorbed, not re-granted.
+  arb.Release(0, SlotKind::kMap, "u");
+  EXPECT_EQ(arb.InUse("u"), 0);
+  EXPECT_EQ(arb.Acquire(0, SlotKind::kMap, "u").code(), ErrorCode::kUnavailable);
+}
+
+TEST(SlotArbiter, CancellationTokenAbortsWait) {
+  SlotArbiter arb;
+  arb.AddWorker(0, 1, 0);
+  ASSERT_TRUE(arb.Acquire(0, SlotKind::kMap, "u").ok());
+  std::atomic<bool> cancel{false};
+  Status waiter_status;
+  std::thread t([&] { waiter_status = arb.Acquire(0, SlotKind::kMap, "u", &cancel); });
+  ASSERT_TRUE(Eventually([&] { return arb.Waiting() == 1; }));
+  cancel.store(true);
+  arb.Poke();
+  t.join();
+  EXPECT_EQ(waiter_status.code(), ErrorCode::kCancelled);
+  EXPECT_EQ(arb.InUse("u"), 1) << "cancelled waiter must not be charged a slot";
+  arb.Release(0, SlotKind::kMap, "u");
+  EXPECT_EQ(arb.FreeSlots(0, SlotKind::kMap), 1);
 }
 
 }  // namespace

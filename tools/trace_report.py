@@ -116,6 +116,10 @@ def summarize(events):
         for s in spans if s["ph"] == "X" and s["name"] == "job"
     ]
 
+    by_id = {}
+    for j in jobs:
+        by_id.setdefault(j["job_id"], j)
+
     def owner(ts):
         best = None
         for j in jobs:
@@ -124,7 +128,14 @@ def summarize(events):
         return best
 
     for s in spans:
-        j = owner(s["ts"])
+        # An explicit `job` argument is authoritative (concurrent jobs have
+        # overlapping intervals); spans without one — older captures and the
+        # DES simulator — fall back to interval containment.
+        j = None
+        if s["name"] != "job":
+            j = by_id.get(s["args"].get("job"))
+        if j is None:
+            j = owner(s["ts"])
         if j is None:
             continue
         name, args = s["name"], s["args"]
