@@ -135,7 +135,7 @@ class LruCache {
                  EntryKind kind) REQUIRES(mu_);
   void EvictToFitLocked(Bytes incoming) REQUIRES(mu_);
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{Rank::kCacheLru, "LruCache::mu_"};
   Bytes capacity_ GUARDED_BY(mu_);
   Bytes used_ GUARDED_BY(mu_) = 0;
   std::list<Node> lru_ GUARDED_BY(mu_);  // front = most recent

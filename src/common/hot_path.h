@@ -1,0 +1,22 @@
+// ECLIPSE_HOT_PATH — marks a function as data-path hot: it may not allocate.
+//
+// The annotation is enforced by tools/eclipse_lint.py (rules hotpath-new,
+// hotpath-pushback, hotpath-tostring): no `new` expressions, no
+// push_back/emplace_back without a dominating reserve() in the same
+// function, no std::to_string. It exists to make the ROADMAP's zero-alloc
+// data-path goal *ratchetable*: once a hot function is allocation-free,
+// annotate it and the lint keeps it that way.
+//
+// Under Clang the marker is a real AST attribute (annotate), so the
+// libclang engine sees it structurally; elsewhere it expands to nothing and
+// the text engine matches the token. Zero runtime cost either way.
+//
+// Suppress a finding on a specific line (e.g. a cold error branch) with:
+//   // eclipse-lint: allow(hotpath-new)
+#pragma once
+
+#if defined(__clang__)
+#define ECLIPSE_HOT_PATH __attribute__((annotate("eclipse_hot_path")))
+#else
+#define ECLIPSE_HOT_PATH
+#endif

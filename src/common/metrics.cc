@@ -82,6 +82,7 @@ void AppendPromSeries(std::string& out, const std::string& family, const std::st
 
 }  // namespace
 
+ECLIPSE_HOT_PATH
 void Histogram::Record(std::uint64_t sample) {
   buckets_[BucketOf(sample)].fetch_add(1, std::memory_order_relaxed);
   count_.fetch_add(1, std::memory_order_relaxed);

@@ -19,6 +19,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/hot_path.h"
 #include "common/mutex.h"
 
 namespace eclipse {
@@ -30,7 +31,7 @@ using MetricLabels = std::vector<std::pair<std::string, std::string>>;
 
 class Counter {
  public:
-  void Add(std::uint64_t delta = 1) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  ECLIPSE_HOT_PATH void Add(std::uint64_t delta = 1) { value_.fetch_add(delta, std::memory_order_relaxed); }
   std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
   void Reset() { value_.store(0, std::memory_order_relaxed); }
 
@@ -42,7 +43,7 @@ class Counter {
 class Gauge {
  public:
   void Set(std::int64_t v) { value_.store(v, std::memory_order_relaxed); }
-  void Add(std::int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  ECLIPSE_HOT_PATH void Add(std::int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
   std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
   void Reset() { value_.store(0, std::memory_order_relaxed); }
 
@@ -56,7 +57,7 @@ class Histogram {
  public:
   static constexpr std::size_t kBuckets = 40;
 
-  void Record(std::uint64_t sample);
+  void Record(std::uint64_t sample);  // hot path (annotated at the definition)
   std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
   std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
   double mean() const;
@@ -117,7 +118,7 @@ class MetricsRegistry {
   static T& GetIn(std::map<std::string, Family<T>>& families, const std::string& name,
                   const MetricLabels& labels);
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{Rank::kMetrics, "MetricsRegistry::mu_"};
   // The maps are guarded; the pointed-to Counter/Gauge/Histogram objects are
   // internally atomic and safely shared outside the lock.
   std::map<std::string, Family<Counter>> counters_ GUARDED_BY(mu_);

@@ -1,0 +1,131 @@
+// Runtime lock-order validator (see common/mutex.h and common/lock_rank.h).
+//
+// Per-thread held-lock stack with strictly-increasing-rank enforcement. The
+// storage is a fixed-size trivially-destructible thread_local array, so the
+// validator works during thread start-up and tear-down (no dynamic
+// allocation, no destructor-ordering hazards) and costs one push/pop per
+// lock operation when enabled. The whole translation unit is empty in
+// Release builds (ECLIPSE_LOCK_VALIDATOR undefined).
+#include "common/mutex.h"
+
+#if ECLIPSE_LOCK_VALIDATOR_ENABLED
+
+#include <cstdio>
+#include <cstdlib>
+
+#if defined(__has_include)
+#if __has_include(<execinfo.h>)
+#include <execinfo.h>
+#define ECLIPSE_HAVE_EXECINFO 1
+#endif
+#endif
+
+namespace eclipse::lock_order {
+namespace {
+
+// Deeper nesting than this is itself a hierarchy bug: the catalog has nine
+// bands, so a legal chain can hold at most one mutex per band plus slack.
+constexpr int kMaxHeld = 32;
+
+struct Held {
+  const Mutex* mu;
+  void* pc;  // return address of the lock() call that acquired it
+};
+
+struct HeldStack {
+  Held held[kMaxHeld];
+  int depth = 0;
+};
+
+thread_local HeldStack tls_stack;
+
+[[noreturn]] void Die(const Mutex* acquiring, void* pc, const char* why,
+                      const Held& offender) {
+  // stderr only — this must work from any thread, under any lock, with no
+  // allocation; the process is about to abort.
+  std::fprintf(stderr,
+               "\n=== eclipse lock-order violation ===\n"
+               "%s\n"
+               "  acquiring: \"%s\" (rank %d) at pc %p\n"
+               "  held:      \"%s\" (rank %d) acquired at pc %p\n",
+               why, acquiring->name(), RankValue(acquiring->rank()), pc,
+               offender.mu->name(), RankValue(offender.mu->rank()),
+               offender.pc);
+  std::fprintf(stderr, "  full held stack (outermost first):\n");
+  for (int i = 0; i < tls_stack.depth; ++i) {
+    std::fprintf(stderr, "    [%d] \"%s\" (rank %d) acquired at pc %p\n", i,
+                 tls_stack.held[i].mu->name(),
+                 RankValue(tls_stack.held[i].mu->rank()), tls_stack.held[i].pc);
+  }
+  std::fprintf(stderr,
+               "  rule: a mutex's rank must exceed every held rank "
+               "(tools/lock_hierarchy.json, docs/static-analysis.md)\n");
+#if defined(ECLIPSE_HAVE_EXECINFO)
+  void* frames[64];
+  int n = backtrace(frames, 64);
+  std::fprintf(stderr, "  acquisition backtrace (%d frames):\n", n);
+  backtrace_symbols_fd(frames, n, /*fd=*/2);
+#endif
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace
+
+void OnLock(const Mutex* m, void* pc) {
+  HeldStack& s = tls_stack;
+  const int rank = RankValue(m->rank());
+  for (int i = 0; i < s.depth; ++i) {
+    if (s.held[i].mu == m) {
+      Die(m, pc, "recursive acquisition of a non-recursive mutex",
+          s.held[i]);
+    }
+    if (RankValue(s.held[i].mu->rank()) >= rank) {
+      Die(m, pc,
+          "rank not strictly greater than an already-held lock's rank",
+          s.held[i]);
+    }
+  }
+  if (s.depth >= kMaxHeld) {
+    Die(m, pc, "held-lock stack overflow (pathological nesting depth)",
+        s.held[kMaxHeld - 1]);
+  }
+  s.held[s.depth++] = Held{m, pc};
+}
+
+void OnTryLock(const Mutex* m, void* pc) {
+  HeldStack& s = tls_stack;
+  for (int i = 0; i < s.depth; ++i) {
+    if (s.held[i].mu == m) {
+      // std::mutex::try_lock on a mutex the thread already owns is UB; the
+      // fact that it "succeeded" means the bug is already live.
+      Die(m, pc, "recursive try_lock of a non-recursive mutex", s.held[i]);
+    }
+  }
+  if (s.depth >= kMaxHeld) {
+    Die(m, pc, "held-lock stack overflow (pathological nesting depth)",
+        s.held[kMaxHeld - 1]);
+  }
+  s.held[s.depth++] = Held{m, pc};
+}
+
+void OnUnlock(const Mutex* m) noexcept {
+  HeldStack& s = tls_stack;
+  // Usually LIFO (RAII), but a CondVar wait may release from mid-stack;
+  // search from the top.
+  for (int i = s.depth - 1; i >= 0; --i) {
+    if (s.held[i].mu == m) {
+      for (int j = i; j + 1 < s.depth; ++j) s.held[j] = s.held[j + 1];
+      --s.depth;
+      return;
+    }
+  }
+  // Unlock of a lock this thread never recorded: tolerated (defensive —
+  // e.g. a mutex locked before the validator TU was initialized).
+}
+
+int HeldDepth() noexcept { return tls_stack.depth; }
+
+}  // namespace eclipse::lock_order
+
+#endif  // ECLIPSE_LOCK_VALIDATOR_ENABLED

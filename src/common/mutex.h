@@ -1,15 +1,31 @@
-// Annotated mutex primitives for Clang thread-safety analysis.
+// Annotated, *ranked* mutex primitives.
 //
-// std::mutex carries no capability attributes, so the analysis cannot see
-// what a std::lock_guard protects. These thin wrappers (zero overhead beyond
-// std::mutex itself) carry the annotations from common/thread_annotations.h;
-// every mutex-protected structure in the concurrency-heavy layers uses them:
+// Two checkers hang off this header:
 //
-//   eclipse::Mutex mu_;
-//   int value_ GUARDED_BY(mu_);
-//   ...
-//   MutexLock lock(mu_);   // RAII, analysis knows mu_ is held in this scope
-//   ++value_;              // OK; without the lock: compile error under Clang
+// 1. Clang thread-safety analysis. std::mutex carries no capability
+//    attributes, so the analysis cannot see what a std::lock_guard protects.
+//    These thin wrappers carry the annotations from
+//    common/thread_annotations.h; every mutex-protected structure in the
+//    concurrency-heavy layers uses them:
+//
+//      eclipse::Mutex mu_{Rank::kCacheLru, "LruCache::mu_"};
+//      int value_ GUARDED_BY(mu_);
+//      ...
+//      MutexLock lock(mu_);   // RAII, analysis knows mu_ is held in this scope
+//      ++value_;              // OK; without the lock: compile error under Clang
+//
+// 2. The runtime lock-order validator. Every Mutex is constructed with a
+//    static rank from common/lock_rank.h plus a name; in debug / sanitizer
+//    builds (CMake option ECLIPSE_LOCK_VALIDATOR, default ON except in
+//    Release) each thread keeps a stack of held locks, and acquiring a
+//    mutex whose rank is not strictly greater than every held rank aborts
+//    with both lock names, both ranks, and the acquisition backtrace. That
+//    turns every test run into an exhaustive lock-order test; in Release
+//    the bookkeeping compiles out entirely (lock() is exactly
+//    std::mutex::lock()).
+//
+// The rank catalog and its manifest (tools/lock_hierarchy.json) are
+// described in docs/static-analysis.md.
 //
 // Condition variables use CondVar (std::condition_variable_any), which
 // accepts MutexLock directly. Waits are written as explicit while-loops so
@@ -17,25 +33,87 @@
 //
 //   MutexLock lock(mu_);
 //   while (!ready_) cv_.wait(lock);
+//
+// (The wait's internal unlock/relock goes through MutexLock::lock/unlock,
+// so the runtime validator tracks it correctly.)
 #pragma once
 
 #include <condition_variable>
 #include <mutex>
 
+#include "common/lock_rank.h"
 #include "common/thread_annotations.h"
+
+#if defined(ECLIPSE_LOCK_VALIDATOR)
+#define ECLIPSE_LOCK_VALIDATOR_ENABLED 1
+#else
+#define ECLIPSE_LOCK_VALIDATOR_ENABLED 0
+#endif
 
 namespace eclipse {
 
-/// An exclusive lock, annotated as a thread-safety capability.
+class Mutex;
+
+namespace lock_order {
+
+#if ECLIPSE_LOCK_VALIDATOR_ENABLED
+/// Rank-check `m` against the calling thread's held-lock stack and push it.
+/// Aborts (after printing both names, both ranks, and a backtrace) when the
+/// rank is not strictly greater than every held rank. `pc` is the caller's
+/// return address, recorded so the violation report can show where each
+/// held lock was acquired.
+void OnLock(const Mutex* m, void* pc);
+/// Push `m` without the rank check: a successful try_lock cannot contribute
+/// a hold-and-wait edge, but later blocking acquisitions must still be
+/// checked against it. Recursion and overflow are still fatal.
+void OnTryLock(const Mutex* m, void* pc);
+/// Pop `m` from the calling thread's held-lock stack.
+void OnUnlock(const Mutex* m) noexcept;
+/// Depth of the calling thread's held-lock stack (tests).
+int HeldDepth() noexcept;
+#endif
+
+}  // namespace lock_order
+
+/// An exclusive lock, annotated as a thread-safety capability and carrying
+/// a static rank + name for the runtime lock-order validator.
 class CAPABILITY("mutex") Mutex {
  public:
-  Mutex() = default;
+  /// Every mutex must declare its place in the lock hierarchy (enforced by
+  /// eclipse-lint's rank-presence rule; see tools/lock_hierarchy.json).
+  /// `name` must be a string with static storage duration — it is printed
+  /// verbatim in violation reports.
+  explicit Mutex(Rank rank, const char* name) : rank_(rank), name_(name) {}
+
+  Mutex() = delete;  // unranked mutexes are not allowed
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void lock() ACQUIRE() { mu_.lock(); }
-  void unlock() RELEASE() { mu_.unlock(); }
-  bool try_lock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void lock() ACQUIRE() {
+#if ECLIPSE_LOCK_VALIDATOR_ENABLED
+    lock_order::OnLock(this, __builtin_return_address(0));
+#endif
+    mu_.lock();
+  }
+  void unlock() RELEASE() {
+    mu_.unlock();
+#if ECLIPSE_LOCK_VALIDATOR_ENABLED
+    lock_order::OnUnlock(this);
+#endif
+  }
+  bool try_lock() TRY_ACQUIRE(true) {
+    // Non-blocking, so it cannot participate in a lock-order deadlock on its
+    // own; on success it still joins the held stack so later blocking
+    // acquisitions are checked against it.
+    if (!mu_.try_lock()) return false;
+#if ECLIPSE_LOCK_VALIDATOR_ENABLED
+    lock_order::OnTryLock(this, __builtin_return_address(0));
+#endif
+    return true;
+  }
+
+  Rank rank() const { return rank_; }
+  const char* name() const { return name_; }
 
   /// Static-analysis assertion that this mutex is held (no runtime check);
   /// for lambdas that run with the lock held but outside a MutexLock scope.
@@ -43,6 +121,8 @@ class CAPABILITY("mutex") Mutex {
 
  private:
   std::mutex mu_;
+  const Rank rank_;
+  const char* const name_;
 };
 
 /// RAII lock for Mutex; also satisfies BasicLockable so CondVar::wait can

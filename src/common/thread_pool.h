@@ -59,7 +59,7 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{Rank::kThreadPool, "ThreadPool::mu_"};
   CondVar cv_;       // work available / stopping
   CondVar idle_cv_;  // everything drained
   std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);

@@ -72,13 +72,13 @@ class BlockStore {
            std::chrono::steady_clock::now() >= b.expiry;
   }
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{Rank::kBlockStore, "BlockStore::mu_"};
   std::unordered_map<std::string, StoredBlock> blocks_ GUARDED_BY(mu_);
   Bytes total_bytes_ GUARDED_BY(mu_) = 0;
 
   // Hook is shared_ptr-swapped under its own leaf lock so SetOpHook can
   // race with in-flight operations (the hook runs outside both locks).
-  mutable Mutex hook_mu_;
+  mutable Mutex hook_mu_{Rank::kBlockStoreHook, "BlockStore::hook_mu_"};
   std::shared_ptr<const std::function<void()>> op_hook_ GUARDED_BY(hook_mu_);
 };
 

@@ -1,11 +1,11 @@
 #include "dfs/dfs_client.h"
 
 #include <map>
-#include <mutex>
 #include <string_view>
 #include <thread>
 
 #include "common/log.h"
+#include "common/mutex.h"
 
 namespace eclipse::dfs {
 
@@ -181,7 +181,7 @@ Result<std::string> DfsClient::ReadFile(const std::string& name) {
   constexpr std::uint64_t kFanOut = 8;
   std::vector<std::string> blocks(n);
   Status first_error;
-  std::mutex err_mu;
+  Mutex err_mu{Rank::kScratch, "DfsClient::ReadFile.err_mu"};
   for (std::uint64_t base = 0; base < n; base += kFanOut) {
     std::vector<std::thread> fetchers;
     std::uint64_t end = std::min(n, base + kFanOut);
@@ -191,7 +191,7 @@ Result<std::string> DfsClient::ReadFile(const std::string& name) {
         if (block.ok()) {
           blocks[i] = std::move(block.value());
         } else {
-          std::lock_guard lock(err_mu);
+          MutexLock lock(err_mu);
           if (first_error.ok()) first_error = block.status();
         }
       });

@@ -67,12 +67,12 @@ class DfsNode {
 
   const int self_;
   BlockStore blocks_;
-  mutable Mutex meta_mu_;
+  mutable Mutex meta_mu_{Rank::kDfsMeta, "DfsNode::meta_mu_"};
   std::unordered_map<std::string, FileMetadata> metadata_ GUARDED_BY(meta_mu_);
 
   // Multi-hop routing state (optional). EnableRouting may race with inbound
   // kRoutedGet traffic, so handlers snapshot this under route_mu_.
-  mutable Mutex route_mu_;
+  mutable Mutex route_mu_{Rank::kDfsRoute, "DfsNode::route_mu_"};
   net::Transport* transport_ GUARDED_BY(route_mu_) = nullptr;
   RingProvider ring_provider_ GUARDED_BY(route_mu_);
   std::size_t finger_entries_ GUARDED_BY(route_mu_) = 0;

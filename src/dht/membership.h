@@ -104,7 +104,7 @@ class MembershipAgent {
 
   // Lock hierarchy: mu_ (ring state) and cb_mu_ (callback lists) are leaf
   // locks — no transport call or callback runs while either is held.
-  mutable Mutex mu_;
+  mutable Mutex mu_{Rank::kMembership, "MembershipAgent::mu_"};
   Ring ring_ GUARDED_BY(mu_);
   std::unordered_map<int, int> miss_count_ GUARDED_BY(mu_);
 
@@ -117,7 +117,7 @@ class MembershipAgent {
   std::thread heartbeat_thread_ GUARDED_BY(mu_);
   bool started_ GUARDED_BY(mu_) = false;
 
-  Mutex cb_mu_;
+  Mutex cb_mu_{Rank::kMembershipCb, "MembershipAgent::cb_mu_"};
   std::vector<FailureCallback> failure_cbs_ GUARDED_BY(cb_mu_);
   std::vector<CoordinatorCallback> coordinator_cbs_ GUARDED_BY(cb_mu_);
 };

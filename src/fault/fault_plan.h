@@ -125,7 +125,7 @@ class FaultController {
   std::chrono::microseconds DiskDelay(int node) const;
 
  private:
-  mutable Mutex mu_;
+  mutable Mutex mu_{Rank::kFaultController, "FaultController::mu_"};
   std::shared_ptr<const FaultPlan> plan_ GUARDED_BY(mu_);
   // Per-edge message counters: the position in each edge's decision stream,
   // keyed by packed (from, to). Reset on Install so a re-installed plan

@@ -47,7 +47,7 @@ class StragglerDetector {
 
  private:
   const StragglerOptions options_;
-  mutable Mutex mu_;
+  mutable Mutex mu_{Rank::kStragglerDetector, "StragglerDetector::mu_"};
   // Kept sorted: Record inserts in order, so ThresholdUs is an index read.
   std::vector<std::uint64_t> durations_ GUARDED_BY(mu_);
 };

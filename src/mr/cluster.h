@@ -213,7 +213,7 @@ class Cluster {
   ClusterOptions options_;
   std::unique_ptr<net::Transport> transport_;
 
-  mutable Mutex ring_mu_ ACQUIRED_AFTER(workers_mu_);
+  mutable Mutex ring_mu_ ACQUIRED_AFTER(workers_mu_){Rank::kClusterRing, "Cluster::ring_mu_"};
   dht::Ring ring_ GUARDED_BY(ring_mu_);
 
   // AddServer grows these vectors while jobs, heartbeat callbacks, and tests
@@ -221,7 +221,7 @@ class Cluster {
   // pointed-to WorkerServer/MembershipAgent objects are stable once inserted
   // (never erased — KillServer only marks them dead) and internally
   // thread-safe, so references handed out by worker() stay valid unlocked.
-  mutable Mutex workers_mu_;
+  mutable Mutex workers_mu_{Rank::kClusterWorkers, "Cluster::workers_mu_"};
   std::vector<std::unique_ptr<WorkerServer>> workers_ GUARDED_BY(workers_mu_);
   std::vector<std::unique_ptr<dht::MembershipAgent>> agents_
       GUARDED_BY(workers_mu_);  // empty when membership is off
@@ -233,7 +233,7 @@ class Cluster {
   // the metrics registry), so it may be called from anywhere.
   sched::SlotArbiter arbiter_;
 
-  mutable Mutex sched_mu_ ACQUIRED_AFTER(ring_mu_);
+  mutable Mutex sched_mu_ ACQUIRED_AFTER(ring_mu_){Rank::kClusterSched, "Cluster::sched_mu_"};
   std::shared_ptr<const SchedulerEpoch> epoch_ GUARDED_BY(sched_mu_);
 
   // Destroyed first (declaration order): runner threads drain before the

@@ -45,7 +45,7 @@ struct JobState {
   /// called once `done` — handles must not outlive the Cluster).
   std::function<void()> poke;
 
-  Mutex mu;
+  Mutex mu{Rank::kJobState, "JobState::mu"};
   CondVar cv;
   bool done GUARDED_BY(mu) = false;
   JobResult result GUARDED_BY(mu);
@@ -106,7 +106,7 @@ class JobQueue {
   void RunnerLoop();
 
   Cluster& cluster_;
-  mutable Mutex mu_;
+  mutable Mutex mu_{Rank::kJobQueue, "JobQueue::mu_"};
   CondVar cv_;
   std::deque<std::shared_ptr<internal::JobState>> pending_ GUARDED_BY(mu_);
   std::size_t running_ GUARDED_BY(mu_) = 0;

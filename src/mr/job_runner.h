@@ -122,7 +122,7 @@ class JobRunner {
   RangeTable fs_ranges_;  // epoch_->fs_ranges; spill range identities are
                           // stable across mid-job membership changes
 
-  Mutex state_mu_;
+  Mutex state_mu_{Rank::kJobRunnerState, "JobRunner::state_mu_"};
   std::map<std::string, SpillInfo> spills_ GUARDED_BY(state_mu_);  // id -> info (deduped)
   std::map<std::string, BlockRef> spill_block_
       GUARDED_BY(state_mu_);  // id -> producing input block

@@ -48,6 +48,7 @@ Result<std::vector<KV>> DecodeSpill(const std::string& data) {
   return out;
 }
 
+ECLIPSE_HOT_PATH
 std::size_t RouteToRange(const std::vector<HashKey>& sorted_begins, HashKey hk) {
   // Ranges tile the ring: range i covers [begins[i], begins[i+1]) and the
   // last range wraps around to begins[0]. The covering range is therefore

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "common/hot_path.h"
 #include "dfs/dfs_client.h"
 #include "mr/types.h"
 
@@ -47,6 +48,7 @@ Status DecodeSpillInto(const std::string& data, std::vector<KV>* out);
 /// ranges tiling the ring) of the range covering `hk`: the last begin <= hk,
 /// wrapping to the final range for keys below the first boundary. Pure —
 /// exercised directly by tests against the linear-scan reference.
+ECLIPSE_HOT_PATH
 std::size_t RouteToRange(const std::vector<HashKey>& sorted_begins, HashKey hk);
 
 /// Sort-then-group `pairs` by key (stable: values keep their spill order)

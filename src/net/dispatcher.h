@@ -30,7 +30,7 @@ class Dispatcher {
  private:
   Message Dispatch(NodeId from, const Message& msg);
 
-  Mutex mu_;
+  Mutex mu_{Rank::kDispatcher, "Dispatcher::mu_"};
   // Keyed by range end; value holds range start + handler.
   struct Entry {
     std::uint32_t first;

@@ -13,6 +13,19 @@
 namespace eclipse::net {
 namespace {
 
+// strerror returns a static buffer (concurrency-mt-unsafe); route through
+// strerror_r, whose two signatures (GNU returns char*, POSIX returns int
+// and fills the buffer) are disambiguated by overload.
+inline const char* ErrnoStringImpl(char* gnu_result, const char*) {
+  return gnu_result;
+}
+inline const char* ErrnoStringImpl(int, const char* buf) { return buf; }
+
+std::string ErrnoString(int err) {
+  char buf[128] = "unknown error";
+  return ErrnoStringImpl(strerror_r(err, buf, sizeof buf), buf);
+}
+
 bool ReadFull(int fd, void* buf, std::size_t n) {
   auto* p = static_cast<char*>(buf);
   while (n > 0) {
@@ -68,7 +81,7 @@ void TcpTransport::Register(NodeId node, Handler handler) {
   ep->handler = std::make_shared<Handler>(std::move(handler));
   ep->listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (ep->listen_fd < 0) {
-    LOG_ERROR << "socket() failed: " << std::strerror(errno);
+    LOG_ERROR << "socket() failed: " << ErrnoString(errno);
     return;
   }
   int one = 1;
@@ -80,7 +93,7 @@ void TcpTransport::Register(NodeId node, Handler handler) {
   addr.sin_port = 0;  // OS-assigned
   if (::bind(ep->listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
       ::listen(ep->listen_fd, 64) != 0) {
-    LOG_ERROR << "bind/listen failed: " << std::strerror(errno);
+    LOG_ERROR << "bind/listen failed: " << ErrnoString(errno);
     ::close(ep->listen_fd);
     return;
   }

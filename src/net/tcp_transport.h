@@ -42,7 +42,7 @@ class TcpTransport : public Transport {
   // Unregister has already destroyed the Endpoint: each worker co-owns the
   // state, so the mutex/condvar outlive every notifier.
   struct DrainState {
-    Mutex mu;
+    Mutex mu{Rank::kTcpDrain, "TcpTransport::DrainState::mu"};
     CondVar drained;
     // Mutated and read only under mu, so the waiter cannot miss the final
     // notify between its predicate check and its wait.
@@ -68,7 +68,7 @@ class TcpTransport : public Transport {
   void Teardown(std::unique_ptr<Endpoint> ep);
   Result<Message> CallImpl(NodeId from, NodeId to, const Message& request);
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{Rank::kTcpTransport, "TcpTransport::mu_"};
   // Endpoints are removed from the map before teardown, so AcceptLoop and
   // connection threads always see a live Endpoint via their raw pointer.
   std::unordered_map<NodeId, std::unique_ptr<Endpoint>> endpoints_ GUARDED_BY(mu_);

@@ -76,7 +76,7 @@ class InProcessTransport : public Transport {
   Result<Message> Call(NodeId from, NodeId to, const Message& request) override;
 
  private:
-  Mutex mu_;
+  Mutex mu_{Rank::kTransport, "InProcessTransport::mu_"};
   // Handlers are shared_ptr so Call can invoke them outside the lock while a
   // concurrent Register replaces or detaches the slot.
   std::unordered_map<NodeId, std::shared_ptr<Handler>> handlers_ GUARDED_BY(mu_);

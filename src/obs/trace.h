@@ -145,7 +145,7 @@ class Tracer {
   };
 
   struct ThreadLog {
-    Mutex mu;  // guards the chunk list *structure* (rollover, recycle, read)
+    Mutex mu{Rank::kTraceLog, "Tracer::ThreadLog::mu"};  // guards the chunk list *structure* (rollover, recycle, read)
     std::vector<std::unique_ptr<Chunk>> chunks GUARDED_BY(mu);
     Chunk* current = nullptr;          // owner thread only
     std::uint64_t session = 0;         // owner thread only
@@ -170,7 +170,7 @@ class Tracer {
   std::atomic<std::int64_t> epoch_ns_{0};
   std::atomic<std::uint64_t> overwritten_chunks_{0};
 
-  mutable Mutex mu_;  // registry of per-thread logs; grows only
+  mutable Mutex mu_{Rank::kTraceRegistry, "Tracer::mu_"};  // registry of per-thread logs; grows only
   std::vector<std::unique_ptr<ThreadLog>> logs_ GUARDED_BY(mu_);
   std::uint32_t next_tid_ GUARDED_BY(mu_) = 1;
 };

@@ -57,7 +57,7 @@ class DelayScheduler {
   std::vector<int> servers_;  // immutable after construction
   RangeTable ranges_;         // immutable after construction (never repartitioned)
   DelayOptions options_;
-  mutable Mutex mu_;
+  mutable Mutex mu_{Rank::kDelayScheduler, "DelayScheduler::mu_"};
   std::vector<std::uint64_t> assigned_ GUARDED_BY(mu_);
 };
 

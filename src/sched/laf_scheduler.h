@@ -72,7 +72,7 @@ class LafScheduler {
 
   std::vector<int> servers_;  // immutable after construction
   LafOptions options_;
-  mutable Mutex mu_;
+  mutable Mutex mu_{Rank::kLafScheduler, "LafScheduler::mu_"};
   KeyHistogram histogram_ GUARDED_BY(mu_);
   std::vector<double> moving_average_ GUARDED_BY(mu_);
   RangeTable ranges_ GUARDED_BY(mu_);

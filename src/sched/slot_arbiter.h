@@ -116,7 +116,7 @@ class SlotArbiter {
 
   void ReleaseLocked(int worker, SlotKind kind, const std::string& user) REQUIRES(mu_);
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{Rank::kSlotArbiter, "SlotArbiter::mu_"};
   CondVar cv_;
   std::map<int, WorkerSlots> workers_ GUARDED_BY(mu_);
   std::map<std::string, UserShare> users_ GUARDED_BY(mu_);

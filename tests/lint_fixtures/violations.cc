@@ -1,0 +1,47 @@
+// eclipse-lint self-test fixture: every rule below must fire exactly where
+// annotated. NOT compiled — consumed by tests/lint_selftest.py, which runs
+// tools/eclipse_lint.py over this file and asserts the expected findings.
+// The tree-wide lint run skips the lint_fixtures directory.
+#include <mutex>
+
+#include "common/hot_path.h"
+#include "common/mutex.h"
+
+namespace eclipse {
+
+struct BadUnranked {
+  Mutex mu_;  // expect: mutex-rank
+};
+
+struct Ordered {
+  Mutex outer_mu_{Rank::kCacheLru, "fixture.outer"};
+  Mutex inner_mu_{Rank::kClusterWorkers, "fixture.inner"};
+  net::Transport* transport_ = nullptr;
+
+  void Inverted() {
+    MutexLock a(outer_mu_);          // rank 640
+    MutexLock b(inner_mu_);          // expect: lock-order (200 <= 640)
+  }
+
+  void BlockingUnderLock() {
+    MutexLock a(inner_mu_);          // rank 200, non-leaf
+    transport_->Call(1, 2, {});      // expect: blocking-call
+  }
+
+  void Suppressed() {
+    MutexLock a(inner_mu_);
+    transport_->Call(1, 2, {});      // eclipse-lint: allow(blocking-call)
+  }
+};
+
+std::mutex raw_mu;  // expect: std-mutex (outside src/common)
+
+ECLIPSE_HOT_PATH int HotAlloc() {
+  int* p = new int(7);               // expect: hotpath-new
+  std::vector<int> v;
+  v.push_back(*p);                   // expect: hotpath-pushback (no reserve)
+  auto s = std::to_string(*p);       // expect: hotpath-tostring
+  return static_cast<int>(s.size());
+}
+
+}  // namespace eclipse

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""eclipse-lint self-test (ctest `lint_selftest`).
+
+Runs tools/eclipse_lint.py over tests/lint_fixtures/violations.cc — a file
+of deliberate rule violations — and asserts that every rule fires on its
+annotated line, that the suppression comment silences the suppressed call,
+and that the tree-wide default excludes the fixtures directory. Engine:
+text (always available); with python3-clang installed, run again with
+--engine clang manually to cross-check the precise engine.
+"""
+
+import os
+import re
+import subprocess
+import sys
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+LINT = os.path.join(ROOT, "tools", "eclipse_lint.py")
+FIXTURE = os.path.join("tests", "lint_fixtures", "violations.cc")
+
+# rule -> line it must fire on (from the `// expect:` comments in the fixture).
+def expected_findings():
+    exp = {}
+    with open(os.path.join(ROOT, FIXTURE), encoding="utf-8") as f:
+        for i, line in enumerate(f, 1):
+            m = re.search(r"// expect: ([a-z\-]+)", line)
+            if m:
+                exp.setdefault(m.group(1), []).append(i)
+    return exp
+
+
+def main():
+    exp = expected_findings()
+    assert exp, "fixture has no `// expect:` annotations"
+
+    proc = subprocess.run(
+        [sys.executable, LINT, "--engine", "text", FIXTURE],
+        cwd=ROOT, capture_output=True, text=True)
+    if proc.returncode != 1:
+        print(f"FAIL: lint on the violations fixture exited {proc.returncode} "
+              f"(want 1)\nstdout:\n{proc.stdout}\nstderr:\n{proc.stderr}")
+        return 1
+
+    got = {}
+    for line in proc.stdout.splitlines():
+        m = re.match(r"(.+?):(\d+): \[([a-z\-]+)\]", line)
+        if m and m.group(1) == FIXTURE:
+            got.setdefault(m.group(3), []).append(int(m.group(2)))
+
+    failures = []
+    for rule, lines in exp.items():
+        for ln in lines:
+            if ln not in got.get(rule, []):
+                failures.append(f"rule {rule} did not fire on {FIXTURE}:{ln} "
+                                f"(fired on {got.get(rule, [])})")
+    # The suppressed Transport::Call must NOT be reported.
+    with open(os.path.join(ROOT, FIXTURE), encoding="utf-8") as f:
+        for i, line in enumerate(f, 1):
+            if "allow(blocking-call)" in line and i in got.get("blocking-call", []):
+                failures.append(f"suppression comment on line {i} was ignored")
+
+    # Tree-wide default must skip lint_fixtures (else the clean-tree gate
+    # would always fail).
+    proc2 = subprocess.run(
+        [sys.executable, LINT, "--engine", "text"],
+        cwd=ROOT, capture_output=True, text=True)
+    if f"{FIXTURE}:" in proc2.stdout:
+        failures.append("tree-wide lint did not exclude tests/lint_fixtures/")
+
+    if failures:
+        print("FAIL:\n  " + "\n  ".join(failures))
+        print(f"\nlint output was:\n{proc.stdout}")
+        return 1
+    n = sum(len(v) for v in exp.values())
+    print(f"OK: {n} expected findings all fired, suppression honored, "
+          f"fixtures excluded tree-wide")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,230 @@
+// The runtime lock-order validator's executable contract
+// (common/mutex.h + common/lock_rank.h, handbook: docs/static-analysis.md):
+//
+//  * a rank inversion aborts, and the report names BOTH locks and ranks
+//    (death tests below pin the message format eclipse-lint's and the
+//    handbook's examples show),
+//  * a correctly ordered nested acquisition chain is silent,
+//  * CondVar waits re-acquire through the validator without tripping it,
+//  * try_lock is exempt from the order check (non-blocking),
+//  * the hierarchy's three machine-readable representations — the enum,
+//    tools/lock_hierarchy.json, and the docs rank table — agree (the same
+//    grep-based doc-consistency idiom as docs/fault-tolerance.md's test).
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <regex>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "common/lock_rank.h"
+#include "common/mutex.h"
+
+namespace eclipse {
+namespace {
+
+#if ECLIPSE_LOCK_VALIDATOR_ENABLED
+
+TEST(LockValidatorDeath, RankInversionAbortsWithBothNames) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Mutex low{Rank::kClusterWorkers, "test.inversion_low"};
+  Mutex high{Rank::kCacheLru, "test.inversion_high"};
+  // Acquiring the lower-ranked lock while holding the higher-ranked one is
+  // the seeded inversion; the report must carry both names and both ranks,
+  // so an operator can fix the site without reproducing the interleaving.
+  EXPECT_DEATH(
+      {
+        MutexLock a(high);
+        MutexLock b(low);
+      },
+      "lock-order violation.*test\\.inversion_low.*rank 200"
+      ".*test\\.inversion_high.*rank 640");
+}
+
+TEST(LockValidatorDeath, EqualRankAbortsToo) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Mutex a{Rank::kTest, "test.equal_a"};
+  Mutex b{Rank::kTest, "test.equal_b"};
+  // Strictly greater means equal ranks may never nest either — two
+  // same-band locks held together would deadlock under opposite orders.
+  EXPECT_DEATH(
+      {
+        MutexLock la(a);
+        MutexLock lb(b);
+      },
+      "lock-order violation.*test\\.equal_b.*test\\.equal_a");
+}
+
+TEST(LockValidatorDeath, RecursiveAcquisitionAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Mutex mu{Rank::kTest, "test.recursive"};
+  EXPECT_DEATH(
+      {
+        MutexLock outer(mu);
+        mu.lock();  // same mutex, same thread: always a bug
+      },
+      "recursive acquisition.*test\\.recursive");
+}
+
+TEST(LockValidator, OrderedNestedAcquisitionIsSilent) {
+  // The full documented chain, outermost to leaf-most, nested at once —
+  // exactly what the hierarchy licenses. Must run to completion.
+  Mutex q{Rank::kJobQueue, "test.pass.q"};
+  Mutex w{Rank::kClusterWorkers, "test.pass.w"};
+  Mutex r{Rank::kClusterRing, "test.pass.r"};
+  Mutex s{Rank::kClusterSched, "test.pass.s"};
+  Mutex leaf{Rank::kMetrics, "test.pass.leaf"};
+  int touched = 0;
+  {
+    MutexLock l1(q);
+    MutexLock l2(w);
+    MutexLock l3(r);
+    MutexLock l4(s);
+    MutexLock l5(leaf);
+    ++touched;
+  }
+  ASSERT_EQ(lock_order::HeldDepth(), 0) << "stack must drain on scope exit";
+  // Re-acquiring after release is fine (the rule is per held-stack, not
+  // per history).
+  {
+    MutexLock l5(leaf);
+    ++touched;
+  }
+  {
+    MutexLock l1(q);
+    ++touched;
+  }
+  EXPECT_EQ(touched, 3);
+  EXPECT_EQ(lock_order::HeldDepth(), 0);
+}
+
+TEST(LockValidator, CondVarWaitReacquiresThroughTheValidator) {
+  Mutex outer{Rank::kJobQueue, "test.cv.outer"};
+  Mutex inner{Rank::kSlotArbiter, "test.cv.inner"};
+  CondVar cv;
+  bool ready = false;
+  std::thread waker([&] {
+    MutexLock l(inner);
+    ready = true;
+    cv.notify_one();
+  });
+  {
+    // Wait on the *inner* lock while the outer is held: the internal
+    // unlock/relock of `inner` flows through MutexLock::lock/unlock, so
+    // the re-acquire is rank-checked against the still-held outer lock —
+    // and passes, because 520 > 100.
+    MutexLock lo(outer);
+    MutexLock li(inner);
+    while (!ready) cv.wait(li);
+  }
+  waker.join();
+  EXPECT_EQ(lock_order::HeldDepth(), 0);
+}
+
+TEST(LockValidator, TryLockIsExemptFromTheOrderCheck) {
+  Mutex low{Rank::kClusterWorkers, "test.try.low"};
+  Mutex high{Rank::kCacheLru, "test.try.high"};
+  MutexLock l(high);
+  // A blocking lock of `low` here would abort; try_lock cannot contribute
+  // a hold-and-wait edge, so it is allowed — but it joins the held stack.
+  ASSERT_TRUE(low.try_lock());
+  EXPECT_EQ(lock_order::HeldDepth(), 2);
+  low.unlock();
+  EXPECT_EQ(lock_order::HeldDepth(), 1);
+}
+
+TEST(LockValidator, StacksArePerThread) {
+  // One thread holding a leaf lock must not constrain another thread's
+  // outermost acquisition.
+  Mutex leaf{Rank::kTraceLog, "test.tls.leaf"};
+  Mutex outer{Rank::kJobQueue, "test.tls.outer"};
+  MutexLock l(leaf);
+  std::thread t([&] {
+    MutexLock lo(outer);  // rank 100 < 930, but on a fresh thread: fine
+    EXPECT_EQ(lock_order::HeldDepth(), 1);
+  });
+  t.join();
+  EXPECT_EQ(lock_order::HeldDepth(), 1);
+}
+
+#else  // !ECLIPSE_LOCK_VALIDATOR_ENABLED
+
+TEST(LockValidator, CompiledOutInThisBuild) {
+  // Release builds compile the validator out; nothing to exercise, but the
+  // suite still records that this configuration was the compiled-out one.
+  Mutex mu{Rank::kTest, "test.release"};
+  MutexLock l(mu);
+  SUCCEED();
+}
+
+#endif  // ECLIPSE_LOCK_VALIDATOR_ENABLED
+
+// ---------------------------------------------------------------------------
+// Hierarchy doc/manifest consistency (grep-based, mirrors
+// FaultInjection.HandbookDocumentsEveryKnob).
+// ---------------------------------------------------------------------------
+
+std::string ReadRepoFile(const std::string& rel) {
+  std::ifstream in(std::string(ECLIPSE_SOURCE_DIR) + "/" + rel);
+  EXPECT_TRUE(in.good()) << rel << " missing";
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+std::vector<std::pair<std::string, int>> EnumRanks() {
+  // Parse `kName = value,` out of lock_rank.h — the same lexical contract
+  // eclipse-lint relies on.
+  std::vector<std::pair<std::string, int>> ranks;
+  const std::string header = ReadRepoFile("src/common/lock_rank.h");
+  std::regex entry(R"((k\w+)\s*=\s*(\d+)\s*,)");
+  for (auto it = std::sregex_iterator(header.begin(), header.end(), entry);
+       it != std::sregex_iterator(); ++it) {
+    if ((*it)[1] == "kLeafRankFloor") continue;
+    ranks.emplace_back((*it)[1], std::stoi((*it)[2]));
+  }
+  return ranks;
+}
+
+TEST(LockHierarchyDocs, ManifestAndDocsCoverEveryRank) {
+  const std::string manifest = ReadRepoFile("tools/lock_hierarchy.json");
+  const std::string docs = ReadRepoFile("docs/static-analysis.md");
+  auto ranks = EnumRanks();
+  ASSERT_GE(ranks.size(), 25u) << "rank parse failure or hierarchy shrank";
+  int prev = -1;
+  for (const auto& [name, value] : ranks) {
+    EXPECT_GT(value, prev) << "ranks must be strictly increasing: " << name;
+    prev = value;
+    EXPECT_NE(manifest.find("\"" + name + "\""), std::string::npos)
+        << "tools/lock_hierarchy.json does not list rank " << name;
+    EXPECT_NE(docs.find("`" + name + "`"), std::string::npos)
+        << "docs/static-analysis.md rank table does not list " << name;
+  }
+}
+
+TEST(LockHierarchyDocs, ArchitectureReferencesTheManifest) {
+  const std::string arch = ReadRepoFile("docs/architecture.md");
+  EXPECT_NE(arch.find("tools/lock_hierarchy.json"), std::string::npos)
+      << "docs/architecture.md must point at the manifest as the source of "
+         "truth for the lock hierarchy";
+  EXPECT_NE(arch.find("docs/static-analysis.md"), std::string::npos)
+      << "docs/architecture.md must hand off to the static-analysis handbook";
+}
+
+TEST(LockHierarchyDocs, HandbookDocumentsEveryLintRule) {
+  const std::string docs = ReadRepoFile("docs/static-analysis.md");
+  const char* rules[] = {
+      "mutex-rank",    "lock-order",       "blocking-call", "std-mutex",
+      "hotpath-new",   "hotpath-pushback", "hotpath-tostring",
+      "manifest",      "ECLIPSE_HOT_PATH", "ECLIPSE_LOCK_VALIDATOR",
+      "allow(",        "--check-manifest", "--print-docs-table",
+  };
+  for (const char* rule : rules) {
+    EXPECT_NE(docs.find(rule), std::string::npos)
+        << "docs/static-analysis.md does not mention `" << rule << "`";
+  }
+}
+
+}  // namespace
+}  // namespace eclipse

@@ -19,6 +19,8 @@
 
 #include "apps/wordcount.h"
 #include "cache/lru_cache.h"
+#include "common/lock_rank.h"
+#include "common/mutex.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
 #include "dfs/block_store.h"
@@ -484,6 +486,66 @@ TEST(RaceStress, SubmittedJobsVsAddServer) {
   auto after = cluster.Run(apps::WordCountJob("after-grow", "a"));
   ASSERT_TRUE(after.status.ok()) << after.status.ToString();
   ASSERT_EQ(after.output.size(), oracle_a.size());
+}
+
+TEST(RaceStress, ValidatorTracksContendedNesting) {
+  // The lock-order validator's own bookkeeping under fire: eight threads
+  // hammer the same correctly-ordered three-lock chain (plus a try_lock
+  // fast path and a CondVar ping-pong) so the per-thread held stacks are
+  // pushed/popped millions of times while the mutexes themselves contend.
+  // Under TSan this proves the validator adds no races of its own; in any
+  // validator-enabled build it proves heavy contention never produces a
+  // false rank-order report (the test aborting IS the failure mode).
+  Mutex outer{Rank::kJobQueue, "race.chain.outer"};
+  Mutex mid{Rank::kSlotArbiter, "race.chain.mid"};
+  Mutex leaf{Rank::kMetrics, "race.chain.leaf"};
+  CondVar cv;
+  std::uint64_t turns = 0;  // guarded by mid
+  std::atomic<std::uint64_t> laps{0};
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 4000; ++i) {
+        switch ((t + i) % 3) {
+          case 0: {  // full chain, innermost released first
+            MutexLock lo(outer);
+            MutexLock lm(mid);
+            MutexLock ll(leaf);
+            laps.fetch_add(1, std::memory_order_relaxed);
+            break;
+          }
+          case 1: {  // try_lock joins the stack without an order check
+            MutexLock ll(leaf);
+            if (mid.try_lock()) {
+              ++turns;
+              mid.unlock();
+            }
+            break;
+          }
+          default: {  // CondVar wait releases mid out of stack order
+            MutexLock lo(outer);
+            MutexLock lm(mid);
+            cv.notify_one();
+            if (turns % 7 == 0) {
+              cv.wait_for(lm, std::chrono::microseconds(50));
+            }
+            ++turns;
+            break;
+          }
+        }
+#if ECLIPSE_LOCK_VALIDATOR_ENABLED
+        ASSERT_EQ(lock_order::HeldDepth(), 0)
+            << "held stack leaked on thread " << t << " iteration " << i;
+#endif
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  // Every thread's case-0 arm ran ~4000/3 times; the exact split depends on
+  // the (t + i) phase, so pin a floor rather than the precise count.
+  EXPECT_GE(laps.load(), 8u * 1333u);
+  EXPECT_GE(turns, 1u);
 }
 
 TEST(RaceStress, TraceEmissionVsCaptureControl) {

@@ -387,7 +387,7 @@ TEST(SlotArbiter, SameUserWaitersAreFifo) {
   arb.AddWorker(0, 1, 0);
   ASSERT_TRUE(arb.Acquire(0, SlotKind::kMap, "u").ok());
   std::vector<int> order;
-  Mutex order_mu;
+  Mutex order_mu{Rank::kTest, "test.order_mu"};
   std::thread t1([&] {
     ASSERT_TRUE(arb.Acquire(0, SlotKind::kMap, "u").ok());
     MutexLock l(order_mu);
@@ -412,8 +412,12 @@ TEST(SlotArbiter, SameUserWaitersAreFifo) {
   }));
   t1.join();
   t2.join();
-  MutexLock l(order_mu);
-  EXPECT_EQ(order, (std::vector<int>{1, 2})) << "same-user grants must stay FIFO";
+  {
+    // Scoped: Release takes SlotArbiter::mu_ (rank kSlotArbiter), which may
+    // not be acquired while the leaf-ranked test lock is held.
+    MutexLock l(order_mu);
+    EXPECT_EQ(order, (std::vector<int>{1, 2})) << "same-user grants must stay FIFO";
+  }
   arb.Release(0, SlotKind::kMap, "u");
 }
 

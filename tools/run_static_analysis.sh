@@ -1,24 +1,47 @@
 #!/usr/bin/env bash
-# Static-analysis driver: clang-tidy (bugprone/concurrency/performance, see
-# .clang-tidy) plus a Clang thread-safety-annotation build
+# Static-analysis driver: eclipse-lint (lock hierarchy / hot-path rules, see
+# docs/static-analysis.md), clang-tidy (bugprone/concurrency/performance, see
+# .clang-tidy), plus a Clang thread-safety-annotation build
 # (-Werror=thread-safety against the annotations in
 # src/common/thread_annotations.h).
 #
 # Usage:
-#   tools/run_static_analysis.sh [--tidy-only|--tsa-only] [paths...]
+#   tools/run_static_analysis.sh [--tidy-only|--tsa-only|--lint-only] \
+#                                [--ci] [paths...]
 #
-# With no paths, analyzes every .cc under src/. Each stage is skipped (with a
-# warning, not a failure) when its toolchain is absent, so the script degrades
-# gracefully on gcc-only boxes; CI installs clang and runs both stages.
+# With no paths, analyzes every .cc under src/, tests/, and bench/ (tests are
+# concurrency-heavy and have caught real locking bugs; they get the same
+# scrutiny as production code). Locally, each stage is skipped with a warning
+# when its toolchain is absent, so the script degrades gracefully on gcc-only
+# boxes. With --ci, a missing toolchain is a hard failure — CI installs clang
+# and must never silently skip a stage.
 set -u
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD_DIR="${BUILD_DIR:-$ROOT/build-analysis}"
 MODE=all
-if [[ "${1:-}" == "--tidy-only" ]]; then MODE=tidy; shift; fi
-if [[ "${1:-}" == "--tsa-only" ]]; then MODE=tsa; shift; fi
+CI=0
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --tidy-only) MODE=tidy; shift ;;
+    --tsa-only)  MODE=tsa; shift ;;
+    --lint-only) MODE=lint; shift ;;
+    --ci)        CI=1; shift ;;
+    *) break ;;
+  esac
+done
 
 fail=0
+
+# A stage whose toolchain is missing: warn locally, fail under --ci.
+missing() {
+  if [[ $CI -eq 1 ]]; then
+    echo "ERROR: $1 not found and --ci is set; stage cannot be skipped" >&2
+    fail=1
+  else
+    echo "WARNING: $1 not found; skipping the $2 stage" >&2
+  fi
+}
 
 find_tool() {
   for cand in "$1" "$1-19" "$1-18" "$1-17" "$1-16" "$1-15" "$1-14"; do
@@ -32,11 +55,29 @@ find_tool() {
 
 files=("$@")
 if [[ ${#files[@]} -eq 0 ]]; then
-  mapfile -t files < <(find "$ROOT/src" -name '*.cc' | sort)
+  mapfile -t files < <(find "$ROOT/src" "$ROOT/tests" "$ROOT/bench" \
+      -name '*.cc' -not -path '*/lint_fixtures/*' 2> /dev/null | sort)
+fi
+
+# ---- Stage 0: eclipse-lint (lock hierarchy + hot-path rules) ----
+if [[ $MODE == all || $MODE == lint ]]; then
+  if command -v python3 > /dev/null 2>&1; then
+    # Prefer the precise libclang engine when python3-clang is installed
+    # (CI); fall back to the dependency-free text engine locally. --engine
+    # auto does exactly that resolution.
+    echo "== eclipse-lint over the tree (tools/eclipse_lint.py)"
+    lint_args=(--engine auto --check-manifest)
+    if [[ $CI -eq 1 ]]; then
+      lint_args+=(--report "$ROOT/lint_report.json")
+    fi
+    (cd "$ROOT" && python3 tools/eclipse_lint.py "${lint_args[@]}") || fail=1
+  else
+    missing python3 eclipse-lint
+  fi
 fi
 
 # ---- Stage 1: clang-tidy over the compile database ----
-if [[ $MODE != tsa ]]; then
+if [[ $MODE == all || $MODE == tidy ]]; then
   if TIDY="$(find_tool clang-tidy)"; then
     if [[ ! -f "$BUILD_DIR/compile_commands.json" ]]; then
       echo "== configuring $BUILD_DIR for the compile database"
@@ -45,19 +86,19 @@ if [[ $MODE != tsa ]]; then
     echo "== clang-tidy ($TIDY) over ${#files[@]} files"
     "$TIDY" -p "$BUILD_DIR" --quiet "${files[@]}" || fail=1
   else
-    echo "WARNING: clang-tidy not found; skipping the tidy stage" >&2
+    missing clang-tidy tidy
   fi
 fi
 
 # ---- Stage 2: Clang build with thread-safety analysis ----
-if [[ $MODE != tidy ]]; then
+if [[ $MODE == all || $MODE == tsa ]]; then
   if CLANGXX="$(find_tool clang++)"; then
     TSA_DIR="${TSA_BUILD_DIR:-$ROOT/build-tsa}"
     echo "== clang thread-safety build ($CLANGXX, -Werror=thread-safety)"
     cmake -B "$TSA_DIR" -S "$ROOT" -DCMAKE_CXX_COMPILER="$CLANGXX" > /dev/null || exit 1
     cmake --build "$TSA_DIR" -j "$(nproc)" || fail=1
   else
-    echo "WARNING: clang++ not found; skipping the thread-safety build" >&2
+    missing clang++ thread-safety-build
   fi
 fi
 
