@@ -143,7 +143,7 @@ void BenchShuffleAdd(Report& report, int servers, bool small) {
     nodes.push_back(std::make_unique<dfs::DfsNode>(i, *dispatchers.back()));
     transport.Register(i, dispatchers.back()->AsHandler());
   }
-  dfs::DfsClient client(1000, transport, [&ring] { return ring; });
+  dfs::DfsClient client(1000, transport, [&ring] { return std::make_shared<const dht::Ring>(ring); });
   RangeTable ranges = ring.MakeRangeTable();
 
   const int records = small ? 20000 : 400000;

@@ -4,17 +4,17 @@
 
 namespace eclipse::apps {
 
-void GrepMapper::Map(const std::string& record, mr::MapContext& ctx) {
-  if (record.find(ctx.shared_state()) != std::string::npos) {
+void GrepMapper::Map(std::string_view record, mr::MapContext& ctx) {
+  if (record.find(ctx.shared_state()) != std::string_view::npos) {
     ctx.Emit(record, "1");
   }
 }
 
-void GrepReducer::Reduce(const std::string& key, const std::vector<std::string>& values,
+void GrepReducer::Reduce(std::string_view key, const std::vector<std::string_view>& values,
                          mr::ReduceContext& ctx) {
   std::uint64_t total = 0;
-  for (const auto& v : values) total += std::stoull(v);
-  ctx.Emit(key, std::to_string(total));
+  for (std::string_view v : values) total += ParseU64(v);
+  ctx.Emit(key, FormatU64(total).view());
 }
 
 mr::JobSpec GrepJob(std::string name, std::string input_file, std::string pattern) {

@@ -4,21 +4,20 @@
 
 namespace eclipse::apps {
 
-void InvertedIndexMapper::Map(const std::string& record, mr::MapContext& ctx) {
+void InvertedIndexMapper::Map(std::string_view record, mr::MapContext& ctx) {
   std::size_t tab = record.find('\t');
-  if (tab == std::string::npos) return;  // malformed line: no doc id
-  std::string doc = record.substr(0, tab);
-  for (auto& word : SplitWords(std::string_view(record).substr(tab + 1))) {
-    ctx.Emit(std::move(word), doc);
-  }
+  if (tab == std::string_view::npos) return;  // malformed line: no doc id
+  std::string_view doc = record.substr(0, tab);
+  ForEachWord(record.substr(tab + 1),
+              [&](std::string_view word) { ctx.Emit(word, doc); });
 }
 
-void InvertedIndexReducer::Reduce(const std::string& key,
-                                  const std::vector<std::string>& values,
+void InvertedIndexReducer::Reduce(std::string_view key,
+                                  const std::vector<std::string_view>& values,
                                   mr::ReduceContext& ctx) {
-  std::set<std::string> docs(values.begin(), values.end());
+  std::set<std::string_view> docs(values.begin(), values.end());
   std::string joined;
-  for (const auto& d : docs) {
+  for (std::string_view d : docs) {
     if (!joined.empty()) joined.push_back(' ');
     joined += d;
   }

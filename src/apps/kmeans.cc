@@ -41,7 +41,7 @@ std::size_t NearestCentroid(const std::vector<double>& point, const Centroids& c
   return best;
 }
 
-void KMeansMapper::Map(const std::string& record, mr::MapContext& ctx) {
+void KMeansMapper::Map(std::string_view record, mr::MapContext& ctx) {
   if (centroids_.empty()) {
     centroids_ = DecodeCentroids(ctx.shared_state());
     sums_.assign(centroids_.size(), {});
@@ -67,15 +67,15 @@ void KMeansMapper::Finish(mr::MapContext& ctx) {
   centroids_.clear();
 }
 
-void KMeansReducer::Reduce(const std::string& key, const std::vector<std::string>& values,
+void KMeansReducer::Reduce(std::string_view key, const std::vector<std::string_view>& values,
                            mr::ReduceContext& ctx) {
   std::uint64_t total = 0;
   std::vector<double> sum;
-  for (const auto& v : values) {
+  for (std::string_view v : values) {
     std::size_t bar = v.find('|');
-    if (bar == std::string::npos) continue;
-    total += std::stoull(v.substr(0, bar));
-    auto partial = ParseDoubles(std::string_view(v).substr(bar + 1));
+    if (bar == std::string_view::npos) continue;
+    total += ParseU64(v.substr(0, bar));
+    auto partial = ParseDoubles(v.substr(bar + 1));
     if (sum.size() < partial.size()) sum.resize(partial.size(), 0.0);
     for (std::size_t j = 0; j < partial.size(); ++j) sum[j] += partial[j];
   }

@@ -24,7 +24,7 @@ Centroids DecodeCentroids(const std::string& s);
 
 class KMeansMapper : public mr::Mapper {
  public:
-  void Map(const std::string& record, mr::MapContext& ctx) override;
+  void Map(std::string_view record, mr::MapContext& ctx) override;
   void Finish(mr::MapContext& ctx) override;
 
  private:
@@ -35,7 +35,7 @@ class KMeansMapper : public mr::Mapper {
 
 class KMeansReducer : public mr::Reducer {
  public:
-  void Reduce(const std::string& key, const std::vector<std::string>& values,
+  void Reduce(std::string_view key, const std::vector<std::string_view>& values,
               mr::ReduceContext& ctx) override;
 };
 

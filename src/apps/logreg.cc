@@ -6,7 +6,7 @@
 
 namespace eclipse::apps {
 
-LabeledPoint ParseLabeledPoint(const std::string& record) {
+LabeledPoint ParseLabeledPoint(std::string_view record) {
   LabeledPoint p;
   auto values = ParseDoubles(record, ' ');
   if (values.empty()) return p;
@@ -34,7 +34,7 @@ std::vector<double> LogLossGradient(const std::vector<LabeledPoint>& points,
   return grad;
 }
 
-void LogRegMapper::Map(const std::string& record, mr::MapContext& ctx) {
+void LogRegMapper::Map(std::string_view record, mr::MapContext& ctx) {
   if (weights_.empty()) {
     weights_ = ParseDoubles(ctx.shared_state());
     gradient_.assign(weights_.size(), 0.0);
@@ -55,15 +55,15 @@ void LogRegMapper::Finish(mr::MapContext& ctx) {
   count_ = 0;
 }
 
-void LogRegReducer::Reduce(const std::string& key, const std::vector<std::string>& values,
+void LogRegReducer::Reduce(std::string_view key, const std::vector<std::string_view>& values,
                            mr::ReduceContext& ctx) {
   std::uint64_t total = 0;
   std::vector<double> sum;
-  for (const auto& v : values) {
+  for (std::string_view v : values) {
     std::size_t bar = v.find('|');
-    if (bar == std::string::npos) continue;
-    total += std::stoull(v.substr(0, bar));
-    auto partial = ParseDoubles(std::string_view(v).substr(bar + 1));
+    if (bar == std::string_view::npos) continue;
+    total += ParseU64(v.substr(0, bar));
+    auto partial = ParseDoubles(v.substr(bar + 1));
     if (sum.size() < partial.size()) sum.resize(partial.size(), 0.0);
     for (std::size_t j = 0; j < partial.size(); ++j) sum[j] += partial[j];
   }

@@ -20,7 +20,7 @@ struct LabeledPoint {
   std::vector<double> features;
 };
 
-LabeledPoint ParseLabeledPoint(const std::string& record);
+LabeledPoint ParseLabeledPoint(std::string_view record);
 
 double Sigmoid(double z);
 
@@ -31,7 +31,7 @@ std::vector<double> LogLossGradient(const std::vector<LabeledPoint>& points,
 
 class LogRegMapper : public mr::Mapper {
  public:
-  void Map(const std::string& record, mr::MapContext& ctx) override;
+  void Map(std::string_view record, mr::MapContext& ctx) override;
   void Finish(mr::MapContext& ctx) override;
 
  private:
@@ -42,7 +42,7 @@ class LogRegMapper : public mr::Mapper {
 
 class LogRegReducer : public mr::Reducer {
  public:
-  void Reduce(const std::string& key, const std::vector<std::string>& values,
+  void Reduce(std::string_view key, const std::vector<std::string_view>& values,
               mr::ReduceContext& ctx) override;
 };
 

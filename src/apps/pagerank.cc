@@ -37,7 +37,7 @@ PageRankState DecodePageRankState(const std::string& s) {
   return out;
 }
 
-void PageRankMapper::Map(const std::string& record, mr::MapContext& ctx) {
+void PageRankMapper::Map(std::string_view record, mr::MapContext& ctx) {
   if (!decoded_) {
     state_ = DecodePageRankState(ctx.shared_state());
     decoded_ = true;
@@ -60,15 +60,15 @@ void PageRankMapper::Map(const std::string& record, mr::MapContext& ctx) {
   }
 }
 
-void PageRankReducer::Reduce(const std::string& key, const std::vector<std::string>& values,
+void PageRankReducer::Reduce(std::string_view key, const std::vector<std::string_view>& values,
                              mr::ReduceContext& ctx) {
   double sum = 0.0;
   std::uint64_t n = 0;
-  for (const auto& v : values) {
+  for (std::string_view v : values) {
     if (v.rfind("N=", 0) == 0) {
-      n = std::stoull(v.substr(2));
+      n = ParseU64(v.substr(2));
     } else {
-      sum += std::stod(v);
+      sum += std::stod(std::string(v));
     }
   }
   if (n == 0) {

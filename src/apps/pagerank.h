@@ -32,7 +32,7 @@ PageRankState DecodePageRankState(const std::string& s);
 
 class PageRankMapper : public mr::Mapper {
  public:
-  void Map(const std::string& record, mr::MapContext& ctx) override;
+  void Map(std::string_view record, mr::MapContext& ctx) override;
 
  private:
   PageRankState state_;
@@ -43,7 +43,7 @@ class PageRankReducer : public mr::Reducer {
  public:
   /// Shared state is threaded to the reducer through the first value's
   /// "N=<n>" marker emitted by mappers.
-  void Reduce(const std::string& key, const std::vector<std::string>& values,
+  void Reduce(std::string_view key, const std::vector<std::string_view>& values,
               mr::ReduceContext& ctx) override;
 };
 

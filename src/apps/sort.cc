@@ -6,21 +6,22 @@
 
 namespace eclipse::apps {
 
-void SortMapper::Map(const std::string& record, mr::MapContext& ctx) {
+void SortMapper::Map(std::string_view record, mr::MapContext& ctx) {
   std::size_t sp = record.find(' ');
-  if (sp == std::string::npos) {
+  if (sp == std::string_view::npos) {
     ctx.Emit(record, "");
   } else {
     ctx.Emit(record.substr(0, sp), record.substr(sp + 1));
   }
 }
 
-void SortReducer::Reduce(const std::string& key, const std::vector<std::string>& values,
+void SortReducer::Reduce(std::string_view key, const std::vector<std::string_view>& values,
                          mr::ReduceContext& ctx) {
-  // Identity with deterministic value order inside one key.
-  std::vector<std::string> sorted = values;
+  // Identity with deterministic value order inside one key; sorting the
+  // views reorders nothing but pointers.
+  std::vector<std::string_view> sorted = values;
   std::sort(sorted.begin(), sorted.end());
-  for (auto& v : sorted) ctx.Emit(key, std::move(v));
+  for (std::string_view v : sorted) ctx.Emit(key, v);
 }
 
 mr::JobSpec SortJob(std::string name, std::string input_file) {

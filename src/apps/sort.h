@@ -13,12 +13,12 @@ namespace eclipse::apps {
 
 class SortMapper : public mr::Mapper {
  public:
-  void Map(const std::string& record, mr::MapContext& ctx) override;
+  void Map(std::string_view record, mr::MapContext& ctx) override;
 };
 
 class SortReducer : public mr::Reducer {
  public:
-  void Reduce(const std::string& key, const std::vector<std::string>& values,
+  void Reduce(std::string_view key, const std::vector<std::string_view>& values,
               mr::ReduceContext& ctx) override;
 };
 

@@ -30,6 +30,20 @@ std::vector<std::string> SplitWords(std::string_view s) {
   return out;
 }
 
+std::uint64_t ParseU64(std::string_view s) {
+  std::uint64_t v = 0;
+  std::from_chars(s.data(), s.data() + s.size(), v);
+  return v;
+}
+
+U64Buf FormatU64(std::uint64_t v) {
+  U64Buf out;
+  auto [ptr, ec] = std::to_chars(out.data, out.data + sizeof out.data, v);
+  (void)ec;  // 24 bytes always fit a uint64
+  out.len = static_cast<std::uint8_t>(ptr - out.data);
+  return out;
+}
+
 std::vector<double> ParseDoubles(std::string_view s, char delim) {
   std::vector<double> out;
   for (const auto& piece : Split(s, delim)) {

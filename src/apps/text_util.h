@@ -1,6 +1,8 @@
 // Small text/number parsing helpers shared by the example applications.
 #pragma once
 
+#include <cctype>
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -12,6 +14,33 @@ std::vector<std::string> Split(std::string_view s, char delim);
 
 /// Split on runs of whitespace.
 std::vector<std::string> SplitWords(std::string_view s);
+
+/// Invoke fn(word) for every whitespace-delimited word, as views into `s` —
+/// the allocation-free core of SplitWords for mapper hot loops.
+template <typename Fn>
+void ForEachWord(std::string_view s, Fn&& fn) {
+  std::size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+    std::size_t start = i;
+    while (i < s.size() && !std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+    if (i > start) fn(s.substr(start, i - start));
+  }
+}
+
+/// Parse a decimal uint64 (0 on malformed input — app inputs are our own
+/// emissions, so this never triggers in practice).
+std::uint64_t ParseU64(std::string_view s);
+
+/// Fixed-size buffer holding a uint64 rendered as decimal: reducer/combiner
+/// emissions go through this instead of std::to_string so the emit path
+/// stays allocation-free.
+struct U64Buf {
+  char data[24];
+  std::uint8_t len = 0;
+  std::string_view view() const { return std::string_view(data, len); }
+};
+U64Buf FormatU64(std::uint64_t v);
 
 /// Parse a vector of doubles from "a,b,c" (or any single-char delimiter).
 std::vector<double> ParseDoubles(std::string_view s, char delim = ',');

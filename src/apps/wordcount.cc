@@ -4,21 +4,28 @@
 
 namespace eclipse::apps {
 
-void WordCountMapper::Map(const std::string& record, mr::MapContext& ctx) {
+void WordCountMapper::Map(std::string_view record, mr::MapContext& ctx) {
   (void)ctx;
-  for (auto& word : SplitWords(record)) ++partial_[std::move(word)];
+  ForEachWord(record, [this](std::string_view word) {
+    auto it = partial_.find(word);
+    if (it == partial_.end()) {
+      partial_.emplace(word, 1);
+    } else {
+      ++it->second;
+    }
+  });
 }
 
 void WordCountMapper::Finish(mr::MapContext& ctx) {
-  for (auto& [word, count] : partial_) ctx.Emit(word, std::to_string(count));
+  for (const auto& [word, count] : partial_) ctx.Emit(word, FormatU64(count).view());
   partial_.clear();
 }
 
-void WordCountReducer::Reduce(const std::string& key, const std::vector<std::string>& values,
+void WordCountReducer::Reduce(std::string_view key, const std::vector<std::string_view>& values,
                               mr::ReduceContext& ctx) {
   std::uint64_t total = 0;
-  for (const auto& v : values) total += std::stoull(v);
-  ctx.Emit(key, std::to_string(total));
+  for (std::string_view v : values) total += ParseU64(v);
+  ctx.Emit(key, FormatU64(total).view());
 }
 
 mr::JobSpec WordCountJob(std::string name, std::string input_file) {

@@ -11,17 +11,19 @@ namespace eclipse::apps {
 
 class WordCountMapper : public mr::Mapper {
  public:
-  void Map(const std::string& record, mr::MapContext& ctx) override;
+  void Map(std::string_view record, mr::MapContext& ctx) override;
   void Finish(mr::MapContext& ctx) override;
 
  private:
-  // In-mapper combining: per-block partial counts shrink the shuffle.
-  std::map<std::string, std::uint64_t> partial_;
+  // In-mapper combining: per-block partial counts shrink the shuffle. The
+  // transparent comparator lets the hot loop probe with a word view; only a
+  // word's first occurrence in the block materializes a key.
+  std::map<std::string, std::uint64_t, std::less<>> partial_;
 };
 
 class WordCountReducer : public mr::Reducer {
  public:
-  void Reduce(const std::string& key, const std::vector<std::string>& values,
+  void Reduce(std::string_view key, const std::vector<std::string_view>& values,
               mr::ReduceContext& ctx) override;
 };
 

@@ -1,0 +1,126 @@
+// Bump allocator for task-scoped scratch data (docs/performance.md).
+//
+// The map/reduce hot path stages per-record bytes (intermediate keys and
+// values between Emit and spill) whose lifetime is strictly bounded by the
+// enclosing task: every record written is dead by the time the buffer
+// spills. Allocating those bytes individually puts a malloc/free pair on
+// the per-record path; an Arena replaces both with a pointer bump, and
+// Reset() recycles the arena's blocks in place — the steady state performs
+// no heap allocation at all (proved by the counted-operator-new test in
+// tests/test_hot_alloc.cc).
+//
+// Contract:
+//   * Allocate() returns storage valid until the next Reset() — never call
+//     Reset() while any pointer from the current cycle is still live. The
+//     ASan build exercises reset-reuse explicitly (ArenaTest.ResetReuse).
+//   * Not thread-safe: one Arena per task / per thread (the hot path keeps
+//     one in thread-local scratch, see mr/job_runner.cc).
+//   * Blocks grow geometrically from `initial_block` up to kMaxBlock and
+//     are retained across Reset(), so a warmed arena serves any workload
+//     that fits its high-water mark allocation-free.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "common/hot_path.h"
+
+namespace eclipse {
+
+class Arena {
+ public:
+  static constexpr std::size_t kDefaultInitialBlock = 4 * 1024;
+  static constexpr std::size_t kMaxBlock = 256 * 1024;
+
+  explicit Arena(std::size_t initial_block = kDefaultInitialBlock)
+      : next_block_bytes_(initial_block < 64 ? 64 : initial_block) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// `bytes` of storage aligned to `align` (a power of two), valid until
+  /// Reset().
+  ECLIPSE_HOT_PATH void* Allocate(std::size_t bytes,
+                                  std::size_t align = alignof(std::max_align_t)) {
+    std::size_t pos = AlignedPos(align);
+    if (block_ >= blocks_.size() || pos + bytes > blocks_[block_].size) {
+      NextBlock(bytes, align);
+      pos = AlignedPos(align);
+    }
+    void* p = blocks_[block_].data.get() + pos;
+    pos_ = pos + bytes;
+    bytes_allocated_ += bytes;
+    return p;
+  }
+
+  /// Copy `s` into the arena; the returned view lives until Reset().
+  ECLIPSE_HOT_PATH std::string_view CopyString(std::string_view s) {
+    if (s.empty()) return {};
+    char* p = static_cast<char*>(Allocate(s.size(), 1));
+    std::memcpy(p, s.data(), s.size());
+    return {p, s.size()};
+  }
+
+  /// Invalidate every pointer handed out and rewind to the first block.
+  /// Blocks are kept, so the next cycle reuses them without touching the
+  /// heap.
+  void Reset() {
+    block_ = 0;
+    pos_ = 0;
+    bytes_allocated_ = 0;
+  }
+
+  /// Bytes handed out since the last Reset (diagnostics).
+  std::size_t bytes_allocated() const { return bytes_allocated_; }
+  /// Heap blocks owned (high-water mark; never shrinks).
+  std::size_t block_count() const { return blocks_.size(); }
+  /// Total heap bytes owned across all blocks.
+  std::size_t bytes_reserved() const {
+    std::size_t total = 0;
+    for (const auto& b : blocks_) total += b.size;
+    return total;
+  }
+
+ private:
+  struct Block {
+    std::unique_ptr<char[]> data;
+    std::size_t size = 0;
+  };
+
+  /// Bump cursor advanced so the *absolute address* (not just the offset —
+  /// operator new[] only guarantees max_align_t) is `align`-aligned.
+  std::size_t AlignedPos(std::size_t align) const {
+    if (block_ >= blocks_.size()) return pos_;
+    auto addr =
+        reinterpret_cast<std::uintptr_t>(blocks_[block_].data.get()) + pos_;
+    auto aligned = (addr + (align - 1)) & ~static_cast<std::uintptr_t>(align - 1);
+    return pos_ + static_cast<std::size_t>(aligned - addr);
+  }
+
+  /// Advance to (or create) a block that fits `bytes` at `align`.
+  void NextBlock(std::size_t bytes, std::size_t align) {
+    // Reuse retained blocks first; skip any too small for this request.
+    std::size_t next = (block_ >= blocks_.size()) ? block_ : block_ + 1;
+    while (next < blocks_.size() && blocks_[next].size < bytes + align) ++next;
+    if (next == blocks_.size()) {
+      std::size_t size = next_block_bytes_;
+      while (size < bytes + align) size *= 2;
+      if (next_block_bytes_ < kMaxBlock) next_block_bytes_ *= 2;
+      blocks_.push_back(Block{std::make_unique<char[]>(size), size});
+    }
+    block_ = next;
+    pos_ = 0;
+  }
+
+  std::vector<Block> blocks_;
+  std::size_t block_ = 0;  // index of the block being bumped
+  std::size_t pos_ = 0;    // bump cursor inside blocks_[block_]
+  std::size_t next_block_bytes_;
+  std::size_t bytes_allocated_ = 0;
+};
+
+}  // namespace eclipse

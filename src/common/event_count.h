@@ -1,0 +1,81 @@
+// EventCount: a two-phase wait primitive for near-free wakeups.
+//
+// The work-stealing executor's submit path must wake an idle thread when
+// work arrives — but in the steady state no thread is idle, and a
+// mutex/condvar notify would still pay a lock acquisition per submit. An
+// event count splits the wait into prepare/commit so the notify side is a
+// single relaxed load when nobody sleeps:
+//
+//   waiter:                                 notifier:
+//     t = PrepareWait();    // register       publish work;
+//     if (work) { CancelWait(); run; }        NotifyOne();  // relaxed load,
+//     else CommitWait(t);   // sleep          // early-out if no waiters
+//
+// The epoch counter closes the lost-wakeup race: Notify bumps the epoch
+// under the mutex, and CommitWait only sleeps while the epoch still equals
+// the prepare-time ticket — a notify that lands between PrepareWait and
+// CommitWait is never missed.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/mutex.h"
+
+namespace eclipse {
+
+class EventCount {
+ public:
+  EventCount() = default;
+
+  EventCount(const EventCount&) = delete;
+  EventCount& operator=(const EventCount&) = delete;
+
+  /// Phase one: announce intent to sleep. Returns the ticket to pass to
+  /// CommitWait. After this call the caller must re-check its wait
+  /// condition before committing.
+  std::uint64_t PrepareWait() {
+    waiters_.fetch_add(1, std::memory_order_seq_cst);
+    return epoch_.load(std::memory_order_seq_cst);
+  }
+
+  /// The re-check found work: abandon the announced wait.
+  void CancelWait() { waiters_.fetch_sub(1, std::memory_order_seq_cst); }
+
+  /// Phase two: sleep until an epoch bump newer than `ticket`.
+  void CommitWait(std::uint64_t ticket) {
+    MutexLock lock(mu_);
+    while (epoch_.load(std::memory_order_seq_cst) == ticket) cv_.wait(lock);
+    waiters_.fetch_sub(1, std::memory_order_seq_cst);
+  }
+
+  /// Wake one sleeper (cheap no-op when nobody is between prepare and wake).
+  void NotifyOne() { Notify(false); }
+  /// Wake every sleeper (shutdown, broadcast conditions).
+  void NotifyAll() { Notify(true); }
+
+ private:
+  void Notify(bool all) {
+    // Pairs with the seq_cst fetch_add in PrepareWait: if the waiter
+    // registered before our work became visible, we see waiters_ > 0 here;
+    // otherwise the waiter's re-check sees the work. Either way no wakeup
+    // is lost, and the common no-waiter case costs one atomic load.
+    if (waiters_.load(std::memory_order_seq_cst) == 0) return;
+    {
+      MutexLock lock(mu_);
+      epoch_.fetch_add(1, std::memory_order_seq_cst);
+    }
+    if (all) {
+      cv_.notify_all();
+    } else {
+      cv_.notify_one();
+    }
+  }
+
+  std::atomic<std::uint64_t> epoch_{0};
+  std::atomic<std::uint64_t> waiters_{0};
+  Mutex mu_{Rank::kEventCount, "EventCount::mu_"};
+  CondVar cv_;
+};
+
+}  // namespace eclipse

@@ -58,6 +58,8 @@ enum class Rank : int {
   kLafScheduler = 500,    // sched/laf_scheduler.h    LafScheduler::mu_
   kDelayScheduler = 510,  // sched/delay_scheduler.h  DelayScheduler::mu_
   kSlotArbiter = 520,     // sched/slot_arbiter.h     SlotArbiter::mu_
+  kTaskExecState = 525,   // sched/task_executor.h    TaskExecutor::grow_mu_
+  kTaskExecQueue = 530,   // sched/task_executor.h    TaskExecutor::Shard::mu
 
   // -- 600: storage ---------------------------------------------------------
   kDfsMeta = 600,        // dfs/dfs_node.h     DfsNode::meta_mu_
@@ -81,6 +83,8 @@ enum class Rank : int {
   kMetrics = 910,        // common/metrics.h      MetricsRegistry::mu_
   kTraceRegistry = 920,  // obs/trace.h           Tracer::mu_
   kTraceLog = 930,       // obs/trace.h           Tracer::ThreadLog::mu
+  kEventCount = 940,     // common/event_count.h  EventCount::mu_
+  kBufferPool = 950,     // common/buffer_pool.h  BufferPool::mu_
 
   // -- 980: function-local scratch locks (leaf) -----------------------------
   kScratch = 980,  // locals guarding per-call aggregation (e.g. error fold)

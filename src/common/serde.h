@@ -35,6 +35,16 @@ class BinaryWriter {
   const std::string& str() const { return buf_; }
   std::string Take() { return std::move(buf_); }
 
+  /// Drop the contents but keep the capacity: a pooled writer encodes many
+  /// payloads through one warmed buffer (see common/buffer_pool.h).
+  void Clear() { buf_.clear(); }
+  /// Replace the backing buffer (typically one from a BufferPool); the
+  /// adopted buffer is cleared, its capacity retained.
+  void Adopt(std::string&& buf) {
+    buf_ = std::move(buf);
+    buf_.clear();
+  }
+
  private:
   void PutRaw(const void* p, std::size_t n) {
     buf_.append(static_cast<const char*>(p), n);
@@ -58,6 +68,17 @@ class BinaryReader {
     if (!GetU32(&n)) return false;
     if (data_.size() - pos_ < n) return false;
     s->assign(data_.data() + pos_, n);
+    pos_ += n;
+    return true;
+  }
+  /// Zero-copy variant: the returned view aliases the reader's input and is
+  /// only valid while that buffer lives (the spill decode path pins spill
+  /// payloads via cache handles, see mr/shuffle.h).
+  bool GetStringView(std::string_view* s) {
+    std::uint32_t n;
+    if (!GetU32(&n)) return false;
+    if (data_.size() - pos_ < n) return false;
+    *s = data_.substr(pos_, n);
     pos_ += n;
     return true;
   }

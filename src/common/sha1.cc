@@ -46,16 +46,21 @@ void Sha1::Update(const void* data, std::size_t len) {
 
 Sha1Digest Sha1::Finish() {
   // Append 0x80, pad with zeros to 56 mod 64, then the bit length big-endian.
+  // Padding is written straight into the block buffer — routing a digest per
+  // intermediate record through here made the old byte-at-a-time Update()
+  // padding loop the single hottest code in ShuffleWriter::Add.
   const std::uint64_t bit_len = total_len_ * 8;
-  const std::uint8_t one = 0x80;
-  Update(&one, 1);
-  const std::uint8_t zero = 0x00;
-  while (buffer_len_ != 56) Update(&zero, 1);
-
-  std::uint8_t len_be[8];
-  for (int i = 0; i < 8; ++i) len_be[i] = static_cast<std::uint8_t>(bit_len >> (56 - 8 * i));
-  // Bypass total_len_ accounting for the length field itself.
-  std::memcpy(buffer_.data() + buffer_len_, len_be, 8);
+  buffer_[buffer_len_++] = 0x80;
+  if (buffer_len_ > 56) {
+    std::memset(buffer_.data() + buffer_len_, 0, buffer_.size() - buffer_len_);
+    ProcessBlock(buffer_.data());
+    buffer_len_ = 0;
+  }
+  std::memset(buffer_.data() + buffer_len_, 0, 56 - buffer_len_);
+  for (int i = 0; i < 8; ++i) {
+    buffer_[56 + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(bit_len >> (56 - 8 * i));
+  }
   ProcessBlock(buffer_.data());
   buffer_len_ = 0;
 
@@ -78,27 +83,24 @@ void Sha1::ProcessBlock(const std::uint8_t* block) {
   for (int t = 16; t < 80; ++t) w[t] = Rotl(w[t - 3] ^ w[t - 8] ^ w[t - 14] ^ w[t - 16], 1);
 
   std::uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3], e = state_[4];
-  for (int t = 0; t < 80; ++t) {
-    std::uint32_t f, k;
-    if (t < 20) {
-      f = (b & c) | (~b & d);
-      k = 0x5A827999u;
-    } else if (t < 40) {
-      f = b ^ c ^ d;
-      k = 0x6ED9EBA1u;
-    } else if (t < 60) {
-      f = (b & c) | (b & d) | (c & d);
-      k = 0x8F1BBCDCu;
-    } else {
-      f = b ^ c ^ d;
-      k = 0xCA62C1D6u;
-    }
-    std::uint32_t tmp = Rotl(a, 5) + f + e + k + w[t];
-    e = d;
-    d = c;
-    c = Rotl(b, 30);
-    b = a;
-    a = tmp;
+  // One loop per round phase: the selector branch was per-round and
+  // unpredictable to the optimizer; splitting it lets each phase's f/k fold
+  // into straight-line code.
+  for (int t = 0; t < 20; ++t) {
+    std::uint32_t tmp = Rotl(a, 5) + ((b & c) | (~b & d)) + e + 0x5A827999u + w[t];
+    e = d; d = c; c = Rotl(b, 30); b = a; a = tmp;
+  }
+  for (int t = 20; t < 40; ++t) {
+    std::uint32_t tmp = Rotl(a, 5) + (b ^ c ^ d) + e + 0x6ED9EBA1u + w[t];
+    e = d; d = c; c = Rotl(b, 30); b = a; a = tmp;
+  }
+  for (int t = 40; t < 60; ++t) {
+    std::uint32_t tmp = Rotl(a, 5) + ((b & c) | (b & d) | (c & d)) + e + 0x8F1BBCDCu + w[t];
+    e = d; d = c; c = Rotl(b, 30); b = a; a = tmp;
+  }
+  for (int t = 60; t < 80; ++t) {
+    std::uint32_t tmp = Rotl(a, 5) + (b ^ c ^ d) + e + 0xCA62C1D6u + w[t];
+    e = d; d = c; c = Rotl(b, 30); b = a; a = tmp;
   }
   state_[0] += a;
   state_[1] += b;

@@ -4,6 +4,7 @@
 #include <string_view>
 #include <thread>
 
+#include "common/buffer_pool.h"
 #include "common/log.h"
 #include "common/mutex.h"
 
@@ -31,7 +32,9 @@ Status DfsClient::Upload(const std::string& name, const std::string& content,
   if (name.empty() || block_size == 0) {
     return Status::Error(ErrorCode::kInvalidArgument, "empty name or zero block size");
   }
-  dht::Ring ring = ring_();
+  RingSnapshot ring_snap = ring_();
+  static const dht::Ring kNoRing;
+  const dht::Ring& ring = ring_snap ? *ring_snap : kNoRing;
   if (ring.empty()) return Status::Error(ErrorCode::kUnavailable, "no servers");
 
   if (GetMetadata(name).ok()) {
@@ -85,7 +88,9 @@ Status DfsClient::Upload(const std::string& name, const std::string& content,
 }
 
 Result<FileMetadata> DfsClient::GetMetadata(const std::string& name) {
-  dht::Ring ring = ring_();
+  RingSnapshot ring_snap = ring_();
+  static const dht::Ring kNoRing;
+  const dht::Ring& ring = ring_snap ? *ring_snap : kNoRing;
   if (ring.empty()) return Status::Error(ErrorCode::kUnavailable, "no servers");
   BinaryWriter w;
   w.PutString(name);
@@ -117,7 +122,9 @@ Result<std::string> DfsClient::ReadBlock(const FileMetadata& meta, std::uint64_t
   if (index >= meta.num_blocks) {
     return Status::Error(ErrorCode::kInvalidArgument, "block index out of range");
   }
-  dht::Ring ring = ring_();
+  RingSnapshot ring_snap = ring_();
+  static const dht::Ring kNoRing;
+  const dht::Ring& ring = ring_snap ? *ring_snap : kNoRing;
   HashKey key = meta.KeyOfBlock(index);
   BinaryWriter w;
   w.PutString(BlockId(meta.name, index));
@@ -141,7 +148,9 @@ Result<std::string> DfsClient::ReadBlockRange(const FileMetadata& meta, std::uin
   if (index >= meta.num_blocks) {
     return Status::Error(ErrorCode::kInvalidArgument, "block index out of range");
   }
-  dht::Ring ring = ring_();
+  RingSnapshot ring_snap = ring_();
+  static const dht::Ring kNoRing;
+  const dht::Ring& ring = ring_snap ? *ring_snap : kNoRing;
   HashKey key = meta.KeyOfBlock(index);
   BinaryWriter w;
   w.PutString(BlockId(meta.name, index));
@@ -209,7 +218,9 @@ Result<std::string> DfsClient::ReadFile(const std::string& name) {
 Status DfsClient::Delete(const std::string& name) {
   auto meta = GetMetadata(name);
   if (!meta.ok()) return meta.status();
-  dht::Ring ring = ring_();
+  RingSnapshot ring_snap = ring_();
+  static const dht::Ring kNoRing;
+  const dht::Ring& ring = ring_snap ? *ring_snap : kNoRing;
 
   for (std::uint64_t i = 0; i < meta.value().num_blocks; ++i) {
     HashKey key = meta.value().KeyOfBlock(i);
@@ -226,7 +237,9 @@ Status DfsClient::Delete(const std::string& name) {
 }
 
 std::vector<FileMetadata> DfsClient::ListFiles() {
-  dht::Ring ring = ring_();
+  RingSnapshot ring_snap = ring_();
+  static const dht::Ring kNoRing;
+  const dht::Ring& ring = ring_snap ? *ring_snap : kNoRing;
   std::map<std::string, FileMetadata> files;
   for (int server : ring.Servers()) {
     auto resp = CallOk(server, net::Message{msg::kListMetadata, {}});
@@ -249,9 +262,15 @@ std::vector<FileMetadata> DfsClient::ListFiles() {
 
 Status DfsClient::PutObject(const std::string& id, HashKey key, const std::string& data,
                             std::chrono::milliseconds ttl, std::size_t replication) {
-  dht::Ring ring = ring_();
+  RingSnapshot ring_snap = ring_();
+  static const dht::Ring kNoRing;
+  const dht::Ring& ring = ring_snap ? *ring_snap : kNoRing;
   if (ring.empty()) return Status::Error(ErrorCode::kUnavailable, "no servers");
+  // Spills call this once per buffered range per map task; the request is
+  // encoded into a pooled buffer and reclaimed after the call, so the
+  // steady-state upload costs no fresh allocation for the wire image.
   BinaryWriter w;
+  w.Adopt(BufferPool::Global().Acquire());
   w.Reserve(4 + id.size() + 8 + 8 + 4 + data.size());
   w.PutString(id);
   w.PutU64(key);
@@ -262,12 +281,15 @@ Status DfsClient::PutObject(const std::string& id, HashKey key, const std::strin
   for (int server : ring.Replicas(key, replication)) {
     if (CallOk(server, put).ok()) ++ok_count;
   }
+  BufferPool::Global().Release(std::move(put.payload));
   if (ok_count == 0) return Status::Error(ErrorCode::kUnavailable, "no replica accepted " + id);
   return Status::Ok();
 }
 
 Result<std::string> DfsClient::GetObject(const std::string& id, HashKey key) {
-  dht::Ring ring = ring_();
+  RingSnapshot ring_snap = ring_();
+  static const dht::Ring kNoRing;
+  const dht::Ring& ring = ring_snap ? *ring_snap : kNoRing;
   BinaryWriter w;
   w.PutString(id);
   net::Message get{msg::kGetBlock, w.Take()};
@@ -283,7 +305,9 @@ Result<std::string> DfsClient::GetObject(const std::string& id, HashKey key) {
 }
 
 void DfsClient::DeleteObject(const std::string& id, HashKey key, std::size_t replication) {
-  dht::Ring ring = ring_();
+  RingSnapshot ring_snap = ring_();
+  static const dht::Ring kNoRing;
+  const dht::Ring& ring = ring_snap ? *ring_snap : kNoRing;
   BinaryWriter w;
   w.PutString(id);
   net::Message del{msg::kDeleteBlock, w.Take()};

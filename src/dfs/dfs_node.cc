@@ -57,7 +57,9 @@ net::Message DfsNode::HandleRoutedGet(const net::Message& m) {
   if (!transport || !ring_provider) {
     return net::ErrorMessage(ErrorCode::kNotFound, "no block " + id + " (routing disabled)");
   }
-  dht::Ring ring = ring_provider();
+  RingSnapshot ring_snap = ring_provider();
+  static const dht::Ring kNoRing;
+  const dht::Ring& ring = ring_snap ? *ring_snap : kNoRing;
   if (!ring.Contains(self_) || ring.Owner(key) == self_) {
     return net::ErrorMessage(ErrorCode::kNotFound, "owner has no block " + id);
   }

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <unordered_map>
 
 #include "common/mutex.h"
@@ -33,7 +34,15 @@ inline constexpr std::uint32_t kOk = 299;
 
 /// Supplies the node's current view of the ring (normally bound to
 /// MembershipAgent::ring_view; tests may pin a static ring).
-using RingProvider = std::function<dht::Ring()>;
+///
+/// The view is an immutable snapshot behind a shared_ptr: providers publish
+/// a fresh snapshot on membership events, and every DFS operation costs one
+/// refcount bump instead of a deep copy of the ring's position maps — the
+/// copy was a measurable per-spill/per-block tax on the data path
+/// (docs/performance.md). Providers must never return null; callers treat
+/// null defensively as "no servers".
+using RingSnapshot = std::shared_ptr<const dht::Ring>;
+using RingProvider = std::function<RingSnapshot()>;
 
 class DfsNode {
  public:

@@ -12,7 +12,9 @@ FsRecovery::FsRecovery(int self, net::Transport& transport, RingProvider ring_pr
 
 RecoveryReport FsRecovery::Repair(std::size_t replication, bool drop_extraneous) {
   RecoveryReport report;
-  dht::Ring ring = ring_();
+  RingSnapshot ring_snap = ring_();
+  static const dht::Ring kNoRing;
+  const dht::Ring& ring = ring_snap ? *ring_snap : kNoRing;
 
   struct Item {
     HashKey key = 0;

@@ -41,14 +41,14 @@ Cluster::Cluster(ClusterOptions options) : options_(std::move(options)) {
   {
     MutexLock lock(ring_mu_);
     for (int i = 0; i < options_.num_servers; ++i) ring_.AddServer(i, options_.vnodes);
+    ring_snapshot_ = std::make_shared<const dht::Ring>(ring_);
   }
 
-  dfs::RingProvider ring_provider = [this] { return ring(); };
+  dfs::RingProvider ring_provider = [this] { return ring_snapshot(); };
 
   WorkerOptions wopts;
   wopts.map_slots = options_.map_slots;
   wopts.reduce_slots = options_.reduce_slots;
-  wopts.slot_multiplier = options_.max_concurrent_jobs;
   wopts.cache_capacity = options_.cache_capacity;
   wopts.dfs_client.default_block_size = options_.block_size;
   wopts.dfs_client.replication = options_.replication;
@@ -59,11 +59,20 @@ Cluster::Cluster(ClusterOptions options) : options_(std::move(options)) {
     arbiter_.SetWeight(user, weight);
   }
 
+  // One executor shard per worker, exactly slots threads per shard — the
+  // SlotArbiter (not thread count) bounds per-worker concurrency, and idle
+  // shards' threads steal queued tasks instead of sitting oversized.
+  sched::TaskExecutor::Options eopts;
+  eopts.threads_per_shard =
+      static_cast<std::size_t>(options_.map_slots + options_.reduce_slots);
+  executor_ = std::make_unique<sched::TaskExecutor>(
+      static_cast<std::size_t>(options_.num_servers), eopts);
+
   MutexLock lock(workers_mu_);  // no concurrency yet; satisfies the analysis
   workers_.reserve(options_.num_servers);
   for (int i = 0; i < options_.num_servers; ++i) {
-    workers_.push_back(
-        std::make_unique<WorkerServer>(i, *transport_, ring_provider, wopts));
+    workers_.push_back(std::make_unique<WorkerServer>(
+        i, *transport_, ring_provider, wopts, *executor_, static_cast<std::size_t>(i)));
     WireSlowDisk(*workers_.back());
     arbiter_.AddWorker(i, options_.map_slots, options_.reduce_slots);
   }
@@ -104,6 +113,11 @@ JobHandle Cluster::Submit(JobSpec spec) { return queue_->Submit(std::move(spec))
 dht::Ring Cluster::ring() const {
   MutexLock lock(ring_mu_);
   return ring_;
+}
+
+std::shared_ptr<const dht::Ring> Cluster::ring_snapshot() const {
+  MutexLock lock(ring_mu_);
+  return ring_snapshot_;
 }
 
 void Cluster::WireSlowDisk(WorkerServer& w) {
@@ -172,11 +186,13 @@ dfs::RecoveryReport Cluster::KillServer(int id) {
   {
     MutexLock lock(ring_mu_);
     ring_.RemoveServer(id);
+    ring_snapshot_ = std::make_shared<const dht::Ring>(ring_);
   }
   RebuildSchedulers();
   // The resource manager's take-over pass (§II-A): restore the replication
   // factor using the surviving replicas.
-  dfs::FsRecovery recovery(ClientEndpointId(), *transport_, [this] { return ring(); });
+  dfs::FsRecovery recovery(ClientEndpointId(), *transport_,
+                           [this] { return ring_snapshot(); });
   auto report = recovery.Repair(options_.replication);
   LOG_INFO << "recovery after killing server " << id << ": " << report.blocks_copied
            << " blocks copied, " << report.blocks_lost << " lost";
@@ -192,10 +208,12 @@ void Cluster::HandleMembershipFailure(int failed) {
     if (!ring_.Contains(failed)) return;  // already handled (every surviving
                                           // agent reports the same failure)
     ring_.RemoveServer(failed);
+    ring_snapshot_ = std::make_shared<const dht::Ring>(ring_);
   }
   arbiter_.RemoveWorker(failed);
   RebuildSchedulers();
-  dfs::FsRecovery recovery(ClientEndpointId(), *transport_, [this] { return ring(); });
+  dfs::FsRecovery recovery(ClientEndpointId(), *transport_,
+                           [this] { return ring_snapshot(); });
   auto report = recovery.Repair(options_.replication);
   LOG_INFO << "auto-recovery after heartbeat-detected failure of server " << failed << ": "
            << report.blocks_copied << " blocks copied, " << report.blocks_lost << " lost";
@@ -205,21 +223,21 @@ int Cluster::AddServer(dfs::RecoveryReport* report) {
   WorkerOptions wopts;
   wopts.map_slots = options_.map_slots;
   wopts.reduce_slots = options_.reduce_slots;
-  wopts.slot_multiplier = options_.max_concurrent_jobs;
   wopts.cache_capacity = options_.cache_capacity;
   wopts.dfs_client.default_block_size = options_.block_size;
   wopts.dfs_client.replication = options_.replication;
   wopts.dfs_client.user = options_.user;
   wopts.dfs_client.retry = options_.rpc_retry;
 
-  dfs::RingProvider ring_provider = [this] { return ring(); };
+  dfs::RingProvider ring_provider = [this] { return ring_snapshot(); };
   int id;
   dht::MembershipAgent* agent = nullptr;
   {
     MutexLock lock(workers_mu_);
     id = static_cast<int>(workers_.size());
-    workers_.push_back(
-        std::make_unique<WorkerServer>(id, *transport_, ring_provider, wopts));
+    const std::size_t shard = executor_->AddShard();  // newcomer's home shard
+    workers_.push_back(std::make_unique<WorkerServer>(id, *transport_, ring_provider,
+                                                      wopts, *executor_, shard));
     WireSlowDisk(*workers_.back());
     if (options_.start_membership) {
       agents_.push_back(std::make_unique<dht::MembershipAgent>(
@@ -234,6 +252,7 @@ int Cluster::AddServer(dfs::RecoveryReport* report) {
   {
     MutexLock lock(ring_mu_);
     ring_.AddServer(id, options_.vnodes);
+    ring_snapshot_ = std::make_shared<const dht::Ring>(ring_);
   }
   RebuildSchedulers();
 
@@ -254,7 +273,8 @@ int Cluster::AddServer(dfs::RecoveryReport* report) {
   }
 
   // Rebalance: the newcomer takes over its hash-key ranges' data.
-  dfs::FsRecovery recovery(ClientEndpointId(), *transport_, [this] { return ring(); });
+  dfs::FsRecovery recovery(ClientEndpointId(), *transport_,
+                           [this] { return ring_snapshot(); });
   auto r = recovery.Repair(options_.replication, /*drop_extraneous=*/true);
   LOG_INFO << "rebalance after adding server " << id << ": " << r.blocks_copied
            << " blocks copied, " << r.blocks_dropped << " dropped";

@@ -27,6 +27,7 @@
 #include "sched/delay_scheduler.h"
 #include "sched/laf_scheduler.h"
 #include "sched/slot_arbiter.h"
+#include "sched/task_executor.h"
 
 namespace eclipse::mr {
 
@@ -96,9 +97,10 @@ struct ClusterOptions {
   std::string user = "eclipse";
 
   /// JobRunners executing at once through Submit (further submissions queue
-  /// FIFO). Also the worker executor oversizing factor: each worker's pools
-  /// hold slots × this threads so concurrent jobs' tasks reach the
-  /// SlotArbiter instead of queueing behind one job's wave.
+  /// FIFO). Thread count is NOT scaled by this: the shared work-stealing
+  /// TaskExecutor runs exactly map_slots + reduce_slots threads per worker
+  /// shard, and concurrent jobs' tasks interleave through the SlotArbiter
+  /// gate inside each task body.
   int max_concurrent_jobs = 4;
 
   /// Fair-share weights per user for contended-slot arbitration (absent
@@ -144,6 +146,11 @@ class Cluster {
 
   /// Current alive membership.
   dht::Ring ring() const;
+
+  /// Immutable snapshot of the current membership: one refcount bump, no
+  /// ring copy. This is what the DFS data path consumes (dfs::RingProvider)
+  /// — a fresh snapshot is published on every membership change.
+  std::shared_ptr<const dht::Ring> ring_snapshot() const;
 
   /// Worker access (fault injection, cache inspection). Asserts on bad id.
   WorkerServer& worker(int id);
@@ -215,6 +222,9 @@ class Cluster {
 
   mutable Mutex ring_mu_ ACQUIRED_AFTER(workers_mu_){Rank::kClusterRing, "Cluster::ring_mu_"};
   dht::Ring ring_ GUARDED_BY(ring_mu_);
+  // Republished (one make_shared copy) on every ring_ mutation so readers
+  // get an immutable view for a refcount bump.
+  std::shared_ptr<const dht::Ring> ring_snapshot_ GUARDED_BY(ring_mu_);
 
   // AddServer grows these vectors while jobs, heartbeat callbacks, and tests
   // read them concurrently; the mutex protects the vectors themselves. The
@@ -236,8 +246,15 @@ class Cluster {
   mutable Mutex sched_mu_ ACQUIRED_AFTER(ring_mu_){Rank::kClusterSched, "Cluster::sched_mu_"};
   std::shared_ptr<const SchedulerEpoch> epoch_ GUARDED_BY(sched_mu_);
 
+  // Shared work-stealing executor: one shard per worker, map_slots +
+  // reduce_slots threads per shard. Declared after workers_ and before
+  // queue_, so destruction runs ~queue_ (runner threads exit) →
+  // ~executor_ (drain + join task threads) → ~workers_ (tasks never
+  // outlive the components they touch).
+  std::unique_ptr<sched::TaskExecutor> executor_;
+
   // Destroyed first (declaration order): runner threads drain before the
-  // workers, transport, and arbiter they use go away.
+  // executor, workers, transport, and arbiter they use go away.
   std::unique_ptr<JobQueue> queue_;
 };
 

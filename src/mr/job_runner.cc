@@ -36,14 +36,15 @@ std::uint64_t ElapsedUs(std::chrono::steady_clock::time_point since,
   return us < 0 ? 0 : static_cast<std::uint64_t>(us);
 }
 
-/// MapContext bound to a ShuffleWriter.
+/// MapContext bound to a ShuffleWriter (which copies the bytes into its
+/// staging arena before Add returns).
 class ShuffleMapContext : public MapContext {
  public:
   ShuffleMapContext(ShuffleWriter& shuffle, const std::string& shared_state)
       : shuffle_(shuffle), shared_state_(shared_state) {}
 
-  void Emit(std::string key, std::string value) override {
-    Status s = shuffle_.Add(std::move(key), std::move(value));
+  void Emit(std::string_view key, std::string_view value) override {
+    Status s = shuffle_.Add(key, value);
     if (!s.ok() && status_.ok()) status_ = s;
   }
 
@@ -56,10 +57,12 @@ class ShuffleMapContext : public MapContext {
   Status status_;
 };
 
+/// Reducer output escapes the task (into JobResult), so Emit owns a copy —
+/// the one deliberate copy on the reduce side.
 class VectorReduceContext : public ReduceContext {
  public:
-  void Emit(std::string key, std::string value) override {
-    output_.push_back(KV{std::move(key), std::move(value)});
+  void Emit(std::string_view key, std::string_view value) override {
+    output_.push_back(KV{std::string(key), std::string(value)});
   }
   std::vector<KV>& output() { return output_; }
 
@@ -281,7 +284,7 @@ Status JobRunner::RunReducePhaseSequential(std::vector<KV>* output) {
       int target = cluster_.ring().Owner(range_begin);
       if (target < 0) return Status::Error(ErrorCode::kUnavailable, "no servers left");
       WorkerServer& w = cluster_.worker(target);
-      auto fut = w.reduce_pool().Submit([this, &w, &group] { return RunReduceTask(w, group); });
+      auto fut = w.Submit([this, &w, &group] { return RunReduceTask(w, group); });
       outcome = fut.get();
       if (outcome.status.ok()) break;
 
@@ -365,8 +368,8 @@ Status JobRunner::RunReducePhaseSpeculative(std::vector<KV>* output) {
     WorkerServer& w = cluster_.worker(server);
     const std::vector<SpillInfo>* group = t.group;
     auto cancel = a.cancel;
-    a.fut = w.reduce_pool().Submit(
-        [this, &w, group, cancel] { return RunReduceTask(w, *group, cancel); });
+    a.fut = w.Submit([this, &w, group, cancel] { return RunReduceTask(w, *group, cancel); },
+                     a.cancel);
     t.attempts.push_back(std::move(a));
   };
 
@@ -409,9 +412,16 @@ Status JobRunner::RunReducePhaseSpeculative(std::vector<KV>* output) {
                 {obs::Str("task", "reduce"),
                  obs::U64("server", static_cast<std::uint64_t>(a.server))});
           }
+          bool flipped = false;
           for (auto& other : t.attempts) {
-            if (!other.done && other.cancel) other.cancel->store(true);
+            if (!other.done && other.cancel) {
+              other.cancel->store(true);
+              flipped = true;
+            }
           }
+          // Targeted arbiter wakeups mean nobody re-checks tokens on an
+          // unrelated release: a loser blocked in Acquire must be poked.
+          if (flipped) cluster_.arbiter().Poke();
           t.outcome = std::move(o);
         } else if (!t.resolved) {
           // Remember the most informative failure: a kCancelled from a loser
@@ -558,9 +568,11 @@ Status JobRunner::RunMapPhase(const std::vector<BlockRef>& blocks,
       WorkerServer& w = cluster_.worker(server);
       BlockRef ref = t.ref;
       auto cancel = a.cancel;
-      a.fut = w.map_pool().Submit([this, &w, ref, force_recompute, cancel] {
-        return RunMapTask(w, ref, force_recompute, cancel);
-      });
+      a.fut = w.Submit(
+          [this, &w, ref, force_recompute, cancel] {
+            return RunMapTask(w, ref, force_recompute, cancel);
+          },
+          a.cancel);
       t.attempts.push_back(std::move(a));
     };
 
@@ -621,9 +633,16 @@ Status JobRunner::RunMapPhase(const std::vector<BlockRef>& blocks,
                     {obs::Str("task", "map"), obs::U64("block", t.ref.block),
                      obs::U64("server", static_cast<std::uint64_t>(a.server))});
               }
+              bool flipped = false;
               for (auto& other : t.attempts) {
-                if (!other.done && other.cancel) other.cancel->store(true);
+                if (!other.done && other.cancel) {
+                  other.cancel->store(true);
+                  flipped = true;
+                }
               }
+              // See the reduce phase: losers blocked in Acquire need a poke
+              // now that releases signal only their own grantee.
+              if (flipped) cluster_.arbiter().Poke();
               t.outcome = std::move(o);
             } else if (!t.resolved) {
               // A kCancelled from a loser never shadows a real error.
@@ -890,14 +909,23 @@ JobRunner::MapOutcome JobRunner::RunMapTask(WorkerServer& w, BlockRef ref,
   }
   out.input_bytes = data->size();
 
-  auto records = ExtractRecords(
+  // Per-thread extraction buffers: executor threads are long-lived, so the
+  // record-view vector's capacity and the boundary-tail arena's blocks warm
+  // once and are reused by every map task this thread runs. Interior record
+  // views alias the pinned block (`data` holds it for the whole task).
+  static thread_local std::vector<std::string_view> records;
+  static thread_local Arena record_arena;
+  records.clear();
+  record_arena.Reset();
+  Status rec_status = ExtractRecordViews(
       meta_, block, spec_.record_delim, *data,
       [&](std::uint64_t j) { return w.dfs().ReadBlock(meta_, j); },
       [&](std::uint64_t j, Bytes off, Bytes len) {
         return w.dfs().ReadBlockRange(meta_, j, off, len);
-      });
-  if (!records.ok()) {
-    out.status = records.status();
+      },
+      record_arena, &records);
+  if (!rec_status.ok()) {
+    out.status = rec_status;
     return out;
   }
 
@@ -912,7 +940,7 @@ JobRunner::MapOutcome JobRunner::RunMapTask(WorkerServer& w, BlockRef ref,
   // already pushed objects into the DHT FS, so even a failed or cancelled
   // attempt must surface them — the phase records failed attempts' spills in
   // the cleanup ledger so a cancelled job leaves no orphans behind.
-  for (const auto& record : records.value()) {
+  for (std::string_view record : records) {
     mapper->Map(record, ctx);
     if (w.dead()) {
       out.spills = shuffle.spills();
@@ -989,14 +1017,19 @@ JobRunner::ReduceOutcome JobRunner::RunReduceTask(WorkerServer& w,
     return out;
   }
 
-  // Flat grouping: decode every spill into one pre-sized vector (oCache
-  // hits are consumed through their handles — no copy), sort once, then
-  // walk the key runs. Replaces a node-per-key std::map whose R·log(K)
-  // inserts and per-key allocations dominated large reduces.
+  // Flat zero-copy grouping: decode every spill into one view vector (the
+  // payloads stay pinned — cache handles for oCache hits, `payloads` for
+  // fresh fetches — so the views stay valid), index-sort once, then walk
+  // the key runs. The scratch is per executor thread: its vectors' capacity
+  // survives across tasks, so a steady-state reduce allocates nothing while
+  // decoding and grouping (asserted by test_alloc_gate).
+  static thread_local ReduceScratch scratch;
+  scratch.Clear();
   std::uint64_t expected_pairs = 0;
   for (const auto& spill : spills) expected_pairs += spill.pairs;
-  std::vector<KV> pairs;
-  pairs.reserve(expected_pairs);
+  scratch.pairs.reserve(expected_pairs);
+  std::vector<cache::CacheValue> payloads;  // pins every decoded payload
+  payloads.reserve(spills.size());
   for (const auto& spill : spills) {
     if (cancel && cancel->load(std::memory_order_relaxed)) {
       out.status =
@@ -1022,10 +1055,11 @@ JobRunner::ReduceOutcome JobRunner::RunReduceTask(WorkerServer& w,
         w.cache().Put(spill.id, spill.range_begin, data, cache::EntryKind::kOutput);
       }
     }
-    if (Status s = DecodeSpillInto(*data, &pairs); !s.ok()) {
+    if (Status s = DecodeSpillViews(*data, &scratch.pairs); !s.ok()) {
       out.status = s;
       return out;
     }
+    payloads.push_back(std::move(data));
   }
   if (!out.missing_spills.empty()) {
     out.status = Status::Error(ErrorCode::kNotFound, "spills lost with their server");
@@ -1034,8 +1068,8 @@ JobRunner::ReduceOutcome JobRunner::RunReduceTask(WorkerServer& w,
 
   VectorReduceContext ctx;
   auto reducer = spec_.reducer();
-  bool completed = ForEachGroup(
-      pairs, [&](const std::string& key, std::vector<std::string>& values) {
+  bool completed = ForEachGroupViews(
+      scratch, [&](std::string_view key, const std::vector<std::string_view>& values) {
         reducer->Reduce(key, values, ctx);
         if (w.dead()) {
           out.status = Status::Error(ErrorCode::kUnavailable, "worker died mid-reduce");

@@ -2,13 +2,12 @@
 
 namespace eclipse::mr {
 
-Result<std::vector<std::string>> ExtractRecords(const dfs::FileMetadata& meta,
-                                                std::uint64_t index, char delim,
-                                                const std::string& block_data,
-                                                const BlockFetcher& fetch_block,
-                                                const RangeFetcher& fetch_range) {
-  std::vector<std::string> records;
-  if (block_data.empty()) return records;
+Status ExtractRecordViews(const dfs::FileMetadata& meta, std::uint64_t index, char delim,
+                          const std::string& block_data, const BlockFetcher& fetch_block,
+                          const RangeFetcher& fetch_range, Arena& arena,
+                          std::vector<std::string_view>* out) {
+  if (block_data.empty()) return Status::Ok();
+  const std::string_view block(block_data);
 
   std::size_t start = 0;
   if (index > 0) {
@@ -25,25 +24,27 @@ Result<std::vector<std::string>> ExtractRecords(const dfs::FileMetadata& meta,
     }
     if (!starts_fresh) {
       // The first partial record belongs to the previous block: skip it.
-      std::size_t p = block_data.find(delim);
-      if (p == std::string::npos) return records;  // block is interior bytes
-                                                   // of one long record
+      std::size_t p = block.find(delim);
+      if (p == std::string_view::npos) return Status::Ok();  // block is interior
+                                                             // bytes of one long
+                                                             // record
       start = p + 1;
     }
   }
 
-  // Records fully delimited inside this block.
-  while (start < block_data.size()) {
-    std::size_t p = block_data.find(delim, start);
-    if (p == std::string::npos) break;
-    if (p > start) records.emplace_back(block_data, start, p - start);
+  // Records fully delimited inside this block: zero-copy views.
+  while (start < block.size()) {
+    std::size_t p = block.find(delim, start);
+    if (p == std::string_view::npos) break;
+    if (p > start) out->push_back(block.substr(start, p - start));
     start = p + 1;
   }
 
   // Unterminated tail: the record starts here, so it is ours — complete it
-  // from the following blocks.
-  if (start < block_data.size()) {
-    std::string tail = block_data.substr(start);
+  // from the following blocks. The only record whose bytes are not already
+  // contiguous in block_data, so the only one staged in the arena.
+  if (start < block.size()) {
+    std::string tail(block.substr(start));
     for (std::uint64_t j = index + 1; j < meta.num_blocks; ++j) {
       auto next = fetch_block(j);
       if (!next.ok()) return next.status();
@@ -55,8 +56,24 @@ Result<std::vector<std::string>> ExtractRecords(const dfs::FileMetadata& meta,
       tail.append(next.value(), 0, p);
       break;
     }
-    if (!tail.empty()) records.push_back(std::move(tail));
+    if (!tail.empty()) out->push_back(arena.CopyString(tail));
   }
+  return Status::Ok();
+}
+
+Result<std::vector<std::string>> ExtractRecords(const dfs::FileMetadata& meta,
+                                                std::uint64_t index, char delim,
+                                                const std::string& block_data,
+                                                const BlockFetcher& fetch_block,
+                                                const RangeFetcher& fetch_range) {
+  Arena arena;
+  std::vector<std::string_view> views;
+  Status s =
+      ExtractRecordViews(meta, index, delim, block_data, fetch_block, fetch_range, arena, &views);
+  if (!s.ok()) return s;
+  std::vector<std::string> records;
+  records.reserve(views.size());
+  for (std::string_view v : views) records.emplace_back(v);
   return records;
 }
 

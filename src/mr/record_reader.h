@@ -13,8 +13,10 @@
 
 #include <functional>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "common/arena.h"
 #include "dfs/metadata.h"
 
 namespace eclipse::mr {
@@ -26,9 +28,20 @@ using BlockFetcher = std::function<Result<std::string>(std::uint64_t index)>;
 using RangeFetcher =
     std::function<Result<std::string>(std::uint64_t index, Bytes offset, Bytes len)>;
 
-/// The records owned by block `index`, given its already-fetched content.
-/// `fetch_block` / `fetch_range` are only invoked for boundary handling.
-/// Empty records (consecutive delimiters) are dropped.
+/// The records owned by block `index`, as views. Interior records alias
+/// `block_data`; the final record, when it spans into following blocks, is
+/// materialized in `arena` (the only bytes this function copies). Views are
+/// valid while both `block_data` and `arena` live and the arena is not
+/// Reset. `fetch_block` / `fetch_range` are only invoked for boundary
+/// handling. Empty records (consecutive delimiters) are dropped. `*out` is
+/// appended to (cleared first by the caller if reuse is intended) so a
+/// warmed vector's capacity is reused across tasks.
+Status ExtractRecordViews(const dfs::FileMetadata& meta, std::uint64_t index, char delim,
+                          const std::string& block_data, const BlockFetcher& fetch_block,
+                          const RangeFetcher& fetch_range, Arena& arena,
+                          std::vector<std::string_view>* out);
+
+/// Owning-string convenience wrapper over ExtractRecordViews (tests, tools).
 Result<std::vector<std::string>> ExtractRecords(const dfs::FileMetadata& meta,
                                                 std::uint64_t index, char delim,
                                                 const std::string& block_data,

@@ -4,6 +4,7 @@
 #include <cinttypes>
 #include <cstdio>
 
+#include "common/buffer_pool.h"
 #include "common/serde.h"
 #include "obs/trace.h"
 
@@ -20,6 +21,36 @@ std::string EncodeSpill(const std::vector<KV>& pairs) {
     w.PutString(kv.value);
   }
   return w.Take();
+}
+
+void EncodeSpillTo(const std::vector<KVView>& pairs, BinaryWriter& w) {
+  w.Clear();
+  std::size_t bytes = 4;
+  for (const auto& kv : pairs) bytes += 8 + kv.key.size() + kv.value.size();
+  w.Reserve(bytes);
+  w.PutU32(static_cast<std::uint32_t>(pairs.size()));
+  for (const auto& kv : pairs) {
+    w.PutString(kv.key);
+    w.PutString(kv.value);
+  }
+}
+
+Status DecodeSpillViews(const std::string& data, std::vector<KVView>* out) {
+  BinaryReader r(data);
+  std::uint32_t n = 0;
+  if (!r.GetU32(&n)) return Status::Error(ErrorCode::kCorruption, "truncated spill");
+  if (static_cast<std::size_t>(n) > r.remaining() / 8 + 1) {
+    return Status::Error(ErrorCode::kCorruption, "implausible spill entry count");
+  }
+  out->reserve(out->size() + n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    KVView kv;
+    if (!r.GetStringView(&kv.key) || !r.GetStringView(&kv.value)) {
+      return Status::Error(ErrorCode::kCorruption, "truncated spill entry");
+    }
+    out->push_back(kv);
+  }
+  return Status::Ok();
 }
 
 Status DecodeSpillInto(const std::string& data, std::vector<KV>* out) {
@@ -147,14 +178,21 @@ ShuffleWriter::ShuffleWriter(std::string prefix, const RangeTable& fs_ranges,
   begins_.reserve(ranges.size());
   for (const auto& r : ranges) begins_.push_back(r.begin);
   ranges_ = std::move(ranges);
-  buffers_.resize(ranges_.size());
+  // vector<T>(n) needs only default-insertable elements; RangeBuffer is
+  // neither copyable nor movable (it owns an Arena) and the vector never
+  // grows after this.
+  buffers_ = std::vector<RangeBuffer>(ranges_.size());
+  encode_.Adopt(BufferPool::Global().Acquire());
 }
 
-Status ShuffleWriter::Add(std::string key, std::string value) {
+ShuffleWriter::~ShuffleWriter() { BufferPool::Global().Release(encode_.Take()); }
+
+ECLIPSE_HOT_PATH
+Status ShuffleWriter::Add(std::string_view key, std::string_view value) {
   if (begins_.empty()) {
     return Status::Error(ErrorCode::kInternal, "no FS range covers intermediate key");
   }
-  HashKey hk = KeyOf(key);
+  HashKey hk = key_memo_.Get(key);
   std::size_t idx = RouteToRange(begins_, hk);
   if (!ranges_[idx].Contains(hk)) {
     // Only reachable if the table did not tile the ring (Assign forbids it).
@@ -162,7 +200,11 @@ Status ShuffleWriter::Add(std::string key, std::string value) {
   }
   RangeBuffer& buf = buffers_[idx];
   buf.bytes += key.size() + value.size();
-  buf.pairs.push_back(KV{std::move(key), std::move(value)});
+  // Arena blocks and the view vector's capacity survive spills, so the
+  // steady-state cost is two byte copies and a 32-byte append — the vector's
+  // geometric growth is warmup, not a per-record tax.
+  KVView kv{buf.arena.CopyString(key), buf.arena.CopyString(value)};
+  buf.pairs.push_back(kv);  // eclipse-lint: allow(hotpath-pushback)
   if (buf.bytes >= threshold_) return SpillRange(idx);
   return Status::Ok();
 }
@@ -193,12 +235,17 @@ Status ShuffleWriter::SpillRange(std::size_t idx) {
 
   // Placement key: the range's begin — by construction owned by the range's
   // server under the static FS partition, so the spill lands reducer-side.
-  Status s = dfs_.PutObject(info.id, range_begin, EncodeSpill(buf.pairs), ttl_);
+  // The payload is encoded into the pooled writer buffer (no fresh
+  // allocation once warm) and the staging arena rewinds afterwards, keeping
+  // the threshold an actual bound on staged memory.
+  EncodeSpillTo(buf.pairs, encode_);
+  Status s = dfs_.PutObject(info.id, range_begin, encode_.str(), ttl_);
   if (!s.ok()) return s;
 
   spills_.push_back(info);
   ++buf.seq;
   buf.pairs.clear();
+  buf.arena.Reset();
   buf.bytes = 0;
   return Status::Ok();
 }

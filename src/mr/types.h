@@ -12,6 +12,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/result.h"
@@ -26,38 +27,53 @@ struct KV {
   bool operator==(const KV&) const = default;
 };
 
+/// Non-owning pair: the data path stages intermediates as views into an
+/// arena (mapper side) or into pinned spill payloads (reducer side), so
+/// per-record costs are two pointer+length copies, never a heap allocation.
+/// Lifetime is the backing buffer's — see docs/performance.md ("Lifetimes").
+struct KVView {
+  std::string_view key;
+  std::string_view value;
+};
+
 /// Sink for a mapper's intermediate pairs plus read access to job-level
 /// shared state (iteration broadcast data such as current centroids).
+/// Emitted bytes are copied by the sink before Emit returns — callers may
+/// pass views into transient buffers.
 class MapContext {
  public:
   virtual ~MapContext() = default;
-  virtual void Emit(std::string key, std::string value) = 0;
+  virtual void Emit(std::string_view key, std::string_view value) = 0;
   virtual const std::string& shared_state() const = 0;
 };
 
-/// Sink for a reducer's output pairs.
+/// Sink for a reducer's output pairs (bytes copied before Emit returns).
 class ReduceContext {
  public:
   virtual ~ReduceContext() = default;
-  virtual void Emit(std::string key, std::string value) = 0;
+  virtual void Emit(std::string_view key, std::string_view value) = 0;
 };
 
-/// One mapper instance processes one input block, record by record.
+/// One mapper instance processes one input block, record by record. The
+/// record view aliases the block buffer (or a per-task arena for records
+/// spanning block boundaries) and is valid only during the call.
 class Mapper {
  public:
   virtual ~Mapper() = default;
-  virtual void Map(const std::string& record, MapContext& ctx) = 0;
+  virtual void Map(std::string_view record, MapContext& ctx) = 0;
 
   /// Called once after the block's last record — combiner-style mappers
   /// (e.g. logistic regression's per-block gradient) emit here.
   virtual void Finish(MapContext& ctx) { (void)ctx; }
 };
 
-/// One reducer call per distinct intermediate key, values unordered.
+/// One reducer call per distinct intermediate key, values unordered. Key
+/// and value views alias the pinned spill payloads and are valid only
+/// during the call — copy what must outlive it (Emit already copies).
 class Reducer {
  public:
   virtual ~Reducer() = default;
-  virtual void Reduce(const std::string& key, const std::vector<std::string>& values,
+  virtual void Reduce(std::string_view key, const std::vector<std::string_view>& values,
                       ReduceContext& ctx) = 0;
 };
 

@@ -5,25 +5,22 @@
 namespace eclipse::mr {
 
 WorkerServer::WorkerServer(int id, net::Transport& transport,
-                           dfs::RingProvider ring_provider, const WorkerOptions& options)
-    : id_(id), transport_(transport), options_(options) {
+                           dfs::RingProvider ring_provider, const WorkerOptions& options,
+                           sched::TaskExecutor& executor, std::size_t shard)
+    : id_(id), transport_(transport), options_(options), executor_(executor), shard_(shard) {
   dfs_node_ = std::make_unique<dfs::DfsNode>(id, dispatcher_);
   cache_node_ = std::make_unique<cache::CacheNode>(id, dispatcher_, options.cache_capacity);
   dfs_client_ =
       std::make_unique<dfs::DfsClient>(id, transport, ring_provider, options.dfs_client);
   cache_client_ = std::make_unique<cache::CacheClient>(id, transport);
-  const int mult = options.slot_multiplier > 0 ? options.slot_multiplier : 1;
-  map_pool_ =
-      std::make_unique<ThreadPool>(static_cast<std::size_t>(options.map_slots * mult));
-  reduce_pool_ =
-      std::make_unique<ThreadPool>(static_cast<std::size_t>(options.reduce_slots * mult));
   transport_.Register(id, dispatcher_.AsHandler());
 }
 
 WorkerServer::~WorkerServer() {
   dead_.store(true);
   transport_.Register(id_, nullptr);
-  // Pools drain in their destructors; tasks observe dead() and return fast.
+  // In-flight tasks observe dead() and return fast; the Cluster drains the
+  // shared executor before any worker is destroyed, so no drain here.
 }
 
 void WorkerServer::Kill() {
@@ -32,13 +29,6 @@ void WorkerServer::Kill() {
   obs::Tracer::Global().Emit('i', "cluster", "worker_kill", id_, {});
   dead_.store(true);
   transport_.Register(id_, nullptr);
-}
-
-int WorkerServer::FreeMapSlots() const {
-  if (dead_.load()) return 0;
-  auto busy = map_pool_->Running() + map_pool_->QueueDepth();
-  int free = options_.map_slots - static_cast<int>(busy);
-  return free > 0 ? free : 0;
 }
 
 }  // namespace eclipse::mr

@@ -1,7 +1,10 @@
 // One emulated worker server: the unit the paper calls a "worker server" or
-// "node" — local disk (DfsNode), in-memory cache slice (CacheNode), map and
-// reduce task slots (two thread pools), and a data-plane client for reading
-// remote blocks and pushing intermediate results.
+// "node" — local disk (DfsNode), in-memory cache slice (CacheNode), and a
+// data-plane client for reading remote blocks and pushing intermediate
+// results. Task execution happens on the cluster's shared work-stealing
+// TaskExecutor (sched/task_executor.h): each worker owns one executor shard,
+// and its map/reduce slot counts are enforced by the SlotArbiter, not by
+// private thread pools.
 //
 // Control-plane task submission is direct (the Cluster owns the workers);
 // every data-plane byte still crosses the Transport, so killing a worker
@@ -11,32 +14,32 @@
 
 #include <atomic>
 #include <memory>
+#include <utility>
 
 #include "cache/cache_node.h"
-#include "common/thread_pool.h"
 #include "dfs/dfs_client.h"
 #include "dfs/dfs_node.h"
 #include "net/dispatcher.h"
+#include "sched/task_executor.h"
 
 namespace eclipse::mr {
 
 struct WorkerOptions {
   int map_slots = 2;
   int reduce_slots = 2;
-  /// Executor threads per pool = slots × this. With concurrent jobs the
-  /// pools are deliberately oversized: the real slot limit is enforced by
-  /// the cluster's SlotArbiter (tasks Acquire a slot inside their body), and
-  /// the extra threads let tasks from different jobs reach the arbiter at
-  /// the same time instead of queueing FIFO behind one job's wave.
-  int slot_multiplier = 1;
   Bytes cache_capacity = 64_MiB;
   dfs::DfsClientOptions dfs_client;
 };
 
 class WorkerServer {
  public:
+  /// `executor` outlives the worker; `shard` is this worker's home shard.
+  /// Tasks submitted here land on that shard, but may be stolen by any
+  /// executor thread — the slot gate, not thread placement, bounds this
+  /// worker's concurrency.
   WorkerServer(int id, net::Transport& transport, dfs::RingProvider ring_provider,
-               const WorkerOptions& options);
+               const WorkerOptions& options, sched::TaskExecutor& executor,
+               std::size_t shard);
   ~WorkerServer();
 
   WorkerServer(const WorkerServer&) = delete;
@@ -56,17 +59,22 @@ class WorkerServer {
   dfs::DfsClient& dfs() { return *dfs_client_; }
   cache::CacheClient& cache_client() { return *cache_client_; }
 
-  ThreadPool& map_pool() { return *map_pool_; }
-  ThreadPool& reduce_pool() { return *reduce_pool_; }
+  /// Queue a task on this worker's executor shard. `cancel` travels with
+  /// the task across steals.
+  template <typename F>
+  auto Submit(F fn, std::shared_ptr<std::atomic<bool>> cancel = nullptr) {
+    return executor_.Submit(shard_, std::move(fn), std::move(cancel));
+  }
+
+  sched::TaskExecutor& executor() { return executor_; }
+  std::size_t shard() const { return shard_; }
 
   /// The node's message dispatcher — additional components (e.g. a
   /// MembershipAgent) register their routes here.
   net::Dispatcher& dispatcher() { return dispatcher_; }
 
-  /// Free map slots right now (slots minus running minus queued, floored 0).
-  int FreeMapSlots() const;
-
   int map_slots() const { return options_.map_slots; }
+  int reduce_slots() const { return options_.reduce_slots; }
 
  private:
   const int id_;
@@ -79,8 +87,8 @@ class WorkerServer {
   std::unique_ptr<cache::CacheNode> cache_node_;
   std::unique_ptr<dfs::DfsClient> dfs_client_;
   std::unique_ptr<cache::CacheClient> cache_client_;
-  std::unique_ptr<ThreadPool> map_pool_;
-  std::unique_ptr<ThreadPool> reduce_pool_;
+  sched::TaskExecutor& executor_;
+  const std::size_t shard_;
 };
 
 }  // namespace eclipse::mr

@@ -13,7 +13,6 @@ void SlotArbiter::AddWorker(int worker, int map_slots, int reduce_slots) {
   w.alive = true;
   GrantFreed(worker, SlotKind::kMap);
   GrantFreed(worker, SlotKind::kReduce);
-  cv_.notify_all();
 }
 
 void SlotArbiter::RemoveWorker(int worker) {
@@ -24,9 +23,11 @@ void SlotArbiter::RemoveWorker(int worker) {
   it->second.free_map = 0;
   it->second.free_reduce = 0;
   for (Waiter* waiter : waiters_) {
-    if (waiter->worker == worker && !waiter->granted) waiter->failed = true;
+    if (waiter->worker == worker && !waiter->granted && !waiter->failed) {
+      waiter->failed = true;
+      Signal(*waiter);
+    }
   }
-  cv_.notify_all();
 }
 
 void SlotArbiter::SetWeight(const std::string& user, double weight) {
@@ -75,7 +76,7 @@ Status SlotArbiter::Acquire(int worker, SlotKind kind, const std::string& user,
   // are now the needlest user); re-run the grant pass with us enqueued.
   GrantFreed(worker, kind);
   while (!self.granted && !self.failed && !cancelled()) {
-    cv_.wait(lock);
+    self.cv.wait(lock);
   }
   waiters_.erase(std::find(waiters_.begin(), waiters_.end(), &self));
   if (self.granted) {
@@ -108,7 +109,6 @@ void SlotArbiter::ReleaseLocked(int worker, SlotKind kind, const std::string& us
   if (it == workers_.end() || !it->second.alive) return;  // removed: absorb
   ++FreeCount(it->second, kind);
   GrantFreed(worker, kind);
-  cv_.notify_all();
 }
 
 int SlotArbiter::FreeSlots(int worker, SlotKind kind) const {
@@ -140,8 +140,16 @@ std::uint64_t SlotArbiter::ContendedGrants() const {
 }
 
 void SlotArbiter::Poke() {
+  // Token re-check after a cancellation: every waiter must look at its own
+  // tokens, so this is the one legitimately O(waiters) signal — and it only
+  // runs on cancel events, never on the per-release path.
   MutexLock lock(mu_);
-  cv_.notify_all();
+  for (Waiter* waiter : waiters_) Signal(*waiter);
+}
+
+std::uint64_t SlotArbiter::WakeupSignals() const {
+  MutexLock lock(mu_);
+  return wakeup_signals_;
 }
 
 void SlotArbiter::GrantFreed(int worker, SlotKind kind) {
@@ -166,6 +174,7 @@ void SlotArbiter::GrantFreed(int worker, SlotKind kind) {
     --free;
     ++users_[*best->user].in_use;
     best->granted = true;
+    Signal(*best);
   }
 }
 

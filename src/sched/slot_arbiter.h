@@ -18,10 +18,15 @@
 // proportionally larger share of contended slots.
 //
 // Lock discipline: one internal mutex, held only for bookkeeping — never
-// across a task, an RPC, or a scheduler decision. Acquire blocks on a
-// condition variable; cancellation tokens (job-level or attempt-level) are
-// re-checked on every wakeup, and Poke() forces such a wakeup after a token
-// flips.
+// across a task, an RPC, or a scheduler decision. Each blocked Acquire
+// sleeps on its *own* condition variable, and state changes signal exactly
+// the waiters they affect: a release wakes the one waiter the freed slot
+// was granted to, a worker removal wakes that worker's waiters, and Poke()
+// (cancellation-token re-check) walks the waiter list once. The previous
+// design broadcast one shared condvar on every release — with W waiters
+// across J jobs each release cost W wakeups, a thundering herd measured as
+// a top multi-job tax (docs/performance.md). WakeupSignals() counts the
+// targeted signals so tests can assert the herd stays gone.
 #pragma once
 
 #include <atomic>
@@ -86,6 +91,11 @@ class SlotArbiter {
   /// Wake every waiter so it re-checks its cancellation tokens.
   void Poke();
 
+  /// Total targeted wakeup signals issued (grants, failures, pokes). A
+  /// release that grants one slot issues exactly one signal regardless of
+  /// how many tasks are waiting (asserted by SlotArbiter.BoundedWakeups).
+  std::uint64_t WakeupSignals() const;
+
  private:
   struct WorkerSlots {
     int free_map = 0;
@@ -103,6 +113,7 @@ class SlotArbiter {
     std::uint64_t seq = 0;     // arrival order (FIFO tie-break)
     bool granted = false;      // slot transferred to this waiter
     bool failed = false;       // worker removed while waiting
+    CondVar cv;                // private wakeup channel (targeted signals)
   };
 
   int& FreeCount(WorkerSlots& w, SlotKind kind) const {
@@ -110,19 +121,26 @@ class SlotArbiter {
   }
   double Share(const UserShare& u) const { return u.in_use / u.weight; }
 
-  /// Hand every free slot of (worker, kind) to the needlest waiters.
+  /// Hand every free slot of (worker, kind) to the needlest waiters,
+  /// signalling each grantee's private condvar.
   /// Call with mu_ held after any state change that frees a slot.
   void GrantFreed(int worker, SlotKind kind) REQUIRES(mu_);
 
   void ReleaseLocked(int worker, SlotKind kind, const std::string& user) REQUIRES(mu_);
 
+  /// Wake exactly one waiter (its cv), counting the signal.
+  void Signal(Waiter& w) REQUIRES(mu_) {
+    ++wakeup_signals_;
+    w.cv.notify_one();
+  }
+
   mutable Mutex mu_{Rank::kSlotArbiter, "SlotArbiter::mu_"};
-  CondVar cv_;
   std::map<int, WorkerSlots> workers_ GUARDED_BY(mu_);
   std::map<std::string, UserShare> users_ GUARDED_BY(mu_);
   std::deque<Waiter*> waiters_ GUARDED_BY(mu_);
   std::uint64_t next_seq_ GUARDED_BY(mu_) = 0;
   std::uint64_t contended_grants_ GUARDED_BY(mu_) = 0;
+  std::uint64_t wakeup_signals_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace eclipse::sched

@@ -1,0 +1,183 @@
+#include "sched/task_executor.h"
+
+#include <cassert>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+namespace eclipse::sched {
+
+TaskExecutor::TaskExecutor(std::size_t shards) : TaskExecutor(shards, Options()) {}
+
+TaskExecutor::TaskExecutor(std::size_t shards, Options options) : options_(options) {
+  if (options_.threads_per_shard < 1) options_.threads_per_shard = 1;
+  if (options_.max_shards < shards) options_.max_shards = shards;
+  shards_.reserve(options_.max_shards);
+  for (std::size_t i = 0; i < shards; ++i) AddShard();
+}
+
+TaskExecutor::~TaskExecutor() {
+  // Drain-then-exit: worker threads only leave once every queue they can
+  // see is empty (RunOne returns false) *and* stop_ is set, so queued work
+  // is never dropped. Callers that need completed results have already
+  // joined their futures.
+  stop_.store(true, std::memory_order_release);
+  idle_.NotifyAll();
+  std::vector<std::thread> threads;
+  {
+    // Joining under grow_mu_ would hold a non-leaf lock across a blocking
+    // call; nothing calls AddShard concurrently with destruction, so moving
+    // the vector out is safe.
+    MutexLock lock(grow_mu_);
+    threads = std::move(threads_);
+  }
+  for (auto& t : threads) {
+    if (t.joinable()) t.join();
+  }
+}
+
+std::size_t TaskExecutor::AddShard() {
+  MutexLock lock(grow_mu_);
+  std::size_t id = shard_count_.load(std::memory_order_relaxed);
+  if (id >= options_.max_shards) {
+    // Growing past the reservation would reallocate shards_ under running
+    // threads. 256 shards is far beyond any emulated cluster; treat it as
+    // a configuration bug rather than silently racing.
+    std::fprintf(stderr, "TaskExecutor: shard limit (%zu) exceeded\n", options_.max_shards);
+    std::abort();
+  }
+  shards_.push_back(std::make_unique<Shard>());
+  shard_count_.store(id + 1, std::memory_order_release);
+  for (int t = 0; t < options_.threads_per_shard; ++t) {
+    threads_.emplace_back([this, id] { WorkerLoop(id); });
+  }
+  return id;
+}
+
+void TaskExecutor::Enqueue(std::size_t shard, Task t) {
+  assert(shard < shard_count());
+  Shard& s = *shards_[shard];
+  inflight_.fetch_add(1, std::memory_order_relaxed);
+  {
+    MutexLock lock(s.mu);
+    // Bounded deque: block the submitter (never a worker thread; workers
+    // transfer stolen tasks directly) until the shard drains below its cap.
+    while (s.q.size() >= options_.shard_queue_capacity) s.not_full.wait(lock);
+    s.q.push_back(std::move(t));
+  }
+  idle_.NotifyOne();
+}
+
+std::size_t TaskExecutor::QueueDepth(std::size_t shard) const {
+  if (shard >= shard_count()) return 0;
+  Shard& s = *shards_[shard];
+  MutexLock lock(s.mu);
+  return s.q.size();
+}
+
+void TaskExecutor::Drain() {
+  while (inflight_.load(std::memory_order_acquire) != 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+}
+
+void TaskExecutor::RunTask(Task& t, bool stolen) {
+  if (stolen) stolen_.fetch_add(1, std::memory_order_relaxed);
+  if (t.cancel && t.cancel->load(std::memory_order_relaxed)) {
+    cancelled_at_dequeue_.fetch_add(1, std::memory_order_relaxed);
+  }
+  // Counted before the body: t.fn() satisfies the task's future, and a
+  // caller woken by future.get() must already observe this task in
+  // ExecutedTasks().
+  executed_.fetch_add(1, std::memory_order_relaxed);
+  // The task runs even when its token is set: futures must be satisfied,
+  // and the body maps the token onto its own kCancelled result.
+  t.fn();
+  inflight_.fetch_sub(1, std::memory_order_release);
+}
+
+bool TaskExecutor::RunOne(std::size_t home) {
+  const std::size_t n = shard_count();
+  // Local pop first (FIFO: oldest task of the home shard).
+  {
+    Shard& s = *shards_[home];
+    Task t;
+    bool popped = false;
+    {
+      MutexLock lock(s.mu);
+      if (!s.q.empty()) {
+        t = std::move(s.q.front());
+        s.q.pop_front();
+        popped = true;
+        if (s.q.size() == options_.shard_queue_capacity - 1) s.not_full.notify_one();
+      }
+    }
+    if (popped) {
+      RunTask(t, /*stolen=*/false);
+      return true;
+    }
+  }
+  // Steal-half: scan the other shards round-robin from our right neighbor;
+  // take the younger half of the first non-empty deque (the victim's own
+  // threads keep draining the older front), run one task now and queue the
+  // rest locally where siblings can re-steal them.
+  for (std::size_t i = 1; i < n; ++i) {
+    std::size_t victim = (home + i) % n;
+    Shard& v = *shards_[victim];
+    std::vector<Task> booty;
+    {
+      MutexLock lock(v.mu);
+      if (v.q.empty()) continue;
+      std::size_t take = (v.q.size() + 1) / 2;
+      booty.reserve(take);
+      for (std::size_t k = 0; k < take; ++k) {
+        booty.push_back(std::move(v.q.back()));
+        v.q.pop_back();
+      }
+      if (v.q.size() < options_.shard_queue_capacity) v.not_full.notify_one();
+    }
+    // booty is back-to-front; restore age order (oldest first).
+    Task first = std::move(booty.back());
+    booty.pop_back();
+    if (!booty.empty()) {
+      Shard& s = *shards_[home];
+      {
+        MutexLock lock(s.mu);
+        // Transfers bypass the capacity bound: the tasks already existed.
+        for (auto it = booty.rbegin(); it != booty.rend(); ++it) {
+          s.q.push_back(std::move(*it));
+        }
+      }
+      idle_.NotifyAll();  // surplus is up for grabs (including re-steal)
+    }
+    RunTask(first, /*stolen=*/true);
+    return true;
+  }
+  return false;
+}
+
+void TaskExecutor::WorkerLoop(std::size_t home) {
+  for (;;) {
+    if (RunOne(home)) continue;
+    if (stop_.load(std::memory_order_acquire)) return;
+    // Two-phase sleep: announce, re-check every queue under its lock (a
+    // submit that raced our scan is visible by then), then commit.
+    std::uint64_t ticket = idle_.PrepareWait();
+    if (stop_.load(std::memory_order_acquire)) {
+      idle_.CancelWait();
+      return;
+    }
+    bool work = false;
+    const std::size_t n = shard_count();
+    for (std::size_t i = 0; i < n && !work; ++i) {
+      work = QueueDepth((home + i) % n) != 0;
+    }
+    if (work) {
+      idle_.CancelWait();
+      continue;
+    }
+    idle_.CommitWait(ticket);
+  }
+}
+
+}  // namespace eclipse::sched

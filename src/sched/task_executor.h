@@ -1,0 +1,142 @@
+// Work-stealing task executor: the cluster's shared compute substrate.
+//
+// Before this existed, every WorkerServer owned two private thread pools
+// sized slots × max_concurrent_jobs so that concurrent jobs' tasks could
+// reach the SlotArbiter instead of queueing FIFO behind one job's wave —
+// an 8-server cluster at the defaults ran 128 threads, most of them parked
+// in slot waits or idle, and every slot release broadcast to all of them.
+// The executor replaces that oversizing with stealing: one shard (bounded
+// deque) per worker server, a fixed thread team per shard, and idle threads
+// steal half of a loaded shard's queue. Total threads = Σ per-worker slots,
+// independent of job concurrency; admission is still the SlotArbiter's call
+// (tasks Acquire inside their body), the executor only decides *which OS
+// thread* runs a task.
+//
+// Wakeups are an EventCount (common/event_count.h): in the steady state a
+// Submit costs one relaxed atomic load on the notify side, not a
+// mutex/condvar broadcast.
+//
+// Cancellation tokens ride inside the task record, so a task stolen to
+// another shard's thread still observes its token — the executor never
+// drops a task (futures are always satisfied; the task body is responsible
+// for turning a flipped token into a kCancelled result).
+//
+// Lock discipline: Shard::mu (Rank::kTaskExecQueue) guards one deque and is
+// never held while running a task, taking another shard's mu, or notifying
+// the event count. grow_mu_ (Rank::kTaskExecState) guards the shard/thread
+// registries during AddShard and shutdown.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/event_count.h"
+#include "common/mutex.h"
+
+namespace eclipse::sched {
+
+class TaskExecutor {
+ public:
+  struct Options {
+    /// OS threads serving each shard (a worker's map_slots + reduce_slots).
+    int threads_per_shard = 4;
+    /// Submit blocks (backpressure) once a shard's deque holds this many
+    /// tasks. Stolen-task transfers are exempt: a transfer never increases
+    /// the global task count.
+    std::size_t shard_queue_capacity = 1024;
+    /// Headroom for AddShard (cluster growth); shards_ storage is reserved
+    /// up front so running threads index it without synchronization.
+    std::size_t max_shards = 256;
+  };
+
+  // Two overloads rather than a default argument: Options' member
+  // initializers are not usable as a default inside the enclosing class.
+  explicit TaskExecutor(std::size_t shards);
+  TaskExecutor(std::size_t shards, Options options);
+  ~TaskExecutor();
+
+  TaskExecutor(const TaskExecutor&) = delete;
+  TaskExecutor& operator=(const TaskExecutor&) = delete;
+
+  /// Grow by one shard (a new worker server joined); spawns the shard's
+  /// thread team. Returns the new shard id.
+  std::size_t AddShard();
+
+  /// Queue `fn` on `shard` and return a future for its result. `cancel`
+  /// (optional) travels with the task across steals; the executor runs the
+  /// task regardless — bodies observe their own token — but exposes how
+  /// many tasks were already cancelled when dequeued (tests, gauges).
+  template <typename F>
+  auto Submit(std::size_t shard, F fn, std::shared_ptr<std::atomic<bool>> cancel = nullptr)
+      -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::move(fn));
+    std::future<R> fut = task->get_future();
+    Enqueue(shard, Task{[task] { (*task)(); }, std::move(cancel)});
+    return fut;
+  }
+
+  /// Fire-and-forget variant.
+  void Post(std::size_t shard, std::function<void()> fn,
+            std::shared_ptr<std::atomic<bool>> cancel = nullptr) {
+    Enqueue(shard, Task{std::move(fn), std::move(cancel)});
+  }
+
+  /// Block until every queued task has finished (tests).
+  void Drain();
+
+  std::size_t shard_count() const { return shard_count_.load(std::memory_order_acquire); }
+  std::size_t QueueDepth(std::size_t shard) const;
+
+  /// Tasks that ran on a thread homed to another shard.
+  std::uint64_t StolenTasks() const { return stolen_.load(std::memory_order_relaxed); }
+  std::uint64_t ExecutedTasks() const { return executed_.load(std::memory_order_relaxed); }
+  /// Tasks whose cancel token was already set when dequeued.
+  std::uint64_t CancelledBeforeRun() const {
+    return cancelled_at_dequeue_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Task {
+    std::function<void()> fn;
+    std::shared_ptr<std::atomic<bool>> cancel;
+  };
+  struct Shard {
+    mutable Mutex mu{Rank::kTaskExecQueue, "TaskExecutor::Shard::mu"};
+    CondVar not_full;  // Submit backpressure at shard_queue_capacity
+    std::deque<Task> q GUARDED_BY(mu);
+  };
+
+  void Enqueue(std::size_t shard, Task t);
+  void WorkerLoop(std::size_t home);
+  /// Run one task (local pop or steal); false when every queue was empty.
+  bool RunOne(std::size_t home);
+  void RunTask(Task& t, bool stolen);
+
+  Options options_;  // sanitized at construction, immutable afterwards
+  // Reserved to max_shards at construction: AddShard appends under grow_mu_
+  // and publishes through shard_count_, so worker threads index shards_
+  // without locking (slots < shard_count_ never move or die).
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::size_t> shard_count_{0};
+
+  Mutex grow_mu_{Rank::kTaskExecState, "TaskExecutor::grow_mu_"};
+  std::vector<std::thread> threads_ GUARDED_BY(grow_mu_);
+
+  EventCount idle_;
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> inflight_{0};  // queued + running (Drain)
+  std::atomic<std::uint64_t> stolen_{0};
+  std::atomic<std::uint64_t> executed_{0};
+  std::atomic<std::uint64_t> cancelled_at_dequeue_{0};
+};
+
+}  // namespace eclipse::sched

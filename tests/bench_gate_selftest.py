@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""bench_gate self-test (ctest `bench_gate_selftest`).
+
+Proves the regression gate still does its job against the committed
+trajectory format:
+
+  1. the last BENCH_macro.json point, replayed as a fresh run, passes
+     (a point must gate cleanly against itself — catches baseline-loading
+     drift like a renamed trajectory key);
+  2. a run with a gated metric inflated 2x while the machine-speed probe
+     is unchanged fails with exit 1;
+  3. a run uniformly 2x slower (probe scaled too) passes — machine speed
+     is normalized out, only real data-path regressions gate.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+GATE = os.path.join(ROOT, "tools", "bench_gate.py")
+BASELINE = os.path.join(ROOT, "BENCH_macro.json")
+
+
+def run_gate(results, tmpdir, name):
+    path = os.path.join(tmpdir, name)
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(results, f)
+    proc = subprocess.run(
+        [sys.executable, GATE, "--run", path, "--baseline", BASELINE],
+        capture_output=True, text=True)
+    return proc
+
+
+def main():
+    with open(BASELINE, encoding="utf-8") as f:
+        doc = json.load(f)
+    points = [p for p in doc["points"] if "results" in p]
+    assert points, "BENCH_macro.json has no points with results"
+    last = points[-1]["results"]
+
+    failures = []
+    with tempfile.TemporaryDirectory() as tmp:
+        # 1. The recorded point gates cleanly against itself.
+        p = run_gate(last, tmp, "same.json")
+        if p.returncode != 0:
+            failures.append(
+                f"last point vs itself should pass, got exit {p.returncode}:\n"
+                f"{p.stdout}{p.stderr}")
+
+        # 2. A genuine 2x regression on a gated metric fails.
+        bad = dict(last)
+        bad["wordcount_cold_ms"] = last["wordcount_cold_ms"] * 2.0
+        p = run_gate(bad, tmp, "regressed.json")
+        if p.returncode == 0:
+            failures.append("2x wordcount regression passed the gate:\n" + p.stdout)
+
+        # 3. A uniformly slower machine (probe scales with the metrics) passes.
+        slow = {k: (v * 2.0 if isinstance(v, (int, float)) and k.endswith(
+                    ("_ns_per_op", "_ns_per_record", "_cold_ms", "_warm_ms"))
+                    else v)
+                for k, v in last.items()}
+        p = run_gate(slow, tmp, "slow_machine.json")
+        if p.returncode != 0:
+            failures.append(
+                f"uniformly 2x slower machine should normalize out, got exit "
+                f"{p.returncode}:\n{p.stdout}{p.stderr}")
+
+    if failures:
+        print("bench_gate_selftest: FAIL", file=sys.stderr)
+        for f in failures:
+            print("  - " + f, file=sys.stderr)
+        return 1
+    print("bench_gate_selftest: all 3 scenarios behaved")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

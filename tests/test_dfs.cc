@@ -23,7 +23,7 @@ class DfsTest : public ::testing::TestWithParam<int> {
     DfsClientOptions opts;
     opts.default_block_size = block_size;
     opts.user = "tester";
-    client_ = std::make_unique<DfsClient>(1000, transport_, [this] { return ring_; }, opts);
+    client_ = std::make_unique<DfsClient>(1000, transport_, [this] { return std::make_shared<const dht::Ring>(ring_); }, opts);
   }
 
   void Crash(int id) {
@@ -130,7 +130,7 @@ TEST_F(DfsTest, PermissionDeniedForPrivateFile) {
   // Another user is rejected at the metadata owner.
   DfsClientOptions other;
   other.user = "mallory";
-  DfsClient intruder(1001, transport_, [this] { return ring_; }, other);
+  DfsClient intruder(1001, transport_, [this] { return std::make_shared<const dht::Ring>(ring_); }, other);
   EXPECT_EQ(intruder.ReadFile("secret").status().code(), ErrorCode::kPermission);
 }
 
@@ -186,7 +186,7 @@ TEST_F(DfsTest, ListFilesUnionsDecentralizedNamespace) {
 
   DfsClientOptions other;
   other.user = "someone-else";
-  DfsClient visitor(1001, transport_, [this] { return ring_; }, other);
+  DfsClient visitor(1001, transport_, [this] { return std::make_shared<const dht::Ring>(ring_); }, other);
   auto visible = visitor.ListFiles();
   ASSERT_EQ(visible.size(), 2u) << "private files hidden from other users";
   EXPECT_EQ(visible[0].name, "a-file");
@@ -217,7 +217,7 @@ TEST_F(DfsTest, RecoveryRestoresReplicationFactor) {
   auto meta = client_->GetMetadata("f").value();
 
   Crash(2);
-  FsRecovery recovery(1000, transport_, [this] { return ring_; });
+  FsRecovery recovery(1000, transport_, [this] { return std::make_shared<const dht::Ring>(ring_); });
   auto report = recovery.Repair(3);
   EXPECT_EQ(report.blocks_lost, 0u);
 
@@ -246,7 +246,7 @@ TEST_F(DfsTest, RecoveryReportsUnrecoverableBlocks) {
   auto holders = ring_.Replicas(meta.KeyOfBlock(0), 3);
   for (int h : holders) Crash(h);
 
-  FsRecovery recovery(1000, transport_, [this] { return ring_; });
+  FsRecovery recovery(1000, transport_, [this] { return std::make_shared<const dht::Ring>(ring_); });
   auto report = recovery.Repair(3);
   EXPECT_EQ(report.blocks_lost, 0u)
       << "block no longer appears in any inventory, so it cannot be counted";

@@ -26,7 +26,7 @@ class DfsOverTcpTest : public ::testing::Test {
     }
     DfsClientOptions opts;
     opts.default_block_size = block_size;
-    client_ = std::make_unique<DfsClient>(1000, transport_, [this] { return ring_; }, opts);
+    client_ = std::make_unique<DfsClient>(1000, transport_, [this] { return std::make_shared<const dht::Ring>(ring_); }, opts);
   }
 
   net::TcpTransport transport_;

@@ -2,10 +2,37 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "common/rng.h"
+#include "common/sha1.h"
 
 namespace eclipse {
 namespace {
+
+// FIPS 180 known-answer vectors. These pin the SHA-1 implementation's
+// output bit-for-bit — the padding fast path (memset into the block
+// buffer, possibly spanning two blocks) and the phase-unrolled
+// compression loop must reproduce the reference digests exactly, or
+// every key silently moves on the ring.
+TEST(Sha1, KnownAnswerVectors) {
+  EXPECT_EQ(ToHex(Sha1::Hash("")), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+  EXPECT_EQ(ToHex(Sha1::Hash("abc")), "a9993e364706816aba3e25717850c26c9cd0d89d");
+  // 56 bytes: length lands where the padding must spill into a second block.
+  EXPECT_EQ(ToHex(Sha1::Hash("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+  // One million 'a's, absorbed in uneven chunks to exercise Update's
+  // partial-block buffering around the optimized Finish.
+  Sha1 h;
+  std::string chunk(4096 + 13, 'a');
+  std::size_t fed = 0;
+  while (fed < 1'000'000) {
+    std::size_t n = std::min(chunk.size(), 1'000'000 - fed);
+    h.Update(chunk.data(), n);
+    fed += n;
+  }
+  EXPECT_EQ(ToHex(h.Finish()), "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+}
 
 TEST(KeyOf, DeterministicAndSpread) {
   EXPECT_EQ(KeyOf("file-a"), KeyOf("file-a"));

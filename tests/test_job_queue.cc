@@ -192,7 +192,7 @@ TEST(JobQueue, CancelQueuedJobNeverStarts) {
     class Slowed : public mr::Mapper {
      public:
       explicit Slowed(std::unique_ptr<mr::Mapper> inner) : inner_(std::move(inner)) {}
-      void Map(const std::string& record, mr::MapContext& ctx) override {
+      void Map(std::string_view record, mr::MapContext& ctx) override {
         std::this_thread::sleep_for(std::chrono::microseconds(200));
         inner_->Map(record, ctx);
       }
@@ -231,7 +231,7 @@ TEST(JobQueue, CancelMidMapLeavesClusterReusable) {
     class Slowed : public mr::Mapper {
      public:
       explicit Slowed(std::unique_ptr<mr::Mapper> inner) : inner_(std::move(inner)) {}
-      void Map(const std::string& record, mr::MapContext& ctx) override {
+      void Map(std::string_view record, mr::MapContext& ctx) override {
         std::this_thread::sleep_for(std::chrono::microseconds(300));
         inner_->Map(record, ctx);
       }
@@ -277,7 +277,7 @@ TEST(JobQueue, CancelMidReduceLeavesClusterReusable) {
     class Slowed : public mr::Reducer {
      public:
       explicit Slowed(std::unique_ptr<mr::Reducer> inner) : inner_(std::move(inner)) {}
-      void Reduce(const std::string& key, const std::vector<std::string>& values,
+      void Reduce(std::string_view key, const std::vector<std::string_view>& values,
                   mr::ReduceContext& ctx) override {
         std::this_thread::sleep_for(std::chrono::microseconds(500));
         inner_->Reduce(key, values, ctx);

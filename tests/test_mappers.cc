@@ -19,8 +19,8 @@ namespace {
 class FakeMapContext : public mr::MapContext {
  public:
   explicit FakeMapContext(std::string state = {}) : state_(std::move(state)) {}
-  void Emit(std::string key, std::string value) override {
-    emitted.push_back({std::move(key), std::move(value)});
+  void Emit(std::string_view key, std::string_view value) override {
+    emitted.push_back({std::string(key), std::string(value)});
   }
   const std::string& shared_state() const override { return state_; }
   std::vector<mr::KV> emitted;
@@ -31,8 +31,8 @@ class FakeMapContext : public mr::MapContext {
 
 class FakeReduceContext : public mr::ReduceContext {
  public:
-  void Emit(std::string key, std::string value) override {
-    emitted.push_back({std::move(key), std::move(value)});
+  void Emit(std::string_view key, std::string_view value) override {
+    emitted.push_back({std::string(key), std::string(value)});
   }
   std::vector<mr::KV> emitted;
 };

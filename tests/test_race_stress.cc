@@ -30,6 +30,7 @@
 #include "net/dispatcher.h"
 #include "net/transport.h"
 #include "obs/trace.h"
+#include "sched/task_executor.h"
 #include "workload/generators.h"
 
 namespace eclipse {
@@ -591,6 +592,47 @@ TEST(RaceStress, TraceEmissionVsCaptureControl) {
   // No structural assertion beyond "didn't crash / no TSan report": the
   // capture content is timing-dependent by construction here.
   (void)events;
+}
+
+TEST(RaceStress, ExecutorStealVsCancel) {
+  // Thieves pulling tasks off a victim's deque race a flipper setting the
+  // cancellation token mid-stream. The executor's contract: every future is
+  // satisfied no matter the interleaving (bodies turn a flipped token into a
+  // cancelled result; the executor never drops a task). TSan checks the
+  // token handoff through a steal is synchronized; the counters check
+  // nothing is lost or doubled.
+  sched::TaskExecutor::Options opts;
+  opts.threads_per_shard = 1;
+  sched::TaskExecutor exec(4, opts);
+  constexpr int kRounds = 50;
+  constexpr int kTasks = 64;
+  for (int round = 0; round < kRounds; ++round) {
+    auto cancel = std::make_shared<std::atomic<bool>>(false);
+    std::atomic<int> ran{0};
+    std::vector<std::future<bool>> futs;
+    futs.reserve(kTasks);
+    std::thread flipper([&cancel] {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+      cancel->store(true, std::memory_order_release);
+    });
+    for (int i = 0; i < kTasks; ++i) {
+      // All onto shard 0: completion of the tail requires steals while the
+      // flipper races the token.
+      futs.push_back(exec.Submit(0, [&ran] {
+        ran.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }, cancel));
+    }
+    int satisfied = 0;
+    for (auto& f : futs) {
+      f.get();
+      ++satisfied;
+    }
+    flipper.join();
+    ASSERT_EQ(satisfied, kTasks) << "round " << round;
+    ASSERT_EQ(ran.load(), kTasks) << "round " << round;
+  }
+  exec.Drain();
 }
 
 }  // namespace

@@ -18,7 +18,7 @@ class RoutingTest : public ::testing::TestWithParam<std::size_t> {
     for (int i = 0; i < n; ++i) {
       dispatchers_.push_back(std::make_unique<net::Dispatcher>());
       nodes_.push_back(std::make_unique<DfsNode>(i, *dispatchers_.back()));
-      nodes_.back()->EnableRouting(transport_, [this] { return ring_; }, finger_entries);
+      nodes_.back()->EnableRouting(transport_, [this] { return std::make_shared<const dht::Ring>(ring_); }, finger_entries);
       transport_.Register(i, dispatchers_.back()->AsHandler());
     }
   }
@@ -87,7 +87,7 @@ TEST_F(RoutingTest, ClientReadBlockRouted) {
   Boot(12, 4);
   DfsClientOptions copts;
   copts.default_block_size = 64;
-  DfsClient client(1000, transport_, [this] { return ring_; }, copts);
+  DfsClient client(1000, transport_, [this] { return std::make_shared<const dht::Ring>(ring_); }, copts);
   std::string content(300, 'q');
   ASSERT_TRUE(client.Upload("routed-file", content).ok());
   auto meta = client.GetMetadata("routed-file").value();

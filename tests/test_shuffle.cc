@@ -142,7 +142,7 @@ class ShuffleWriterTest : public ::testing::Test {
       nodes_.push_back(std::make_unique<dfs::DfsNode>(i, *dispatchers_.back()));
       transport_.Register(i, dispatchers_.back()->AsHandler());
     }
-    client_ = std::make_unique<dfs::DfsClient>(100, transport_, [this] { return ring_; });
+    client_ = std::make_unique<dfs::DfsClient>(100, transport_, [this] { return std::make_shared<const dht::Ring>(ring_); });
   }
 
   net::InProcessTransport transport_;

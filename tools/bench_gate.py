@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""bench_gate: fail CI when the data-path macro benchmarks regress.
+
+Compares a fresh bench_macro_datapath run against the committed baseline
+(the newest trajectory point in BENCH_macro.json) and exits non-zero if a
+gated metric regressed by more than --tolerance (default 10%).
+
+Gated metrics (lower is better):
+    shuffle_add_64r_ns_per_record   per-record cost of ShuffleWriter::Add
+    wordcount_cold_ms               end-to-end cold word count
+
+Cross-machine normalization: absolute times differ between the quiet
+machine that recorded the baseline and a CI runner, so by default the run's
+numbers are rescaled by the ratio of `cache_get_hit_ns_per_op` (a pure
+CPU/memory microbench with no scheduler or allocator involvement) between
+run and baseline. A runner that is uniformly 1.3x slower then gates at
+1.3x the baseline, while a real data-path regression — which moves the
+gated metrics without moving the cache microbench — still trips. Disable
+with --no-normalize when both runs come from the same machine.
+
+Usage:
+    tools/bench_gate.py --run bench_macro_run.json [--baseline BENCH_macro.json]
+                        [--tolerance 0.10] [--no-normalize]
+
+Exit codes: 0 within tolerance, 1 regression, 2 usage/schema error.
+"""
+
+import argparse
+import json
+import sys
+
+GATED_METRICS = ["shuffle_add_64r_ns_per_record", "wordcount_cold_ms"]
+SCALE_METRIC = "cache_get_hit_ns_per_op"
+# A runner more than 4x off the baseline machine (either way) is measuring
+# something else entirely; refuse to extrapolate that far.
+SCALE_CLAMP = (0.25, 4.0)
+
+
+def load_baseline(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    for key in ("points", "trajectory"):
+        if key in doc:
+            points = [p for p in doc[key] if "results" in p]
+            if not points:
+                raise ValueError(f"{path}: {key} has no points with results")
+            return points[-1]["results"], points[-1].get("date", "?")
+    return doc, "?"
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--run", required=True, help="JSON from bench_macro_datapath --out=...")
+    ap.add_argument("--baseline", default="BENCH_macro.json",
+                    help="committed baseline (trajectory file or flat run JSON)")
+    ap.add_argument("--tolerance", type=float, default=0.10,
+                    help="allowed fractional regression (0.10 = 10%%)")
+    ap.add_argument("--no-normalize", action="store_true",
+                    help="skip machine-speed normalization via " + SCALE_METRIC)
+    args = ap.parse_args()
+
+    try:
+        with open(args.run, "r", encoding="utf-8") as f:
+            run = json.load(f)
+        base, base_date = load_baseline(args.baseline)
+    except (OSError, ValueError) as e:
+        print(f"bench_gate: error: {e}", file=sys.stderr)
+        return 2
+
+    if run.get("small") != base.get("small"):
+        print(f"bench_gate: error: run small={run.get('small')} but baseline "
+              f"small={base.get('small')} — sizes must match to compare", file=sys.stderr)
+        return 2
+
+    scale = 1.0
+    if not args.no_normalize:
+        rs, bs = run.get(SCALE_METRIC), base.get(SCALE_METRIC)
+        if not rs or not bs:
+            print(f"bench_gate: error: {SCALE_METRIC} missing from run or baseline; "
+                  f"pass --no-normalize to compare raw numbers", file=sys.stderr)
+            return 2
+        scale = rs / bs
+        clamped = min(max(scale, SCALE_CLAMP[0]), SCALE_CLAMP[1])
+        if clamped != scale:
+            print(f"bench_gate: warning: machine-speed ratio {scale:.2f} clamped "
+                  f"to {clamped:.2f}", file=sys.stderr)
+            scale = clamped
+
+    failures = []
+    print(f"bench_gate: baseline {args.baseline} ({base_date}), "
+          f"tolerance {args.tolerance:.0%}, machine-speed scale {scale:.3f}")
+    for metric in GATED_METRICS:
+        if metric not in run or metric not in base:
+            failures.append(f"{metric}: missing from {'run' if metric not in run else 'baseline'}")
+            continue
+        normalized = run[metric] / scale
+        limit = base[metric] * (1.0 + args.tolerance)
+        verdict = "OK" if normalized <= limit else "REGRESSED"
+        print(f"  {metric}: run {run[metric]:.3f} (normalized {normalized:.3f}) "
+              f"vs baseline {base[metric]:.3f}, limit {limit:.3f} -> {verdict}")
+        if normalized > limit:
+            failures.append(
+                f"{metric}: normalized {normalized:.3f} exceeds limit {limit:.3f} "
+                f"(baseline {base[metric]:.3f} + {args.tolerance:.0%})")
+
+    if failures:
+        for f in failures:
+            print(f"bench_gate: FAIL: {f}", file=sys.stderr)
+        return 1
+    print("bench_gate: all gated metrics within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

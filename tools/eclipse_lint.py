@@ -18,6 +18,9 @@ express (docs/static-analysis.md has the full catalog):
   hotpath-pushback no push_back/emplace_back without a reserve() in the same
                    ECLIPSE_HOT_PATH function
   hotpath-tostring no std::to_string in ECLIPSE_HOT_PATH functions
+  hotpath-required the data-path functions in HOT_PATH_REQUIRED must carry
+                   the ECLIPSE_HOT_PATH annotation (so renames/rewrites
+                   cannot silently drop the zero-alloc enforcement)
   manifest-*       src/common/lock_rank.h, tools/lock_hierarchy.json, the
                    rank table in docs/static-analysis.md, and every Mutex
                    declaration in the tree must agree
@@ -50,7 +53,27 @@ REPO_RULES = [
     "hotpath-new",
     "hotpath-pushback",
     "hotpath-tostring",
+    "hotpath-required",
     "manifest",
+]
+
+# Functions on the per-record data path (docs/performance.md). Each must be
+# declared with ECLIPSE_HOT_PATH at the definition matched by `pattern`; the
+# hot-path rules above then keep them allocation-free. If a signature changes,
+# update the pattern here in the same commit.
+HOT_PATH_REQUIRED = [
+    {"file": "src/mr/shuffle.cc",
+     "pattern": r"Status\s+ShuffleWriter::Add\s*\("},
+    {"file": "src/mr/shuffle.cc",
+     "pattern": r"std::size_t\s+RouteToRange\s*\("},
+    {"file": "src/mr/shuffle.h",
+     "pattern": r"bool\s+ForEachGroupViews\s*\("},
+    {"file": "src/common/arena.h",
+     "pattern": r"void\*\s+Allocate\s*\("},
+    {"file": "src/common/arena.h",
+     "pattern": r"std::string_view\s+CopyString\s*\("},
+    {"file": "src/mr/shuffle.h",
+     "pattern": r"HashKey\s+Get\s*\("},
 ]
 
 # Calls that may block indefinitely (RPCs, sleeps, joins). CondVar::wait on
@@ -495,6 +518,33 @@ def scan_file_text(src, h, decls_index, findings):
                     "std::to_string allocates; ECLIPSE_HOT_PATH functions may not"))
 
 
+def check_hot_path_required(sources, findings):
+    """Every HOT_PATH_REQUIRED entry whose file is in the scan set must have
+    ECLIPSE_HOT_PATH adjacent to the matched definition. A missing pattern is
+    itself a finding: it means the function was renamed without updating the
+    registry (or the enforcement was dropped)."""
+    by_rel = {src.rel: src for src in sources}
+    for entry in HOT_PATH_REQUIRED:
+        src = by_rel.get(entry["file"])
+        if src is None:
+            continue
+        m = re.search(entry["pattern"], src.code)
+        if m is None:
+            findings.append(Finding(
+                entry["file"], 1, "hotpath-required",
+                f"no match for registered hot-path pattern {entry['pattern']!r} — "
+                f"update HOT_PATH_REQUIRED in tools/eclipse_lint.py alongside the rename"))
+            continue
+        window = src.code[max(0, m.start() - 200):m.start()]
+        if "ECLIPSE_HOT_PATH" not in window:
+            line = src.line_of(m.start())
+            if not src.suppressed(line, "hotpath-required"):
+                findings.append(Finding(
+                    entry["file"], line, "hotpath-required",
+                    "data-path function must be annotated ECLIPSE_HOT_PATH "
+                    "(registered in HOT_PATH_REQUIRED, tools/eclipse_lint.py)"))
+
+
 def run_text_engine(root, rel_files, h):
     findings = []
     sources = []
@@ -507,6 +557,7 @@ def run_text_engine(root, rel_files, h):
     idx = _decl_index(decls)
     for src in sources:
         scan_file_text(src, h, idx, findings)
+    check_hot_path_required(sources, findings)
     return findings, decls
 
 
@@ -806,7 +857,7 @@ def main():
         try:
             clang_findings = run_clang_engine(root, rel_files, h, db_dir)
             # The clang engine supersedes the text engine's scoped rules.
-            lexical = {"mutex-rank", "manifest"}
+            lexical = {"mutex-rank", "manifest", "hotpath-required"}
             findings = [f for f in findings if f.rule in lexical] + clang_findings
             engine_used = "clang"
         except RuntimeError as e:
