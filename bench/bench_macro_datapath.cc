@@ -25,6 +25,7 @@
 #include <thread>
 #include <vector>
 
+#include "apps/proc_fleet.h"
 #include "apps/sort.h"
 #include "apps/wordcount.h"
 #include "cache/lru_cache.h"
@@ -33,6 +34,7 @@
 #include "dfs/dfs_node.h"
 #include "dht/ring.h"
 #include "mr/cluster.h"
+#include "mr/deployment.h"
 #include "mr/shuffle.h"
 #include "net/transport.h"
 #include "workload/generators.h"
@@ -176,8 +178,8 @@ void BenchShuffleAdd(Report& report, int servers, bool small) {
 /// One whole job, cold then warm: the warm run reads every input block from
 /// the iCache, so the pair brackets the cache's contribution to the data
 /// path (paper Fig. 5/6 premise).
-void BenchJob(Report& report, const std::string& label, const mr::JobSpec& spec_cold,
-              const mr::JobSpec& spec_warm, mr::Cluster& cluster) {
+std::uint64_t BenchJob(Report& report, const std::string& label, const mr::JobSpec& spec_cold,
+                       const mr::JobSpec& spec_warm, mr::Cluster& cluster) {
   auto cold = cluster.Run(spec_cold);
   if (!cold.status.ok()) {
     std::fprintf(stderr, "%s cold failed: %s\n", label.c_str(),
@@ -204,6 +206,7 @@ void BenchJob(Report& report, const std::string& label, const mr::JobSpec& spec_
               label.c_str(), cold.stats.wall_seconds * 1e3, warm.stats.wall_seconds * 1e3,
               static_cast<unsigned long long>(cold.output.size()),
               static_cast<unsigned long long>(cold_sum));
+  return cold_sum;
 }
 
 /// Multi-job throughput: four concurrent submitter threads each stream
@@ -212,7 +215,7 @@ void BenchJob(Report& report, const std::string& label, const mr::JobSpec& spec_
 /// arbitration, epoch capture, queue hand-off) on top of the single-job
 /// path; every output is checksummed against a solo run, so concurrency
 /// provably does not change results.
-void BenchMultiJob(Report& report, mr::Cluster& cluster, bool small) {
+double BenchMultiJob(Report& report, mr::Cluster& cluster, bool small) {
   const int submitters = 4;
   const int jobs_each = small ? 2 : 6;
   auto solo = cluster.Run(apps::WordCountJob("mj-solo", "corpus"));
@@ -245,11 +248,106 @@ void BenchMultiJob(Report& report, mr::Cluster& cluster, bool small) {
   report.Num("multi_job_jobs_per_s_4sub", jobs_per_s);
   std::printf("multi_job (4 sub)   %10.2f jobs/s  (%d jobs in %.1f ms)\n", jobs_per_s,
               submitters * jobs_each, secs * 1e3);
+  return jobs_per_s;
+}
+
+/// Multi-process saturation: the same word-count stream, but the data plane
+/// is 4 real worker processes (the binary fork+execs itself via
+/// apps/proc_fleet.h) behind a DeploymentCoordinator, with 4 concurrent
+/// submitters keeping the TCP path saturated. Reported alongside the
+/// in-process multi-job number so the trajectory tracks the socket tax:
+///
+///   saturation_ms_per_job_4p4s  gated by tools/bench_gate.py — a data-path
+///                               regression on the wire (serde, conn pool,
+///                               dispatcher) moves this without moving the
+///                               cache microbench used for normalization
+///   saturation_overhead_x       in-process jobs/s over multi-process jobs/s
+///
+/// Every output (solo and concurrent) is checksummed against the in-process
+/// cluster's wordcount checksum: emulation and deployment must agree
+/// bit-for-bit, or the benchmark exits non-zero.
+void BenchSaturation(Report& report, const char* argv0, const std::string& corpus,
+                     std::uint64_t expect, double inproc_jobs_per_s, bool small) {
+  const int workers = 4;
+  const int submitters = 4;
+  const int jobs_each = small ? 2 : 6;
+
+  apps::ProcFleet fleet;
+  const int port = apps::FleetPort(26000);
+  mr::DeploymentOptions dopts;
+  dopts.bootstrap_port = port;
+  dopts.cache_capacity = 64ull << 20;
+  auto coordinator = std::make_shared<mr::DeploymentCoordinator>(dopts);
+  if (coordinator->bootstrap_port() < 0) {
+    std::fprintf(stderr, "saturation: cannot bind bootstrap port %d\n", port);
+    std::exit(1);
+  }
+  if (!fleet.Spawn(argv0, workers, port)) std::exit(1);
+  if (!coordinator->WaitForWorkers(workers, 30'000)) {
+    std::fprintf(stderr, "saturation: only %zu/%d workers registered\n",
+                 coordinator->ActiveWorkers().size(), workers);
+    std::exit(1);
+  }
+
+  double jobs_per_s = 0.0;
+  {
+    mr::ClusterOptions options;
+    options.deployment = coordinator;
+    options.block_size = 4_KiB;
+    options.cache_capacity = 64_MiB;
+    mr::Cluster cluster(options);
+    if (Status s = cluster.dfs().Upload("corpus", corpus); !s.ok()) {
+      std::fprintf(stderr, "saturation upload failed: %s\n", s.ToString().c_str());
+      std::exit(1);
+    }
+    auto solo = cluster.Run(apps::WordCountJob("sat-solo", "corpus"));
+    if (!solo.status.ok() || ChecksumOutput(solo.output) != expect) {
+      std::fprintf(stderr,
+                   "saturation: multi-process output diverges from the in-process run\n");
+      std::exit(1);
+    }
+
+    std::atomic<bool> bad{false};
+    auto t0 = Clock::now();
+    std::vector<std::thread> threads;
+    for (int t = 0; t < submitters; ++t) {
+      threads.emplace_back([&cluster, &bad, jobs_each, expect, t] {
+        for (int i = 0; i < jobs_each; ++i) {
+          mr::JobSpec job = apps::WordCountJob("sat", "corpus");
+          job.user = "u" + std::to_string(t);
+          mr::JobResult r = cluster.Submit(std::move(job)).Wait();
+          if (!r.status.ok() || ChecksumOutput(r.output) != expect) bad.store(true);
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+    double secs = SecondsSince(t0);
+    if (bad.load()) {
+      std::fprintf(stderr,
+                   "saturation: a concurrent job failed or diverged from the in-process run\n");
+      std::exit(1);
+    }
+    jobs_per_s = submitters * jobs_each / secs;
+  }  // Cluster down before the workers are told to exit.
+
+  coordinator->ShutdownAll();
+  if (!fleet.ExpectCleanExit()) {
+    std::fprintf(stderr, "saturation: worker processes did not all shut down cleanly\n");
+    std::exit(1);
+  }
+
+  report.Num("saturation_jobs_per_s_4p4s", jobs_per_s);
+  report.Num("saturation_ms_per_job_4p4s", 1e3 / jobs_per_s);
+  report.Num("saturation_overhead_x", inproc_jobs_per_s / jobs_per_s);
+  std::printf("saturation (4p,4s)  %10.2f jobs/s  (%.2fx over in-process)\n", jobs_per_s,
+              inproc_jobs_per_s / jobs_per_s);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  apps::MaybeRunFleetWorker(argc, argv);  // re-exec'd saturation workers never return
+
   std::string out_path = "BENCH_macro_run.json";
   bool small = false;
   for (int i = 1; i < argc; ++i) {
@@ -280,16 +378,18 @@ int main(int argc, char** argv) {
   Rng rng(42);
   workload::TextOptions topts;
   topts.target_bytes = small ? 64_KiB : 512_KiB;
-  Status up = cluster.dfs().Upload("corpus", workload::GenerateText(rng, topts));
+  const std::string corpus = workload::GenerateText(rng, topts);
+  Status up = cluster.dfs().Upload("corpus", corpus);
   if (!up.ok()) {
     std::fprintf(stderr, "upload failed: %s\n", up.ToString().c_str());
     return 1;
   }
-  BenchJob(report, "wordcount", apps::WordCountJob("wc-cold", "corpus"),
-           apps::WordCountJob("wc-warm", "corpus"), cluster);
+  std::uint64_t wc_sum = BenchJob(report, "wordcount", apps::WordCountJob("wc-cold", "corpus"),
+                                  apps::WordCountJob("wc-warm", "corpus"), cluster);
   BenchJob(report, "sort", apps::SortJob("sort-cold", "corpus"),
            apps::SortJob("sort-warm", "corpus"), cluster);
-  BenchMultiJob(report, cluster, small);
+  double inproc_jobs_per_s = BenchMultiJob(report, cluster, small);
+  BenchSaturation(report, argv[0], corpus, wc_sum, inproc_jobs_per_s, small);
 
   if (!report.Write(out_path)) {
     std::fprintf(stderr, "cannot write %s\n", out_path.c_str());

@@ -14,19 +14,30 @@
 //   3. accounting: the Prometheus exposition carries per-job (job="N") and
 //      per-user (user="uN") labelled series.
 //
-// Usage: multi_tenant [trace_out.json]
-// Exit code is non-zero on any violation, so CI runs this binary — plain and
-// under TSan — as the multi-tenancy smoke test.
+// With --procs the whole drill runs against a real multi-process deployment:
+// the binary fork+execs itself into 8 worker processes (apps/proc_fleet.h),
+// bootstraps them through a DeploymentCoordinator, and runs the identical
+// twelve-job race over TCP — solo baselines and all. Every invariant above
+// must hold unchanged, and every worker process must exit 0 from the final
+// shutdown broadcast.
+//
+// Usage: multi_tenant [trace_out.json] [--procs]
+// Exit code is non-zero on any violation, so CI runs this binary — plain,
+// under TSan, and in --procs mode — as the multi-tenancy smoke test.
 #include <cstdio>
+#include <cstring>
 #include <map>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "apps/grep.h"
+#include "apps/proc_fleet.h"
 #include "apps/sort.h"
 #include "apps/wordcount.h"
 #include "mr/cluster.h"
+#include "mr/deployment.h"
 #include "obs/summary.h"
 #include "obs/trace.h"
 #include "workload/generators.h"
@@ -60,19 +71,9 @@ std::vector<mr::JobSpec> SpecsFor(int u) {
   return specs;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  const std::string trace_path = argc > 1 ? argv[1] : "multi_tenant_trace.json";
-
-  mr::ClusterOptions options;
-  options.num_servers = 8;
-  options.block_size = 4_KiB;
-  options.cache_capacity = 32_MiB;
-  options.max_concurrent_jobs = 6;
-  options.user_weights = {{"u0", 1.0}, {"u1", 1.0}, {"u2", 2.0}, {"u3", 4.0}};
-  mr::Cluster cluster(options);
-
+/// The whole drill against whatever cluster the caller built (emulated
+/// workers or a multi-process deployment). Returns the process exit code.
+int RunDrill(mr::Cluster& cluster, const std::string& trace_path) {
   // One corpus per tenant, distinct seeds: correct answers differ per user,
   // so cross-job contamination cannot cancel out in the comparison.
   for (int u = 0; u < kUsers; ++u) {
@@ -181,4 +182,73 @@ int main(int argc, char** argv) {
   std::printf("wrote %s (%zu events)\n\n", trace_path.c_str(), tracer.Snapshot().size());
   std::printf("%s\n", obs::RenderJobSummaries(jobs).c_str());
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  apps::MaybeRunFleetWorker(argc, argv);  // re-exec'd children never return
+
+  std::string trace_path = "multi_tenant_trace.json";
+  bool procs = false;
+  int positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--procs") == 0) {
+      procs = true;
+    } else if (positional == 0) {
+      trace_path = argv[i];
+      ++positional;
+    } else {
+      std::fprintf(stderr, "usage: %s [trace_out.json] [--procs]\n", argv[0]);
+      return 1;
+    }
+  }
+
+  apps::ProcFleet fleet;
+  std::shared_ptr<mr::DeploymentCoordinator> coordinator;
+  if (procs) {
+    const int port = apps::FleetPort(25000);
+    mr::DeploymentOptions dopts;
+    dopts.bootstrap_port = port;
+    dopts.cache_capacity = 32ull << 20;  // match the emulated drill's 32 MiB
+    coordinator = std::make_shared<mr::DeploymentCoordinator>(dopts);
+    if (coordinator->bootstrap_port() < 0) {
+      std::fprintf(stderr, "failed to bind bootstrap port %d\n", port);
+      return 1;
+    }
+    if (!fleet.Spawn(argv[0], 8, port)) return 1;
+    if (!coordinator->WaitForWorkers(8, 30'000)) {
+      std::fprintf(stderr, "only %zu/8 worker processes registered\n",
+                   coordinator->ActiveWorkers().size());
+      return 1;
+    }
+    std::printf("drill runs over 8 worker processes on 127.0.0.1:%d\n", port);
+  }
+
+  int rc;
+  {
+    mr::ClusterOptions options;
+    options.block_size = 4_KiB;
+    options.cache_capacity = 32_MiB;
+    options.max_concurrent_jobs = 6;
+    options.user_weights = {{"u0", 1.0}, {"u1", 1.0}, {"u2", 2.0}, {"u3", 4.0}};
+    if (procs) {
+      options.deployment = coordinator;
+    } else {
+      options.num_servers = 8;
+    }
+    mr::Cluster cluster(options);
+    rc = RunDrill(cluster, trace_path);
+  }  // Cluster down before the workers are told to exit.
+
+  if (procs) {
+    coordinator->ShutdownAll();
+    if (!fleet.ExpectCleanExit()) {
+      std::fprintf(stderr, "worker processes did not all shut down cleanly\n");
+      if (rc == 0) rc = 1;
+    } else if (rc == 0) {
+      std::printf("all worker processes exited 0 after the shutdown broadcast\n");
+    }
+  }
+  return rc;
 }

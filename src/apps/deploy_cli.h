@@ -1,0 +1,67 @@
+// Shared command-line layer for the deployment binaries (eclipse-worker,
+// eclipse-coordinator).
+//
+// Flags live in static tables so --help output and docs/deployment.md's
+// flag catalog stay mechanically comparable: the doc-consistency test greps
+// every `--flag` out of the handbook and asserts each appears in the
+// binaries' --help text, which is rendered from these tables. Add a flag
+// here and the handbook must document it (and vice versa) or CI fails.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "mr/types.h"
+
+namespace eclipse::apps {
+
+struct Flag {
+  const char* name;     // "--port"
+  const char* arg;      // metavar ("N", "HOST"); nullptr = boolean flag
+  const char* def;      // default rendered in help (nullptr = none)
+  const char* help;     // one-line description
+};
+
+struct FlagSet {
+  const char* binary;    // "eclipse-worker"
+  const char* synopsis;  // one-line usage summary
+  const Flag* flags;
+  std::size_t count;
+};
+
+/// The two binaries' flag tables (defined in deploy_cli.cc).
+const FlagSet& WorkerFlagSet();
+const FlagSet& CoordinatorFlagSet();
+
+struct ParsedFlags {
+  bool ok = false;
+  bool help = false;       // --help was given; caller prints Help() and exits 0
+  std::string error;       // set when !ok
+  std::map<std::string, std::string> values;  // "--port" -> "9000"
+
+  bool Has(const std::string& flag) const { return values.count(flag) != 0; }
+  std::string Str(const std::string& flag, const std::string& def) const;
+  long long Int(const std::string& flag, long long def) const;
+};
+
+/// Parse argv against the set. Accepts `--flag value` and `--flag=value`;
+/// boolean flags take no value. Unknown flags or missing values set error.
+ParsedFlags Parse(const FlagSet& set, int argc, char** argv);
+
+/// Render the --help text: usage line, then one row per flag with its
+/// metavar, default, and description.
+std::string Help(const FlagSet& set);
+
+/// Split "host:port" (returns false unless port parses to 1..65535).
+bool SplitHostPort(const std::string& s, std::string* host, int* port);
+
+/// FNV-1a over a job result's key/value stream — the bit-identity
+/// fingerprint eclipse-coordinator prints and the multi-process tests
+/// compare against an in-process run. Keys arrive sorted (JobResult
+/// contract), so equal outputs hash equal.
+std::uint64_t OutputFingerprint(const std::vector<mr::KV>& output);
+
+}  // namespace eclipse::apps

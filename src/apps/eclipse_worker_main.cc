@@ -1,0 +1,73 @@
+// eclipse-worker — one worker process of a multi-process EclipseMR cluster.
+//
+// Dials the coordinator's bootstrap endpoint, completes the
+// kHello/kWelcome/kActivate handshake, then serves its slice of the DHT
+// file system and LRU cache until the coordinator sends kShutdown (or
+// SIGINT/SIGTERM arrives). See docs/deployment.md.
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <string>
+#include <thread>
+
+#include "apps/deploy_cli.h"
+#include "mr/worker_host.h"
+
+using namespace eclipse;
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+void OnSignal(int) { g_stop.store(true); }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const apps::FlagSet& flags = apps::WorkerFlagSet();
+  apps::ParsedFlags parsed = apps::Parse(flags, argc, argv);
+  if (!parsed.ok) {
+    std::fprintf(stderr, "%s: %s\n", flags.binary, parsed.error.c_str());
+    return 2;
+  }
+  if (parsed.help) {
+    std::fputs(apps::Help(flags).c_str(), stdout);
+    return 0;
+  }
+
+  mr::WorkerHostOptions opts;
+  std::string endpoint = parsed.Str("--coordinator", "127.0.0.1:9090");
+  if (!apps::SplitHostPort(endpoint, &opts.coordinator_host, &opts.coordinator_port)) {
+    std::fprintf(stderr, "%s: bad --coordinator '%s' (want HOST:PORT)\n", flags.binary,
+                 endpoint.c_str());
+    return 2;
+  }
+  opts.listen_host = parsed.Str("--listen-host", "127.0.0.1");
+  opts.advertise_host = parsed.Str("--advertise-host", opts.listen_host);
+  opts.data_port = static_cast<int>(parsed.Int("--port", 0));
+  opts.desired_node = static_cast<int>(parsed.Int("--node", -1));
+  opts.heartbeat_interval_ms = static_cast<int>(parsed.Int("--heartbeat-ms", 500));
+  opts.hello_timeout_ms = static_cast<int>(parsed.Int("--hello-timeout-ms", 10'000));
+
+  mr::WorkerHost host(opts);
+  if (!host.Start()) {
+    std::fprintf(stderr, "%s: handshake failed: %s\n", flags.binary, host.error().c_str());
+    return 2;
+  }
+  std::printf("eclipse-worker: node %d serving on %s:%d (coordinator %s)\n", host.node(),
+              opts.advertise_host.c_str(), host.data_port(), endpoint.c_str());
+  std::fflush(stdout);
+
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+  std::thread watcher([&host] {
+    while (!g_stop.load()) std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    host.Stop();
+  });
+
+  int rc = host.Serve();
+  g_stop.store(true);
+  watcher.join();
+  std::printf("eclipse-worker: node %d exiting (%s)\n", host.node(),
+              rc == 0 ? "shutdown requested" : "coordinator lost");
+  return rc;
+}

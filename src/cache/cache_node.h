@@ -7,6 +7,7 @@
 #pragma once
 
 #include <memory>
+#include <string_view>
 
 #include "cache/lru_cache.h"
 #include "net/dispatcher.h"
@@ -14,8 +15,12 @@
 namespace eclipse::cache {
 
 namespace msg {
-inline constexpr std::uint32_t kFetch = 300;     // id + expected kind -> data or NotFound
-inline constexpr std::uint32_t kCollect = 301;   // KeyRange -> extracted entries
+inline constexpr std::uint32_t kFetch = 300;      // id + expected kind -> data or NotFound
+inline constexpr std::uint32_t kCollect = 301;    // KeyRange -> extracted entries
+inline constexpr std::uint32_t kPut = 302;        // insert (or placeholder) -> accepted flag
+inline constexpr std::uint32_t kErase = 303;      // id -> ok
+inline constexpr std::uint32_t kStats = 304;      // -> per-kind stats + used/capacity/count
+inline constexpr std::uint32_t kResetStats = 305; // -> ok
 inline constexpr std::uint32_t kOk = 399;
 }  // namespace msg
 
@@ -53,6 +58,40 @@ class CacheClient {
   /// shift; EclipseMR disables it by default, as the paper did for its
   /// experiments.
   std::size_t MigrateRange(int server, const KeyRange& range, LruCache& into);
+
+  /// §II-E migration between two REMOTE caches (multi-process mode): pull
+  /// the range out of `src` and push each entry to `dst` (pipelined kPut
+  /// batch). The entries stream through the caller once; nothing lands in a
+  /// local cache. Returns entries accepted by `dst`.
+  std::size_t MigrateRemote(int src, const KeyRange& range, int dst);
+
+  // -- Remote-data-plane operations (multi-process deployment). ------------
+  // The in-process cluster never calls these: WorkerServer's cache facade
+  // uses the local LruCache directly (preserving the zero-copy hit path)
+  // and only routes here when the worker's data plane lives in another
+  // process.
+
+  /// Insert into `server`'s cache. Returns false if rejected or unreachable.
+  bool PutTo(int server, const std::string& id, HashKey key,
+             std::string_view data, EntryKind kind);
+  bool PutPlaceholderTo(int server, const std::string& id, HashKey key,
+                        Bytes size, EntryKind kind);
+
+  /// Remove one entry from `server`'s cache (best-effort).
+  void EraseAt(int server, const std::string& id);
+
+  /// Point-in-time remote cache introspection (stats aggregation and the
+  /// Prometheus per-server gauges).
+  struct RemoteInfo {
+    bool ok = false;  // false: peer unreachable, fields zero
+    CacheStats by_kind[kNumEntryKinds];
+    Bytes used = 0;
+    Bytes capacity = 0;
+    std::uint64_t count = 0;
+  };
+  RemoteInfo InfoFrom(int server);
+
+  void ResetStatsAt(int server);
 
  private:
   const int self_;

@@ -42,10 +42,16 @@ enum class Rank : int {
   kJobQueue = 100,       // mr/job_queue.h     JobQueue::mu_
   kJobState = 110,       // mr/job_queue.h     internal::JobState::mu
 
+  // -- 190: deployment control (acquired before the cluster chain: the
+  //    coordinator's bootstrap/heartbeat state may be consulted on paths
+  //    that go on to take cluster locks) ------------------------------------
+  kDeployment = 190,  // mr/deployment.h     DeploymentCoordinator::mu_
+
   // -- 200: cluster control plane (workers_mu_ -> ring_mu_ -> sched_mu_) ----
   kClusterWorkers = 200,  // mr/cluster.h      Cluster::workers_mu_
   kClusterRing = 210,     // mr/cluster.h      Cluster::ring_mu_
   kClusterSched = 220,    // mr/cluster.h      Cluster::sched_mu_
+  kWorkerHost = 230,      // mr/worker_host.h  WorkerHost::mu_
 
   // -- 300: membership ------------------------------------------------------
   kMembership = 300,     // dht/membership.h   MembershipAgent::mu_
@@ -71,7 +77,9 @@ enum class Rank : int {
   // -- 700: transports ------------------------------------------------------
   kTransport = 700,      // net/transport.h      InProcessTransport::mu_
   kTcpTransport = 710,   // net/tcp_transport.h  TcpTransport::mu_
-  kTcpDrain = 720,       // net/tcp_transport.h  TcpTransport::DrainState::mu
+  kEpollServer = 712,    // net/epoll_server.h   EpollServer::mu_
+  kEpollPool = 714,      // net/epoll_server.h   EpollServer::pool_mu_
+  kConnPool = 716,       // net/conn_pool.h      ConnPool::mu_
   kDispatcher = 730,     // net/dispatcher.h     Dispatcher::mu_
 
   // -- 800: fault injection -------------------------------------------------

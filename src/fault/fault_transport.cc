@@ -21,12 +21,18 @@ void Bump(const std::atomic<Counter*>& c) {
 
 FaultInjectingTransport::FaultInjectingTransport(std::unique_ptr<net::Transport> inner,
                                                  std::shared_ptr<FaultController> controller)
-    : inner_(std::move(inner)), controller_(std::move(controller)) {}
+    : inner_(std::move(inner)),
+      inner_raw_(inner_.get()),
+      controller_(std::move(controller)) {}
+
+FaultInjectingTransport::FaultInjectingTransport(net::Transport& inner,
+                                                 std::shared_ptr<FaultController> controller)
+    : inner_raw_(&inner), controller_(std::move(controller)) {}
 
 FaultInjectingTransport::~FaultInjectingTransport() = default;
 
 void FaultInjectingTransport::Register(net::NodeId node, net::Handler handler) {
-  inner_->Register(node, std::move(handler));
+  inner_raw_->Register(node, std::move(handler));
 }
 
 void FaultInjectingTransport::BindFaultMetrics(MetricsRegistry& registry) {
@@ -107,11 +113,11 @@ Result<net::Message> FaultInjectingTransport::Apply(const EdgeDecision& decision
   if (decision.duplicate) {
     Bump(duplicates_);
     tracer.Emit('i', "fault", "fault_duplicate", from, {obs::U64("to", u64(to))});
-    (void)inner_->Call(from, to, request);  // first delivery's response is lost
-    return inner_->Call(from, to, request);
+    (void)inner_raw_->Call(from, to, request);  // first delivery's response is lost
+    return inner_raw_->Call(from, to, request);
   }
 
-  Result<net::Message> response = inner_->Call(from, to, request);
+  Result<net::Message> response = inner_raw_->Call(from, to, request);
 
   if (decision.drop_response && response.ok()) {
     Bump(drops_);

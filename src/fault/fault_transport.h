@@ -30,6 +30,12 @@ class FaultInjectingTransport : public net::Transport {
   /// same one); it must outlive this transport.
   FaultInjectingTransport(std::unique_ptr<net::Transport> inner,
                           std::shared_ptr<FaultController> controller);
+
+  /// Non-owning variant: wrap a transport somebody else keeps alive (the
+  /// DeploymentCoordinator's TcpTransport in multi-process mode). `inner`
+  /// must outlive this wrapper.
+  FaultInjectingTransport(net::Transport& inner,
+                          std::shared_ptr<FaultController> controller);
   ~FaultInjectingTransport() override;
 
   void Register(net::NodeId node, net::Handler handler) override;
@@ -40,13 +46,14 @@ class FaultInjectingTransport : public net::Transport {
   /// "partition"|"hang"} labels on fault.injected). Optional; call once.
   void BindFaultMetrics(MetricsRegistry& registry);
 
-  net::Transport& inner() { return *inner_; }
+  net::Transport& inner() { return *inner_raw_; }
 
  private:
   Result<net::Message> Apply(const EdgeDecision& decision, net::NodeId from, net::NodeId to,
                              const net::Message& request);
 
-  std::unique_ptr<net::Transport> inner_;
+  std::unique_ptr<net::Transport> inner_;  // null in the non-owning variant
+  net::Transport* inner_raw_ = nullptr;    // always valid
   std::shared_ptr<FaultController> controller_;
   std::atomic<Counter*> drops_{nullptr};
   std::atomic<Counter*> duplicates_{nullptr};

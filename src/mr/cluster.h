@@ -31,6 +31,8 @@
 
 namespace eclipse::mr {
 
+class DeploymentCoordinator;
+
 enum class SchedulerKind { kLaf, kDelay };
 
 /// One immutable generation of scheduling state. RebuildSchedulers (worker
@@ -81,6 +83,16 @@ struct ClusterOptions {
   /// intermediate-result push crosses real sockets. Slower; proves the node
   /// code is wire-agnostic.
   bool use_tcp_transport = false;
+
+  /// Multi-process deployment (docs/deployment.md): worker data planes are
+  /// separate eclipse-worker processes already bootstrapped by this
+  /// coordinator. The cluster borrows the coordinator's TCP transport,
+  /// builds remote-mode WorkerServers over the active worker set
+  /// (num_servers is overridden by it), replaces in-process membership
+  /// agents with the coordinator's heartbeat monitor, and pushes ring/peer
+  /// updates to workers on every membership change. The coordinator must
+  /// outlive the Cluster.
+  std::shared_ptr<DeploymentCoordinator> deployment;
 
   /// When set, the cluster transport is wrapped in a
   /// fault::FaultInjectingTransport and every worker's BlockStore consults
@@ -175,7 +187,13 @@ class Cluster {
   void ResetCacheStats();
 
   const ClusterOptions& options() const { return options_; }
-  net::Transport& transport() { return *transport_; }
+  net::Transport& transport() { return *transport_raw_; }
+
+  /// Multi-process mode: push the fault controller's current per-worker
+  /// slow-disk delays to the worker processes (the in-process BlockStore
+  /// hook consults the controller directly; a remote BlockStore sleeps the
+  /// last value pushed). No-op without a deployment or controller.
+  void SyncDiskDelays();
 
   // Snapshot of the current epoch's scheduler (RebuildSchedulers may publish
   // a fresh epoch at any time; the returned object stays valid but may
@@ -212,13 +230,24 @@ class Cluster {
   /// Point the worker's BlockStore op hook at the fault controller's
   /// slow-disk delay (no-op without a controller).
   void WireSlowDisk(WorkerServer& w);
+  /// Stable worker pointers without holding workers_mu_ (remote-mode cache
+  /// queries are RPCs and must not run under cluster locks).
+  std::vector<WorkerServer*> SnapshotWorkers(bool live_only) const;
   int ClientEndpointId() const { return 1'000'000; }
 
   // Lock hierarchy (outermost first): workers_mu_ → ring_mu_ → sched_mu_.
   // All three are held only for brief state reads/copies; no transport call,
   // scheduler decision, or recovery pass runs under any of them.
   ClusterOptions options_;
+  // Declared before transport_ so it outlives it: an owned TcpTransport's
+  // epoll/handler threads account into counters here until the transport's
+  // own destructor joins them.
+  MetricsRegistry metrics_;
+  // Owned transport (in-process mode, and the fault wrapper in every mode);
+  // null when the deployment coordinator's transport is borrowed bare.
   std::unique_ptr<net::Transport> transport_;
+  // The transport every component actually uses (owned or borrowed).
+  net::Transport* transport_raw_ = nullptr;
 
   mutable Mutex ring_mu_ ACQUIRED_AFTER(workers_mu_){Rank::kClusterRing, "Cluster::ring_mu_"};
   dht::Ring ring_ GUARDED_BY(ring_mu_);
@@ -236,8 +265,6 @@ class Cluster {
   std::vector<std::unique_ptr<dht::MembershipAgent>> agents_
       GUARDED_BY(workers_mu_);  // empty when membership is off
   std::unique_ptr<dfs::DfsClient> client_;
-
-  MetricsRegistry metrics_;
 
   // Internally synchronized; takes no other cluster lock (leaf-level, like
   // the metrics registry), so it may be called from anywhere.

@@ -256,7 +256,7 @@ void JobRunner::CleanupCancelledSpills() {
     // evict it rather than let it squat on cache budget.
     for (int id : worker_ids) {
       WorkerServer& w = cluster_.worker(id);
-      if (!w.dead()) w.cache().Erase(info.id);
+      if (!w.dead()) w.CacheErase(info.id);
     }
   }
   if (!deleted.empty()) {
@@ -867,7 +867,7 @@ JobRunner::MapOutcome JobRunner::RunMapTask(WorkerServer& w, BlockRef ref,
   // §II-C reuse: tagged intermediates let the map skip computation. The
   // cached manifest is consumed through its handle — no copy on hit.
   if (!tag.empty() && !force_recompute) {
-    cache::CacheValue manifest_data = w.cache().Get(manifest_id, cache::EntryKind::kOutput);
+    cache::CacheValue manifest_data = w.CacheGet(manifest_id, cache::EntryKind::kOutput);
     if (!manifest_data) {
       if (auto obj = w.dfs().GetObject(manifest_id, manifest_key); obj.ok()) {
         manifest_data = std::make_shared<const std::string>(std::move(obj.value()));
@@ -890,7 +890,7 @@ JobRunner::MapOutcome JobRunner::RunMapTask(WorkerServer& w, BlockRef ref,
   // even if the entry is evicted mid-task.
   const std::string block_id = dfs::BlockId(meta_.name, block);
   const HashKey block_key = meta_.KeyOfBlock(block);
-  cache::CacheValue data = w.cache().Get(block_id, cache::EntryKind::kInput);
+  cache::CacheValue data = w.CacheGet(block_id, cache::EntryKind::kInput);
   if (data) {
     out.icache_hit = true;
     out.locality = "memory";
@@ -904,7 +904,7 @@ JobRunner::MapOutcome JobRunner::RunMapTask(WorkerServer& w, BlockRef ref,
     out.locality = served_by == w.id() ? "local_disk" : "remote_disk";
     data = std::make_shared<const std::string>(std::move(read.value()));
     if (spec_.cache_input) {
-      w.cache().Put(block_id, block_key, data, cache::EntryKind::kInput);
+      w.CachePut(block_id, block_key, data, cache::EntryKind::kInput);
     }
   }
   out.input_bytes = data->size();
@@ -974,8 +974,8 @@ JobRunner::MapOutcome JobRunner::RunMapTask(WorkerServer& w, BlockRef ref,
   if (!tag.empty()) {
     auto manifest_data = std::make_shared<const std::string>(EncodeManifest(out.spills));
     w.dfs().PutObject(manifest_id, manifest_key, *manifest_data, spec_.intermediate_ttl);
-    w.cache().Put(manifest_id, manifest_key, std::move(manifest_data),
-                  cache::EntryKind::kOutput);
+    w.CachePut(manifest_id, manifest_key, std::move(manifest_data),
+               cache::EntryKind::kOutput);
   }
   out.status = Status::Ok();
   return out;
@@ -1040,7 +1040,7 @@ JobRunner::ReduceOutcome JobRunner::RunReduceTask(WorkerServer& w,
       out.status = Status::Error(ErrorCode::kCancelled, "job cancelled mid-reduce");
       return out;
     }
-    cache::CacheValue data = w.cache().Get(spill.id, cache::EntryKind::kOutput);
+    cache::CacheValue data = w.CacheGet(spill.id, cache::EntryKind::kOutput);
     if (data) {
       ++out.ocache_hits;
     } else {
@@ -1052,7 +1052,7 @@ JobRunner::ReduceOutcome JobRunner::RunReduceTask(WorkerServer& w,
       ++out.ocache_misses;
       data = std::make_shared<const std::string>(std::move(obj.value()));
       if (spec_.cache_intermediates) {
-        w.cache().Put(spill.id, spill.range_begin, data, cache::EntryKind::kOutput);
+        w.CachePut(spill.id, spill.range_begin, data, cache::EntryKind::kOutput);
       }
     }
     if (Status s = DecodeSpillViews(*data, &scratch.pairs); !s.ok()) {

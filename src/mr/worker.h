@@ -29,6 +29,13 @@ struct WorkerOptions {
   int reduce_slots = 2;
   Bytes cache_capacity = 64_MiB;
   dfs::DfsClientOptions dfs_client;
+  /// Multi-process deployment: the data plane (DfsNode, CacheNode,
+  /// BlockStore) lives in a separate eclipse-worker process reachable
+  /// through a transport peer route. No local nodes are built, nothing is
+  /// registered on the transport, and cache operations become RPCs (see the
+  /// cache facade below). Task execution still happens here — compute never
+  /// ships across the wire (JobSpec holds C++ closures).
+  bool remote = false;
 };
 
 class WorkerServer {
@@ -52,12 +59,37 @@ class WorkerServer {
   void Kill();
   bool dead() const { return dead_.load(); }
 
-  // Components (thread-safe objects).
+  /// Data plane hosted out-of-process (WorkerOptions::remote).
+  bool remote() const { return options_.remote; }
+
+  // Components (thread-safe objects). The node accessors are only valid in
+  // local mode — remote workers host these in their own process.
   dfs::DfsNode& dfs_node() { return *dfs_node_; }
   cache::LruCache& cache() { return cache_node_->local(); }
   cache::CacheNode& cache_node() { return *cache_node_; }
   dfs::DfsClient& dfs() { return *dfs_client_; }
   cache::CacheClient& cache_client() { return *cache_client_; }
+
+  // -- Cache facade ---------------------------------------------------------
+  // JobRunner and Cluster reach this worker's cache slice through these
+  // calls instead of touching the LruCache directly. Local mode delegates to
+  // the in-process LruCache (preserving the zero-copy handle path on hits);
+  // remote mode issues cache RPCs to the worker process.
+
+  /// nullptr on miss (or unreachable remote / expired deadline).
+  cache::CacheValue CacheGet(const std::string& id, cache::EntryKind expected);
+  /// False if the entry was rejected (over capacity) or the peer unreachable.
+  bool CachePut(const std::string& id, HashKey key, cache::CacheValue data,
+                cache::EntryKind kind);
+  void CacheErase(const std::string& id);
+  /// §II-E migration pull: move `range` out of `neighbor`'s cache into this
+  /// worker's. Remote mode streams the entries through the coordinator
+  /// (collect from neighbor, pipelined puts to this worker's process).
+  std::size_t CacheMigrateFrom(int neighbor, const KeyRange& range);
+  /// Point-in-time stats + occupancy (one RPC in remote mode). `ok` is false
+  /// only when a remote peer is unreachable.
+  cache::CacheClient::RemoteInfo CacheInfo();
+  void CacheResetStats();
 
   /// Queue a task on this worker's executor shard. `cancel` travels with
   /// the task across steals.

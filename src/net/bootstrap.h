@@ -1,0 +1,160 @@
+// Wire protocol for multi-process deployment bootstrap (docs/deployment.md).
+//
+// Message-type range 500-599 (the deploy band; dht=100s, dfs=200s,
+// cache=300s). Two conversations use it:
+//
+//  * Worker → coordinator, on the coordinator's bootstrap endpoint:
+//      kHello      magic + protocol version + desired node id; answered by
+//                  kWelcome (assigned id, cluster config, ring snapshot,
+//                  peer directory, scheduler epoch) or kReject (version
+//                  mismatch, cluster full, duplicate id).
+//      kActivate   the worker bound its data listener: node id + host:port.
+//                  The coordinator installs the peer route and, once every
+//                  expected worker is active, lets the cluster build.
+//      kHeartbeat  liveness beacon; a worker missing enough consecutive
+//                  beats is declared failed (same policy as the in-process
+//                  membership agents).
+//
+//  * Coordinator → worker, on the worker's data endpoint (the dispatcher
+//    routes 500-599 to the worker host's control handler):
+//      kRingUpdate    new ring snapshot + scheduler epoch (membership change)
+//      kPeerUpdate    new peer directory (join/leave)
+//      kSetDiskDelay  slow-disk fault injection for the worker's BlockStore
+//      kShutdown      drain and exit
+//
+// This header is serde + constants only — the coordinator-side state machine
+// lives in mr/deployment.h, the worker-side one in mr/worker_host.h. The
+// ring crosses the wire as its (server, position) pairs, so net/ stays
+// independent of dht/.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/hash_key.h"
+#include "net/transport.h"
+
+namespace eclipse::net::deploy {
+
+/// First field of every kHello; a non-Eclipse client knocking on the
+/// bootstrap port is rejected before any state is touched.
+inline constexpr std::uint32_t kProtocolMagic = 0x45'43'4C'50;  // "ECLP"
+
+/// Bumped on any wire-format change. A worker and coordinator from
+/// different builds refuse to pair (kReject) instead of corrupting state.
+inline constexpr std::uint32_t kProtocolVersion = 1;
+
+/// Well-known node id of the coordinator's bootstrap endpoint — outside the
+/// worker id space (workers are 0..N-1; the external DFS client is
+/// 1'000'000). Workers dial it with AddPeer(kCoordinatorNode, host, port).
+inline constexpr NodeId kCoordinatorNode = 2'000'000;
+
+namespace msg {
+inline constexpr std::uint32_t kHello = 500;
+inline constexpr std::uint32_t kActivate = 501;
+inline constexpr std::uint32_t kHeartbeat = 502;
+inline constexpr std::uint32_t kRingUpdate = 510;
+inline constexpr std::uint32_t kPeerUpdate = 511;
+inline constexpr std::uint32_t kSetDiskDelay = 512;
+inline constexpr std::uint32_t kShutdown = 513;
+inline constexpr std::uint32_t kWelcome = 580;
+inline constexpr std::uint32_t kReject = 581;
+inline constexpr std::uint32_t kOk = 599;
+inline constexpr std::uint32_t kFirst = 500;
+inline constexpr std::uint32_t kLast = 599;
+}  // namespace msg
+
+/// One reachable node: how any process dials node `node`.
+struct PeerEntry {
+  std::int32_t node = 0;
+  std::string host;
+  std::int32_t port = 0;
+};
+
+/// One consistent-hash ring position (a vnode). The full vector rebuilds an
+/// identical ring via dht::Ring::AddServerAt on the receiving side.
+struct RingPosition {
+  std::int32_t server = 0;
+  HashKey position = 0;
+};
+
+struct Hello {
+  std::uint32_t magic = kProtocolMagic;
+  std::uint32_t version = kProtocolVersion;
+  /// Worker's requested node id, or -1 for "assign me one".
+  std::int32_t desired_node = -1;
+  /// Host other processes should dial this worker at.
+  std::string advertise_host;
+};
+
+struct Welcome {
+  std::int32_t node = -1;
+  /// Worker-side data-plane knobs, dictated by the coordinator so emulation
+  /// and deployment run the exact same configuration.
+  std::uint64_t cache_capacity = 0;
+  std::uint32_t replication = 0;
+  std::uint32_t vnodes = 0;
+  /// DfsNode routing-table size (0 = multi-hop routing disabled).
+  std::uint32_t finger_entries = 0;
+  std::uint64_t scheduler_epoch = 0;
+  std::vector<RingPosition> ring;
+  std::vector<PeerEntry> peers;
+};
+
+struct Reject {
+  std::string reason;
+};
+
+struct Activate {
+  std::int32_t node = -1;
+  std::string host;
+  std::int32_t port = 0;
+};
+
+struct Heartbeat {
+  std::int32_t node = -1;
+  std::uint64_t seq = 0;
+};
+
+struct RingUpdate {
+  std::uint64_t scheduler_epoch = 0;
+  std::vector<RingPosition> ring;
+};
+
+struct PeerUpdate {
+  std::vector<PeerEntry> peers;
+};
+
+struct DiskDelay {
+  std::int64_t delay_us = 0;
+};
+
+Message EncodeHello(const Hello& h);
+bool DecodeHello(const Message& m, Hello* out);
+
+Message EncodeWelcome(const Welcome& w);
+bool DecodeWelcome(const Message& m, Welcome* out);
+
+Message EncodeReject(const Reject& r);
+bool DecodeReject(const Message& m, Reject* out);
+
+Message EncodeActivate(const Activate& a);
+bool DecodeActivate(const Message& m, Activate* out);
+
+Message EncodeHeartbeat(const Heartbeat& h);
+bool DecodeHeartbeat(const Message& m, Heartbeat* out);
+
+Message EncodeRingUpdate(const RingUpdate& r);
+bool DecodeRingUpdate(const Message& m, RingUpdate* out);
+
+Message EncodePeerUpdate(const PeerUpdate& p);
+bool DecodePeerUpdate(const Message& m, PeerUpdate* out);
+
+Message EncodeDiskDelay(const DiskDelay& d);
+bool DecodeDiskDelay(const Message& m, DiskDelay* out);
+
+inline Message EncodeShutdown() { return Message{msg::kShutdown, {}}; }
+inline Message EncodeOk() { return Message{msg::kOk, {}}; }
+
+}  // namespace eclipse::net::deploy

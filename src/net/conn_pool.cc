@@ -1,0 +1,144 @@
+#include "net/conn_pool.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace eclipse::net {
+namespace {
+
+std::string PeerKey(const std::string& host, int port) {
+  return host + ":" + std::to_string(port);
+}
+
+// Non-blocking connect with a bounded wait for writability, then a
+// SO_ERROR check — the classic pattern that keeps a refused or black-holed
+// peer from stalling the caller past its deadline.
+int ConnectTimed(const std::string& host, int port, int timeout_ms,
+                 bool* timed_out) {
+  *timed_out = false;
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return -1;
+  }
+  int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr);
+  if (rc != 0 && errno != EINPROGRESS) {
+    ::close(fd);
+    return -1;
+  }
+  if (rc != 0) {
+    pollfd p{};
+    p.fd = fd;
+    p.events = POLLOUT;
+    for (;;) {
+      int pr = ::poll(&p, 1, timeout_ms);
+      if (pr > 0) break;
+      if (pr == 0) {
+        *timed_out = true;
+        ::close(fd);
+        return -1;
+      }
+      if (errno != EINTR) {
+        ::close(fd);
+        return -1;
+      }
+    }
+    int err = 0;
+    socklen_t len = sizeof err;
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0 || err != 0) {
+      ::close(fd);
+      return -1;
+    }
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return fd;
+}
+
+}  // namespace
+
+ConnPool::ConnPool(int max_idle_per_peer)
+    : max_idle_per_peer_(max_idle_per_peer) {}
+
+ConnPool::~ConnPool() { CloseAll(); }
+
+ConnPool::Lease ConnPool::Acquire(const std::string& host, int port,
+                                  int connect_timeout_ms) {
+  Lease lease;
+  {
+    MutexLock lock(mu_);
+    auto it = idle_.find(PeerKey(host, port));
+    if (it != idle_.end() && !it->second.empty()) {
+      lease.fd = it->second.back();
+      it->second.pop_back();
+      lease.reused = true;
+    }
+  }
+  if (lease.reused) {
+    if (auto* c = reuse_.load(std::memory_order_acquire)) c->Add();
+    return lease;
+  }
+  lease.fd = ConnectTimed(host, port, connect_timeout_ms, &lease.timed_out);
+  if (lease.fd >= 0)
+    if (auto* c = connects_.load(std::memory_order_acquire)) c->Add();
+  return lease;
+}
+
+void ConnPool::Release(const std::string& host, int port, int fd) {
+  {
+    MutexLock lock(mu_);
+    auto& stash = idle_[PeerKey(host, port)];
+    if (static_cast<int>(stash.size()) < max_idle_per_peer_) {
+      stash.push_back(fd);
+      return;
+    }
+  }
+  ::close(fd);
+}
+
+void ConnPool::Discard(int fd) {
+  if (fd >= 0) ::close(fd);
+}
+
+void ConnPool::CloseAll() {
+  std::unordered_map<std::string, std::vector<int>> idle;
+  {
+    MutexLock lock(mu_);
+    idle.swap(idle_);
+  }
+  for (auto& [key, fds] : idle)
+    for (int fd : fds) ::close(fd);
+}
+
+void ConnPool::BindMetrics(MetricsRegistry& registry, const char* label) {
+  MetricLabels labels{{"transport", label}};
+  reuse_.store(&registry.GetCounter("net.pool_reuse", labels),
+               std::memory_order_release);
+  connects_.store(&registry.GetCounter("net.pool_connects", labels),
+                  std::memory_order_release);
+  stale_retries_.store(&registry.GetCounter("net.pool_stale_retries", labels),
+                       std::memory_order_release);
+}
+
+void ConnPool::UnbindMetrics() {
+  reuse_.store(nullptr, std::memory_order_release);
+  connects_.store(nullptr, std::memory_order_release);
+  stale_retries_.store(nullptr, std::memory_order_release);
+}
+
+void ConnPool::CountStaleRetry() {
+  if (auto* c = stale_retries_.load(std::memory_order_acquire)) c->Add();
+}
+
+}  // namespace eclipse::net

@@ -1,0 +1,66 @@
+// Client-side connection pool for TcpTransport.
+//
+// One Call used to mean one connect/close pair; with persistent framing the
+// pool keeps a small per-destination stash of idle connections and reuses
+// them across Calls. A reused connection may have been severed by the peer
+// while idle (worker crash, endpoint re-register) — the transport detects
+// that as "failed before any response byte arrived" and retries exactly once
+// on a freshly connected socket, so stale reuse never surfaces to callers.
+#pragma once
+
+#include <atomic>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/mutex.h"
+
+namespace eclipse::net {
+
+class ConnPool {
+ public:
+  struct Lease {
+    int fd = -1;
+    bool reused = false;  // popped from the idle stash (stale-retry eligible)
+    bool timed_out = false;  // connect failed by deadline, not by refusal
+  };
+
+  explicit ConnPool(int max_idle_per_peer = 8);
+  ~ConnPool();
+
+  ConnPool(const ConnPool&) = delete;
+  ConnPool& operator=(const ConnPool&) = delete;
+
+  /// Pop an idle connection to host:port or open a new one (non-blocking
+  /// connect bounded by `connect_timeout_ms`, -1 = no bound). fd < 0 on
+  /// failure. The fd is non-blocking with TCP_NODELAY set.
+  Lease Acquire(const std::string& host, int port, int connect_timeout_ms);
+
+  /// Return a healthy connection for reuse (closed if the stash is full).
+  void Release(const std::string& host, int port, int fd);
+
+  /// Close a connection that failed or has unread response bytes in flight.
+  void Discard(int fd);
+
+  /// Close every idle connection (e.g. on transport teardown).
+  void CloseAll();
+
+  /// Register pool counters: net.pool_reuse, net.pool_connects,
+  /// net.pool_stale_retries (bumped by the transport via StaleRetry()).
+  void BindMetrics(MetricsRegistry& registry, const char* label);
+  /// Drop the cached counter pointers (when the registry dies first).
+  void UnbindMetrics();
+  void CountStaleRetry();
+
+ private:
+  const int max_idle_per_peer_;
+  Mutex mu_{Rank::kConnPool, "ConnPool::mu_"};
+  std::unordered_map<std::string, std::vector<int>> idle_ GUARDED_BY(mu_);
+
+  std::atomic<Counter*> reuse_{nullptr};
+  std::atomic<Counter*> connects_{nullptr};
+  std::atomic<Counter*> stale_retries_{nullptr};
+};
+
+}  // namespace eclipse::net

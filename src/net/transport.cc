@@ -13,6 +13,15 @@ void Transport::BindMetrics(MetricsRegistry& registry, const char* label) {
   calls_.store(&registry.GetCounter("net.calls", labels), std::memory_order_release);
 }
 
+void Transport::UnbindMetrics() {
+  // Readers check calls_ first, so clearing it first closes the gate; the
+  // remaining stores are then unobservable through AccountCall.
+  calls_.store(nullptr, std::memory_order_release);
+  errors_.store(nullptr, std::memory_order_relaxed);
+  bytes_sent_.store(nullptr, std::memory_order_relaxed);
+  bytes_received_.store(nullptr, std::memory_order_relaxed);
+}
+
 void Transport::AccountCall(std::size_t request_bytes, const Result<Message>& response) const {
   Counter* calls = calls_.load(std::memory_order_acquire);
   if (!calls) return;
@@ -23,6 +32,15 @@ void Transport::AccountCall(std::size_t request_bytes, const Result<Message>& re
   } else {
     errors_.load(std::memory_order_relaxed)->Add();
   }
+}
+
+std::vector<Result<Message>> Transport::CallBatch(
+    NodeId from, NodeId to, const std::vector<Message>& requests) {
+  std::vector<Result<Message>> responses;
+  responses.reserve(requests.size());
+  for (const Message& request : requests)
+    responses.push_back(Call(from, to, request));
+  return responses;
 }
 
 void InProcessTransport::Register(NodeId node, Handler handler) {

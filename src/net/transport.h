@@ -17,6 +17,7 @@
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "common/metrics.h"
 #include "common/mutex.h"
@@ -48,12 +49,30 @@ class Transport {
   /// Synchronous RPC from `from` to `to`.
   virtual Result<Message> Call(NodeId from, NodeId to, const Message& request) = 0;
 
+  /// Several requests to one destination, answered in order. The base
+  /// implementation is a sequential loop over Call() (so wrappers like the
+  /// fault injector apply their per-call policy to every element);
+  /// TcpTransport overrides it with true pipelining — one writev burst over
+  /// one pooled connection, responses read back in order — which turns N
+  /// round trips into one.
+  virtual std::vector<Result<Message>> CallBatch(
+      NodeId from, NodeId to, const std::vector<Message>& requests);
+
   /// Wire per-call accounting into `registry`, labelling every series with
   /// {transport=`label`}. Counters are resolved once here and cached, so the
   /// per-call cost is a handful of relaxed atomic increments — transports are
   /// deliberately NOT span-traced (a per-RPC span would dominate captures; see
-  /// docs/observability.md). The registry must outlive this transport.
+  /// docs/observability.md). The registry must outlive this transport — or
+  /// the binder must call UnbindMetrics before the registry dies.
   void BindMetrics(MetricsRegistry& registry, const char* label);
+
+  /// Drop the cached counter pointers (subsequent calls go unaccounted).
+  /// Required when the transport outlives the registry it was bound to —
+  /// the multi-process Cluster borrows the DeploymentCoordinator's
+  /// transport and must detach it from the cluster-owned registry on
+  /// destruction. Not safe against a literally concurrent AccountCall;
+  /// callers sequence it after their own calling threads have stopped.
+  void UnbindMetrics();
 
  protected:
   /// Implementations call this once per Call() with the outcome. No-op until

@@ -28,6 +28,8 @@
 #include "fault/fault_plan.h"
 #include "mr/cluster.h"
 #include "net/dispatcher.h"
+#include "net/retry.h"
+#include "net/tcp_transport.h"
 #include "net/transport.h"
 #include "obs/trace.h"
 #include "sched/task_executor.h"
@@ -633,6 +635,57 @@ TEST(RaceStress, ExecutorStealVsCancel) {
     ASSERT_EQ(ran.load(), kTasks) << "round " << round;
   }
   exec.Drain();
+}
+
+TEST(RaceStress, DispatcherAcceptVsShutdown) {
+  // The epoll dispatcher's accept path races endpoint teardown: clients keep
+  // connecting and calling over real TCP while the endpoint is repeatedly
+  // detached (which drains in-flight handlers and closes the listener) and
+  // re-registered on the same port. Every call must complete or fail cleanly
+  // — no crash, no std::terminate from a handler outliving its endpoint.
+  net::TcpTransport server;
+  std::atomic<std::uint64_t> handled{0};
+  net::Handler handler = [&handled](net::NodeId, const net::Message& m) {
+    handled.fetch_add(1);
+    return net::Message{m.type, m.payload};
+  };
+  const int port = server.RegisterAt(0, handler, 0);
+  ASSERT_GT(port, 0);
+
+  net::TcpTransport client;
+  client.AddPeer(0, "127.0.0.1", port);
+
+  std::atomic<bool> stop{false};
+  std::thread churn([&] {
+    for (int i = 0; i < 200; ++i) {
+      server.Register(0, nullptr);  // drain + close listener
+      // Same port so the hammering clients stay aimed at it; the listener
+      // closed an instant ago, so rebinding exercises the reuse path too.
+      int rebound = server.RegisterAt(0, handler, port);
+      ASSERT_EQ(rebound, port);
+    }
+    stop.store(true);
+  });
+
+  std::atomic<std::uint64_t> ok{0};
+  std::vector<std::thread> callers;
+  for (int t = 0; t < 4; ++t) {
+    callers.emplace_back([&] {
+      while (!stop.load()) {
+        net::ScopedDeadline sd(net::Deadline::After(std::chrono::milliseconds(250)));
+        auto resp = client.Call(1, 0, net::Message{42, "ping"});
+        if (resp.ok()) {
+          ok.fetch_add(1);
+          EXPECT_EQ(resp.value().payload, "ping");
+        }
+        // Failures surface as Unavailable/DeadlineExceeded; both are clean.
+      }
+    });
+  }
+  churn.join();
+  for (auto& c : callers) c.join();
+  EXPECT_GT(ok.load(), 0u);
+  EXPECT_GE(handled.load(), ok.load());
 }
 
 }  // namespace

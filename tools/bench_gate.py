@@ -8,6 +8,10 @@ gated metric regressed by more than --tolerance (default 10%).
 Gated metrics (lower is better):
     shuffle_add_64r_ns_per_record   per-record cost of ShuffleWriter::Add
     wordcount_cold_ms               end-to-end cold word count
+    saturation_ms_per_job_4p4s      per-job cost under multi-process
+                                    saturation (4 worker processes x 4
+                                    submitters over real TCP); only gated
+                                    once both run and baseline carry it
 
 Cross-machine normalization: absolute times differ between the quiet
 machine that recorded the baseline and a CI runner, so by default the run's
@@ -29,7 +33,11 @@ import argparse
 import json
 import sys
 
-GATED_METRICS = ["shuffle_add_64r_ns_per_record", "wordcount_cold_ms"]
+GATED_METRICS = ["shuffle_add_64r_ns_per_record", "wordcount_cold_ms",
+                 "saturation_ms_per_job_4p4s"]
+# Metrics added mid-trajectory: skipped (with a note) when the baseline
+# point predates them, so old points still replay through the gate.
+OPTIONAL_METRICS = {"saturation_ms_per_job_4p4s"}
 SCALE_METRIC = "cache_get_hit_ns_per_op"
 # A runner more than 4x off the baseline machine (either way) is measuring
 # something else entirely; refuse to extrapolate that far.
@@ -90,6 +98,9 @@ def main():
     print(f"bench_gate: baseline {args.baseline} ({base_date}), "
           f"tolerance {args.tolerance:.0%}, machine-speed scale {scale:.3f}")
     for metric in GATED_METRICS:
+        if metric in OPTIONAL_METRICS and metric not in base:
+            print(f"  {metric}: baseline predates this metric -> SKIPPED")
+            continue
         if metric not in run or metric not in base:
             failures.append(f"{metric}: missing from {'run' if metric not in run else 'baseline'}")
             continue
