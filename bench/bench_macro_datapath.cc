@@ -18,6 +18,7 @@
 // every dimension for the CI smoke job.
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -343,6 +344,96 @@ void BenchSaturation(Report& report, const char* argv0, const std::string& corpu
               inproc_jobs_per_s / jobs_per_s);
 }
 
+/// SLO admission fidelity: how well the RuntimePredictor's admission ETA
+/// tracks reality on a healthy cluster. Three solo runs warm the predictor
+/// for the "slo" job name, then a batch of deadline/SLO word counts runs
+/// through Submit with targets derived from the learned prediction (20x the
+/// predicted bound — generous, so a healthy run meets them and the metrics
+/// measure scheduling regressions, not machine noise):
+///
+///   slo_miss_rate        fraction of SLO jobs that missed (healthy: 0.0)
+///   admission_eta_error  mean relative |actual completion - admission ETA|
+///                        / ETA — how honest the queue's queue-with-ETA
+///                        answer is
+///
+/// Both gate in tools/bench_gate.py (lower is better, compared unscaled —
+/// they are ratios, machine speed cancels out). A rejection sanity check
+/// (impossible deadline -> kResourceExhausted with a non-zero ETA) exits
+/// non-zero on violation, like the checksum gates.
+void BenchSloAdmission(Report& report, mr::Cluster& cluster, bool small) {
+  const int jobs = small ? 3 : 8;
+  for (int i = 0; i < 3; ++i) {
+    auto r = cluster.Run(apps::WordCountJob("slo", "corpus"));
+    if (!r.status.ok()) {
+      std::fprintf(stderr, "slo training run failed: %s\n", r.status.ToString().c_str());
+      std::exit(1);
+    }
+  }
+  const std::uint64_t predicted_us = cluster.PredictJobUs(apps::WordCountJob("slo", "corpus"));
+  if (predicted_us == 0) {
+    std::fprintf(stderr, "slo: predictor still cold after three training runs\n");
+    std::exit(1);
+  }
+  const auto target = std::chrono::milliseconds(
+      std::max<std::uint64_t>(predicted_us * 20 / 1000, 1000));
+
+  std::vector<mr::JobHandle> handles;
+  std::vector<Clock::time_point> submitted;
+  handles.reserve(jobs);
+  submitted.reserve(jobs);
+  for (int i = 0; i < jobs; ++i) {
+    mr::JobSpec job = apps::WordCountJob("slo", "corpus");
+    job.user = "slo";
+    job.deadline = target;
+    job.slo = target;
+    submitted.push_back(Clock::now());
+    handles.push_back(cluster.Submit(std::move(job)));
+  }
+  std::atomic<int> missed{0};
+  std::atomic<bool> bad{false};
+  std::vector<double> eta_error(jobs, 0.0);
+  std::vector<std::thread> waiters;
+  for (int i = 0; i < jobs; ++i) {
+    waiters.emplace_back([&, i] {
+      mr::JobResult r = handles[i].Wait();
+      const double actual_us = SecondsSince(submitted[i]) * 1e6;
+      if (!r.status.ok() || r.eta_us == 0) {
+        bad.store(true);
+        return;
+      }
+      if (r.slo_missed) missed.fetch_add(1);
+      eta_error[i] = std::abs(actual_us - static_cast<double>(r.eta_us)) /
+                     static_cast<double>(r.eta_us);
+    });
+  }
+  for (auto& w : waiters) w.join();
+  if (bad.load()) {
+    std::fprintf(stderr, "slo: a deadline job failed or reported no ETA\n");
+    std::exit(1);
+  }
+
+  // Rejection sanity: an impossible deadline must be refused with an ETA.
+  mr::JobSpec impossible = apps::WordCountJob("slo", "corpus");
+  impossible.deadline = std::chrono::milliseconds(1);
+  impossible.admission = mr::AdmissionPolicy::kRejectOnMiss;
+  mr::JobResult rejected = cluster.Submit(std::move(impossible)).Wait();
+  if (rejected.status.ok() || rejected.status.code() != ErrorCode::kResourceExhausted ||
+      rejected.eta_us == 0) {
+    std::fprintf(stderr, "slo: impossible deadline was not rejected with an ETA\n");
+    std::exit(1);
+  }
+
+  double err_sum = 0.0;
+  for (double e : eta_error) err_sum += e;
+  const double miss_rate = static_cast<double>(missed.load()) / jobs;
+  const double eta_err = err_sum / jobs;
+  report.Num("slo_miss_rate", miss_rate);
+  report.Num("admission_eta_error", eta_err);
+  std::printf("slo admission       %10.3f miss rate   %.3f mean ETA error  (%d jobs, "
+              "target %lld ms)\n",
+              miss_rate, eta_err, jobs, static_cast<long long>(target.count()));
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -389,6 +480,7 @@ int main(int argc, char** argv) {
   BenchJob(report, "sort", apps::SortJob("sort-cold", "corpus"),
            apps::SortJob("sort-warm", "corpus"), cluster);
   double inproc_jobs_per_s = BenchMultiJob(report, cluster, small);
+  BenchSloAdmission(report, cluster, small);
   BenchSaturation(report, argv[0], corpus, wc_sum, inproc_jobs_per_s, small);
 
   if (!report.Write(out_path)) {

@@ -66,6 +66,7 @@ enum class Rank : int {
   kSlotArbiter = 520,     // sched/slot_arbiter.h     SlotArbiter::mu_
   kTaskExecState = 525,   // sched/task_executor.h    TaskExecutor::grow_mu_
   kTaskExecQueue = 530,   // sched/task_executor.h    TaskExecutor::Shard::mu
+  kRuntimePredictor = 540,  // sched/runtime_predictor.h  RuntimePredictor::mu_
 
   // -- 600: storage ---------------------------------------------------------
   kDfsMeta = 600,        // dfs/dfs_node.h     DfsNode::meta_mu_

@@ -3,26 +3,94 @@
 #include <algorithm>
 #include <cmath>
 
-namespace eclipse::fault {
+#include "common/log.h"
 
-StragglerDetector::StragglerDetector(StragglerOptions options) : options_(options) {}
+namespace eclipse::fault {
+namespace {
+
+StragglerOptions Validate(StragglerOptions o) {
+  bool adjusted = false;
+  if (o.percentile < 0.0 || o.percentile > 1.0) {
+    o.percentile = std::clamp(o.percentile, 0.0, 1.0);
+    adjusted = true;
+  }
+  if (!(o.multiplier > 0.0)) {
+    o.multiplier = 1.0;
+    adjusted = true;
+  }
+  if (o.min_completed < 1) {
+    o.min_completed = 1;
+    adjusted = true;
+  }
+  if (o.deviation_multiplier < 0.0) {
+    o.deviation_multiplier = 0.0;
+    adjusted = true;
+  }
+  const int min_window = std::max(o.min_completed, 2);
+  if (o.window < min_window) {
+    o.window = min_window;
+    adjusted = true;
+  }
+  if (adjusted) {
+    LOG_WARN << "StragglerOptions out of contract, clamped to: percentile="
+             << o.percentile << " multiplier=" << o.multiplier
+             << " min_completed=" << o.min_completed << " window=" << o.window
+             << " deviation_multiplier=" << o.deviation_multiplier;
+  }
+  return o;
+}
+
+}  // namespace
+
+StragglerDetector::StragglerDetector(StragglerOptions options)
+    : options_(Validate(options)) {
+  MutexLock lock(mu_);
+  window_.reserve(static_cast<std::size_t>(options_.window));
+  scratch_.reserve(static_cast<std::size_t>(options_.window));
+}
 
 void StragglerDetector::Record(std::uint64_t duration_us) {
   MutexLock lock(mu_);
-  durations_.insert(std::upper_bound(durations_.begin(), durations_.end(), duration_us),
-                    duration_us);
+  const auto cap = static_cast<std::size_t>(options_.window);
+  if (window_.size() < cap) {
+    window_.push_back(duration_us);
+  } else {
+    window_[next_] = duration_us;
+    next_ = (next_ + 1) % cap;
+  }
+  ++total_;
+  dirty_ = true;
+}
+
+std::uint64_t StragglerDetector::PercentileThresholdLocked() const {
+  if (total_ < static_cast<std::uint64_t>(options_.min_completed)) return 0;
+  if (dirty_) {
+    // Same anchor formula the unbounded detector used — nearest rank with
+    // round-half-away — now over the recent window via one nth_element on a
+    // pre-reserved scratch copy.
+    scratch_.assign(window_.begin(), window_.end());
+    double rank = options_.percentile * static_cast<double>(scratch_.size() - 1);
+    auto idx = static_cast<std::size_t>(std::llround(rank));
+    idx = std::min(idx, scratch_.size() - 1);
+    std::nth_element(scratch_.begin(),
+                     scratch_.begin() + static_cast<std::ptrdiff_t>(idx),
+                     scratch_.end());
+    cached_percentile_threshold_ = static_cast<std::uint64_t>(
+        static_cast<double>(scratch_[idx]) * options_.multiplier);
+    dirty_ = false;
+  }
+  return cached_percentile_threshold_;
 }
 
 std::uint64_t StragglerDetector::ThresholdUs() const {
   MutexLock lock(mu_);
-  if (durations_.size() < static_cast<std::size_t>(std::max(options_.min_completed, 1))) {
-    return 0;
+  if (predicted_us_ > 0) {
+    const double m = options_.deviation_multiplier > 0.0
+                         ? options_.deviation_multiplier
+                         : options_.multiplier;
+    return static_cast<std::uint64_t>(static_cast<double>(predicted_us_) * m);
   }
-  double rank = options_.percentile * static_cast<double>(durations_.size() - 1);
-  auto idx = static_cast<std::size_t>(std::llround(rank));
-  idx = std::min(idx, durations_.size() - 1);
-  double threshold = static_cast<double>(durations_[idx]) * options_.multiplier;
-  return static_cast<std::uint64_t>(threshold);
+  return PercentileThresholdLocked();
 }
 
 bool StragglerDetector::IsStraggler(std::uint64_t elapsed_us) const {
@@ -32,7 +100,17 @@ bool StragglerDetector::IsStraggler(std::uint64_t elapsed_us) const {
 
 int StragglerDetector::completed() const {
   MutexLock lock(mu_);
-  return static_cast<int>(durations_.size());
+  return static_cast<int>(total_);
+}
+
+void StragglerDetector::SetPredictedUs(std::uint64_t predicted_us) {
+  MutexLock lock(mu_);
+  predicted_us_ = predicted_us;
+}
+
+std::uint64_t StragglerDetector::predicted_us() const {
+  MutexLock lock(mu_);
+  return predicted_us_;
 }
 
 }  // namespace eclipse::fault

@@ -1,16 +1,29 @@
-// Percentile-based straggler detection for speculative task execution.
+// Straggler detection for speculative task execution.
 //
 // Both the real JobRunner and the discrete-event simulator feed completed
 // task durations into a StragglerDetector and ask whether a still-running
-// task has become a straggler: its elapsed time exceeds
+// task has become a straggler. Two modes:
 //
-//     threshold = percentile(completed durations) × multiplier
+//   percentile (default): threshold = percentile(recent completed durations)
+//     × multiplier — the LATE heuristic family, relative to the population,
+//     so it adapts per job and per phase. No verdict until `min_completed`
+//     samples exist (early tasks on a cold cluster are not stragglers, the
+//     job just started).
 //
-// No verdict is issued until `min_completed` samples exist (early tasks on
-// a cold cluster are not stragglers, the job just started). This mirrors
-// the LATE heuristic family: relative to the population, not an absolute
-// cutoff, so it adapts per job and per phase. Thread-safe — map tasks
-// record completions concurrently while the driver polls.
+//   deviation (SetPredictedUs): threshold = predicted duration ×
+//     deviation multiplier, anchored at the cluster RuntimePredictor's
+//     estimate learned from *previous* jobs of the same name. Active
+//     immediately — the prediction already embodies history, so the first
+//     task of a warm job can be caught. Percentile mode is the fallback
+//     whenever the predictor is cold (no SetPredictedUs call, or cleared
+//     with 0).
+//
+// History is a bounded sliding window: only the most recent
+// `StragglerOptions::window` completions anchor the percentile, Record is
+// O(1) with zero steady-state allocation, and a cluster-lifetime detector
+// cannot grow without bound (it used to keep every completion in a sorted
+// vector — O(n) insert, O(n) memory). Thread-safe — map tasks record
+// completions concurrently while the driver polls.
 #pragma once
 
 #include <cstdint>
@@ -21,35 +34,76 @@
 namespace eclipse::fault {
 
 struct StragglerOptions {
-  /// Which completed-duration percentile anchors the threshold (0..1].
+  /// Which completed-duration percentile anchors the percentile-mode
+  /// threshold. Contract: [0, 1] — 0 anchors at the fastest recent
+  /// completion, 1 at the slowest; out-of-range values are clamped at
+  /// construction (logged once).
   double percentile = 0.75;
-  /// Threshold = percentile duration × this.
+  /// Threshold = anchor duration × this. Contract: > 0 (values <= 0 clamp
+  /// to 1.0 at construction, logged once). Values < 1 are legal and mean
+  /// "speculate before the anchor itself elapses" (aggressive).
   double multiplier = 2.0;
-  /// Completed samples required before any straggler verdict.
+  /// Completed samples required before any percentile-mode verdict.
+  /// Contract: >= 1; values <= 0 clamp to 1 at construction (logged once) —
+  /// this clamp used to happen silently inside ThresholdUs.
   int min_completed = 3;
+  /// Sliding-window size: the most recent `window` completions anchor the
+  /// percentile. Contract: clamped to >= max(min_completed, 2) so a warm
+  /// window always satisfies the verdict gate. Bounds detector memory for
+  /// the lifetime of the process.
+  int window = 512;
+  /// Deviation-mode threshold = predicted duration × this; 0 means "reuse
+  /// `multiplier`". Only consulted while SetPredictedUs has installed a
+  /// prediction.
+  double deviation_multiplier = 0.0;
 };
 
 class StragglerDetector {
  public:
+  /// Validates `options` per the contracts above: out-of-contract values
+  /// are clamped and the adjustment logged once (per detector).
   explicit StragglerDetector(StragglerOptions options = {});
 
-  /// Record one completed task's duration.
+  /// Record one completed task's duration. O(1); never allocates after
+  /// construction (the window ring is pre-reserved).
   void Record(std::uint64_t duration_us);
 
-  /// Current threshold in µs, or 0 while below min_completed (no verdict).
+  /// Current threshold in µs. Percentile mode: 0 while below min_completed
+  /// (no verdict). Deviation mode: predicted × deviation multiplier,
+  /// regardless of sample count.
   std::uint64_t ThresholdUs() const;
 
   /// True when `elapsed_us` exceeds the current threshold (never true while
-  /// below min_completed samples).
+  /// the threshold is 0).
   bool IsStraggler(std::uint64_t elapsed_us) const;
 
+  /// Lifetime completions recorded (not capped by the window).
   int completed() const;
 
+  /// Install (or with 0, clear) a predicted task duration: switches the
+  /// detector to deviation mode. See the header comment.
+  void SetPredictedUs(std::uint64_t predicted_us);
+  std::uint64_t predicted_us() const;
+
+  /// The options actually in force (post-clamp).
+  const StragglerOptions& options() const { return options_; }
+
  private:
-  const StragglerOptions options_;
+  std::uint64_t PercentileThresholdLocked() const REQUIRES(mu_);
+
+  const StragglerOptions options_;  // validated at construction
   mutable Mutex mu_{Rank::kStragglerDetector, "StragglerDetector::mu_"};
-  // Kept sorted: Record inserts in order, so ThresholdUs is an index read.
-  std::vector<std::uint64_t> durations_ GUARDED_BY(mu_);
+  // Ring of the most recent `options_.window` durations (capacity reserved
+  // up front; `next_` is the overwrite cursor once full).
+  std::vector<std::uint64_t> window_ GUARDED_BY(mu_);
+  std::size_t next_ GUARDED_BY(mu_) = 0;
+  std::uint64_t total_ GUARDED_BY(mu_) = 0;  // lifetime completions
+  std::uint64_t predicted_us_ GUARDED_BY(mu_) = 0;
+  // Percentile memo: recomputed (nth_element over a pre-reserved scratch
+  // copy) only when a Record landed since the last read.
+  mutable bool dirty_ GUARDED_BY(mu_) = true;
+  mutable std::uint64_t cached_percentile_threshold_ GUARDED_BY(mu_) = 0;
+  mutable std::vector<std::uint64_t> scratch_ GUARDED_BY(mu_);
 };
 
 }  // namespace eclipse::fault

@@ -182,6 +182,21 @@ Cluster::~Cluster() {
 
 JobHandle Cluster::Submit(JobSpec spec) { return queue_->Submit(std::move(spec)); }
 
+std::uint64_t Cluster::PredictJobUs(const JobSpec& spec) {
+  Bytes total = 0;
+  std::vector<std::string> inputs{spec.input_file};
+  inputs.insert(inputs.end(), spec.extra_inputs.begin(), spec.extra_inputs.end());
+  for (const auto& input : inputs) {
+    auto meta = client_->GetMetadata(input);
+    if (!meta.ok()) return 0;  // the job will fail on its own; admit it
+    total += meta.value().size;
+  }
+  // bound_us (mean + 2σ): admission promises a deadline, so it budgets for
+  // an unlucky run, not the average one.
+  auto p = predictor_.Predict(spec.name, sched::PredictPhase::kJob, total);
+  return p ? p->bound_us : 0;
+}
+
 dht::Ring Cluster::ring() const {
   MutexLock lock(ring_mu_);
   return ring_;

@@ -26,6 +26,7 @@
 #include "mr/worker.h"
 #include "sched/delay_scheduler.h"
 #include "sched/laf_scheduler.h"
+#include "sched/runtime_predictor.h"
 #include "sched/slot_arbiter.h"
 #include "sched/task_executor.h"
 
@@ -146,6 +147,18 @@ class Cluster {
 
   /// Cross-job per-worker slot arbitration (weighted max-min fair).
   sched::SlotArbiter& arbiter() { return arbiter_; }
+
+  /// Online runtime predictor shared by every job this cluster runs: task
+  /// and whole-job durations recorded by JobRunners, consulted by straggler
+  /// deviation mode, JobQueue admission control, and the arbiter's
+  /// remaining-work demand weighting. Persists across jobs.
+  sched::RuntimePredictor& predictor() { return predictor_; }
+
+  /// Predicted wall time (µs) of running `spec` on this cluster, from the
+  /// predictor's whole-job history for spec.name scaled to the job's input
+  /// size (one GetMetadata round per input). 0 while the predictor is cold
+  /// for that name or the inputs don't resolve.
+  std::uint64_t PredictJobUs(const JobSpec& spec);
 
   /// Process-wide monotonic job-id source — unique across every Cluster in
   /// the process, so one trace capture holding several clusters' jobs still
@@ -269,6 +282,10 @@ class Cluster {
   // Internally synchronized; takes no other cluster lock (leaf-level, like
   // the metrics registry), so it may be called from anywhere.
   sched::SlotArbiter arbiter_;
+
+  // Internally synchronized like the arbiter; outlives the queue (runner
+  // threads record completions into it until they drain).
+  sched::RuntimePredictor predictor_;
 
   mutable Mutex sched_mu_ ACQUIRED_AFTER(ring_mu_){Rank::kClusterSched, "Cluster::sched_mu_"};
   std::shared_ptr<const SchedulerEpoch> epoch_ GUARDED_BY(sched_mu_);

@@ -16,10 +16,13 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -44,6 +47,13 @@ struct JobState {
   /// Wakes slot-arbiter waiters after `cancel` flips (set at submit; not
   /// called once `done` — handles must not outlive the Cluster).
   std::function<void()> poke;
+  /// Predicted solo runtime from the cluster RuntimePredictor (0 while the
+  /// predictor is cold for this job name). Immutable once Submit publishes
+  /// the state.
+  std::uint64_t predicted_us = 0;
+  /// Admission-time ETA: predicted_us + the predicted backlog at submit.
+  /// Immutable once Submit publishes the state.
+  std::uint64_t eta_us = 0;
 
   Mutex mu{Rank::kJobState, "JobState::mu"};
   CondVar cv;
@@ -61,6 +71,11 @@ class JobHandle {
 
   bool valid() const { return state_ != nullptr; }
   std::uint64_t job_id() const { return state_ ? state_->job_id : 0; }
+
+  /// Admission-time predicted completion (µs from submit), 0 when the job
+  /// set no deadline/slo or the predictor was cold. Available immediately —
+  /// a kQueueOnMiss job can report its ETA while still queued.
+  std::uint64_t eta_us() const { return state_ ? state_->eta_us : 0; }
 
   /// Block until the job completes (or its cancellation takes effect) and
   /// return the result. Idempotent — later calls return the same result.
@@ -95,6 +110,14 @@ class JobQueue {
   JobQueue(const JobQueue&) = delete;
   JobQueue& operator=(const JobQueue&) = delete;
 
+  /// Enqueue a job. When spec.deadline or spec.slo is set this runs
+  /// admission control (docs/fault-tolerance.md §7): the job's completion
+  /// is predicted from the cluster RuntimePredictor plus the predicted
+  /// remaining work already running/queued here; a prediction past the
+  /// deadline either rejects the job (kRejectOnMiss: the handle completes
+  /// immediately with kResourceExhausted and the ETA) or queues it with the
+  /// advisory ETA (kQueueOnMiss). Emits job_admit/job_reject trace instants
+  /// and the mr.jobs_rejected{user} counter. A cold predictor admits.
   JobHandle Submit(JobSpec spec);
 
   /// Jobs submitted but not yet picked up by a runner thread.
@@ -103,13 +126,27 @@ class JobQueue {
   std::size_t Running() const;
 
  private:
+  struct RunningJob {
+    const internal::JobState* state = nullptr;
+    std::uint64_t predicted_us = 0;
+    std::chrono::steady_clock::time_point started;
+  };
+
   void RunnerLoop();
+  /// Predicted remaining work (µs) of everything queued + running.
+  std::uint64_t BacklogUsLocked() const REQUIRES(mu_);
+  /// Fold `delta_us` into the user's aggregate predicted demand and push it
+  /// to the SlotArbiter (remaining-work share weighting).
+  void UpdateDemandLocked(const std::string& user, double delta_us) REQUIRES(mu_);
 
   Cluster& cluster_;
   mutable Mutex mu_{Rank::kJobQueue, "JobQueue::mu_"};
   CondVar cv_;
   std::deque<std::shared_ptr<internal::JobState>> pending_ GUARDED_BY(mu_);
   std::size_t running_ GUARDED_BY(mu_) = 0;
+  std::vector<RunningJob> running_jobs_ GUARDED_BY(mu_);
+  // Aggregate predicted remaining work per user, mirrored into the arbiter.
+  std::map<std::string, double> demand_us_ GUARDED_BY(mu_);
   bool shutdown_ GUARDED_BY(mu_) = false;
   std::vector<std::thread> runners_;  // immutable after construction
 };

@@ -187,6 +187,12 @@ JobResult JobRunner::Run() {
   result.stats = stats_;
   result.status = Status::Ok();
 
+  // Whole-job history for admission control: the next Submit of this job
+  // name predicts its completion from runs like this one.
+  cluster_.predictor().Record(spec_.name, sched::PredictPhase::kJob,
+                              stats_.input_bytes,
+                              static_cast<std::uint64_t>(stats_.wall_seconds * 1e6));
+
   auto& metrics = cluster_.metrics();
   // Per-job / per-user series (job="N" matches the trace spans' job arg) —
   // alongside the unlabeled cluster-wide totals, which stay as before.
@@ -279,14 +285,22 @@ Status JobRunner::RunReducePhaseSequential(std::vector<KV>* output) {
     if (JobCancelled()) {
       return Status::Error(ErrorCode::kCancelled, "job cancelled during reduce phase");
     }
+    Bytes group_bytes = 0;
+    for (const auto& info : group) group_bytes += info.bytes;
     ReduceOutcome outcome;
     for (int attempt = 0; attempt < kMaxAttemptsPerTask; ++attempt) {
       int target = cluster_.ring().Owner(range_begin);
       if (target < 0) return Status::Error(ErrorCode::kUnavailable, "no servers left");
       WorkerServer& w = cluster_.worker(target);
+      auto start = std::chrono::steady_clock::now();
       auto fut = w.Submit([this, &w, &group] { return RunReduceTask(w, group); });
       outcome = fut.get();
-      if (outcome.status.ok()) break;
+      if (outcome.status.ok()) {
+        cluster_.predictor().Record(spec_.name, sched::PredictPhase::kReduce,
+                                    group_bytes,
+                                    ElapsedUs(start, std::chrono::steady_clock::now()));
+        break;
+      }
 
       if (!outcome.missing_spills.empty()) {
         // Re-run the producers with reuse disabled; their spills re-enter
@@ -339,6 +353,7 @@ Status JobRunner::RunReducePhaseSpeculative(std::vector<KV>* output) {
   struct Task {
     HashKey range_begin = 0;
     const std::vector<SpillInfo>* group = nullptr;  // node-stable: by_range is a std::map
+    Bytes group_bytes = 0;  // summed spill payload (predictor size bucket)
     int tries = 0;          // primary (re)launches, counted against kMaxAttemptsPerTask
     bool has_backup = false;
     bool resolved = false;  // a successful outcome has been taken
@@ -347,15 +362,30 @@ Status JobRunner::RunReducePhaseSpeculative(std::vector<KV>* output) {
     std::vector<Attempt> attempts;
   };
 
-  fault::StragglerDetector detector(fault::StragglerOptions{
-      spec_.straggler_percentile, spec_.straggler_multiplier, spec_.speculation_min_completed});
+  fault::StragglerOptions sopts;
+  sopts.percentile = spec_.straggler_percentile;
+  sopts.multiplier = spec_.straggler_multiplier;
+  sopts.min_completed = spec_.speculation_min_completed;
+  sopts.deviation_multiplier = spec_.straggler_deviation;
+  fault::StragglerDetector detector(sopts);
   std::vector<Task> tasks;  // std::map iteration order == ascending range order
   tasks.reserve(by_range.size());
+  Bytes total_group_bytes = 0;
   for (auto& [range_begin, group] : by_range) {
     Task t;
     t.range_begin = range_begin;
     t.group = &group;
+    for (const auto& info : group) t.group_bytes += info.bytes;
+    total_group_bytes += t.group_bytes;
     tasks.push_back(std::move(t));
+  }
+  if (spec_.predictor_speculation && !tasks.empty()) {
+    // Deviation mode for reduces: anchor at the predicted duration of an
+    // average-sized spill group from this job name's history.
+    if (auto p = cluster_.predictor().Predict(spec_.name, sched::PredictPhase::kReduce,
+                                              total_group_bytes / tasks.size())) {
+      detector.SetPredictedUs(p->mean_us);
+    }
   }
 
   Status fatal = Status::Ok();
@@ -405,6 +435,8 @@ Status JobRunner::RunReducePhaseSpeculative(std::vector<KV>* output) {
         if (o.status.ok() && !t.resolved) {
           t.resolved = true;
           detector.Record(ElapsedUs(a.start, now));
+          cluster_.predictor().Record(spec_.name, sched::PredictPhase::kReduce,
+                                      t.group_bytes, ElapsedUs(a.start, now));
           if (a.backup) {
             ++stats_.speculative_wins;
             obs::Tracer::Global().Emit(
@@ -534,8 +566,24 @@ Status JobRunner::RunMapPhase(const std::vector<BlockRef>& blocks,
 
   const bool speculate = spec_.speculative_execution;
   // Persists across waves: retry waves inherit the duration population.
-  fault::StragglerDetector detector(fault::StragglerOptions{
-      spec_.straggler_percentile, spec_.straggler_multiplier, spec_.speculation_min_completed});
+  fault::StragglerOptions sopts;
+  sopts.percentile = spec_.straggler_percentile;
+  sopts.multiplier = spec_.straggler_multiplier;
+  sopts.min_completed = spec_.speculation_min_completed;
+  sopts.deviation_multiplier = spec_.straggler_deviation;
+  fault::StragglerDetector detector(sopts);
+  // Typical per-task input: one block. Drives both the deviation-mode
+  // anchor (below) and the size bucket completions are recorded under.
+  const Bytes map_task_bytes = cluster_.options().block_size;
+  if (speculate && spec_.predictor_speculation) {
+    // Deviation mode: anchor the threshold at history from previous jobs of
+    // this name, so even the first wave of a warm job can be caught. Cold
+    // predictor → no SetPredictedUs → percentile fallback.
+    if (auto p = cluster_.predictor().Predict(spec_.name, sched::PredictPhase::kMap,
+                                              map_task_bytes)) {
+      detector.SetPredictedUs(p->mean_us);
+    }
+  }
 
   while (!queue.empty()) {
     if (JobCancelled()) {
@@ -605,6 +653,11 @@ Status JobRunner::RunMapPhase(const std::vector<BlockRef>& blocks,
         t.outcome = t.attempts[0].fut.get();
         t.attempts[0].done = true;
         t.resolved = t.outcome.status.ok();
+        if (t.resolved && !t.outcome.skipped) {
+          cluster_.predictor().Record(
+              spec_.name, sched::PredictPhase::kMap, map_task_bytes,
+              ElapsedUs(t.attempts[0].start, std::chrono::steady_clock::now()));
+        }
       }
     } else {
       // Poll until every attempt (originals and backups) has been joined;
@@ -626,6 +679,10 @@ Status JobRunner::RunMapPhase(const std::vector<BlockRef>& blocks,
             if (o.status.ok() && !t.resolved) {
               t.resolved = true;
               detector.Record(ElapsedUs(a.start, now));
+              if (!o.skipped) {
+                cluster_.predictor().Record(spec_.name, sched::PredictPhase::kMap,
+                                            map_task_bytes, ElapsedUs(a.start, now));
+              }
               if (a.backup) {
                 ++stats_.speculative_wins;
                 obs::Tracer::Global().Emit(

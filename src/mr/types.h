@@ -80,6 +80,17 @@ class Reducer {
 using MapperFactory = std::function<std::unique_ptr<Mapper>()>;
 using ReducerFactory = std::function<std::unique_ptr<Reducer>()>;
 
+/// What Submit does with a job whose predicted completion misses its
+/// deadline (docs/fault-tolerance.md §7).
+enum class AdmissionPolicy {
+  /// Fail fast: the handle completes immediately with kResourceExhausted
+  /// and the predicted completion time in JobResult::eta_us.
+  kRejectOnMiss,
+  /// Run anyway; the ETA is advisory (readable via JobHandle::eta_us()
+  /// while queued and JobResult::eta_us afterwards).
+  kQueueOnMiss,
+};
+
 struct JobSpec {
   std::string name;        // job label (need not be unique: spill scopes are
                            // namespaced by job_id, so same-named concurrent
@@ -151,6 +162,32 @@ struct JobSpec {
   /// Completed tasks required before any speculation happens (a cold
   /// cluster's first tasks are not stragglers, the job just started).
   int speculation_min_completed = 3;
+
+  /// Anchor straggler thresholds at the cluster RuntimePredictor's task
+  /// duration estimate (deviation mode) when it is warm for this job name;
+  /// the percentile threshold above stays the fallback while cold. Only
+  /// meaningful with speculative_execution on.
+  bool predictor_speculation = true;
+
+  /// Deviation-mode straggler threshold = predicted task duration × this.
+  double straggler_deviation = 2.0;
+
+  // ---- SLO / admission control (docs/fault-tolerance.md §7) ---------------
+
+  /// Zero: no deadline. Otherwise Submit runs admission control: the
+  /// cluster predicts this job's completion time (RuntimePredictor history
+  /// for this job name plus the predicted remaining work of running and
+  /// queued jobs) and applies `admission` when the prediction misses the
+  /// deadline. A cold predictor admits optimistically; Cluster::Run (the
+  /// synchronous path) bypasses admission entirely.
+  std::chrono::milliseconds deadline{0};
+
+  /// Soft latency target: never rejects. Completions slower than this are
+  /// counted in mr.slo_miss{user} and flagged in JobResult::slo_missed.
+  std::chrono::milliseconds slo{0};
+
+  /// Policy applied when the predicted completion misses `deadline`.
+  AdmissionPolicy admission = AdmissionPolicy::kRejectOnMiss;
 };
 
 struct JobStats {
@@ -193,6 +230,11 @@ struct JobResult {
   /// Process-wide monotonically-assigned job id — the `job` label on this
   /// job's trace spans, metrics, and spill scopes.
   std::uint64_t job_id = 0;
+  /// Admission-time predicted completion (µs from submit). 0 when the job
+  /// set no deadline/slo or the predictor was cold at submit.
+  std::uint64_t eta_us = 0;
+  /// The job completed but its wall time exceeded JobSpec::slo.
+  bool slo_missed = false;
 };
 
 }  // namespace eclipse::mr

@@ -98,10 +98,14 @@ ConnPool::Lease ConnPool::Acquire(const std::string& host, int port,
 void ConnPool::Release(const std::string& host, int port, int fd) {
   {
     MutexLock lock(mu_);
-    auto& stash = idle_[PeerKey(host, port)];
-    if (static_cast<int>(stash.size()) < max_idle_per_peer_) {
-      stash.push_back(fd);
-      return;
+    // After CloseAll swapped the stash out, re-creating a map entry here
+    // would leak a live socket past shutdown (and hand it out stale later).
+    if (!closed_) {
+      auto& stash = idle_[PeerKey(host, port)];
+      if (static_cast<int>(stash.size()) < max_idle_per_peer_) {
+        stash.push_back(fd);
+        return;
+      }
     }
   }
   ::close(fd);
@@ -115,6 +119,7 @@ void ConnPool::CloseAll() {
   std::unordered_map<std::string, std::vector<int>> idle;
   {
     MutexLock lock(mu_);
+    closed_ = true;
     idle.swap(idle_);
   }
   for (auto& [key, fds] : idle)

@@ -37,13 +37,17 @@ class ConnPool {
   /// failure. The fd is non-blocking with TCP_NODELAY set.
   Lease Acquire(const std::string& host, int port, int connect_timeout_ms);
 
-  /// Return a healthy connection for reuse (closed if the stash is full).
+  /// Return a healthy connection for reuse (closed if the stash is full, or
+  /// if CloseAll has already run — a Release racing transport teardown must
+  /// not stash an fd that would silently survive shutdown).
   void Release(const std::string& host, int port, int fd);
 
   /// Close a connection that failed or has unread response bytes in flight.
   void Discard(int fd);
 
-  /// Close every idle connection (e.g. on transport teardown).
+  /// Close every idle connection and mark the pool closed (transport
+  /// teardown). Terminal: later Releases close their fds instead of
+  /// stashing them.
   void CloseAll();
 
   /// Register pool counters: net.pool_reuse, net.pool_connects,
@@ -57,6 +61,7 @@ class ConnPool {
   const int max_idle_per_peer_;
   Mutex mu_{Rank::kConnPool, "ConnPool::mu_"};
   std::unordered_map<std::string, std::vector<int>> idle_ GUARDED_BY(mu_);
+  bool closed_ GUARDED_BY(mu_) = false;  // CloseAll ran; never stash again
 
   std::atomic<Counter*> reuse_{nullptr};
   std::atomic<Counter*> connects_{nullptr};

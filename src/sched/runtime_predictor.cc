@@ -1,0 +1,115 @@
+#include "sched/runtime_predictor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.h"
+
+namespace eclipse::sched {
+namespace {
+
+// Cross-bucket extrapolation bound: a warm neighbor bucket's mean is scaled
+// linearly by the byte ratio, but never by more than this factor either way.
+constexpr double kMaxScale = 8.0;
+
+}  // namespace
+
+RuntimePredictor::RuntimePredictor(PredictorOptions options) : options_([&] {
+  PredictorOptions o = options;
+  if (!(o.alpha > 0.0) || o.alpha > 1.0) o.alpha = 0.25;
+  if (o.min_samples < 1) o.min_samples = 1;
+  if (o.bound_sigmas < 0.0) o.bound_sigmas = 0.0;
+  if (o.max_cells < 1) o.max_cells = 1;
+  return o;
+}()) {}
+
+int RuntimePredictor::BucketOf(Bytes bytes) {
+  int b = 0;
+  for (std::uint64_t v = bytes; v > 1; v >>= 1) ++b;
+  return b;
+}
+
+void RuntimePredictor::Record(std::string_view job_name, PredictPhase phase,
+                              Bytes input_bytes, std::uint64_t duration_us) {
+  Key key{std::string(job_name), phase, BucketOf(input_bytes)};
+  MutexLock lock(mu_);
+  auto it = cells_.find(key);
+  if (it == cells_.end()) {
+    if (cells_.size() >= options_.max_cells) {
+      if (!overflow_logged_) {
+        overflow_logged_ = true;
+        LOG_WARN << "RuntimePredictor: cell cap (" << options_.max_cells
+                 << ") reached; samples for new (job, phase, size) keys are dropped";
+      }
+      return;
+    }
+    it = cells_.emplace(std::move(key), Cell{}).first;
+  }
+  Cell& c = it->second;
+  const double x = static_cast<double>(duration_us);
+  const double b = static_cast<double>(input_bytes);
+  if (c.n == 0) {
+    c.mean_us = x;
+    c.var_us2 = 0.0;
+    c.mean_bytes = b;
+  } else {
+    const double a = options_.alpha;
+    const double d = x - c.mean_us;
+    c.mean_us += a * d;
+    // EW variance of the deviation from the *pre-update* mean — the standard
+    // one-pass exponentially weighted recurrence.
+    c.var_us2 = (1.0 - a) * (c.var_us2 + a * d * d);
+    c.mean_bytes += a * (b - c.mean_bytes);
+  }
+  ++c.n;
+  ++total_samples_;
+}
+
+std::optional<Prediction> RuntimePredictor::Predict(std::string_view job_name,
+                                                    PredictPhase phase,
+                                                    Bytes input_bytes) const {
+  const int want = BucketOf(input_bytes);
+  MutexLock lock(mu_);
+  // Scan this (job, phase)'s buckets for the warm cell nearest the queried
+  // size. Keys are contiguous in the map (job, then phase, then bucket).
+  Key lo{std::string(job_name), phase, 0};
+  const Cell* best = nullptr;
+  int best_dist = 0;
+  for (auto it = cells_.lower_bound(lo);
+       it != cells_.end() && it->first.job == job_name && it->first.phase == phase;
+       ++it) {
+    if (it->second.n < static_cast<std::uint64_t>(options_.min_samples)) continue;
+    int dist = std::abs(it->first.bucket - want);
+    if (best == nullptr || dist < best_dist ||
+        (dist == best_dist && it->second.n > best->n)) {
+      best = &it->second;
+      best_dist = dist;
+    }
+  }
+  if (best == nullptr) return std::nullopt;
+  double scale = 1.0;
+  if (input_bytes > 0 && best->mean_bytes > 0.0) {
+    scale = std::clamp(static_cast<double>(input_bytes) / best->mean_bytes,
+                       1.0 / kMaxScale, kMaxScale);
+  }
+  const double mean = best->mean_us * scale;
+  const double sigma = std::sqrt(std::max(best->var_us2, 0.0)) * scale;
+  Prediction p;
+  p.mean_us = static_cast<std::uint64_t>(std::llround(std::max(mean, 0.0)));
+  p.bound_us = static_cast<std::uint64_t>(
+      std::llround(std::max(mean + options_.bound_sigmas * sigma, 0.0)));
+  p.samples = best->n;
+  return p;
+}
+
+std::uint64_t RuntimePredictor::TotalSamples() const {
+  MutexLock lock(mu_);
+  return total_samples_;
+}
+
+std::size_t RuntimePredictor::CellCount() const {
+  MutexLock lock(mu_);
+  return cells_.size();
+}
+
+}  // namespace eclipse::sched

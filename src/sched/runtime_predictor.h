@@ -1,0 +1,116 @@
+// Online runtime prediction for prediction-driven scheduling (ROADMAP:
+// SLOs for multi-tenant, in the style of constant-bandwidth-server
+// scheduling with online runtime predictors).
+//
+// The predictor learns per-(job-name, phase, input-size-bucket) duration
+// statistics from completed work: an exponentially weighted mean and
+// variance, so recent cluster conditions dominate while one outlier cannot
+// swing the estimate. One instance lives in the Cluster and persists across
+// jobs — the second submission of "wordcount" is predicted from the first.
+//
+// Three consumers (docs/fault-tolerance.md §7):
+//   - StragglerDetector deviation mode: threshold anchored at the predicted
+//     task duration instead of the completed-duration percentile.
+//   - JobQueue admission control: predicted job runtime + predicted backlog
+//     of running/queued jobs decides admit/reject against JobSpec::deadline.
+//   - SlotArbiter::SetPredictedDemand: contended-slot shares weighted by
+//     predicted remaining work, not just static user weights.
+//
+// Cold behavior is explicit: Predict returns nullopt until a key has
+// min_samples completions, and every consumer falls back to its static
+// policy (percentile threshold, optimistic admission, weight-only shares).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/mutex.h"
+#include "common/units.h"
+
+namespace eclipse::sched {
+
+/// What kind of duration a sample measures. Task phases feed the straggler
+/// detector; kJob (whole-job wall time) feeds admission control.
+enum class PredictPhase { kMap, kReduce, kJob };
+
+struct PredictorOptions {
+  /// EWMA weight of the newest sample (0..1]. Higher adapts faster.
+  double alpha = 0.25;
+  /// Samples required per key before Predict returns anything (cold gate).
+  int min_samples = 3;
+  /// High-quantile estimate = mean + this many EW standard deviations.
+  double bound_sigmas = 2.0;
+  /// Hard cap on distinct (job, phase, bucket) cells: past it, samples for
+  /// *new* keys are dropped (logged once) so memory stays bounded no matter
+  /// how many distinct job names a long-lived cluster sees.
+  std::size_t max_cells = 4096;
+};
+
+/// One prediction. mean_us is the EW mean; bound_us adds bound_sigmas
+/// standard deviations (a cheap high-quantile proxy for deadline math).
+struct Prediction {
+  std::uint64_t mean_us = 0;
+  std::uint64_t bound_us = 0;
+  std::uint64_t samples = 0;
+};
+
+class RuntimePredictor {
+ public:
+  explicit RuntimePredictor(PredictorOptions options = {});
+
+  RuntimePredictor(const RuntimePredictor&) = delete;
+  RuntimePredictor& operator=(const RuntimePredictor&) = delete;
+
+  /// Record one completed duration for (job_name, phase) with the input
+  /// size that produced it. input_bytes picks the log2 size bucket, so one
+  /// job name mapping 4 KiB blocks and 4 MiB blocks learns two cells.
+  void Record(std::string_view job_name, PredictPhase phase, Bytes input_bytes,
+              std::uint64_t duration_us);
+
+  /// Predict the duration of (job_name, phase) work over input_bytes.
+  /// Exact-bucket history is preferred; when only a neighboring size bucket
+  /// is warm, its mean is scaled linearly by the byte ratio (clamped to
+  /// [1/8, 8] so a wild extrapolation cannot escape sanity). nullopt while
+  /// every bucket of the key is cold (< min_samples).
+  std::optional<Prediction> Predict(std::string_view job_name, PredictPhase phase,
+                                    Bytes input_bytes) const;
+
+  /// Lifetime samples recorded (all keys), for tests and gauges.
+  std::uint64_t TotalSamples() const;
+  /// Distinct (job, phase, bucket) cells currently tracked (≤ max_cells).
+  std::size_t CellCount() const;
+
+  const PredictorOptions& options() const { return options_; }
+
+ private:
+  struct Key {
+    std::string job;
+    PredictPhase phase;
+    int bucket;
+    bool operator<(const Key& o) const {
+      if (int c = job.compare(o.job)) return c < 0;
+      if (phase != o.phase) return phase < o.phase;
+      return bucket < o.bucket;
+    }
+  };
+  struct Cell {
+    double mean_us = 0.0;
+    double var_us2 = 0.0;     // EW variance (µs²)
+    double mean_bytes = 0.0;  // EW mean input size (scales cross-bucket hits)
+    std::uint64_t n = 0;
+  };
+
+  /// log2 size bucket; 0 for empty inputs.
+  static int BucketOf(Bytes bytes);
+
+  const PredictorOptions options_;
+  mutable Mutex mu_{Rank::kRuntimePredictor, "RuntimePredictor::mu_"};
+  std::map<Key, Cell> cells_ GUARDED_BY(mu_);
+  std::uint64_t total_samples_ GUARDED_BY(mu_) = 0;
+  bool overflow_logged_ GUARDED_BY(mu_) = false;
+};
+
+}  // namespace eclipse::sched

@@ -36,6 +36,38 @@ void SlotArbiter::SetWeight(const std::string& user, double weight) {
   users_[user].weight = weight;
 }
 
+void SlotArbiter::SetPredictedDemand(const std::string& user, double demand_us) {
+  if (demand_us < 0.0) demand_us = 0.0;
+  MutexLock lock(mu_);
+  UserShare& u = users_[user];
+  if (u.demand_us > 0.0) {
+    demand_sum_us_ -= u.demand_us;
+    --demand_users_;
+  }
+  u.demand_us = demand_us;
+  if (demand_us > 0.0) {
+    demand_sum_us_ += demand_us;
+    ++demand_users_;
+  }
+}
+
+double SlotArbiter::PredictedDemand(const std::string& user) const {
+  MutexLock lock(mu_);
+  auto it = users_.find(user);
+  return it == users_.end() ? 0.0 : it->second.demand_us;
+}
+
+double SlotArbiter::Share(const UserShare& u) const {
+  // Deadline bias (see SetPredictedDemand): less predicted remaining work →
+  // larger effective weight → smaller share → wins contended slots sooner.
+  double factor = 1.0;
+  if (u.demand_us > 0.0 && demand_users_ > 0) {
+    const double mean = demand_sum_us_ / demand_users_;
+    if (mean > 0.0) factor = std::clamp(mean / u.demand_us, 0.25, 4.0);
+  }
+  return u.in_use / (u.weight * factor);
+}
+
 Status SlotArbiter::Acquire(int worker, SlotKind kind, const std::string& user,
                             const std::atomic<bool>* cancel_a,
                             const std::atomic<bool>* cancel_b) {

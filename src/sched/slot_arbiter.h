@@ -61,6 +61,22 @@ class SlotArbiter {
   /// Fair-share weight for `user` (default 1.0; must be > 0).
   void SetWeight(const std::string& user, double weight);
 
+  /// Predicted remaining work of `user`'s admitted jobs, in µs (0 clears).
+  /// Fed by the JobQueue from the RuntimePredictor at job start/finish.
+  /// Contended-slot shares become deadline-aware: the share divisor is
+  /// weight × factor where factor = (mean demand across users with demand)
+  /// / (this user's demand), clamped to [1/4, 4]. Users with *less*
+  /// predicted remaining work drain first — shortest-remaining-work bias,
+  /// the reason a tight-deadline job finishes while a bulk job occupies the
+  /// cluster — and the clamp bounds the bias so a bulk user always keeps at
+  /// least a quarter of its static share. Users with no demand reported
+  /// (or none set anywhere) keep factor 1: behavior is byte-identical to
+  /// the static-weight arbiter until predictions flow.
+  void SetPredictedDemand(const std::string& user, double demand_us);
+
+  /// Currently reported demand for `user` (µs; 0 when none).
+  double PredictedDemand(const std::string& user) const;
+
   /// Block until a slot of `kind` on `worker` is granted. Returns:
   ///   Ok            — slot held; caller must Release(worker, kind, user)
   ///   kUnavailable  — worker unknown or removed (re-place the task)
@@ -105,6 +121,7 @@ class SlotArbiter {
   struct UserShare {
     int in_use = 0;
     double weight = 1.0;
+    double demand_us = 0.0;  // predicted remaining work (0 = not reported)
   };
   struct Waiter {
     int worker = 0;
@@ -119,7 +136,7 @@ class SlotArbiter {
   int& FreeCount(WorkerSlots& w, SlotKind kind) const {
     return kind == SlotKind::kMap ? w.free_map : w.free_reduce;
   }
-  double Share(const UserShare& u) const { return u.in_use / u.weight; }
+  double Share(const UserShare& u) const REQUIRES(mu_);
 
   /// Hand every free slot of (worker, kind) to the needlest waiters,
   /// signalling each grantee's private condvar.
@@ -138,6 +155,10 @@ class SlotArbiter {
   std::map<int, WorkerSlots> workers_ GUARDED_BY(mu_);
   std::map<std::string, UserShare> users_ GUARDED_BY(mu_);
   std::deque<Waiter*> waiters_ GUARDED_BY(mu_);
+  // Aggregate over users with demand_us > 0, kept incrementally so Share is
+  // O(1) inside GrantFreed's waiter scan.
+  double demand_sum_us_ GUARDED_BY(mu_) = 0.0;
+  int demand_users_ GUARDED_BY(mu_) = 0;
   std::uint64_t next_seq_ GUARDED_BY(mu_) = 0;
   std::uint64_t contended_grants_ GUARDED_BY(mu_) = 0;
   std::uint64_t wakeup_signals_ GUARDED_BY(mu_) = 0;

@@ -64,6 +64,12 @@ struct SimConfig {
   int speculation_min_completed = 3;
   // Sim-time interval of the driver's straggler sweep.
   double speculation_check_sec = 1.0;
+  // Prediction-driven deviation mode (docs/fault-tolerance.md §7): once the
+  // DES-wide RuntimePredictor has warmed up on this app, anchor the
+  // straggler threshold at predicted mean × straggler_deviation instead of
+  // the completed-task percentile. false pins the static percentile rule.
+  bool predictor_speculation = true;
+  double straggler_deviation = 2.0;
 
   // Hadoop.
   double hadoop_container_overhead_sec = 7.0;  // [16][17]

@@ -90,9 +90,20 @@ SimJobResult EclipseDes::RunJob(const SimJobSpec& spec) {
     bool backup = false;
   };
   std::vector<std::shared_ptr<MapTaskState>> live_tasks;
-  fault::StragglerDetector detector(fault::StragglerOptions{config_.straggler_percentile,
-                                                            config_.straggler_multiplier,
-                                                            config_.speculation_min_completed});
+  fault::StragglerOptions sopts;
+  sopts.percentile = config_.straggler_percentile;
+  sopts.multiplier = config_.straggler_multiplier;
+  sopts.min_completed = config_.speculation_min_completed;
+  sopts.deviation_multiplier = config_.straggler_deviation;
+  fault::StragglerDetector detector(sopts);
+  if (config_.speculative_execution && config_.predictor_speculation) {
+    // Deviation mode: anchor the threshold at the predictor's learned map
+    // duration for this app/block size (falls back to the percentile rule
+    // while cold — Predict returns nullopt until min_samples warm).
+    if (auto p = predictor_.Predict(spec.app.name, sched::PredictPhase::kMap, bs)) {
+      detector.SetPredictedUs(p->mean_us);
+    }
+  }
 
   // Forward declarations as std::functions so stages can chain.
   std::function<void(int)> start_iteration;
@@ -196,6 +207,8 @@ SimJobResult EclipseDes::RunJob(const SimJobSpec& spec) {
           if (st->done) return;  // the sibling attempt already completed
           st->done = true;
           detector.Record(SimUs(engine.now() - m_t0));
+          predictor_.Record(spec.app.name, sched::PredictPhase::kMap, bs,
+                            SimUs(engine.now() - m_t0));
           ++result.map_tasks;
           if (is_backup) {
             ++result.speculative_wins;
@@ -301,6 +314,8 @@ SimJobResult EclipseDes::RunJob(const SimJobSpec& spec) {
   const std::uint64_t job_seq = g_sim_job_seq.fetch_add(1) + 1;
   start_iteration(0);
   result.job_seconds = engine.Run();
+  predictor_.Record(spec.app.name, sched::PredictPhase::kJob,
+                    spec.TotalInputBytes(bs), SimUs(result.job_seconds));
   obs::Tracer::Global().EmitAt(0, SimUs(result.job_seconds), 'X', "mr", "job",
                                obs::kDriverPid, 0,
                                {obs::U64("job", job_seq), obs::U64("maps", result.map_tasks),

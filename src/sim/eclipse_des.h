@@ -21,6 +21,7 @@
 #include "cache/lru_cache.h"
 #include "dht/ring.h"
 #include "sched/laf_scheduler.h"
+#include "sched/runtime_predictor.h"
 #include "sim/event_engine.h"
 #include "sim/sim_job.h"
 
@@ -39,6 +40,12 @@ class EclipseDes {
 
   const SimConfig& config() const { return config_; }
 
+  /// The DES-wide runtime predictor: learns per-(app, phase, size-bucket)
+  /// task durations across RunJob calls and, with predictor_speculation on,
+  /// anchors the straggler threshold (deviation mode). Exposed so drills
+  /// can pre-warm or inspect it.
+  sched::RuntimePredictor& predictor() { return predictor_; }
+
  private:
   int RackOf(int node) const { return node / config_.nodes_per_rack; }
 
@@ -47,6 +54,7 @@ class EclipseDes {
   RangeTable fs_ranges_;
   std::unique_ptr<sched::LafScheduler> laf_;
   std::vector<std::unique_ptr<cache::LruCache>> caches_;
+  sched::RuntimePredictor predictor_;
 };
 
 }  // namespace eclipse::sim

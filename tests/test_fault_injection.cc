@@ -240,6 +240,107 @@ TEST(FaultInjection, StragglerDetectorThreshold) {
   EXPECT_TRUE(det.IsStraggler(401));
 }
 
+TEST(FaultInjection, StragglerPercentileEdgeCases) {
+  // n = 1 at the gate: the single sample is every percentile.
+  {
+    fault::StragglerDetector det(
+        fault::StragglerOptions{.percentile = 0.5, .multiplier = 2.0, .min_completed = 1});
+    det.Record(250);
+    EXPECT_EQ(det.ThresholdUs(), 500u);
+  }
+  // All-equal populations: every percentile anchors on the same value.
+  {
+    fault::StragglerDetector det(
+        fault::StragglerOptions{.percentile = 0.99, .multiplier = 3.0, .min_completed = 3});
+    for (int i = 0; i < 8; ++i) det.Record(100);
+    EXPECT_EQ(det.ThresholdUs(), 300u);
+  }
+  // percentile = 0.0 anchors at the fastest recent completion...
+  {
+    fault::StragglerDetector det(
+        fault::StragglerOptions{.percentile = 0.0, .multiplier = 2.0, .min_completed = 3});
+    det.Record(300);
+    det.Record(100);
+    det.Record(200);
+    EXPECT_EQ(det.ThresholdUs(), 200u);
+  }
+  // ...and 1.0 at the slowest.
+  {
+    fault::StragglerDetector det(
+        fault::StragglerOptions{.percentile = 1.0, .multiplier = 2.0, .min_completed = 3});
+    det.Record(300);
+    det.Record(100);
+    det.Record(200);
+    EXPECT_EQ(det.ThresholdUs(), 600u);
+  }
+  // multiplier < 1 is legal: speculate before the anchor itself elapses.
+  {
+    fault::StragglerDetector det(
+        fault::StragglerOptions{.percentile = 1.0, .multiplier = 0.5, .min_completed = 3});
+    det.Record(100);
+    det.Record(200);
+    det.Record(300);
+    EXPECT_EQ(det.ThresholdUs(), 150u);
+    EXPECT_FALSE(det.IsStraggler(150));
+    EXPECT_TRUE(det.IsStraggler(151));
+  }
+}
+
+TEST(FaultInjection, StragglerOptionsOutOfContractAreClamped) {
+  // The old code silently treated min_completed <= 0 as 1 deep inside
+  // ThresholdUs; the contract now lives in StragglerOptions and is enforced
+  // (and logged) once, at construction.
+  fault::StragglerDetector det(fault::StragglerOptions{.percentile = 1.5,
+                                                       .multiplier = -2.0,
+                                                       .min_completed = 0,
+                                                       .window = 0,
+                                                       .deviation_multiplier = -1.0});
+  EXPECT_DOUBLE_EQ(det.options().percentile, 1.0);
+  EXPECT_DOUBLE_EQ(det.options().multiplier, 1.0);
+  EXPECT_EQ(det.options().min_completed, 1);
+  EXPECT_GE(det.options().window, 2);
+  EXPECT_DOUBLE_EQ(det.options().deviation_multiplier, 0.0);
+  det.Record(100);
+  EXPECT_EQ(det.ThresholdUs(), 100u) << "clamped: one sample suffices, multiplier 1.0";
+}
+
+TEST(FaultInjection, StragglerDeviationModeAnchorsOnPrediction) {
+  fault::StragglerDetector det(fault::StragglerOptions{.percentile = 0.5,
+                                                       .multiplier = 2.0,
+                                                       .min_completed = 3,
+                                                       .window = 512,
+                                                       .deviation_multiplier = 1.5});
+  EXPECT_EQ(det.ThresholdUs(), 0u) << "percentile mode and cold: no verdict";
+  det.SetPredictedUs(1000);
+  EXPECT_EQ(det.ThresholdUs(), 1500u) << "deviation mode needs no local samples";
+  EXPECT_TRUE(det.IsStraggler(1501));
+  det.Record(100);
+  det.Record(100);
+  det.Record(100);
+  EXPECT_EQ(det.ThresholdUs(), 1500u) << "the installed prediction outranks the percentile";
+  det.SetPredictedUs(0);
+  EXPECT_EQ(det.ThresholdUs(), 200u) << "cleared: back to p50 = 100 x 2.0";
+}
+
+TEST(FaultInjection, StragglerDeviationMultiplierDefaultsToMultiplier) {
+  fault::StragglerDetector det(fault::StragglerOptions{
+      .percentile = 0.5, .multiplier = 3.0, .min_completed = 3, .window = 512});
+  det.SetPredictedUs(100);
+  EXPECT_EQ(det.ThresholdUs(), 300u) << "deviation_multiplier = 0 reuses multiplier";
+}
+
+TEST(FaultInjection, StragglerWindowSlides) {
+  fault::StragglerDetector det(fault::StragglerOptions{
+      .percentile = 1.0, .multiplier = 1.0, .min_completed = 2, .window = 4});
+  for (int i = 0; i < 4; ++i) det.Record(100);
+  EXPECT_EQ(det.ThresholdUs(), 100u);
+  for (int i = 0; i < 4; ++i) det.Record(1000);
+  EXPECT_EQ(det.ThresholdUs(), 1000u) << "the four fast completions fell out of the window";
+  for (int i = 0; i < 4; ++i) det.Record(100);
+  EXPECT_EQ(det.ThresholdUs(), 100u) << "the slow regime fell out again";
+  EXPECT_EQ(det.completed(), 12) << "completed() counts lifetime, not the window";
+}
+
 TEST(FaultInjection, DesSpeculationRecoversSlowNodes) {
   // The simulator's variant of the same knob: a 10x-slow node straggles, a
   // backup wins, and job time improves versus no speculation.
@@ -279,6 +380,11 @@ TEST(FaultInjection, DesSpeculationRecoversSlowNodes) {
   (void)&mr::JobSpec::straggler_percentile;
   (void)&mr::JobSpec::straggler_multiplier;
   (void)&mr::JobSpec::speculation_min_completed;
+  (void)&mr::JobSpec::predictor_speculation;
+  (void)&mr::JobSpec::straggler_deviation;
+  (void)&mr::JobSpec::deadline;
+  (void)&mr::JobSpec::slo;
+  (void)&mr::JobSpec::admission;
   (void)&net::RetryPolicy::max_attempts;
   (void)&net::RetryPolicy::initial_backoff;
   (void)&net::RetryPolicy::max_backoff;
@@ -300,8 +406,12 @@ TEST(FaultInjection, DesSpeculationRecoversSlowNodes) {
   (void)&fault::StragglerOptions::percentile;
   (void)&fault::StragglerOptions::multiplier;
   (void)&fault::StragglerOptions::min_completed;
+  (void)&fault::StragglerOptions::window;
+  (void)&fault::StragglerOptions::deviation_multiplier;
   (void)&sim::SimConfig::speculative_execution;
   (void)&sim::SimConfig::speculation_check_sec;
+  (void)&sim::SimConfig::predictor_speculation;
+  (void)&sim::SimConfig::straggler_deviation;
   (void)&mr::ClusterOptions::fault_controller;
   (void)&mr::ClusterOptions::rpc_retry;
 }
@@ -317,6 +427,12 @@ TEST(FaultInjection, HandbookDocumentsEveryKnob) {
       // JobSpec
       "task_deadline", "speculative_execution", "straggler_percentile",
       "straggler_multiplier", "speculation_min_completed",
+      "predictor_speculation", "straggler_deviation",
+      // SLO / admission control (§7)
+      "deadline", "slo", "admission", "kRejectOnMiss", "kQueueOnMiss",
+      "eta_us", "slo_missed",
+      // StragglerOptions window + predictor knobs
+      "window", "deviation_multiplier", "min_samples", "bound_sigmas",
       // RetryPolicy
       "max_attempts", "initial_backoff", "max_backoff", "backoff_multiplier",
       "jitter", "budget",
@@ -329,6 +445,8 @@ TEST(FaultInjection, HandbookDocumentsEveryKnob) {
       // Error codes and events operators will grep for
       "kUnavailable", "kDeadlineExceeded", "kCancelled", "fault.injected",
       "rpc_retry", "fault_slow_disk", "speculative_win",
+      "kResourceExhausted", "job_admit", "job_reject", "slo_miss",
+      "mr.jobs_rejected", "mr.slo_miss",
   };
   for (const char* knob : knobs) {
     EXPECT_NE(doc.find(knob), std::string::npos)

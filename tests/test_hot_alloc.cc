@@ -21,6 +21,7 @@
 
 #include "common/arena.h"
 #include "dfs/dfs_client.h"
+#include "fault/straggler.h"
 #include "dfs/dfs_node.h"
 #include "dht/ring.h"
 #include "mr/shuffle.h"
@@ -73,6 +74,35 @@ TEST(HotAlloc, ArenaSteadyStateIsAllocationFree) {
   EXPECT_EQ(delta, 0u)
       << "a warmed arena must serve the same workload without touching the heap";
   arena.Reset();
+}
+
+TEST(HotAlloc, StragglerDetectorMemoryIsBoundedOverAMillionRecords) {
+  // The detector used to keep every completion in a sorted vector (O(n)
+  // insert, unbounded memory over a cluster's lifetime). It now holds a
+  // fixed ring reserved at construction: a million Records — with threshold
+  // reads interleaved the way the driver's sweep issues them — must not
+  // touch the heap at all, and the threshold must stay stable.
+  fault::StragglerOptions opts;
+  opts.min_completed = 3;
+  opts.window = 512;
+  fault::StragglerDetector det(opts);
+  // Warm past min_completed (and any lazy lock-validator state) so every
+  // threshold read inside the measured loop sees a live verdict.
+  for (int i = 0; i < opts.min_completed; ++i) det.Record(100);
+  ASSERT_EQ(det.ThresholdUs(), 200u);
+  std::uint64_t before = AllocCount();
+  for (int i = 0; i < 1'000'000; ++i) {
+    det.Record(100);
+    if ((i & 0xFFF) == 0 && det.ThresholdUs() != 200) {
+      FAIL() << "threshold drifted at record " << i << ": " << det.ThresholdUs();
+    }
+  }
+  std::uint64_t delta = AllocCount() - before;
+  EXPECT_EQ(delta, 0u)
+      << "a million straggler records must run entirely inside the "
+         "pre-reserved window ring and scratch buffer";
+  EXPECT_EQ(det.ThresholdUs(), 200u);  // p75 = 100 x 2.0, unchanged
+  EXPECT_EQ(det.completed(), 1'000'003);
 }
 
 class HotAllocShuffle : public ::testing::Test {

@@ -9,7 +9,11 @@
 // address), under which CI runs this binary.
 #include <gtest/gtest.h>
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <cstdint>
 #include <memory>
@@ -27,6 +31,7 @@
 #include "dht/membership.h"
 #include "fault/fault_plan.h"
 #include "mr/cluster.h"
+#include "net/conn_pool.h"
 #include "net/dispatcher.h"
 #include "net/retry.h"
 #include "net/tcp_transport.h"
@@ -635,6 +640,56 @@ TEST(RaceStress, ExecutorStealVsCancel) {
     ASSERT_EQ(ran.load(), kTasks) << "round " << round;
   }
   exec.Drain();
+}
+
+TEST(RaceStress, ConnPoolReleaseVsCloseAll) {
+  // The shutdown race from the ConnPool bugfix: a Release landing after
+  // CloseAll swapped the idle map out used to re-create a stash entry, so
+  // the socket silently survived shutdown and could be handed out stale
+  // later. Hammer Release from several threads while CloseAll fires in the
+  // middle; afterwards every fd handed to the pool must be closed — either
+  // it was stashed in time and CloseAll swept it, or it hit the closed_
+  // gate and Release closed it directly. Nothing may be left for reuse.
+  for (int round = 0; round < 50; ++round) {
+    net::ConnPool pool(/*max_idle_per_peer=*/64);
+    constexpr int kThreads = 4;
+    constexpr int kFdsPerThread = 16;
+    std::vector<std::vector<int>> fds(kThreads);
+    for (auto& mine : fds) {
+      for (int i = 0; i < kFdsPerThread; ++i) {
+        int pipefd[2];
+        ASSERT_EQ(::pipe(pipefd), 0);
+        mine.push_back(pipefd[0]);
+        ::close(pipefd[1]);
+      }
+    }
+    std::atomic<int> ready{0};
+    std::vector<std::thread> releasers;
+    for (int t = 0; t < kThreads; ++t) {
+      releasers.emplace_back([&, t] {
+        ready.fetch_add(1);
+        while (ready.load() < kThreads + 1) std::this_thread::yield();
+        for (int fd : fds[t]) pool.Release("peer", 7000 + t, fd);
+      });
+    }
+    std::thread closer([&] {
+      ready.fetch_add(1);
+      while (ready.load() < kThreads + 1) std::this_thread::yield();
+      pool.CloseAll();
+    });
+    for (auto& r : releasers) r.join();
+    closer.join();
+    // No open file descriptor may survive the race (no other thread in this
+    // test opens fds concurrently, so an EBADF probe is unambiguous).
+    for (const auto& mine : fds) {
+      for (int fd : mine) {
+        errno = 0;
+        EXPECT_EQ(::fcntl(fd, F_GETFD), -1)
+            << "fd " << fd << " survived CloseAll (round " << round << ")";
+        EXPECT_EQ(errno, EBADF);
+      }
+    }
+  }
 }
 
 TEST(RaceStress, DispatcherAcceptVsShutdown) {

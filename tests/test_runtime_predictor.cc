@@ -1,0 +1,121 @@
+// RuntimePredictor unit tests: cold gate, EWMA convergence, size-bucket
+// scaling, phase/job independence, and the bounded cell cap.
+#include "sched/runtime_predictor.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace eclipse {
+namespace {
+
+using sched::PredictPhase;
+using sched::PredictorOptions;
+using sched::RuntimePredictor;
+
+TEST(RuntimePredictor, ColdUntilMinSamples) {
+  RuntimePredictor pred;  // min_samples = 3
+  EXPECT_FALSE(pred.Predict("wc", PredictPhase::kMap, 1_MiB).has_value());
+  pred.Record("wc", PredictPhase::kMap, 1_MiB, 1000);
+  pred.Record("wc", PredictPhase::kMap, 1_MiB, 1000);
+  EXPECT_FALSE(pred.Predict("wc", PredictPhase::kMap, 1_MiB).has_value())
+      << "two samples must not satisfy a min_samples=3 gate";
+  pred.Record("wc", PredictPhase::kMap, 1_MiB, 1000);
+  auto p = pred.Predict("wc", PredictPhase::kMap, 1_MiB);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->samples, 3u);
+  EXPECT_EQ(p->mean_us, 1000u);
+  EXPECT_EQ(pred.TotalSamples(), 3u);
+}
+
+TEST(RuntimePredictor, EwmaConvergesAndBoundCoversSpread) {
+  RuntimePredictor pred;
+  // A long steady regime: the EW mean converges onto it.
+  for (int i = 0; i < 100; ++i) pred.Record("wc", PredictPhase::kMap, 1_MiB, 2000);
+  auto steady = pred.Predict("wc", PredictPhase::kMap, 1_MiB);
+  ASSERT_TRUE(steady.has_value());
+  EXPECT_EQ(steady->mean_us, 2000u);
+  EXPECT_EQ(steady->bound_us, steady->mean_us) << "zero variance: bound collapses to mean";
+
+  // A regime change: recent samples dominate (alpha = 0.25 halves the gap
+  // roughly every 2.4 samples), and the bound now sits above the mean.
+  for (int i = 0; i < 30; ++i) pred.Record("wc", PredictPhase::kMap, 1_MiB, 6000);
+  auto shifted = pred.Predict("wc", PredictPhase::kMap, 1_MiB);
+  ASSERT_TRUE(shifted.has_value());
+  EXPECT_GT(shifted->mean_us, 5900u);
+  EXPECT_GE(shifted->bound_us, shifted->mean_us);
+}
+
+TEST(RuntimePredictor, OutlierCannotSwingTheMean) {
+  RuntimePredictor pred;
+  for (int i = 0; i < 50; ++i) pred.Record("wc", PredictPhase::kMap, 1_MiB, 1000);
+  pred.Record("wc", PredictPhase::kMap, 1_MiB, 100'000);  // one straggler
+  auto p = pred.Predict("wc", PredictPhase::kMap, 1_MiB);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_LT(p->mean_us, 30'000u) << "one outlier moved the EW mean too far";
+  EXPECT_GT(p->bound_us, p->mean_us) << "the outlier must widen the variance bound";
+}
+
+TEST(RuntimePredictor, CrossBucketPredictionScalesByBytes) {
+  RuntimePredictor pred;
+  for (int i = 0; i < 5; ++i) pred.Record("sort", PredictPhase::kJob, 1_MiB, 10'000);
+  // Twice the input from a neighboring bucket: the estimate scales ~2x.
+  auto p = pred.Predict("sort", PredictPhase::kJob, 2_MiB);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_NEAR(static_cast<double>(p->mean_us), 20'000.0, 200.0);
+  // Wild extrapolation is clamped to 8x.
+  auto far = pred.Predict("sort", PredictPhase::kJob, 1_GiB);
+  ASSERT_TRUE(far.has_value());
+  EXPECT_EQ(far->mean_us, 80'000u);
+}
+
+TEST(RuntimePredictor, PhasesAndJobNamesAreIndependent) {
+  RuntimePredictor pred;
+  for (int i = 0; i < 3; ++i) {
+    pred.Record("wc", PredictPhase::kMap, 1_MiB, 1000);
+    pred.Record("wc", PredictPhase::kReduce, 1_MiB, 5000);
+  }
+  auto map = pred.Predict("wc", PredictPhase::kMap, 1_MiB);
+  auto reduce = pred.Predict("wc", PredictPhase::kReduce, 1_MiB);
+  ASSERT_TRUE(map.has_value());
+  ASSERT_TRUE(reduce.has_value());
+  EXPECT_EQ(map->mean_us, 1000u);
+  EXPECT_EQ(reduce->mean_us, 5000u);
+  EXPECT_FALSE(pred.Predict("grep", PredictPhase::kMap, 1_MiB).has_value())
+      << "an unseen job name must stay cold";
+  EXPECT_EQ(pred.CellCount(), 2u);
+}
+
+TEST(RuntimePredictor, CellCapBoundsMemory) {
+  PredictorOptions options;
+  options.max_cells = 4;
+  options.min_samples = 1;
+  RuntimePredictor pred(options);
+  for (int i = 0; i < 32; ++i) {
+    pred.Record("job-" + std::to_string(i), PredictPhase::kJob, 1_MiB, 1000);
+  }
+  EXPECT_EQ(pred.CellCount(), 4u);
+  // Keys admitted before the cap keep learning; overflow keys stay cold.
+  EXPECT_TRUE(pred.Predict("job-0", PredictPhase::kJob, 1_MiB).has_value());
+  EXPECT_FALSE(pred.Predict("job-31", PredictPhase::kJob, 1_MiB).has_value());
+}
+
+TEST(RuntimePredictor, OptionsOutOfContractAreClamped) {
+  PredictorOptions bad;
+  bad.alpha = -1.0;
+  bad.min_samples = 0;
+  bad.bound_sigmas = -2.0;
+  bad.max_cells = 0;
+  RuntimePredictor pred(bad);
+  EXPECT_GT(pred.options().alpha, 0.0);
+  EXPECT_LE(pred.options().alpha, 1.0);
+  EXPECT_GE(pred.options().min_samples, 1);
+  EXPECT_GE(pred.options().bound_sigmas, 0.0);
+  EXPECT_GE(pred.options().max_cells, 1u);
+  pred.Record("wc", PredictPhase::kMap, 1_MiB, 500);
+  EXPECT_TRUE(pred.Predict("wc", PredictPhase::kMap, 1_MiB).has_value())
+      << "min_samples clamps to 1, so one sample suffices";
+}
+
+}  // namespace
+}  // namespace eclipse

@@ -12,6 +12,14 @@ Gated metrics (lower is better):
                                     saturation (4 worker processes x 4
                                     submitters over real TCP); only gated
                                     once both run and baseline carry it
+    slo_miss_rate                   fraction of healthy deadline jobs that
+                                    missed their (generous) SLO; baseline 0,
+                                    so any miss gates
+    admission_eta_error             mean relative error of the admission
+                                    ETA vs the job's actual completion;
+                                    both SLO metrics are ratios, compared
+                                    unscaled and with a small absolute
+                                    slack for queue-timing jitter
 
 Cross-machine normalization: absolute times differ between the quiet
 machine that recorded the baseline and a CI runner, so by default the run's
@@ -34,10 +42,19 @@ import json
 import sys
 
 GATED_METRICS = ["shuffle_add_64r_ns_per_record", "wordcount_cold_ms",
-                 "saturation_ms_per_job_4p4s"]
+                 "saturation_ms_per_job_4p4s", "slo_miss_rate",
+                 "admission_eta_error"]
 # Metrics added mid-trajectory: skipped (with a note) when the baseline
 # point predates them, so old points still replay through the gate.
-OPTIONAL_METRICS = {"saturation_ms_per_job_4p4s"}
+OPTIONAL_METRICS = {"saturation_ms_per_job_4p4s", "slo_miss_rate",
+                    "admission_eta_error"}
+# Ratio metrics: machine speed cancels out (numerator and denominator come
+# from the same run), so they compare raw regardless of --no-normalize.
+UNSCALED_METRICS = {"slo_miss_rate", "admission_eta_error"}
+# Absolute slack added on top of the fractional tolerance: ratios near zero
+# make base*(1+tolerance) degenerate, and the ETA error carries inherent
+# queue-timing jitter a percentage of a small baseline cannot absorb.
+ABS_SLACK = {"slo_miss_rate": 0.0, "admission_eta_error": 0.15}
 SCALE_METRIC = "cache_get_hit_ns_per_op"
 # A runner more than 4x off the baseline machine (either way) is measuring
 # something else entirely; refuse to extrapolate that far.
@@ -104,8 +121,8 @@ def main():
         if metric not in run or metric not in base:
             failures.append(f"{metric}: missing from {'run' if metric not in run else 'baseline'}")
             continue
-        normalized = run[metric] / scale
-        limit = base[metric] * (1.0 + args.tolerance)
+        normalized = run[metric] if metric in UNSCALED_METRICS else run[metric] / scale
+        limit = base[metric] * (1.0 + args.tolerance) + ABS_SLACK.get(metric, 0.0)
         verdict = "OK" if normalized <= limit else "REGRESSED"
         print(f"  {metric}: run {run[metric]:.3f} (normalized {normalized:.3f}) "
               f"vs baseline {base[metric]:.3f}, limit {limit:.3f} -> {verdict}")
